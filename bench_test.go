@@ -1,0 +1,134 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (DESIGN.md §3 maps each to its experiment). The modeled
+// grids run as testing.B benchmarks so `go test -bench=.` reproduces the
+// full evaluation; the BenchmarkReal* entries additionally measure this
+// host's genuine arithmetic throughput on functional MSMs and proofs.
+package distmsm_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"distmsm"
+	"distmsm/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Run(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + out)
+		}
+	}
+}
+
+// BenchmarkTable1Curves regenerates Table 1 (curve bit widths).
+func BenchmarkTable1Curves(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2Baselines regenerates Table 2 (baseline inventory).
+func BenchmarkTable2Baselines(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3 regenerates Table 3: DistMSM vs the best baseline
+// across curves, input sizes and GPU counts.
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkTable4EndToEnd regenerates Table 4: end-to-end zkSNARK proof
+// generation, libsnark vs the DistMSM configuration.
+func BenchmarkTable4EndToEnd(b *testing.B) { benchExperiment(b, "table4") }
+
+// BenchmarkFig3WorkloadModel regenerates Figure 3: the §3.1 per-thread
+// workload estimate across window sizes and GPU counts.
+func BenchmarkFig3WorkloadModel(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig8Scalability regenerates Figure 8: multi-GPU speedup over
+// a single GPU for DistMSM and every baseline.
+func BenchmarkFig8Scalability(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9Devices regenerates Figure 9: Bellperson vs DistMSM on
+// the A100, RTX4090 and AMD 6900XT models.
+func BenchmarkFig9Devices(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10Breakdown regenerates Figure 10: the contribution of the
+// multi-GPU algorithm vs the PADD-kernel optimisations.
+func BenchmarkFig10Breakdown(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11Scatter regenerates Figure 11: hierarchical vs naive
+// bucket scatter across window sizes.
+func BenchmarkFig11Scatter(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig12PADD regenerates Figure 12: the accumulation-kernel
+// optimisation waterfall per curve.
+func BenchmarkFig12PADD(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkRealMSM measures this host's genuine (functional) DistMSM
+// throughput: real field/curve arithmetic, scheduled as on the simulated
+// cluster.
+func BenchmarkRealMSM(b *testing.B) {
+	for _, curveName := range []string{"BN254", "BLS12-381"} {
+		c, err := distmsm.Curve(curveName)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const n = 1 << 12
+		points := c.SamplePoints(n, 1)
+		scalars := c.SampleScalars(n, 2)
+		sys, err := distmsm.NewSystem(distmsm.A100, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(curveName, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.MSM(c, points, scalars, distmsm.Options{WindowSize: 10}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRealCPUMSM measures the plain host Pippenger path.
+func BenchmarkRealCPUMSM(b *testing.B) {
+	c, err := distmsm.Curve("BN254")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 1 << 14
+	points := c.SamplePoints(n, 3)
+	scalars := c.SampleScalars(n, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := distmsm.CPUMSM(c, points, scalars); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRealProof measures a genuine Groth16 prove+verify round trip
+// (the functional anchor of Table 4) at demo scale.
+func BenchmarkRealProof(b *testing.B) {
+	snark, err := distmsm.NewSNARK(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs, w := snark.SyntheticCircuit(64, 1)
+	rnd := rand.New(rand.NewSource(2))
+	pk, vk, err := snark.Setup(cs, rnd)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proof, err := snark.Prove(cs, pk, w, rnd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ok, err := snark.Verify(vk, proof, w[1:1+cs.NPublic])
+		if err != nil || !ok {
+			b.Fatal("verification failed")
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures from this repository's implementations and cost models.
+//
+// Usage:
+//
+//	experiments              # run everything, in paper order
+//	experiments table3 fig11 # run a subset
+//	experiments -list        # list available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"distmsm"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	outDir := flag.String("o", "", "also write each report to <dir>/<name>.txt")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(distmsm.Experiments(), "\n"))
+		return
+	}
+	names := flag.Args()
+	if len(names) == 0 {
+		names = distmsm.Experiments()
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	for _, n := range names {
+		out, err := distmsm.RunExperiment(n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, n+".txt")
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package distmsm is the public API of this DistMSM reproduction: a
+// multi-scalar-multiplication library for zero-knowledge proof systems,
+// with an execution engine that schedules Pippenger's algorithm across a
+// (simulated) distributed multi-GPU system as described in "Accelerating
+// Multi-Scalar Multiplication for Efficient Zero Knowledge Proofs with
+// Multi-GPU Systems" (ASPLOS 2024).
+//
+// Quick start:
+//
+//	c, _ := distmsm.Curve("BN254")
+//	points := c.SamplePoints(1<<12, 1)
+//	scalars := c.SampleScalars(1<<12, 2)
+//	sys, _ := distmsm.NewSystem(distmsm.A100, 8)
+//	res, _ := sys.MSM(c, points, scalars, distmsm.Options{})
+//	fmt.Println(c.ToAffine(res.Point), res.Cost.Total())
+//
+// The packages under internal/ hold the implementation: finite fields,
+// curves, the CPU Pippenger, the GPU performance model, the DistMSM
+// scheduler, tensor-core arithmetic, NTT, pairing and Groth16. See
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-reproduction results.
+package distmsm
+
+import (
+	"distmsm/internal/baselines"
+	"distmsm/internal/bigint"
+	"distmsm/internal/core"
+	"distmsm/internal/curve"
+	"distmsm/internal/experiments"
+	"distmsm/internal/gpusim"
+	"distmsm/internal/msm"
+)
+
+// Re-exported core types.
+type (
+	// CurveParams describes one supported elliptic curve.
+	CurveParams = curve.Curve
+	// PointAffine is an affine curve point.
+	PointAffine = curve.PointAffine
+	// PointXYZZ is a point in the XYZZ coordinate system.
+	PointXYZZ = curve.PointXYZZ
+	// Scalar is a little-endian multi-precision MSM scalar.
+	Scalar = bigint.Nat
+	// Options configure a DistMSM execution (zero value = full DistMSM).
+	Options = core.Options
+	// Result carries the MSM value, modeled cost and execution plan.
+	Result = core.Result
+	// Cost is a modeled wall-time breakdown.
+	Cost = gpusim.Cost
+	// Device describes a GPU model.
+	Device = gpusim.Device
+)
+
+// DeviceModel selects a GPU profile for NewSystem.
+type DeviceModel int
+
+// The modeled devices of the paper's evaluation (§5.2).
+const (
+	A100 DeviceModel = iota
+	RTX4090
+	AMD6900XT
+)
+
+func (d DeviceModel) device() Device {
+	switch d {
+	case RTX4090:
+		return gpusim.RTX4090()
+	case AMD6900XT:
+		return gpusim.AMD6900XT()
+	default:
+		return gpusim.A100()
+	}
+}
+
+// Curves lists the supported curve names (Table 1).
+func Curves() []string { return curve.Names() }
+
+// Curve returns the named curve.
+func Curve(name string) (*CurveParams, error) { return curve.ByName(name) }
+
+// System is a simulated multi-GPU execution target.
+type System struct {
+	cluster *gpusim.Cluster
+}
+
+// NewSystem builds an n-GPU system of the given device model.
+func NewSystem(model DeviceModel, n int) (*System, error) {
+	cl, err := gpusim.NewCluster(model.device(), n)
+	if err != nil {
+		return nil, err
+	}
+	return &System{cluster: cl}, nil
+}
+
+// GPUs returns the system's GPU count.
+func (s *System) GPUs() int { return s.cluster.N }
+
+// DeviceName returns the modeled device name.
+func (s *System) DeviceName() string { return s.cluster.Dev.Name }
+
+// MSM computes Σ scalars[i]·points[i] with the DistMSM scheduler,
+// returning the exact result together with the modeled execution cost.
+func (s *System) MSM(c *CurveParams, points []PointAffine, scalars []Scalar, opts Options) (*Result, error) {
+	return core.Run(c, s.cluster, points, scalars, opts)
+}
+
+// Estimate prices an N-point MSM on the system without computing it
+// (the paper-scale analytic mode).
+func (s *System) Estimate(c *CurveParams, n int, opts Options) (*Result, error) {
+	return core.Analytic(c, s.cluster, n, opts)
+}
+
+// CPUMSM computes the MSM with the host Pippenger implementation
+// (reference / fallback path, no simulation).
+func CPUMSM(c *CurveParams, points []PointAffine, scalars []Scalar) (*PointXYZZ, error) {
+	return msm.MSM(c, points, scalars, msm.Config{Signed: true})
+}
+
+// BestBaseline returns the modeled time (seconds) and name of the
+// fastest published baseline (Table 2) for the configuration.
+func BestBaseline(c *CurveParams, model DeviceModel, gpus, n int) (float64, string, error) {
+	t, b, err := baselines.BestGPU(c, model.device(), gpus, n)
+	if err != nil {
+		return 0, "", err
+	}
+	return t, b.Name, nil
+}
+
+// Experiments lists the reproducible tables and figures of the paper.
+func Experiments() []string { return experiments.Names() }
+
+// RunExperiment regenerates one table or figure and returns its report.
+func RunExperiment(name string) (string, error) { return experiments.Run(name) }
+
+// EstimatePipelined prices `count` back-to-back MSMs on the system with
+// the §3.2.3 software pipeline (the CPU bucket-reduce of one MSM hides
+// behind the GPU phases of the next).
+func (s *System) EstimatePipelined(c *CurveParams, n, count int, opts Options) (Cost, error) {
+	plan, err := core.BuildPlan(c, s.cluster, n, opts)
+	if err != nil {
+		return Cost{}, err
+	}
+	return plan.EstimatePipeline(count)
+}

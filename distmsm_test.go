@@ -1,0 +1,172 @@
+package distmsm_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"distmsm"
+)
+
+func TestPublicAPICurves(t *testing.T) {
+	names := distmsm.Curves()
+	if len(names) != 4 {
+		t.Fatalf("want 4 curves, got %v", names)
+	}
+	for _, n := range names {
+		c, err := distmsm.Curve(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Name != n {
+			t.Errorf("curve name mismatch: %s != %s", c.Name, n)
+		}
+	}
+	if _, err := distmsm.Curve("secp256k1"); err == nil {
+		t.Error("unsupported curve must error")
+	}
+}
+
+func TestPublicAPIMSM(t *testing.T) {
+	c, err := distmsm.Curve("BLS12-381")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 128
+	points := c.SamplePoints(n, 5)
+	scalars := c.SampleScalars(n, 6)
+
+	for _, model := range []distmsm.DeviceModel{distmsm.A100, distmsm.RTX4090, distmsm.AMD6900XT} {
+		sys, err := distmsm.NewSystem(model, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.MSM(c, points, scalars, distmsm.Options{WindowSize: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := distmsm.CPUMSM(c, points, scalars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.EqualXYZZ(res.Point, want) {
+			t.Fatalf("%s: MSM result mismatch", sys.DeviceName())
+		}
+		if res.Cost.Total() <= 0 {
+			t.Fatalf("%s: non-positive cost", sys.DeviceName())
+		}
+	}
+	if _, err := distmsm.NewSystem(distmsm.A100, 0); err == nil {
+		t.Error("zero-GPU system must error")
+	}
+}
+
+func TestPublicAPIEstimateAndBaseline(t *testing.T) {
+	c, err := distmsm.Curve("BN254")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := distmsm.NewSystem(distmsm.A100, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Estimate(c, 1<<26, distmsm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, name, err := distmsm.BestBaseline(c, distmsm.A100, 16, 1<<26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name == "" || bg <= res.Cost.Total() {
+		t.Errorf("DistMSM (%.4g) should beat baseline %s (%.4g) at 16 GPUs", res.Cost.Total(), name, bg)
+	}
+}
+
+func TestPublicAPISNARK(t *testing.T) {
+	sys, err := distmsm.NewSystem(distmsm.A100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snark, err := distmsm.NewSNARK(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := snark.ScalarField()
+	cs, witnessFor := snark.ProductCircuit()
+	rnd := rand.New(rand.NewSource(9))
+	pk, vk, err := snark.Setup(cs, rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := fr.FromUint64(101), fr.FromUint64(103)
+	w, err := witnessFor(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := snark.Prove(cs, pk, w, rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fr.NewElement()
+	fr.Mul(c, a, b)
+	ok, err := snark.Verify(vk, proof, []distmsm.FieldElement{c})
+	if err != nil || !ok {
+		t.Fatalf("public-API proof failed: %v", err)
+	}
+	if snark.ModeledMSMSeconds <= 0 {
+		t.Error("GPU-routed prover should accumulate modeled MSM time")
+	}
+}
+
+func TestPublicAPIWorkloads(t *testing.T) {
+	ws := distmsm.Workloads()
+	if len(ws) != 3 {
+		t.Fatalf("want 3 workloads, got %v", ws)
+	}
+	cpu, gpu, err := distmsm.WorkloadEstimate("Zcash-Sprout", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := cpu / gpu; sp < 18 || sp > 35 {
+		t.Errorf("Zcash-Sprout speedup %.1fx outside ~25x band", sp)
+	}
+	if _, _, err := distmsm.WorkloadEstimate("nope", 8); err == nil {
+		t.Error("unknown workload must error")
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	if len(distmsm.Experiments()) != 10 {
+		t.Fatalf("want 10 experiments, got %v", distmsm.Experiments())
+	}
+	out, err := distmsm.RunExperiment("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "BN254") {
+		t.Error("table1 output malformed")
+	}
+}
+
+func TestPublicAPIPipelined(t *testing.T) {
+	c, err := distmsm.Curve("BN254")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := distmsm.NewSystem(distmsm.A100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := sys.Estimate(c, 1<<24, distmsm.Options{WindowSize: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := sys.EstimatePipelined(c, 1<<24, 6, distmsm.Options{WindowSize: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.Total() <= one.Cost.Total() || pipe.Total() >= 7*one.Cost.Total() {
+		t.Errorf("pipelined total %.4g implausible vs single %.4g", pipe.Total(), one.Cost.Total())
+	}
+}

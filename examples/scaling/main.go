@@ -1,0 +1,48 @@
+// scaling: sweep the simulated GPU count for a paper-scale MSM and print
+// the scalability of DistMSM against the best published baseline —
+// the experiment behind Figure 8 and the multi-GPU columns of Table 3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distmsm"
+)
+
+func main() {
+	const logN = 26
+	n := 1 << logN
+
+	for _, curveName := range []string{"BLS12-381", "MNT4753"} {
+		c, err := distmsm.Curve(curveName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s, N = 2^%d, modeled on NVIDIA A100s\n", curveName, logN)
+		fmt.Printf("%6s %14s %14s %10s %10s\n", "GPUs", "DistMSM(ms)", "Best-GPU(ms)", "speedup", "scaling")
+
+		var t1 float64
+		for _, g := range []int{1, 2, 4, 8, 16, 32} {
+			sys, err := distmsm.NewSystem(distmsm.A100, g)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sys.Estimate(c, n, distmsm.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			bg, bgName, err := distmsm.BestBaseline(c, distmsm.A100, g, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tot := res.Cost.Total()
+			if g == 1 {
+				t1 = tot
+			}
+			fmt.Printf("%6d %14.2f %14.2f %9.1fx %9.1fx  (BG: %s, s=%d)\n",
+				g, tot*1e3, bg*1e3, bg/tot, t1/tot, bgName, res.Plan.S)
+		}
+		fmt.Println()
+	}
+}

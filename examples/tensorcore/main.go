@@ -1,0 +1,77 @@
+// tensorcore: demonstrate the §4.3 tensor-core Montgomery multiplication
+// — big integers as uint8 digit matrices, the 23-bit expanded outputs,
+// the fragment-layout column shuffle, and on-the-fly compaction — and
+// check it bit-for-bit against the CUDA-core (CIOS) path.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+	"math/rand"
+
+	"distmsm/internal/bigint"
+	"distmsm/internal/tensorcore"
+)
+
+func main() {
+	// The BN254 base field modulus: the constant operand of the m×n
+	// multiplication in Montgomery reduction.
+	p, _ := new(big.Int).SetString(
+		"21888242871839275222246405745257275088696311157297823662689037894645226208583", 10)
+	mont, err := bigint.NewMontgomery(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := mont.Width()
+
+	// A warp-level batch of 8 independent Montgomery products (Fig. 7a).
+	rnd := rand.New(rand.NewSource(1))
+	var xs, ys, zs [tensorcore.Batch]bigint.Nat
+	for i := range xs {
+		xs[i] = bigint.FromBig(new(big.Int).Rand(rnd, p), w)
+		ys[i] = bigint.FromBig(new(big.Int).Rand(rnd, p), w)
+		zs[i] = bigint.New(w)
+	}
+
+	tc := tensorcore.NewMontMultiplier(mont)
+	tc.Compact = true
+	tc.MulBatch(&zs, &xs, &ys)
+
+	allMatch := true
+	for i := range zs {
+		want := bigint.New(w)
+		mont.MulCIOS(want, xs[i], ys[i])
+		if !zs[i].Equal(want) {
+			allMatch = false
+		}
+	}
+	fmt.Printf("tensor-core Montgomery products match CIOS bit-for-bit: %v\n", allMatch)
+
+	cnt := tc.Counters()
+	fmt.Printf("simulated hardware: %d MMA (8x8x16) tile ops, %d in-register compaction MADs, %d fragment memory writes\n",
+		cnt.MMAOps, cnt.CompactOps, cnt.MemWrites)
+
+	// The naive path writes the 4x-expanded fragments through memory.
+	tcNaive := tensorcore.NewMontMultiplier(mont)
+	tcNaive.Compact = false
+	tcNaive.MulBatch(&zs, &xs, &ys)
+	fmt.Printf("without on-the-fly compaction the same batch writes %d expanded uint32 fragments to memory\n",
+		tcNaive.Counters().MemWrites)
+
+	// The Figure 7 layout property: under the natural fragment layout,
+	// groups of four consecutive outputs straddle threads; after the
+	// column shuffle every group is thread-local.
+	naiveLocal, shuffledLocal := 0, 0
+	const groups = 16
+	for g := 0; g < groups; g++ {
+		if tensorcore.GroupThreadLocal(tensorcore.NaiveOwner, g) {
+			naiveLocal++
+		}
+		if tensorcore.GroupThreadLocal(tensorcore.ShuffledOwner, g) {
+			shuffledLocal++
+		}
+	}
+	fmt.Printf("compaction groups thread-local: natural layout %d/%d, shuffled layout %d/%d\n",
+		naiveLocal, groups, shuffledLocal, groups)
+}

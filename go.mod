@@ -1,0 +1,3 @@
+module distmsm
+
+go 1.22

@@ -1,0 +1,220 @@
+package baselines
+
+import (
+	"testing"
+
+	"distmsm/internal/core"
+	"distmsm/internal/curve"
+	"distmsm/internal/gpusim"
+)
+
+func mustCurve(t testing.TB, name string) *curve.Curve {
+	t.Helper()
+	c, err := curve.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func distMSMTime(t testing.TB, c *curve.Curve, nGPU, n int) float64 {
+	t.Helper()
+	cl, err := gpusim.NewCluster(gpusim.A100(), nGPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Analytic(c, cl, n, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Cost.Total()
+}
+
+// Table 2: the baseline inventory with curve support.
+func TestTable2Inventory(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("want 6 baselines, got %d", len(all))
+	}
+	support := map[string][]string{
+		"Bellperson": {"BLS12-381"},
+		"cuZK":       {"BLS12-377", "BLS12-381", "MNT4753"},
+		"Icicle":     {"BN254", "BLS12-377", "BLS12-381"},
+		"Mina":       {"MNT4753"},
+		"Sppark":     {"BN254", "BLS12-377", "BLS12-381"},
+		"Yrrid":      {"BLS12-377"},
+	}
+	for i, b := range all {
+		if b.ID != i+1 {
+			t.Errorf("%s: ID %d, want %d", b.Name, b.ID, i+1)
+		}
+		want := support[b.Name]
+		if len(want) != len(b.Curves) {
+			t.Errorf("%s: curve list %v, want %v", b.Name, b.Curves, want)
+		}
+		for _, cn := range want {
+			if !b.Supports(cn) {
+				t.Errorf("%s should support %s", b.Name, cn)
+			}
+		}
+		if b.Supports("nonexistent") {
+			t.Errorf("%s claims to support a bogus curve", b.Name)
+		}
+	}
+	if _, err := ByName("cuZK"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("expected unknown-baseline error")
+	}
+}
+
+func TestEstimateRejectsUnsupportedCurve(t *testing.T) {
+	y, _ := ByName("Yrrid")
+	if _, err := y.Estimate(mustCurve(t, "BN254"), gpusim.A100(), 1, 1<<20); err == nil {
+		t.Fatal("Yrrid must reject BN254")
+	}
+}
+
+// Table 3 headline: DistMSM beats the best baseline on BN254, BLS12-381
+// and MNT4753 at every GPU count and size.
+func TestDistMSMBeatsBestGPU(t *testing.T) {
+	dev := gpusim.A100()
+	for _, cn := range []string{"BN254", "BLS12-381", "MNT4753"} {
+		c := mustCurve(t, cn)
+		for _, g := range []int{1, 8, 16, 32} {
+			for _, n := range []int{1 << 22, 1 << 26} {
+				bg, _, err := BestGPU(c, dev, g, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d := distMSMTime(t, c, g, n)
+				if d >= bg {
+					t.Errorf("%s g=%d n=%d: DistMSM %.3g >= BG %.3g", cn, g, n, d, bg)
+				}
+			}
+		}
+	}
+}
+
+// §5.1: DistMSM "lags behind Yrrid for BLS12-377 when using only one
+// GPU"; with more GPUs the order flips.
+func TestYrridCrossover(t *testing.T) {
+	c := mustCurve(t, "BLS12-377")
+	dev := gpusim.A100()
+	n := 1 << 26
+	bg1, best1, err := BestGPU(c, dev, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best1.Name != "Yrrid" {
+		t.Errorf("1-GPU BLS12-377 best baseline = %s, want Yrrid", best1.Name)
+	}
+	if d := distMSMTime(t, c, 1, n); d <= bg1 {
+		t.Errorf("DistMSM (%.3g) should lag Yrrid (%.3g) on one GPU", d, bg1)
+	}
+	bg32, _, err := BestGPU(c, dev, 32, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := distMSMTime(t, c, 32, n); d >= bg32 {
+		t.Errorf("DistMSM (%.3g) should beat BG (%.3g) at 32 GPUs", d, bg32)
+	}
+}
+
+// The BG identifiers of Table 3: Sppark leads BN254; Mina or cuZK lead
+// MNT4753 (the only implementations that support it).
+func TestBestGPUIdentities(t *testing.T) {
+	dev := gpusim.A100()
+	_, b, err := BestGPU(mustCurve(t, "BN254"), dev, 1, 1<<26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != "Sppark" {
+		t.Errorf("BN254 BG = %s, want Sppark", b.Name)
+	}
+	_, b, err = BestGPU(mustCurve(t, "MNT4753"), dev, 1, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != "Mina" && b.Name != "cuZK" {
+		t.Errorf("MNT4753 BG = %s, want Mina or cuZK", b.Name)
+	}
+}
+
+// §5.1: the MNT4753 speedups are the largest (the paper reports 10–20×,
+// driven by the PADD kernel's register-pressure work).
+func TestMNTSpeedupLargest(t *testing.T) {
+	dev := gpusim.A100()
+	n := 1 << 24
+	speedup := func(cn string, g int) float64 {
+		c := mustCurve(t, cn)
+		bg, _, err := BestGPU(c, dev, g, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bg / distMSMTime(t, c, g, n)
+	}
+	for _, g := range []int{1, 8} {
+		mnt := speedup("MNT4753", g)
+		bn := speedup("BN254", g)
+		if mnt <= bn {
+			t.Errorf("g=%d: MNT speedup %.1fx not larger than BN254's %.1fx", g, mnt, bn)
+		}
+		if mnt < 8 {
+			t.Errorf("g=%d: MNT speedup %.1fx below the paper's 10-20x regime", g, mnt)
+		}
+	}
+}
+
+// Figure 8: baselines scale sub-linearly while DistMSM stays near-linear;
+// Yrrid scales the worst among well-tuned implementations relative to its
+// single-GPU strength.
+func TestScalabilityOrdering(t *testing.T) {
+	dev := gpusim.A100()
+	n := 1 << 26
+	c377 := mustCurve(t, "BLS12-377")
+
+	scale := func(b *Baseline, c *curve.Curve) float64 {
+		t1, err := b.Estimate(c, dev, 1, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t32, err := b.Estimate(c, dev, 32, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return t1 / t32
+	}
+	yrrid, _ := ByName("Yrrid")
+	yrridScale := scale(yrrid, c377)
+	distScale := distMSMTime(t, c377, 1, n) / distMSMTime(t, c377, 32, n)
+	if distScale <= yrridScale {
+		t.Errorf("DistMSM scaling %.1fx should exceed Yrrid's %.1fx", distScale, yrridScale)
+	}
+	if distScale < 16 {
+		t.Errorf("DistMSM 32-GPU scaling %.1fx not near-linear", distScale)
+	}
+	if yrridScale >= 32 {
+		t.Errorf("Yrrid scaling %.1fx implausibly linear", yrridScale)
+	}
+}
+
+// Baseline times are monotone in N.
+func TestEstimateMonotoneInN(t *testing.T) {
+	dev := gpusim.A100()
+	for _, b := range All() {
+		c := mustCurve(t, b.Curves[0])
+		prev := 0.0
+		for _, n := range []int{1 << 20, 1 << 22, 1 << 24} {
+			tm, err := b.Estimate(c, dev, 8, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tm <= prev {
+				t.Errorf("%s: time not monotone at n=%d", b.Name, n)
+			}
+			prev = tm
+		}
+	}
+}

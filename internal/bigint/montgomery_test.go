@@ -1,0 +1,316 @@
+package bigint
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// test moduli spanning the widths used by the four curves.
+var testModuli = []string{
+	// BN254 base field (254 bits, 4 limbs)
+	"21888242871839275222246405745257275088696311157297823662689037894645226208583",
+	// BLS12-381 base field (381 bits, 6 limbs)
+	"4002409555221667393417789825735904156556882819939007885332058136124031650490837864442687629129015664037894272559787",
+	// BN254 scalar field (254 bits)
+	"21888242871839275222246405745257275088548364400416034343698204186575808495617",
+	// a small odd modulus
+	"1000003",
+	// 753-bit-class width (12 limbs): 2^752 + 297 is not prime but odd; fine for Montgomery.
+	"",
+}
+
+func init() {
+	v := new(big.Int).Lsh(big.NewInt(1), 752)
+	v.Add(v, big.NewInt(297))
+	testModuli[4] = v.String()
+}
+
+func montCtx(t testing.TB, dec string) (*Montgomery, *big.Int) {
+	t.Helper()
+	n, ok := new(big.Int).SetString(dec, 10)
+	if !ok {
+		t.Fatalf("bad modulus literal")
+	}
+	m, err := NewMontgomery(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, n
+}
+
+func randResidue(rnd *rand.Rand, n *big.Int, width int) Nat {
+	v := new(big.Int).Rand(rnd, n)
+	return FromBig(v, width)
+}
+
+func TestNewMontgomeryRejectsEven(t *testing.T) {
+	if _, err := NewMontgomery(big.NewInt(10)); err == nil {
+		t.Fatal("expected error for even modulus")
+	}
+	if _, err := NewMontgomery(big.NewInt(-3)); err == nil {
+		t.Fatal("expected error for negative modulus")
+	}
+}
+
+func TestNPrime0(t *testing.T) {
+	for _, dec := range testModuli {
+		m, n := montCtx(t, dec)
+		// n * (-NPrime0) ≡ 1 mod 2^64
+		got := m.N[0] * (-m.NPrime0)
+		if got != 1 {
+			t.Errorf("modulus %s: N'0 wrong: n0*(-n'0) = %d", n, got)
+		}
+	}
+}
+
+func TestMontgomeryVariantsMatchBig(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	for _, dec := range testModuli {
+		m, n := montCtx(t, dec)
+		w := m.Width()
+		rInv := new(big.Int).Lsh(big.NewInt(1), uint(64*w))
+		rInv.ModInverse(rInv, n)
+		for iter := 0; iter < 100; iter++ {
+			x := randResidue(rnd, n, w)
+			y := randResidue(rnd, n, w)
+			want := new(big.Int).Mul(x.ToBig(), y.ToBig())
+			want.Mul(want, rInv).Mod(want, n)
+
+			for name, mul := range map[string]func(z, a, b Nat){
+				"SOS": m.MulSOS, "CIOS": m.MulCIOS, "FIOS": m.MulFIOS,
+			} {
+				z := New(w)
+				mul(z, x, y)
+				if z.ToBig().Cmp(want) != 0 {
+					t.Fatalf("modulus %s %s: %v * %v = %v, want %v", n, name, x, y, z, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMontgomeryRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	for _, dec := range testModuli {
+		m, n := montCtx(t, dec)
+		w := m.Width()
+		for iter := 0; iter < 50; iter++ {
+			x := randResidue(rnd, n, w)
+			mont, back := New(w), New(w)
+			m.ToMont(mont, x)
+			m.FromMont(back, mont)
+			if !back.Equal(x) {
+				t.Fatalf("modulus %s: Mont round trip failed for %v", n, x)
+			}
+		}
+	}
+}
+
+func TestMontgomeryOne(t *testing.T) {
+	for _, dec := range testModuli {
+		m, n := montCtx(t, dec)
+		w := m.Width()
+		// One is the Montgomery form of 1.
+		back := New(w)
+		m.FromMont(back, m.One)
+		if back.ToBig().Cmp(big.NewInt(1)) != 0 {
+			t.Errorf("modulus %s: One is not R mod N", n)
+		}
+	}
+}
+
+func TestAddSubNegMod(t *testing.T) {
+	rnd := rand.New(rand.NewSource(9))
+	for _, dec := range testModuli {
+		m, n := montCtx(t, dec)
+		w := m.Width()
+		for iter := 0; iter < 100; iter++ {
+			x := randResidue(rnd, n, w)
+			y := randResidue(rnd, n, w)
+			z := New(w)
+
+			m.AddMod(z, x, y)
+			want := new(big.Int).Add(x.ToBig(), y.ToBig())
+			want.Mod(want, n)
+			if z.ToBig().Cmp(want) != 0 {
+				t.Fatalf("AddMod mismatch mod %s", n)
+			}
+
+			m.SubMod(z, x, y)
+			want.Sub(x.ToBig(), y.ToBig()).Mod(want, n)
+			if z.ToBig().Cmp(want) != 0 {
+				t.Fatalf("SubMod mismatch mod %s", n)
+			}
+
+			m.NegMod(z, x)
+			want.Neg(x.ToBig()).Mod(want, n)
+			if z.ToBig().Cmp(want) != 0 {
+				t.Fatalf("NegMod mismatch mod %s", n)
+			}
+		}
+	}
+}
+
+func TestMulEdgeCases(t *testing.T) {
+	m, n := montCtx(t, testModuli[0])
+	w := m.Width()
+	zero, one := New(w), New(w)
+	one[0] = 1
+	nm1 := FromBig(new(big.Int).Sub(n, big.NewInt(1)), w)
+
+	z := New(w)
+	m.MulCIOS(z, zero, nm1)
+	if !z.IsZero() {
+		t.Fatal("0 * x != 0")
+	}
+	// (n-1)*(n-1)*R^-1 mod n computed three ways must agree.
+	z2, z3 := New(w), New(w)
+	m.MulCIOS(z, nm1, nm1)
+	m.MulSOS(z2, nm1, nm1)
+	m.MulFIOS(z3, nm1, nm1)
+	if !z.Equal(z2) || !z.Equal(z3) {
+		t.Fatal("variants disagree on (n-1)^2")
+	}
+	if z.Cmp(m.N) >= 0 {
+		t.Fatal("result not reduced")
+	}
+	_ = one
+}
+
+func BenchmarkMontgomeryMul(b *testing.B) {
+	rnd := rand.New(rand.NewSource(11))
+	for _, tc := range []struct {
+		name string
+		mod  string
+	}{
+		{"BN254/4limb", testModuli[0]},
+		{"BLS12-381/6limb", testModuli[1]},
+		{"753bit/12limb", testModuli[4]},
+	} {
+		m, n := montCtx(b, tc.mod)
+		w := m.Width()
+		x := randResidue(rnd, n, w)
+		y := randResidue(rnd, n, w)
+		z := New(w)
+		b.Run(tc.name+"/CIOS", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.MulCIOS(z, x, y)
+			}
+		})
+		b.Run(tc.name+"/SOS", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.MulSOS(z, x, y)
+			}
+		})
+		b.Run(tc.name+"/FIOS", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.MulFIOS(z, x, y)
+			}
+		})
+	}
+}
+
+func TestSqrIntoMatchesBig(t *testing.T) {
+	rnd := rand.New(rand.NewSource(31))
+	for _, width := range []int{1, 2, 4, 6, 12} {
+		for iter := 0; iter < 100; iter++ {
+			x := randNat(rnd, width)
+			z := New(2 * width)
+			SqrInto(z, x)
+			want := new(big.Int).Mul(x.ToBig(), x.ToBig())
+			if z.ToBig().Cmp(want) != 0 {
+				t.Fatalf("width %d: SqrInto mismatch for %v", width, x)
+			}
+		}
+	}
+	// edge: all-ones operand maximises carries
+	x := New(4)
+	for i := range x {
+		x[i] = ^uint64(0)
+	}
+	z := New(8)
+	SqrInto(z, x)
+	want := new(big.Int).Mul(x.ToBig(), x.ToBig())
+	if z.ToBig().Cmp(want) != 0 {
+		t.Fatal("SqrInto all-ones mismatch")
+	}
+}
+
+func TestSquareSOSMatchesMul(t *testing.T) {
+	rnd := rand.New(rand.NewSource(32))
+	for _, dec := range testModuli {
+		m, n := montCtx(t, dec)
+		w := m.Width()
+		for iter := 0; iter < 60; iter++ {
+			x := randResidue(rnd, n, w)
+			sq, mm := New(w), New(w)
+			m.SquareSOS(sq, x)
+			m.MulCIOS(mm, x, x)
+			if !sq.Equal(mm) {
+				t.Fatalf("modulus %s: SquareSOS != MulCIOS for %v", n, x)
+			}
+		}
+		// aliasing: z == x
+		x := randResidue(rnd, n, w)
+		want := New(w)
+		m.MulCIOS(want, x, x)
+		m.SquareSOS(x, x)
+		if !x.Equal(want) {
+			t.Fatalf("modulus %s: aliased SquareSOS wrong", n)
+		}
+	}
+}
+
+func BenchmarkMontgomerySquare(b *testing.B) {
+	rnd := rand.New(rand.NewSource(33))
+	m, n := montCtx(b, testModuli[1]) // 6-limb BLS12-381
+	w := m.Width()
+	x := randResidue(rnd, n, w)
+	z := New(w)
+	b.Run("SquareSOS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.SquareSOS(z, x)
+		}
+	})
+	b.Run("MulCIOS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.MulCIOS(z, x, x)
+		}
+	})
+}
+
+// Exercise the allocation-based CIOS fallback for very wide moduli
+// (width > the stack fast path's 13 limbs).
+func TestMulCIOSLargeWidth(t *testing.T) {
+	rnd := rand.New(rand.NewSource(51))
+	n := new(big.Int).Lsh(big.NewInt(1), 1000) // 16-limb odd modulus
+	n.Add(n, big.NewInt(1219))
+	m, err := NewMontgomery(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.Width()
+	if w <= maxLimbs {
+		t.Fatalf("modulus too narrow for the fallback path (%d limbs)", w)
+	}
+	rInv := new(big.Int).Lsh(big.NewInt(1), uint(64*w))
+	rInv.ModInverse(rInv, n)
+	for iter := 0; iter < 30; iter++ {
+		x := randResidue(rnd, n, w)
+		y := randResidue(rnd, n, w)
+		z := New(w)
+		m.MulCIOS(z, x, y)
+		want := new(big.Int).Mul(x.ToBig(), y.ToBig())
+		want.Mul(want, rInv).Mod(want, n)
+		if z.ToBig().Cmp(want) != 0 {
+			t.Fatal("wide-modulus CIOS mismatch")
+		}
+		sq := New(w)
+		m.SquareSOS(sq, x)
+		m.MulCIOS(z, x, x)
+		if !sq.Equal(z) {
+			t.Fatal("wide-modulus SquareSOS mismatch")
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package bigint implements fixed-width unsigned big-integer arithmetic on
+// 64-bit limbs, together with the Montgomery modular-multiplication variants
+// (SOS, CIOS, FIOS) analysed by Koç, Acar and Kaliski and referenced by the
+// DistMSM paper. It is the substrate under internal/field.
+//
+// A Nat is a little-endian limb slice of fixed length; all arithmetic
+// helpers operate on equal-length operands and write into caller-provided
+// destinations so hot paths allocate nothing.
+package bigint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// Nat is an unsigned integer stored as little-endian 64-bit limbs. The
+// length of the slice is the (fixed) width; values are not normalised.
+type Nat []uint64
+
+// New returns a zero Nat with n limbs.
+func New(n int) Nat { return make(Nat, n) }
+
+// Clone returns an independent copy of x.
+func (x Nat) Clone() Nat {
+	z := make(Nat, len(x))
+	copy(z, x)
+	return z
+}
+
+// Set copies y into x; both must have the same width.
+func (x Nat) Set(y Nat) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("bigint: width mismatch %d != %d", len(x), len(y)))
+	}
+	copy(x, y)
+}
+
+// SetZero clears every limb of x.
+func (x Nat) SetZero() {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// SetUint64 sets x to v.
+func (x Nat) SetUint64(v uint64) {
+	x.SetZero()
+	if len(x) > 0 {
+		x[0] = v
+	}
+}
+
+// IsZero reports whether every limb of x is zero.
+func (x Nat) IsZero() bool {
+	var acc uint64
+	for _, l := range x {
+		acc |= l
+	}
+	return acc == 0
+}
+
+// Cmp compares x and y, returning -1, 0 or +1. Widths must match.
+func (x Nat) Cmp(y Nat) int {
+	if len(x) != len(y) {
+		panic("bigint: Cmp width mismatch")
+	}
+	for i := len(x) - 1; i >= 0; i-- {
+		switch {
+		case x[i] < y[i]:
+			return -1
+		case x[i] > y[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Equal reports whether x == y.
+func (x Nat) Equal(y Nat) bool { return x.Cmp(y) == 0 }
+
+// Bit returns bit i of x (0 or 1). Out-of-range bits are zero.
+func (x Nat) Bit(i int) uint64 {
+	if i < 0 || i >= len(x)*64 {
+		return 0
+	}
+	return (x[i/64] >> (uint(i) % 64)) & 1
+}
+
+// BitLen returns the length of x in bits (0 for zero).
+func (x Nat) BitLen() int {
+	for i := len(x) - 1; i >= 0; i-- {
+		if x[i] != 0 {
+			return i*64 + bits.Len64(x[i])
+		}
+	}
+	return 0
+}
+
+// Bits extracts width bits of x starting at bit offset off, as a uint64.
+// width must be at most 64. Bits past the end of x read as zero.
+func (x Nat) Bits(off, width int) uint64 {
+	if width <= 0 || width > 64 {
+		panic("bigint: Bits width out of range")
+	}
+	limb := off / 64
+	shift := uint(off % 64)
+	if limb >= len(x) {
+		return 0
+	}
+	v := x[limb] >> shift
+	if shift+uint(width) > 64 && limb+1 < len(x) {
+		v |= x[limb+1] << (64 - shift)
+	}
+	if width == 64 {
+		return v
+	}
+	return v & (1<<uint(width) - 1)
+}
+
+// AddInto sets z = x + y and returns the carry-out. All widths must match.
+func AddInto(z, x, y Nat) (carry uint64) {
+	for i := range z {
+		z[i], carry = bits.Add64(x[i], y[i], carry)
+	}
+	return carry
+}
+
+// SubInto sets z = x - y and returns the borrow-out. All widths must match.
+func SubInto(z, x, y Nat) (borrow uint64) {
+	for i := range z {
+		z[i], borrow = bits.Sub64(x[i], y[i], borrow)
+	}
+	return borrow
+}
+
+// CondSubInto sets z = x - y when cond is 1 and z = x when cond is 0, in
+// constant control flow, returning the borrow that the subtraction would
+// produce (masked by cond).
+func CondSubInto(z, x, y Nat, cond uint64) uint64 {
+	mask := -(cond & 1)
+	var borrow uint64
+	for i := range z {
+		d, b := bits.Sub64(x[i], y[i]&mask, borrow)
+		z[i] = d
+		borrow = b
+	}
+	return borrow
+}
+
+// MulInto sets z = x * y using schoolbook multiplication. z must have
+// len(x)+len(y) limbs and must not alias x or y.
+func MulInto(z, x, y Nat) {
+	if len(z) != len(x)+len(y) {
+		panic("bigint: MulInto destination width")
+	}
+	for i := range z {
+		z[i] = 0
+	}
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		var carry uint64
+		for j, yj := range y {
+			hi, lo := bits.Mul64(xi, yj)
+			var c uint64
+			lo, c = bits.Add64(lo, z[i+j], 0)
+			hi += c
+			lo, c = bits.Add64(lo, carry, 0)
+			hi += c
+			z[i+j] = lo
+			carry = hi
+		}
+		z[i+len(y)] = carry
+	}
+}
+
+// ShlInto sets z = x << s for 0 <= s < 64, returning the bits shifted out.
+func ShlInto(z, x Nat, s uint) (out uint64) {
+	if s == 0 {
+		copy(z, x)
+		return 0
+	}
+	for i := range z {
+		nv := x[i]<<s | out
+		out = x[i] >> (64 - s)
+		z[i] = nv
+	}
+	return out
+}
+
+// ShrInto sets z = x >> s for 0 <= s < 64.
+func ShrInto(z, x Nat, s uint) {
+	if s == 0 {
+		copy(z, x)
+		return
+	}
+	for i := 0; i < len(z); i++ {
+		v := x[i] >> s
+		if i+1 < len(x) {
+			v |= x[i+1] << (64 - s)
+		}
+		z[i] = v
+	}
+}
+
+// ToBig converts x to a math/big.Int.
+func (x Nat) ToBig() *big.Int {
+	buf := make([]byte, len(x)*8)
+	for i, l := range x {
+		binary.BigEndian.PutUint64(buf[(len(x)-1-i)*8:], l)
+	}
+	return new(big.Int).SetBytes(buf)
+}
+
+// FromBig converts v into a width-limb Nat. It panics if v is negative or
+// does not fit.
+func FromBig(v *big.Int, width int) Nat {
+	if v.Sign() < 0 {
+		panic("bigint: FromBig negative")
+	}
+	if v.BitLen() > width*64 {
+		panic(fmt.Sprintf("bigint: value of %d bits does not fit %d limbs", v.BitLen(), width))
+	}
+	z := New(width)
+	w := new(big.Int).Set(v)
+	mask := new(big.Int).SetUint64(^uint64(0))
+	t := new(big.Int)
+	for i := 0; i < width; i++ {
+		z[i] = t.And(w, mask).Uint64()
+		w.Rsh(w, 64)
+	}
+	return z
+}
+
+// String formats x in hexadecimal.
+func (x Nat) String() string { return "0x" + x.ToBig().Text(16) }

@@ -1,0 +1,184 @@
+package bigint
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randNat(rnd *rand.Rand, width int) Nat {
+	z := New(width)
+	for i := range z {
+		z[i] = rnd.Uint64()
+	}
+	return z
+}
+
+func natFromLimbs(limbs ...uint64) Nat { return Nat(limbs) }
+
+func TestAddSubRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	for _, width := range []int{1, 2, 4, 6, 12} {
+		for iter := 0; iter < 200; iter++ {
+			x := randNat(rnd, width)
+			y := randNat(rnd, width)
+			sum := New(width)
+			carry := AddInto(sum, x, y)
+			back := New(width)
+			borrow := SubInto(back, sum, y)
+			if !back.Equal(x) {
+				t.Fatalf("width %d: (x+y)-y != x: x=%v y=%v", width, x, y)
+			}
+			if carry != borrow {
+				t.Fatalf("width %d: carry %d != borrow %d", width, carry, borrow)
+			}
+		}
+	}
+}
+
+func TestAddMatchesBig(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	mod := new(big.Int).Lsh(big.NewInt(1), 256)
+	for iter := 0; iter < 200; iter++ {
+		x := randNat(rnd, 4)
+		y := randNat(rnd, 4)
+		z := New(4)
+		carry := AddInto(z, x, y)
+		want := new(big.Int).Add(x.ToBig(), y.ToBig())
+		wantCarry := uint64(0)
+		if want.Cmp(mod) >= 0 {
+			wantCarry = 1
+			want.Sub(want, mod)
+		}
+		if z.ToBig().Cmp(want) != 0 || carry != wantCarry {
+			t.Fatalf("add mismatch: %v + %v", x, y)
+		}
+	}
+}
+
+func TestMulMatchesBig(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	for _, width := range []int{1, 3, 4, 6, 12} {
+		for iter := 0; iter < 100; iter++ {
+			x := randNat(rnd, width)
+			y := randNat(rnd, width)
+			z := New(2 * width)
+			MulInto(z, x, y)
+			want := new(big.Int).Mul(x.ToBig(), y.ToBig())
+			if z.ToBig().Cmp(want) != 0 {
+				t.Fatalf("width %d mul mismatch: %v * %v = %v, want %v", width, x, y, z, want)
+			}
+		}
+	}
+}
+
+func TestBitsExtraction(t *testing.T) {
+	x := natFromLimbs(0xfedcba9876543210, 0x0123456789abcdef)
+	cases := []struct {
+		off, width int
+		want       uint64
+	}{
+		{0, 4, 0x0},
+		{4, 4, 0x1},
+		{0, 16, 0x3210},
+		{60, 8, 0xff}, // spans the limb boundary: low nibble f | next limb's f
+		{64, 16, 0xcdef},
+		{120, 8, 0x01},
+		{124, 4, 0x0},
+		{0, 64, 0xfedcba9876543210},
+	}
+	for _, c := range cases {
+		if got := x.Bits(c.off, c.width); got != c.want {
+			t.Errorf("Bits(%d,%d) = %#x, want %#x", c.off, c.width, got, c.want)
+		}
+	}
+}
+
+func TestBitsMatchesBig(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 300; iter++ {
+		x := randNat(rnd, 6)
+		b := x.ToBig()
+		off := rnd.Intn(6*64 + 10)
+		width := 1 + rnd.Intn(64)
+		var want uint64
+		for i := 0; i < width; i++ {
+			want |= uint64(b.Bit(off+i)) << uint(i)
+		}
+		if got := x.Bits(off, width); got != want {
+			t.Fatalf("Bits(%d,%d) on %v = %#x, want %#x", off, width, x, got, want)
+		}
+	}
+}
+
+func TestBigRoundTrip(t *testing.T) {
+	f := func(a, b, c, d uint64) bool {
+		x := natFromLimbs(a, b, c, d)
+		return FromBig(x.ToBig(), 4).Equal(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 200; iter++ {
+		x := randNat(rnd, 4)
+		s := uint(rnd.Intn(64))
+		shl := New(4)
+		ShlInto(shl, x, s)
+		want := new(big.Int).Lsh(x.ToBig(), s)
+		want.And(want, new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 256), big.NewInt(1)))
+		if shl.ToBig().Cmp(want) != 0 {
+			t.Fatalf("shl %d mismatch", s)
+		}
+		shr := New(4)
+		ShrInto(shr, x, s)
+		if shr.ToBig().Cmp(new(big.Int).Rsh(x.ToBig(), s)) != 0 {
+			t.Fatalf("shr %d mismatch", s)
+		}
+	}
+}
+
+func TestCmpAndZero(t *testing.T) {
+	a := natFromLimbs(1, 0, 0)
+	b := natFromLimbs(0, 0, 1)
+	if a.Cmp(b) != -1 || b.Cmp(a) != 1 || a.Cmp(a.Clone()) != 0 {
+		t.Fatal("Cmp ordering wrong")
+	}
+	z := New(3)
+	if !z.IsZero() || a.IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+	z.SetUint64(7)
+	if z.IsZero() || z[0] != 7 {
+		t.Fatal("SetUint64 wrong")
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	if New(4).BitLen() != 0 {
+		t.Fatal("zero BitLen")
+	}
+	x := New(4)
+	x[2] = 0x8000
+	if x.BitLen() != 2*64+16 {
+		t.Fatalf("BitLen = %d", x.BitLen())
+	}
+}
+
+func TestCondSubInto(t *testing.T) {
+	x := natFromLimbs(10, 0)
+	y := natFromLimbs(3, 0)
+	z := New(2)
+	CondSubInto(z, x, y, 0)
+	if !z.Equal(x) {
+		t.Fatal("cond=0 should copy")
+	}
+	CondSubInto(z, x, y, 1)
+	if z[0] != 7 || z[1] != 0 {
+		t.Fatal("cond=1 should subtract")
+	}
+}

@@ -1,0 +1,95 @@
+package bigint
+
+import "math/bits"
+
+// Dedicated squaring: x² needs only the upper-triangle partial products
+// (doubled) plus the diagonal, roughly halving the multiply count of the
+// schoolbook product. SquareCIOS plugs the optimisation into Montgomery
+// reduction; field.Square routes through it.
+
+// SqrInto sets z = x² using the triangle+diagonal method. z must have
+// 2·len(x) limbs and must not alias x.
+func SqrInto(z Nat, x Nat) {
+	n := len(x)
+	if len(z) != 2*n {
+		panic("bigint: SqrInto destination width")
+	}
+	for i := range z {
+		z[i] = 0
+	}
+	// Off-diagonal products x[i]·x[j] for i < j.
+	for i := 0; i < n; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		var carry uint64
+		for j := i + 1; j < n; j++ {
+			hi, lo := bits.Mul64(xi, x[j])
+			var c uint64
+			lo, c = bits.Add64(lo, z[i+j], 0)
+			hi += c
+			lo, c = bits.Add64(lo, carry, 0)
+			hi += c
+			z[i+j] = lo
+			carry = hi
+		}
+		z[i+n] = carry
+	}
+	// Double the triangle.
+	var carry uint64
+	for i := 0; i < 2*n; i++ {
+		nv := z[i]<<1 | carry
+		carry = z[i] >> 63
+		z[i] = nv
+	}
+	// Add the diagonal squares.
+	carry = 0
+	for i := 0; i < n; i++ {
+		hi, lo := bits.Mul64(x[i], x[i])
+		var c uint64
+		z[2*i], c = bits.Add64(z[2*i], lo, carry)
+		hi += c
+		z[2*i+1], carry = bits.Add64(z[2*i+1], hi, 0)
+	}
+	// carry must be zero: x² < 2^(128n).
+	if carry != 0 {
+		panic("bigint: SqrInto overflow (impossible)")
+	}
+}
+
+// SquareSOS sets z = x²·R⁻¹ mod N: the SOS reduction applied to the
+// dedicated squaring (the Montgomery-squaring fast path). z may alias x.
+func (m *Montgomery) SquareSOS(z, x Nat) {
+	w := m.width
+	var buf [2*maxLimbs + 1]uint64
+	var t Nat
+	if w <= maxLimbs {
+		t = buf[: 2*w+1 : 2*w+1]
+		for i := range t {
+			t[i] = 0
+		}
+	} else {
+		t = make(Nat, 2*w+1)
+	}
+	SqrInto(t[:2*w], x)
+	for i := 0; i < w; i++ {
+		u := t[i] * m.NPrime0
+		var carry uint64
+		for j := 0; j < w; j++ {
+			hi, lo := bits.Mul64(u, m.N[j])
+			var c uint64
+			lo, c = bits.Add64(lo, t[i+j], 0)
+			hi += c
+			lo, c = bits.Add64(lo, carry, 0)
+			hi += c
+			t[i+j] = lo
+			carry = hi
+		}
+		for k := i + w; carry != 0 && k < len(t); k++ {
+			t[k], carry = bits.Add64(t[k], carry, 0)
+		}
+	}
+	copy(z, t[w:2*w])
+	m.reduceOnce(z, t[2*w])
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"distmsm/internal/curve"
+	"distmsm/internal/gpusim"
+	"distmsm/internal/kernel"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out. Each
+// prices both sides of one decision on the cost model and reports the
+// modeled milliseconds as custom metrics, so `go test -bench=Ablation`
+// prints the whole design-space comparison.
+
+func ablationCurve(b *testing.B) *curve.Curve {
+	b.Helper()
+	c, err := curve.ByName("BLS12-381")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func modeledMS(b *testing.B, c *curve.Curve, gpus, n int, opts Options) float64 {
+	b.Helper()
+	cl, err := gpusim.NewCluster(gpusim.A100(), gpus)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := Analytic(c, cl, n, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Cost.Total() * 1e3
+}
+
+// BenchmarkAblationScatter: hierarchical vs naive bucket scatter (§3.2.1).
+func BenchmarkAblationScatter(b *testing.B) {
+	c := ablationCurve(b)
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(modeledMS(b, c, 16, 1<<26, Options{WindowSize: 11}), "hier_ms")
+		b.ReportMetric(modeledMS(b, c, 16, 1<<26, Options{WindowSize: 11, ForceNaiveScatter: true}), "naive_ms")
+	}
+}
+
+// BenchmarkAblationReducePlacement: CPU-offloaded vs GPU bucket-reduce
+// (§3.2.3).
+func BenchmarkAblationReducePlacement(b *testing.B) {
+	c := ablationCurve(b)
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(modeledMS(b, c, 16, 1<<26, Options{WindowSize: 11}), "cpu_reduce_ms")
+		b.ReportMetric(modeledMS(b, c, 16, 1<<26, Options{WindowSize: 11, ReduceOnGPU: true}), "gpu_reduce_ms")
+	}
+}
+
+// BenchmarkAblationMultiGPUSplit: bucket-split vs N-split window sharing
+// (§3.2.2).
+func BenchmarkAblationMultiGPUSplit(b *testing.B) {
+	c := ablationCurve(b)
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(modeledMS(b, c, 32, 1<<26, Options{WindowSize: 13}), "bucket_split_ms")
+		b.ReportMetric(modeledMS(b, c, 32, 1<<26, Options{WindowSize: 13, SplitNDim: true}), "n_split_ms")
+	}
+}
+
+// BenchmarkAblationSignedDigits: signed vs unsigned digit recoding.
+func BenchmarkAblationSignedDigits(b *testing.B) {
+	c := ablationCurve(b)
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(modeledMS(b, c, 8, 1<<24, Options{WindowSize: 12}), "signed_ms")
+		b.ReportMetric(modeledMS(b, c, 8, 1<<24, Options{WindowSize: 12, Unsigned: true}), "unsigned_ms")
+	}
+}
+
+// BenchmarkAblationKernelVariant: the accumulation kernel pipeline levels.
+func BenchmarkAblationKernelVariant(b *testing.B) {
+	c := ablationCurve(b)
+	for i := 0; i < b.N; i++ {
+		for _, v := range kernel.Variants() {
+			ms := modeledMS(b, c, 8, 1<<24, Options{WindowSize: 12, Variant: v, VariantSet: true})
+			b.ReportMetric(ms, "v"+v.String()[:4]+"_ms")
+		}
+	}
+}
+
+// BenchmarkAblationWindowSize: the end-to-end cost curve over s, the
+// quantity the planner minimises.
+func BenchmarkAblationWindowSize(b *testing.B) {
+	c := ablationCurve(b)
+	for i := 0; i < b.N; i++ {
+		for _, s := range []int{8, 11, 14, 17, 20, 23} {
+			ms := modeledMS(b, c, 16, 1<<26, Options{WindowSize: s})
+			b.ReportMetric(ms, "s"+string(rune('0'+s/10))+string(rune('0'+s%10))+"_ms")
+		}
+	}
+}
+
+// The ablations' directional claims, as plain tests.
+func TestAblationDirections(t *testing.T) {
+	c, err := curve.ByName("BLS12-381")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl16, _ := gpusim.NewCluster(gpusim.A100(), 16)
+	get := func(opts Options) float64 {
+		res, err := Analytic(c, cl16, 1<<26, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cost.Total()
+	}
+	if get(Options{WindowSize: 11}) >= get(Options{WindowSize: 11, ForceNaiveScatter: true}) {
+		t.Error("hierarchical scatter should win at s=11 on 16 GPUs")
+	}
+	// Signed recoding halves the buckets: the reduce phase (and the
+	// scatter contention) must get cheaper, even though the extra carry
+	// window adds ~1/N_win more bucket-sum work.
+	getCost := func(opts Options) gpusim.Cost {
+		res, err := Analytic(c, cl16, 1<<26, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cost
+	}
+	// (On the CPU path the reduce op count is exact; the GPU formula's
+	// ⌈B/N_T⌉ quantises the difference away below N_T buckets.)
+	signed := getCost(Options{WindowSize: 12})
+	unsigned := getCost(Options{WindowSize: 12, Unsigned: true})
+	if signed.BucketReduce >= unsigned.BucketReduce {
+		t.Error("signed digits should halve the bucket-reduce work")
+	}
+	if get(Options{WindowSize: 13}) >= get(Options{WindowSize: 13, SplitNDim: true}) {
+		t.Error("bucket splitting should beat N-splitting at 16 GPUs")
+	}
+}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"distmsm/internal/bigint"
+	"distmsm/internal/curve"
+	"distmsm/internal/gpusim"
+	"distmsm/internal/msm"
+)
+
+// Stats aggregates the simulated-hardware event counts of one execution.
+type Stats struct {
+	Scatter ScatterStats
+	// PACCOps is the bucket-accumulation point operations (all GPUs).
+	PACCOps uint64
+	// ReduceOps is the bucket-reduce point operations (CPU or GPU).
+	ReduceOps uint64
+	// WindowOps is the final window-reduction point operations.
+	WindowOps uint64
+}
+
+// Result is the outcome of a DistMSM execution.
+type Result struct {
+	// Point is the MSM value (nil in analytic mode).
+	Point *curve.PointXYZZ
+	// Cost is the modeled wall-time breakdown on the cluster.
+	Cost  gpusim.Cost
+	Plan  *Plan
+	Stats Stats
+}
+
+// Run executes DistMSM functionally: it computes the exact MSM result by
+// running the real scatter/sum/reduce phases of the plan, and prices the
+// same work with the GPU cost model. Use Analytic for paper-scale sizes.
+func Run(c *curve.Curve, cl *gpusim.Cluster, points []curve.PointAffine, scalars []bigint.Nat, opts Options) (*Result, error) {
+	if len(points) != len(scalars) {
+		return nil, fmt.Errorf("core: %d points but %d scalars", len(points), len(scalars))
+	}
+	if len(points) == 0 {
+		return &Result{Point: c.NewXYZZ()}, nil
+	}
+	plan, err := BuildPlan(c, cl, len(points), opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Plan: plan}
+
+	digits, err := digitsMatrix(plan, scalars)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1+2 per window: scatter, then bucket-sum over each GPU's
+	// bucket range. The sums are real (the simulated GPUs' work), run on
+	// host goroutines for speed.
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	windowSums := make([]*curve.PointXYZZ, plan.Windows)
+	bucketAcc := make([][]*curve.PointXYZZ, plan.Windows)
+	for j := 0; j < plan.Windows; j++ {
+		var sc *ScatterResult
+		if plan.Hierarchical {
+			sc, err = HierarchicalScatter(digits[j], plan.Buckets, plan.Block)
+		} else {
+			sc, err = NaiveScatter(digits[j], plan.Buckets)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.Scatter.GlobalAtomics += sc.Stats.GlobalAtomics
+		res.Stats.Scatter.SharedAtomics += sc.Stats.SharedAtomics
+		res.Stats.Scatter.Passes += sc.Stats.Passes
+
+		bucketAcc[j], err = sumBuckets(c, points, sc.Buckets, workers, &res.Stats)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 3 (§3.2.3, host CPU): bucket-reduce each window with the
+	// serial running-suffix method.
+	adder := c.NewAdder()
+	for j := 0; j < plan.Windows; j++ {
+		windowSums[j] = reduceBuckets(c, bucketAcc[j], adder, &res.Stats)
+	}
+
+	// Phase 4: window-reduce by Horner's rule.
+	acc := c.NewXYZZ()
+	for j := plan.Windows - 1; j >= 0; j-- {
+		for b := 0; b < plan.S; b++ {
+			adder.Double(acc)
+			res.Stats.WindowOps++
+		}
+		adder.Add(acc, windowSums[j])
+		res.Stats.WindowOps++
+	}
+	res.Point = acc
+	res.Cost = plan.EstimateCost()
+	return res, nil
+}
+
+// Analytic prices an N-point MSM on the cluster without computing it —
+// the mode used for the paper-scale inputs (2^22–2^28) of Table 3.
+func Analytic(c *curve.Curve, cl *gpusim.Cluster, n int, opts Options) (*Result, error) {
+	plan, err := BuildPlan(c, cl, n, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Plan: plan, Cost: plan.EstimateCost()}, nil
+}
+
+// digitsMatrix recodes scalars per the plan: digits[j][i] is point i's
+// (possibly signed) digit in window j.
+func digitsMatrix(p *Plan, scalars []bigint.Nat) ([][]int32, error) {
+	digits := make([][]int32, p.Windows)
+	for j := range digits {
+		digits[j] = make([]int32, len(scalars))
+	}
+	for i, k := range scalars {
+		if k.BitLen() > p.Curve.ScalarBits {
+			return nil, fmt.Errorf("core: scalar %d has %d bits, curve limit is %d",
+				i, k.BitLen(), p.Curve.ScalarBits)
+		}
+		if p.Signed {
+			ds := msm.SignedDigits(k, p.Curve.ScalarBits, p.S)
+			if len(ds) > p.Windows {
+				return nil, fmt.Errorf("core: signed recoding produced %d windows > %d", len(ds), p.Windows)
+			}
+			for j, d := range ds {
+				digits[j][i] = d
+			}
+		} else {
+			for j, d := range msm.Digits(k, p.Curve.ScalarBits, p.S) {
+				digits[j][i] = int32(d)
+			}
+		}
+	}
+	return digits, nil
+}
+
+// sumBuckets accumulates each bucket's points (PACC per insertion,
+// negating references with negative sign), in parallel across buckets.
+func sumBuckets(c *curve.Curve, points []curve.PointAffine, buckets [][]int32, workers int, stats *Stats) ([]*curve.PointXYZZ, error) {
+	out := make([]*curve.PointXYZZ, len(buckets))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	chunk := (len(buckets) + workers - 1) / workers
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(buckets) {
+			hi = len(buckets)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			a := c.NewAdder()
+			negY := c.Fp.NewElement()
+			var ops uint64
+			for b := lo; b < hi; b++ {
+				if len(buckets[b]) == 0 {
+					continue
+				}
+				acc := c.NewXYZZ()
+				for _, ref := range buckets[b] {
+					negated := ref < 0
+					if negated {
+						ref = -ref
+					}
+					pt := &points[int(ref)-1]
+					if pt.Inf {
+						continue
+					}
+					if negated {
+						c.Fp.Neg(negY, pt.Y)
+						neg := curve.PointAffine{X: pt.X, Y: negY}
+						a.Acc(acc, &neg)
+					} else {
+						a.Acc(acc, pt)
+					}
+					ops++
+				}
+				out[b] = acc
+			}
+			mu.Lock()
+			stats.PACCOps += ops
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out, firstErr
+}
+
+// reduceBuckets computes Σ i·B_i with the serial running-suffix method
+// (two PADDs per bucket — the "few thousand PADD operations" of §3.2.3).
+func reduceBuckets(c *curve.Curve, buckets []*curve.PointXYZZ, a *curve.Adder, stats *Stats) *curve.PointXYZZ {
+	running := c.NewXYZZ()
+	total := c.NewXYZZ()
+	for i := len(buckets) - 1; i >= 1; i-- {
+		if buckets[i] != nil {
+			a.Add(running, buckets[i])
+			stats.ReduceOps++
+		}
+		a.Add(total, running)
+		stats.ReduceOps++
+	}
+	return total
+}
+
+// EstimateCost prices the plan on the cluster: the phase times of the
+// most-loaded GPU, host transfers, and the (possibly overlapped) reduce.
+func (p *Plan) EstimateCost() gpusim.Cost {
+	model := p.Cluster.Model()
+	bits := p.Curve.Fp.Bits()
+	nt := float64(p.NT)
+	var cost gpusim.Cost
+
+	// Per-GPU load: points and buckets from the assignments (uniform
+	// digit distribution: a bucket range holds N·range/buckets points).
+	type load struct {
+		points  float64
+		buckets float64
+		windows map[int]bool
+	}
+	loads := map[int]*load{}
+	if p.SplitNDim {
+		// Rejected first approach of §3.2.2: every GPU runs all windows
+		// over an N/N_gpu point slice and emits a full bucket array.
+		for g := 0; g < p.Cluster.N; g++ {
+			l := &load{windows: map[int]bool{}}
+			for j := 0; j < p.Windows; j++ {
+				l.windows[j] = true
+			}
+			l.points = float64(p.N) / float64(p.Cluster.N) * float64(p.Windows)
+			l.buckets = float64(p.Buckets) * float64(p.Windows)
+			loads[g] = l
+		}
+	} else {
+		for _, a := range p.Assignments {
+			l := loads[a.GPU]
+			if l == nil {
+				l = &load{windows: map[int]bool{}}
+				loads[a.GPU] = l
+			}
+			frac := float64(a.BucketHi-a.BucketLo) / float64(p.Buckets)
+			l.points += float64(p.N) * frac
+			l.buckets += float64(a.BucketHi - a.BucketLo)
+			l.windows[a.Window] = true
+		}
+	}
+
+	var maxScatter, maxSum float64
+	for _, l := range loads {
+		// --- bucket-scatter ---
+		var scatter float64
+		if p.Hierarchical {
+			// Two shared atomics per point (count + place), contention
+			// from the block's threads spread over the buckets; one
+			// global atomic per non-empty local bucket per pass.
+			shmContention := float64(p.Block.Threads) / float64(p.Buckets)
+			scatter += model.SharedAtomicSeconds(2*l.points, shmContention)
+			passes := math.Ceil(l.points / float64(p.Block.PointsPerBlock()))
+			nonEmpty := math.Min(float64(p.Buckets), float64(p.Block.PointsPerBlock()))
+			activeBlocks := nt / float64(p.Block.Threads)
+			globContention := activeBlocks / float64(p.Buckets)
+			scatter += model.GlobalAtomicSeconds(passes*nonEmpty, globContention)
+		} else {
+			globContention := nt / float64(p.Buckets)
+			scatter += model.GlobalAtomicSeconds(l.points, globContention)
+		}
+		// Streaming each window's s-bit coefficient slices and writing
+		// the scattered point ids.
+		winCount := float64(len(l.windows))
+		scatter += model.MemSeconds(winCount*float64(p.N)*float64(p.S)/8) +
+			model.MemSeconds(l.points*4)
+		if scatter > maxScatter {
+			maxScatter = scatter
+		}
+
+		// --- bucket-sum ---
+		// Per-thread work: P/N_T accumulations plus the intra-bucket
+		// reduction of log2(threads-per-bucket) PADDs (§3.2.2).
+		perThread := l.points / nt
+		if l.buckets > 0 && l.buckets < nt {
+			perThread += math.Log2(nt / l.buckets)
+		}
+		sum := model.ECOpSeconds(p.Spec, bits, perThread*nt)
+		// Reading each point once from device memory.
+		sum += model.MemSeconds(l.points * 2 * float64(bits) / 8)
+		if sum > maxSum {
+			maxSum = sum
+		}
+	}
+	cost.Scatter = maxScatter
+	cost.BucketSum = maxSum
+
+	// --- bucket-reduce ---
+	// N-dim splitting (§3.2.2's rejected first approach) leaves every
+	// GPU with all windows to reduce — or, on the CPU path, ships N_gpu
+	// full bucket arrays to the host ("increasing the CPU's workload").
+	reduceOps := float64(p.Windows) * 2 * float64(p.Buckets)
+	if p.SplitNDim {
+		reduceOps *= float64(p.Cluster.N)
+	}
+	if p.ReduceOnGPU {
+		// The paper's per-thread GPU formula: 2s·⌈B/N_T⌉ doubling-ladder
+		// work plus the parallel-reduction tail with global syncs.
+		chunk := math.Ceil(float64(p.Buckets) / nt)
+		perThread := 2*float64(p.S)*chunk +
+			math.Min(chunk+math.Log2(nt), float64(p.S))
+		winPerGPU := math.Ceil(float64(p.Windows) / float64(p.Cluster.N))
+		if p.SplitNDim {
+			winPerGPU = float64(p.Windows) // not amortised across GPUs
+		}
+		cost.BucketReduce = model.ECOpSeconds(p.PADDSpec, bits, winPerGPU*perThread*nt)
+	} else {
+		cost.BucketReduce = gpusim.CPUECOpSeconds(p.Cluster.Host, p.PADDSpec, bits, reduceOps)
+		cost.ReduceOnCPU = true
+	}
+
+	// --- window-reduce (host, negligible) ---
+	cost.WindowReduce = gpusim.CPUECOpSeconds(p.Cluster.Host, p.PADDSpec, bits,
+		float64(p.Curve.ScalarBits)+float64(p.Windows))
+
+	// --- transfers. Following the kernel-only timing convention of the
+	// GPU MSM baselines, the scalar vector is staged on (or streamed to)
+	// the devices overlapped with preceding work; only per-phase launch
+	// latencies and the per-window result readback are on the clock.
+	// N-dim splitting additionally merges N_gpu full bucket arrays on
+	// the host — the CPU burden that made the paper reject it (§3.2.2).
+	launches := float64(p.Windows + len(p.Assignments))
+	resultBytes := float64(p.Windows) * 4 * float64(bits) / 8
+	if p.SplitNDim {
+		// Every GPU returns one partial result per window; the host sums
+		// the N_gpu partials (a handful of PADDs, priced in WindowReduce).
+		resultBytes *= float64(p.Cluster.N)
+		cost.WindowReduce += gpusim.CPUECOpSeconds(p.Cluster.Host, p.PADDSpec, bits,
+			float64(p.Cluster.N-1))
+	}
+	cost.Transfer = launches*p.Cluster.IC.HostLatency +
+		gpusim.HostTransferSeconds(resultBytes, p.Cluster.IC)
+	return cost
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+
+	"distmsm/internal/gpusim"
+)
+
+// EstimatePipeline prices a back-to-back sequence of `count` identical
+// MSMs (one Groth16 proof issues several, §3.2.3: "proof generation
+// involves several MSM calculations ... bucket-reduce can be efficiently
+// pipelined"). The CPU bucket-reduce of MSM i overlaps the GPU phases of
+// MSM i+1, so steady-state throughput is governed by the slower of the
+// two pipeline stages rather than their sum.
+func (p *Plan) EstimatePipeline(count int) (gpusim.Cost, error) {
+	if count < 1 {
+		return gpusim.Cost{}, fmt.Errorf("core: pipeline needs count >= 1, got %d", count)
+	}
+	single := p.EstimateCost()
+	if count == 1 {
+		return single, nil
+	}
+	gpuStage := single.Scatter + single.BucketSum + single.Transfer
+	cpuStage := single.BucketReduce + single.WindowReduce
+
+	out := single
+	if !single.ReduceOnCPU {
+		// GPU reduce serialises with the GPU phases — no overlap.
+		out.Scatter *= float64(count)
+		out.BucketSum *= float64(count)
+		out.BucketReduce *= float64(count)
+		out.WindowReduce *= float64(count)
+		out.Transfer *= float64(count)
+		return out, nil
+	}
+	// Software pipeline: fill (one GPU stage) + count×max(stages) steady
+	// state + drain (one CPU stage).
+	bottleneck := gpuStage
+	if cpuStage > bottleneck {
+		bottleneck = cpuStage
+	}
+	total := gpuStage + float64(count-1)*bottleneck + cpuStage
+	// Attribute the pipelined total proportionally for reporting.
+	scale := total / (float64(count) * (gpuStage + cpuStage))
+	out.Scatter = single.Scatter * float64(count) * scale
+	out.BucketSum = single.BucketSum * float64(count) * scale
+	out.BucketReduce = single.BucketReduce * float64(count) * scale
+	out.WindowReduce = single.WindowReduce * float64(count) * scale
+	out.Transfer = single.Transfer * float64(count) * scale
+	out.ReduceOnCPU = false // already folded into the pipelined phases
+	return out, nil
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+
+	"distmsm/internal/curve"
+	"distmsm/internal/gpusim"
+	"distmsm/internal/kernel"
+)
+
+// Options configure a DistMSM execution. The zero value is the full
+// DistMSM configuration of the paper; the ablation switches turn
+// individual contributions off (used by the breakdown experiments).
+type Options struct {
+	// WindowSize forces s; 0 selects it with the §3.1 workload model.
+	WindowSize int
+	// Variant selects the accumulation-kernel optimisation level;
+	// DefaultVariant (tensor cores + compaction) unless set.
+	Variant kernel.Variant
+	// VariantSet marks Variant as explicitly chosen (allows Baseline).
+	VariantSet bool
+	// Unsigned disables signed-digit recoding.
+	Unsigned bool
+	// ForceNaiveScatter disables the hierarchical bucket scatter.
+	ForceNaiveScatter bool
+	// ReduceOnGPU keeps bucket-reduce on the GPUs instead of the §3.2.3
+	// CPU offload.
+	ReduceOnGPU bool
+	// SplitNDim shares a window across GPUs by splitting the point range
+	// (the paper's rejected first approach) instead of splitting buckets.
+	SplitNDim bool
+	// Block overrides the scatter thread-block geometry.
+	Block BlockConfig
+	// Workers bounds functional-execution parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultVariant is the full DistMSM accumulation kernel.
+const DefaultVariant = kernel.VariantTCCompact
+
+// maxHierarchicalS is the largest window size whose per-bucket counters
+// and point ids fit shared memory (§5.3.2: execution fails for s > 14).
+const maxHierarchicalS = 14
+
+// Assignment gives one GPU a contiguous bucket range [BucketLo, BucketHi)
+// of one window.
+type Assignment struct {
+	Window   int
+	GPU      int
+	BucketLo int
+	BucketHi int
+}
+
+// Plan is a scheduled DistMSM execution.
+type Plan struct {
+	Curve   *curve.Curve
+	Cluster *gpusim.Cluster
+
+	N       int
+	S       int
+	Signed  bool
+	Windows int
+	// Buckets is the per-window bucket-array length (digit magnitudes
+	// index it; slot 0 is unused).
+	Buckets int
+	Spec    kernel.Spec
+	// PADDSpec is the general point-addition kernel at the same
+	// optimisation level (bucket-reduce work is PADD-bound: the dedicated
+	// PACC kernel does not apply when both operands are projective).
+	PADDSpec kernel.Spec
+	// NT is the concurrent-thread capacity per GPU at this kernel's
+	// occupancy (the paper's N_T).
+	NT int
+	// Hierarchical records whether the hierarchical scatter is active.
+	Hierarchical bool
+	ReduceOnGPU  bool
+	SplitNDim    bool
+	Block        BlockConfig
+
+	Assignments []Assignment
+}
+
+// BuildPlan schedules an N-point MSM for the cluster. When no window
+// size is forced it searches s ∈ [6, 24] — and, unless pinned by the
+// options, both bucket-reduce placements — for the cheapest plan under
+// the full cost model (per-thread workload, atomics, CPU offload and
+// transfers), which is how DistMSM adapts to the platform (§3.1/Figure 3:
+// large windows win on one GPU, small windows and CPU reduce on many).
+func BuildPlan(c *curve.Curve, cl *gpusim.Cluster, n int, opts Options) (*Plan, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: plan needs n > 0, got %d", n)
+	}
+	if opts.WindowSize != 0 {
+		return buildPlanFixed(c, cl, n, opts, opts.WindowSize, opts.ReduceOnGPU)
+	}
+	var best *Plan
+	bestCost := 0.0
+	for s := 6; s <= 24; s++ {
+		placements := []bool{opts.ReduceOnGPU}
+		if !opts.ReduceOnGPU {
+			placements = []bool{false, true}
+		}
+		for _, gpuReduce := range placements {
+			p, err := buildPlanFixed(c, cl, n, opts, s, gpuReduce)
+			if err != nil {
+				return nil, err
+			}
+			if cost := p.EstimateCost().Total(); best == nil || cost < bestCost {
+				best, bestCost = p, cost
+			}
+		}
+	}
+	return best, nil
+}
+
+func buildPlanFixed(c *curve.Curve, cl *gpusim.Cluster, n int, opts Options, s int, gpuReduce bool) (*Plan, error) {
+	variant := DefaultVariant
+	if opts.VariantSet {
+		variant = opts.Variant
+	}
+	spec, err := kernel.BuildSpec(variant)
+	if err != nil {
+		return nil, err
+	}
+	paddSpec, err := kernel.BuildPADDSpec(variant)
+	if err != nil {
+		return nil, err
+	}
+	model := cl.Model()
+	nt := model.ConcurrentThreads(spec, c.Fp.Bits())
+
+	p := &Plan{
+		Curve:    c,
+		Cluster:  cl,
+		N:        n,
+		S:        s,
+		Signed:   !opts.Unsigned,
+		Spec:     spec,
+		PADDSpec: paddSpec,
+		NT:       nt,
+		Block:    opts.Block,
+	}
+	if p.Block.Threads == 0 {
+		p.Block = DefaultBlock()
+	}
+	if p.S < 1 || p.S > 26 {
+		return nil, fmt.Errorf("core: window size %d out of range", p.S)
+	}
+	p.Windows = (c.ScalarBits + p.S - 1) / p.S
+	if p.Signed {
+		p.Windows++ // carry window of the signed recoding
+		p.Buckets = 1<<(p.S-1) + 1
+	} else {
+		p.Buckets = 1 << p.S
+	}
+	// The hierarchical scatter needs its per-bucket counters in shared
+	// memory; above the capacity limit DistMSM falls back to the naive
+	// scatter (which is also the faster choice at large s, Figure 11).
+	p.Hierarchical = !opts.ForceNaiveScatter && p.S <= maxHierarchicalS
+	p.ReduceOnGPU = gpuReduce
+	p.SplitNDim = opts.SplitNDim
+
+	p.Assignments = assignBuckets(p.Windows, p.Buckets, cl.N)
+	return p, nil
+}
+
+// assignBuckets partitions the windows×buckets work units into nGPU
+// contiguous shares — the paper's flexible distribution ("two GPUs handle
+// 2/3 of each window, the third manages the remaining 1/3 of both"),
+// realised by launching different thread-block counts per GPU.
+func assignBuckets(windows, buckets, nGPU int) []Assignment {
+	total := windows * buckets
+	var out []Assignment
+	for g := 0; g < nGPU; g++ {
+		lo := total * g / nGPU
+		hi := total * (g + 1) / nGPU
+		for lo < hi {
+			win := lo / buckets
+			bLo := lo % buckets
+			bHi := buckets
+			if win == hi/buckets {
+				bHi = hi % buckets
+			}
+			if bHi > bLo {
+				out = append(out, Assignment{Window: win, GPU: g, BucketLo: bLo, BucketHi: bHi})
+			}
+			lo = (win + 1) * buckets
+		}
+	}
+	return out
+}
+
+// GPUsOf returns how many distinct GPUs participate in the plan.
+func (p *Plan) GPUsOf() int {
+	seen := map[int]bool{}
+	for _, a := range p.Assignments {
+		seen[a.GPU] = true
+	}
+	return len(seen)
+}

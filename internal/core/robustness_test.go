@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"distmsm/internal/bigint"
+	"distmsm/internal/curve"
+)
+
+// Failure-injection / adversarial-input tests for the functional DistMSM
+// path: extreme scalars, degenerate point sets, and mixed-sign digit
+// streams must all reduce to the double-and-add reference.
+
+func TestRunExtremeScalars(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	cl := cluster(t, 4)
+	points := c.SamplePoints(8, 101)
+	w := (c.ScalarBits + 63) / 64
+
+	allOnes := bigint.New(w)
+	for i := 0; i < c.ScalarBits; i++ {
+		allOnes[i/64] |= 1 << (uint(i) % 64)
+	}
+	one := bigint.New(w)
+	one.SetUint64(1)
+	powTwo := bigint.New(w)
+	powTwo[w-1] = 1 << 61 // the isolated top in-range bit (position 253)
+
+	scalars := []bigint.Nat{
+		allOnes,         // forces carries through every signed window
+		bigint.New(w),   // zero
+		one,             // identity coefficient
+		powTwo,          // isolated high bit
+		allOnes.Clone(), // duplicate of an extreme value
+		one.Clone(),     // duplicate small value
+		allOnes.Clone(), // triplicate
+		bigint.New(w),   // another zero
+	}
+	want := c.MSMReference(points, scalars)
+	for _, opts := range []Options{
+		{WindowSize: 7},
+		{WindowSize: 13, Unsigned: true},
+		{WindowSize: 4, ForceNaiveScatter: true},
+	} {
+		res, err := Run(c, cl, points, scalars, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if !c.EqualXYZZ(res.Point, want) {
+			t.Fatalf("%+v: extreme-scalar MSM mismatch", opts)
+		}
+	}
+}
+
+// Scalars wider than the curve's λ must be rejected, not silently
+// truncated (found by this very test before the guard existed).
+func TestRunRejectsOverwideScalars(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	cl := cluster(t, 2)
+	points := c.SamplePoints(1, 110)
+	w := (c.ScalarBits + 63) / 64
+	tooWide := bigint.New(w)
+	tooWide[w-1] = 1 << 62 // bit 254 == 2^λ
+	if _, err := Run(c, cl, points, []bigint.Nat{tooWide}, Options{WindowSize: 8}); err == nil {
+		t.Fatal("over-wide scalar accepted")
+	}
+}
+
+func TestRunDegeneratePointSets(t *testing.T) {
+	c := mustCurve(t, "BLS12-381")
+	cl := cluster(t, 8)
+	base := c.SamplePoints(1, 102)[0]
+	neg := curve.PointAffine{X: base.X.Clone(), Y: base.Y.Clone()}
+	c.NegAffine(&neg)
+
+	// All the same point, plus its negation, plus infinities: every
+	// bucket-edge (doubling, cancellation, skip) fires.
+	points := []curve.PointAffine{base, base, neg, {Inf: true}, base, neg, {Inf: true}, base}
+	scalars := c.SampleScalars(len(points), 103)
+	want := c.MSMReference(points, scalars)
+	res, err := Run(c, cl, points, scalars, Options{WindowSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.EqualXYZZ(res.Point, want) {
+		t.Fatal("degenerate point-set MSM mismatch")
+	}
+}
+
+func TestRunStatsConsistency(t *testing.T) {
+	// The recorded PACC count must match the nonzero-digit count the
+	// plan implies (one accumulate per scattered point).
+	c := mustCurve(t, "BN254")
+	cl := cluster(t, 2)
+	n := 64
+	points := c.SamplePoints(n, 104)
+	scalars := c.SampleScalars(n, 105)
+	res, err := Run(c, cl, points, scalars, Options{WindowSize: 9, Unsigned: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count nonzero digits directly.
+	plan := res.Plan
+	digits, err := digitsMatrix(plan, scalars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nonzero uint64
+	for _, win := range digits {
+		for _, d := range win {
+			if d != 0 {
+				nonzero++
+			}
+		}
+	}
+	if res.Stats.PACCOps != nonzero {
+		t.Fatalf("PACC ops %d != nonzero digits %d", res.Stats.PACCOps, nonzero)
+	}
+	if res.Stats.Scatter.GlobalAtomics == 0 {
+		t.Fatal("scatter stats missing")
+	}
+}

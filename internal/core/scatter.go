@@ -1,0 +1,143 @@
+package core
+
+import "fmt"
+
+// BlockConfig describes the thread-block geometry of the scatter kernels.
+type BlockConfig struct {
+	// Threads per thread block.
+	Threads int
+	// K is the coefficients each thread caches in registers per pass
+	// (Algorithm 3); a block locally scatters Threads×K points.
+	K int
+}
+
+// DefaultBlock is the configuration the paper quotes: 1024 threads with
+// 128 KB of shared memory for point-id storage scatter 64K points locally.
+func DefaultBlock() BlockConfig { return BlockConfig{Threads: 1024, K: 64} }
+
+// PointsPerBlock returns the points one block scatters per pass.
+func (b BlockConfig) PointsPerBlock() int { return b.Threads * b.K }
+
+// ScatterStats counts the simulated-hardware events of a scatter.
+type ScatterStats struct {
+	GlobalAtomics int // atomic ops on device-memory bucket descriptors
+	SharedAtomics int // atomic ops on shared-memory counters/offsets
+	Passes        int // thread-block passes (shared-memory refills)
+}
+
+// ScatterResult is a window's bucket assignment: Buckets[b] lists signed
+// point references (ref = idx+1, negative when the point enters negated),
+// exactly as the GPU's bucket arrays would after the scatter kernels.
+type ScatterResult struct {
+	Buckets [][]int32
+	Stats   ScatterStats
+}
+
+// bucketRef encodes digit d of point idx as (bucket, signed reference);
+// returns bucket -1 for zero digits (skipped).
+func bucketRef(idx int, d int32) (int, int32) {
+	if d == 0 {
+		return -1, 0
+	}
+	ref := int32(idx + 1)
+	if d < 0 {
+		return int(-d), -ref
+	}
+	return int(d), ref
+}
+
+// NaiveScatter is the baseline bucket scatter: every point issues one
+// global atomic to allocate a slot in its bucket (§3.2.1's strawman).
+func NaiveScatter(digits []int32, nBuckets int) (*ScatterResult, error) {
+	if nBuckets < 2 {
+		return nil, fmt.Errorf("core: scatter needs at least 2 buckets, got %d", nBuckets)
+	}
+	res := &ScatterResult{Buckets: make([][]int32, nBuckets)}
+	for i, d := range digits {
+		b, ref := bucketRef(i, d)
+		if b < 0 {
+			continue
+		}
+		if b >= nBuckets {
+			return nil, fmt.Errorf("core: digit %d out of bucket range %d", d, nBuckets)
+		}
+		res.Buckets[b] = append(res.Buckets[b], ref)
+		res.Stats.GlobalAtomics++
+	}
+	return res, nil
+}
+
+// HierarchicalScatter is the three-level bucket scatter of Algorithm 3:
+// each thread block locally scatters Threads×K points through shared
+// memory (per-point shared atomics for counting and placement, a parallel
+// prefix sum for exact per-bucket offsets) and then commits each
+// non-empty local bucket to global memory with a single global atomic.
+// The produced buckets hold the same point multisets as NaiveScatter —
+// only the intra-bucket order and the atomic traffic differ.
+func HierarchicalScatter(digits []int32, nBuckets int, block BlockConfig) (*ScatterResult, error) {
+	if nBuckets < 2 {
+		return nil, fmt.Errorf("core: scatter needs at least 2 buckets, got %d", nBuckets)
+	}
+	if block.Threads <= 0 || block.K <= 0 {
+		return nil, fmt.Errorf("core: invalid block config %+v", block)
+	}
+	res := &ScatterResult{Buckets: make([][]int32, nBuckets)}
+	per := block.PointsPerBlock()
+	counts := make([]int, nBuckets)
+	localRefs := make([][]int32, nBuckets)
+	for lo := 0; lo < len(digits); lo += per {
+		hi := lo + per
+		if hi > len(digits) {
+			hi = len(digits)
+		}
+		res.Stats.Passes++
+		// Level 1: count digits into shared counters (one shared atomic
+		// per point; the bucket id stays in a register).
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := lo; i < hi; i++ {
+			b, _ := bucketRef(i, digits[i])
+			if b < 0 {
+				continue
+			}
+			if b >= nBuckets {
+				return nil, fmt.Errorf("core: digit %d out of bucket range %d", digits[i], nBuckets)
+			}
+			counts[b]++
+			res.Stats.SharedAtomics++
+		}
+		// Level 2: prefix sum gives each bucket exactly its element count
+		// of shared memory (Figure 4b); each point is placed with one
+		// shared atomic on its bucket's offset.
+		for i := range localRefs {
+			localRefs[i] = localRefs[i][:0]
+		}
+		for i := lo; i < hi; i++ {
+			b, ref := bucketRef(i, digits[i])
+			if b < 0 {
+				continue
+			}
+			localRefs[b] = append(localRefs[b], ref)
+			res.Stats.SharedAtomics++
+		}
+		// Level 3: one global atomic per non-empty local bucket reserves
+		// the device-memory range; the block then writes its points.
+		for b, refs := range localRefs {
+			if len(refs) == 0 {
+				continue
+			}
+			res.Stats.GlobalAtomics++
+			res.Buckets[b] = append(res.Buckets[b], refs...)
+		}
+	}
+	return res, nil
+}
+
+// SharedBytesNeeded returns the shared memory one block needs for the
+// local scatter: 2 bytes per point id (reg_idx‖tid fits 16 bits) plus a
+// 4-byte counter per bucket. §5.3.2 notes execution fails when this
+// exceeds the device's shared memory (s > 14 on the A100).
+func SharedBytesNeeded(block BlockConfig, nBuckets int) int {
+	return 2*block.PointsPerBlock() + 4*nBuckets
+}

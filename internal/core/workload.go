@@ -1,0 +1,73 @@
+// Package core implements DistMSM, the paper's primary contribution: an
+// adaptation of Pippenger's algorithm for distributed multi-GPU systems.
+// It contains the per-thread workload model of §3.1 (Figure 3), the
+// three-level hierarchical bucket scatter of §3.2.1 (Algorithm 3), the
+// multi-GPU bucket-sum distribution of §3.2.2, the CPU offload of
+// bucket-reduce of §3.2.3, and the scheduler that assembles them. The GPU
+// hardware itself is modeled by internal/gpusim (see DESIGN.md); the
+// algorithms here run functionally — producing bit-exact MSM results that
+// the tests verify against the serial reference — while the simulator
+// prices the work.
+package core
+
+import (
+	"math"
+)
+
+// WorkloadParams are the inputs of the §3.1 per-thread workload formulas.
+type WorkloadParams struct {
+	N          int // number of points
+	ScalarBits int // λ
+	S          int // window size s
+	NGPU       int // GPUs in the system
+	NT         int // concurrent threads per GPU (the paper uses 2^16)
+}
+
+// NumWindows returns ⌈λ/s⌉.
+func (p WorkloadParams) NumWindows() int { return (p.ScalarBits + p.S - 1) / p.S }
+
+// PerThreadWork evaluates the paper's per-thread workload estimate (in EC
+// arithmetic operations) for a multi-GPU Pippenger execution:
+//
+//	⌈N_win/N_gpu⌉·⌈(N+2^s)/N_T⌉ + ⌈2^s/N_T⌉·2s + min(⌈2^s/N_T⌉+log2(N_T), s)
+//
+// and, when there are more GPUs than windows so a window's buckets are
+// split across ⌊N_gpu/N_win⌋ GPUs:
+//
+//	(N + 2^s·2s)/(⌊N_gpu/N_win⌋·N_T) + log2(2^s/⌊N_gpu/N_win⌋)
+func PerThreadWork(p WorkloadParams) float64 {
+	nWin := p.NumWindows()
+	buckets := math.Exp2(float64(p.S))
+	nt := float64(p.NT)
+	if p.NGPU <= nWin {
+		winPerGPU := math.Ceil(float64(nWin) / float64(p.NGPU))
+		sum := winPerGPU * math.Ceil((float64(p.N)+buckets)/nt)
+		bucketChunk := math.Ceil(buckets / nt)
+		reduce := bucketChunk * 2 * float64(p.S)
+		tail := math.Min(bucketChunk+math.Log2(nt), float64(p.S))
+		return sum + reduce + tail
+	}
+	share := float64(p.NGPU / nWin) // ⌊N_gpu/N_win⌋ GPUs per window
+	work := (float64(p.N) + buckets*2*float64(p.S)) / (share * nt)
+	return work + math.Log2(buckets/share)
+}
+
+// OptimalWindow returns the window size in [minS, maxS] minimising the
+// §3.1 per-thread workload. This is the platform-dependent choice Figure 3
+// illustrates: large windows win on one GPU, small windows on many.
+func OptimalWindow(n, scalarBits, nGPU, nt int, minS, maxS int) int {
+	if minS < 1 {
+		minS = 1
+	}
+	if maxS > 26 {
+		maxS = 26
+	}
+	best, bestW := minS, math.Inf(1)
+	for s := minS; s <= maxS; s++ {
+		w := PerThreadWork(WorkloadParams{N: n, ScalarBits: scalarBits, S: s, NGPU: nGPU, NT: nt})
+		if w < bestW {
+			best, bestW = s, w
+		}
+	}
+	return best
+}

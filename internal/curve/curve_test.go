@@ -1,0 +1,393 @@
+package curve
+
+import (
+	"math/big"
+	"testing"
+
+	"distmsm/internal/bigint"
+)
+
+func mustCurve(t testing.TB, name string) *Curve {
+	t.Helper()
+	c, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// testCurves returns the fast curves for exhaustive tests; MNT4753 is
+// included only in the dedicated test to keep the suite quick.
+func testCurves(t testing.TB) []*Curve {
+	return []*Curve{mustCurve(t, "BN254"), mustCurve(t, "BLS12-377"), mustCurve(t, "BLS12-381")}
+}
+
+func TestRegistry(t *testing.T) {
+	cs, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 4 {
+		t.Fatalf("want 4 curves, got %d", len(cs))
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown curve")
+	}
+	// Table 1 bit widths.
+	want := map[string]struct{ scalar, point int }{
+		"BN254":     {254, 254},
+		"BLS12-377": {253, 377},
+		"BLS12-381": {255, 381},
+		"MNT4753":   {753, 753},
+	}
+	for _, c := range cs {
+		w := want[c.Name]
+		if c.ScalarBits != w.scalar {
+			t.Errorf("%s: scalar bits %d, want %d", c.Name, c.ScalarBits, w.scalar)
+		}
+		if c.Fp.Bits() != w.point {
+			t.Errorf("%s: point bits %d, want %d", c.Name, c.Fp.Bits(), w.point)
+		}
+	}
+}
+
+func TestGeneratorsOnCurve(t *testing.T) {
+	cs, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cs {
+		if !c.IsOnCurveAffine(&c.Gen) {
+			t.Errorf("%s: generator not on curve", c.Name)
+		}
+	}
+	// The two curves with embedded constants must not be falling back.
+	if mustCurve(t, "BN254").GenDerived || mustCurve(t, "BLS12-381").GenDerived {
+		t.Error("standard generator was unexpectedly derived")
+	}
+}
+
+func TestGroupLaws(t *testing.T) {
+	for _, c := range testCurves(t) {
+		pts := c.SamplePoints(3, 11)
+		a := c.NewAdder()
+		p, q, r := &pts[0], &pts[1], &pts[2]
+
+		// commutativity: P+Q == Q+P
+		s1, s2 := c.NewXYZZ(), c.NewXYZZ()
+		c.SetAffine(s1, p)
+		a.Acc(s1, q)
+		c.SetAffine(s2, q)
+		a.Acc(s2, p)
+		if !c.EqualXYZZ(s1, s2) {
+			t.Fatalf("%s: P+Q != Q+P", c.Name)
+		}
+		if !c.IsOnCurve(s1) {
+			t.Fatalf("%s: P+Q off curve", c.Name)
+		}
+
+		// associativity: (P+Q)+R == P+(Q+R)
+		t1 := s1.Clone()
+		a.Acc(t1, r)
+		t2 := c.NewXYZZ()
+		c.SetAffine(t2, q)
+		a.Acc(t2, r)
+		t3 := c.NewXYZZ()
+		c.SetAffine(t3, p)
+		a.Add(t3, t2)
+		if !c.EqualXYZZ(t1, t3) {
+			t.Fatalf("%s: (P+Q)+R != P+(Q+R)", c.Name)
+		}
+
+		// identity: P + inf == P; inf + P == P
+		inf := c.NewXYZZ()
+		pz := c.NewXYZZ()
+		c.SetAffine(pz, p)
+		a.Add(pz, inf)
+		want := c.NewXYZZ()
+		c.SetAffine(want, p)
+		if !c.EqualXYZZ(pz, want) {
+			t.Fatalf("%s: P+inf != P", c.Name)
+		}
+		infAcc := c.NewXYZZ()
+		a.Add(infAcc, pz)
+		if !c.EqualXYZZ(infAcc, want) {
+			t.Fatalf("%s: inf+P != P", c.Name)
+		}
+
+		// inverse: P + (-P) == inf, via both Acc and Add
+		negP := PointAffine{X: p.X.Clone(), Y: p.Y.Clone()}
+		c.NegAffine(&negP)
+		cancel := c.NewXYZZ()
+		c.SetAffine(cancel, p)
+		a.Acc(cancel, &negP)
+		if !cancel.IsInf() {
+			t.Fatalf("%s: P + (-P) != inf (Acc)", c.Name)
+		}
+
+		// doubling consistency: Acc(P, P) == Double(P) == Add(P, P)
+		d1 := c.NewXYZZ()
+		c.SetAffine(d1, p)
+		a.Acc(d1, p)
+		d2 := c.NewXYZZ()
+		c.SetAffine(d2, p)
+		a.Double(d2)
+		d3 := c.NewXYZZ()
+		c.SetAffine(d3, p)
+		pCopy := c.NewXYZZ()
+		c.SetAffine(pCopy, p)
+		a.Add(d3, pCopy)
+		if !c.EqualXYZZ(d1, d2) || !c.EqualXYZZ(d2, d3) {
+			t.Fatalf("%s: doubling paths disagree", c.Name)
+		}
+		if !c.IsOnCurve(d2) {
+			t.Fatalf("%s: 2P off curve", c.Name)
+		}
+	}
+}
+
+func TestDoubleInfinity(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	a := c.NewAdder()
+	inf := c.NewXYZZ()
+	a.Double(inf)
+	if !inf.IsInf() {
+		t.Fatal("2*inf != inf")
+	}
+}
+
+func TestScalarMulSmall(t *testing.T) {
+	for _, c := range testCurves(t) {
+		a := c.NewAdder()
+		g := &c.Gen
+		// k*G computed by ScalarMul must equal repeated addition.
+		acc := c.NewXYZZ()
+		for k := 1; k <= 17; k++ {
+			a.Acc(acc, g)
+			kNat := bigint.New((c.ScalarBits + 63) / 64)
+			kNat.SetUint64(uint64(k))
+			got := a.ScalarMul(g, kNat)
+			if !c.EqualXYZZ(got, acc) {
+				t.Fatalf("%s: %d*G mismatch", c.Name, k)
+			}
+		}
+		// 0*G == inf
+		zero := bigint.New(4)
+		if !a.ScalarMul(g, zero).IsInf() {
+			t.Fatalf("%s: 0*G != inf", c.Name)
+		}
+	}
+}
+
+func TestScalarMulDistributes(t *testing.T) {
+	for _, c := range testCurves(t) {
+		a := c.NewAdder()
+		g := &c.Gen
+		w := (c.ScalarBits + 63) / 64
+		k1 := bigint.FromBig(big.NewInt(0x123456789abcdef), w)
+		k2 := bigint.FromBig(big.NewInt(0xfedcba987654321), w)
+		sum := bigint.New(w)
+		bigint.AddInto(sum, k1, k2)
+
+		p1 := a.ScalarMul(g, k1)
+		p2 := a.ScalarMul(g, k2)
+		a.Add(p1, p2)
+		want := a.ScalarMul(g, sum)
+		if !c.EqualXYZZ(p1, want) {
+			t.Fatalf("%s: (k1+k2)G != k1*G + k2*G", c.Name)
+		}
+	}
+}
+
+func TestScalarFieldOrderAnnihilates(t *testing.T) {
+	// For the real curves, r*G must be the identity — this validates the
+	// embedded group-order constants against the curve constants.
+	for _, c := range testCurves(t) {
+		if c.ScalarField == nil {
+			continue
+		}
+		if c.GenDerived {
+			// A derived point may live outside the prime-order subgroup
+			// (cofactor > 1): multiply by the cofactor-cleared check is
+			// skipped; BN254 and BLS12-381 have embedded generators.
+			continue
+		}
+		a := c.NewAdder()
+		w := (c.ScalarField.Modulus.BitLen() + 63) / 64
+		r := bigint.FromBig(c.ScalarField.Modulus, w)
+		if got := a.ScalarMul(&c.Gen, r); !got.IsInf() {
+			t.Fatalf("%s: r*G != inf — group order constant wrong", c.Name)
+		}
+	}
+}
+
+func TestToAffineRoundTrip(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	a := c.NewAdder()
+	g := &c.Gen
+	// Build a point with non-trivial ZZ by adding twice.
+	p := c.NewXYZZ()
+	c.SetAffine(p, g)
+	a.Double(p)
+	a.Acc(p, g) // 3G in XYZZ with ZZ != 1
+	aff := c.ToAffine(p)
+	back := c.NewXYZZ()
+	c.SetAffine(back, &aff)
+	if !c.EqualXYZZ(p, back) {
+		t.Fatal("ToAffine round trip failed")
+	}
+	if !c.IsOnCurveAffine(&aff) {
+		t.Fatal("affine point off curve")
+	}
+}
+
+func TestBatchToAffineMatchesSingle(t *testing.T) {
+	c := mustCurve(t, "BLS12-381")
+	a := c.NewAdder()
+	var ps []*PointXYZZ
+	acc := c.NewXYZZ()
+	for i := 0; i < 20; i++ {
+		if i == 7 {
+			ps = append(ps, c.NewXYZZ()) // include an infinity
+			continue
+		}
+		a.Acc(acc, &c.Gen)
+		ps = append(ps, acc.Clone())
+	}
+	batch := c.BatchToAffine(ps)
+	for i, p := range ps {
+		single := c.ToAffine(p)
+		if !c.EqualAffine(&batch[i], &single) {
+			t.Fatalf("batch[%d] != single conversion", i)
+		}
+	}
+}
+
+func TestSamplePointsDistinctAndValid(t *testing.T) {
+	for _, c := range testCurves(t) {
+		pts := c.SamplePoints(50, 3)
+		seen := map[string]bool{}
+		for i := range pts {
+			if !c.IsOnCurveAffine(&pts[i]) {
+				t.Fatalf("%s: sample %d off curve", c.Name, i)
+			}
+			k := pts[i].X.String()
+			if seen[k] {
+				t.Fatalf("%s: duplicate sample x", c.Name)
+			}
+			seen[k] = true
+		}
+	}
+	if got := mustCurve(t, "BN254").SamplePoints(0, 1); got != nil {
+		t.Fatal("SamplePoints(0) should be nil")
+	}
+}
+
+func TestSampleScalarsWidth(t *testing.T) {
+	for _, name := range Names() {
+		c := mustCurve(t, name)
+		ss := c.SampleScalars(32, 5)
+		for _, s := range ss {
+			if s.BitLen() > c.ScalarBits {
+				t.Fatalf("%s: scalar too wide: %d bits", c.Name, s.BitLen())
+			}
+			if len(s)*64 < c.ScalarBits {
+				t.Fatalf("%s: scalar storage too narrow", c.Name)
+			}
+		}
+	}
+}
+
+func TestMNT4753Sim(t *testing.T) {
+	c := mustCurve(t, "MNT4753")
+	if c.Fp.Bits() != 753 {
+		t.Fatalf("synthetic field is %d bits, want 753", c.Fp.Bits())
+	}
+	if !c.IsOnCurveAffine(&c.Gen) {
+		t.Fatal("derived generator off curve")
+	}
+	a := c.NewAdder()
+	p := c.NewXYZZ()
+	c.SetAffine(p, &c.Gen)
+	a.Double(p)
+	a.Acc(p, &c.Gen)
+	if !c.IsOnCurve(p) {
+		t.Fatal("3G off curve on synthetic 753-bit curve")
+	}
+}
+
+func TestMSMReferenceTiny(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	pts := c.SamplePoints(4, 9)
+	w := (c.ScalarBits + 63) / 64
+	ks := []bigint.Nat{
+		bigint.FromBig(big.NewInt(3), w),
+		bigint.FromBig(big.NewInt(0), w),
+		bigint.FromBig(big.NewInt(1), w),
+		bigint.FromBig(big.NewInt(7), w),
+	}
+	got := c.MSMReference(pts, ks)
+	// Manual: 3*P0 + P2 + 7*P3
+	a := c.NewAdder()
+	want := c.NewXYZZ()
+	for i := 0; i < 3; i++ {
+		a.Acc(want, &pts[0])
+	}
+	a.Acc(want, &pts[2])
+	for i := 0; i < 7; i++ {
+		a.Acc(want, &pts[3])
+	}
+	if !c.EqualXYZZ(got, want) {
+		t.Fatal("MSMReference mismatch")
+	}
+}
+
+func TestAdderCounts(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	a := c.NewAdder()
+	acc := c.NewXYZZ()
+	a.Acc(acc, &c.Gen)
+	a.Acc(acc, &c.Gen) // triggers a double internally
+	q := acc.Clone()
+	a.Add(acc, q)
+	if a.CountPACC != 2 || a.CountPADD != 1 || a.CountPDBL < 1 {
+		t.Fatalf("counts: PACC=%d PADD=%d PDBL=%d", a.CountPACC, a.CountPADD, a.CountPDBL)
+	}
+	a.ResetCounts()
+	if a.CountPACC != 0 || a.CountPADD != 0 || a.CountPDBL != 0 {
+		t.Fatal("ResetCounts failed")
+	}
+}
+
+func BenchmarkPACC(b *testing.B) {
+	for _, name := range Names() {
+		c := mustCurve(b, name)
+		a := c.NewAdder()
+		acc := c.NewXYZZ()
+		c.SetAffine(acc, &c.Gen)
+		a.Double(acc)
+		pt := c.DerivePoint(99)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a.Acc(acc, &pt)
+			}
+		})
+	}
+}
+
+func BenchmarkPADD(b *testing.B) {
+	for _, name := range Names() {
+		c := mustCurve(b, name)
+		a := c.NewAdder()
+		acc := c.NewXYZZ()
+		c.SetAffine(acc, &c.Gen)
+		a.Double(acc)
+		q := acc.Clone()
+		a.Double(q)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a.Add(acc, q)
+			}
+		})
+	}
+}

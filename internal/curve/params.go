@@ -1,0 +1,184 @@
+// Package curve implements short-Weierstrass elliptic-curve arithmetic for
+// the four curves the paper evaluates (BN254, BLS12-377, BLS12-381 and an
+// MNT4753-class 753-bit curve), in the affine and XYZZ coordinate systems
+// used by DistMSM. It provides the PADD (Algorithm 1), PACC (Algorithm 4)
+// and PDBL operations, reference scalar multiplication, and deterministic
+// point sampling for workload generation.
+package curve
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	"distmsm/internal/field"
+)
+
+// Curve describes y² = x³ + Ax + B over a prime field, plus the metadata
+// MSM needs: the scalar bit-width λ and (when known) the scalar field.
+type Curve struct {
+	Name string
+	Fp   *field.Field
+
+	A, B field.Element
+
+	// ScalarBits is λ, the bit width of MSM scalars (Table 1).
+	ScalarBits int
+	// ScalarField is the field of exponents (the group order r) when it is
+	// known; it is nil for the synthetic 753-bit curve, whose group order
+	// is not computed. MSM never needs it — scalars are plain integers.
+	ScalarField *field.Field
+
+	// Gen is a point on the curve used as the base for sampling. For the
+	// synthetic curve it is derived by hashing; GenDerived records that.
+	Gen        PointAffine
+	GenDerived bool
+}
+
+// curve and field constants, decimal.
+const (
+	bn254FpDec = "21888242871839275222246405745257275088696311157297823662689037894645226208583"
+	bn254FrDec = "21888242871839275222246405745257275088548364400416034343698204186575808495617"
+
+	bls377FpDec = "258664426012969094010652733694893533536393512754914660539884262666720468348340822774968888139573360124440321458177"
+	bls377FrDec = "8444461749428370424248824938781546531375899335154063827935233455917409239041"
+
+	bls381FpDec = "4002409555221667393417789825735904156556882819939007885332058136124031650490837864442687629129015664037894272559787"
+	bls381FrDec = "52435875175126190479447740508185965837690552500527637822603658699938581184513"
+
+	bls381GxDec = "3685416753713387016781088315183077757961620795782546409894578378688607592378376318836054947676345821548104185464507"
+	bls381GyDec = "1339506544944476473020471379941921221584933875938349620426543736416511423956333506472724655353366534992391756441569"
+)
+
+func mustBig(dec string) *big.Int {
+	v, ok := new(big.Int).SetString(dec, 10)
+	if !ok {
+		panic("curve: bad integer literal " + dec)
+	}
+	return v
+}
+
+var registry struct {
+	once sync.Once
+	m    map[string]*Curve
+	err  error
+}
+
+// Names lists the supported curve names in the paper's Table 1 order.
+func Names() []string { return []string{"BN254", "BLS12-377", "BLS12-381", "MNT4753"} }
+
+// ByName returns the named curve, constructing and caching all curves on
+// first use.
+func ByName(name string) (*Curve, error) {
+	registry.once.Do(buildRegistry)
+	if registry.err != nil {
+		return nil, registry.err
+	}
+	c, ok := registry.m[name]
+	if !ok {
+		return nil, fmt.Errorf("curve: unknown curve %q (have %v)", name, Names())
+	}
+	return c, nil
+}
+
+// All returns every supported curve in Table 1 order.
+func All() ([]*Curve, error) {
+	var cs []*Curve
+	for _, n := range Names() {
+		c, err := ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		cs = append(cs, c)
+	}
+	return cs, nil
+}
+
+func buildRegistry() {
+	registry.m = make(map[string]*Curve)
+	build := func(c *Curve, err error) {
+		if err != nil && registry.err == nil {
+			registry.err = err
+			return
+		}
+		registry.m[c.Name] = c
+	}
+	build(newBN254())
+	build(newBLS12377())
+	build(newBLS12381())
+	build(newMNT4753Sim())
+}
+
+func newStandardCurve(name, fpDec, frDec string, a, b uint64, gx, gy *big.Int, scalarBits int) (*Curve, error) {
+	fp, err := field.New(name+"-Fp", mustBig(fpDec))
+	if err != nil {
+		return nil, err
+	}
+	fr, err := field.New(name+"-Fr", mustBig(frDec))
+	if err != nil {
+		return nil, err
+	}
+	c := &Curve{
+		Name:        name,
+		Fp:          fp,
+		A:           fp.FromUint64(a),
+		B:           fp.FromUint64(b),
+		ScalarBits:  scalarBits,
+		ScalarField: fr,
+	}
+	if gx != nil {
+		g := PointAffine{X: fp.FromBig(gx), Y: fp.FromBig(gy)}
+		if !c.IsOnCurveAffine(&g) {
+			return nil, fmt.Errorf("curve %s: generator is not on the curve", name)
+		}
+		c.Gen = g
+	} else {
+		c.Gen = c.DerivePoint(1)
+		c.GenDerived = true
+	}
+	return c, nil
+}
+
+func newBN254() (*Curve, error) {
+	return newStandardCurve("BN254", bn254FpDec, bn254FrDec, 0, 3,
+		big.NewInt(1), big.NewInt(2), 254)
+}
+
+func newBLS12377() (*Curve, error) {
+	// The canonical G1 generator constants are not embedded; the base
+	// point is derived on-curve deterministically (MSM workloads only
+	// need *some* curve points).
+	return newStandardCurve("BLS12-377", bls377FpDec, bls377FrDec, 0, 1, nil, nil, 253)
+}
+
+func newBLS12381() (*Curve, error) {
+	return newStandardCurve("BLS12-381", bls381FpDec, bls381FrDec, 0, 4,
+		mustBig(bls381GxDec), mustBig(bls381GyDec), 255)
+}
+
+// newMNT4753Sim builds the synthetic 753-bit curve standing in for
+// MNT4-753 (see DESIGN.md): the smallest prime p ≥ 2^752 with p ≡ 3 mod 4,
+// curve y² = x³ + 2x + b for a b that makes the derived base point valid.
+// The group order is unknown, so ScalarField is nil and MSM scalars are
+// plain 753-bit integers — exactly the workload profile of Table 1.
+func newMNT4753Sim() (*Curve, error) {
+	p := new(big.Int).Lsh(big.NewInt(1), 752)
+	p.Add(p, big.NewInt(3)) // keep p ≡ 3 mod 4
+	for !p.ProbablyPrime(20) {
+		p.Add(p, big.NewInt(4))
+	}
+	fp, err := field.New("MNT4753-Fp", p)
+	if err != nil {
+		return nil, err
+	}
+	c := &Curve{
+		Name:       "MNT4753",
+		Fp:         fp,
+		A:          fp.FromUint64(2), // MNT4 curves have a = 2
+		B:          fp.FromUint64(5),
+		ScalarBits: 753,
+	}
+	c.Gen = c.DerivePoint(1)
+	c.GenDerived = true
+	return c, nil
+}

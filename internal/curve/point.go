@@ -1,0 +1,187 @@
+package curve
+
+import (
+	"fmt"
+
+	"distmsm/internal/field"
+)
+
+// PointAffine is an affine curve point. Inf marks the point at infinity,
+// in which case X and Y are ignored (and may be nil).
+type PointAffine struct {
+	X, Y field.Element
+	Inf  bool
+}
+
+// PointXYZZ is a point in the XYZZ coordinate system of Algorithm 1:
+// the affine point is (X/ZZ, Y/ZZZ) with the invariant ZZ³ = ZZZ².
+// The point at infinity is represented by ZZ = 0.
+type PointXYZZ struct {
+	X, Y, ZZ, ZZZ field.Element
+}
+
+// NewXYZZ returns a fresh point at infinity for curve c.
+func (c *Curve) NewXYZZ() *PointXYZZ {
+	return &PointXYZZ{
+		X:   c.Fp.NewElement(),
+		Y:   c.Fp.NewElement(),
+		ZZ:  c.Fp.NewElement(),
+		ZZZ: c.Fp.NewElement(),
+	}
+}
+
+// IsInf reports whether p is the point at infinity.
+func (p *PointXYZZ) IsInf() bool { return p.ZZ.IsZero() }
+
+// SetInf sets p to the point at infinity.
+func (p *PointXYZZ) SetInf() {
+	p.X.SetZero()
+	p.Y.SetZero()
+	p.ZZ.SetZero()
+	p.ZZZ.SetZero()
+}
+
+// Set copies q into p.
+func (p *PointXYZZ) Set(q *PointXYZZ) {
+	p.X.Set(q.X)
+	p.Y.Set(q.Y)
+	p.ZZ.Set(q.ZZ)
+	p.ZZZ.Set(q.ZZZ)
+}
+
+// SetAffine sets p to the XYZZ form of affine point a (ZZ = ZZZ = 1).
+func (c *Curve) SetAffine(p *PointXYZZ, a *PointAffine) {
+	if a.Inf {
+		p.SetInf()
+		return
+	}
+	p.X.Set(a.X)
+	p.Y.Set(a.Y)
+	p.ZZ.Set(c.Fp.One())
+	p.ZZZ.Set(c.Fp.One())
+}
+
+// Clone returns an independent copy of p.
+func (p *PointXYZZ) Clone() *PointXYZZ {
+	return &PointXYZZ{X: p.X.Clone(), Y: p.Y.Clone(), ZZ: p.ZZ.Clone(), ZZZ: p.ZZZ.Clone()}
+}
+
+// Neg negates p in place.
+func (c *Curve) Neg(p *PointXYZZ) { c.Fp.Neg(p.Y, p.Y) }
+
+// NegAffine negates a in place.
+func (c *Curve) NegAffine(a *PointAffine) {
+	if !a.Inf {
+		c.Fp.Neg(a.Y, a.Y)
+	}
+}
+
+// IsOnCurveAffine reports whether a satisfies y² = x³ + Ax + B.
+func (c *Curve) IsOnCurveAffine(a *PointAffine) bool {
+	if a.Inf {
+		return true
+	}
+	f := c.Fp
+	lhs, rhs, t := f.NewElement(), f.NewElement(), f.NewElement()
+	f.Square(lhs, a.Y)
+	f.Square(rhs, a.X)
+	f.Mul(rhs, rhs, a.X)
+	f.Mul(t, c.A, a.X)
+	f.Add(rhs, rhs, t)
+	f.Add(rhs, rhs, c.B)
+	return lhs.Equal(rhs)
+}
+
+// IsOnCurve reports whether p (in XYZZ form) is on the curve, including
+// the coordinate-system invariant ZZ³ = ZZZ².
+func (c *Curve) IsOnCurve(p *PointXYZZ) bool {
+	if p.IsInf() {
+		return true
+	}
+	f := c.Fp
+	// Invariant ZZ³ == ZZZ².
+	zz3, zzz2 := f.NewElement(), f.NewElement()
+	f.Square(zz3, p.ZZ)
+	f.Mul(zz3, zz3, p.ZZ)
+	f.Square(zzz2, p.ZZZ)
+	if !zz3.Equal(zzz2) {
+		return false
+	}
+	a := c.ToAffine(p)
+	return c.IsOnCurveAffine(&a)
+}
+
+// ToAffine converts p to affine coordinates (one field inversion).
+func (c *Curve) ToAffine(p *PointXYZZ) PointAffine {
+	if p.IsInf() {
+		return PointAffine{Inf: true}
+	}
+	f := c.Fp
+	zzInv, zzzInv := f.NewElement(), f.NewElement()
+	f.Inv(zzInv, p.ZZ)
+	f.Inv(zzzInv, p.ZZZ)
+	a := PointAffine{X: f.NewElement(), Y: f.NewElement()}
+	f.Mul(a.X, p.X, zzInv)
+	f.Mul(a.Y, p.Y, zzzInv)
+	return a
+}
+
+// BatchToAffine converts many XYZZ points with a single inversion via
+// Montgomery's trick (2 inversions total: the ZZ batch and the ZZZ batch
+// share one BatchInvert each).
+func (c *Curve) BatchToAffine(ps []*PointXYZZ) []PointAffine {
+	f := c.Fp
+	zz := make([]field.Element, len(ps))
+	zzz := make([]field.Element, len(ps))
+	for i, p := range ps {
+		zz[i] = p.ZZ.Clone()
+		zzz[i] = p.ZZZ.Clone()
+	}
+	f.BatchInvert(zz)
+	f.BatchInvert(zzz)
+	out := make([]PointAffine, len(ps))
+	for i, p := range ps {
+		if p.IsInf() {
+			out[i] = PointAffine{Inf: true}
+			continue
+		}
+		out[i] = PointAffine{X: f.NewElement(), Y: f.NewElement()}
+		f.Mul(out[i].X, p.X, zz[i])
+		f.Mul(out[i].Y, p.Y, zzz[i])
+	}
+	return out
+}
+
+// EqualXYZZ reports whether p and q represent the same curve point
+// (comparing cross-multiplied coordinates, no inversion).
+func (c *Curve) EqualXYZZ(p, q *PointXYZZ) bool {
+	if p.IsInf() || q.IsInf() {
+		return p.IsInf() == q.IsInf()
+	}
+	f := c.Fp
+	l, r := f.NewElement(), f.NewElement()
+	f.Mul(l, p.X, q.ZZ)
+	f.Mul(r, q.X, p.ZZ)
+	if !l.Equal(r) {
+		return false
+	}
+	f.Mul(l, p.Y, q.ZZZ)
+	f.Mul(r, q.Y, p.ZZZ)
+	return l.Equal(r)
+}
+
+// EqualAffine reports whether two affine points are equal.
+func (c *Curve) EqualAffine(a, b *PointAffine) bool {
+	if a.Inf || b.Inf {
+		return a.Inf == b.Inf
+	}
+	return a.X.Equal(b.X) && a.Y.Equal(b.Y)
+}
+
+// String formats an affine point.
+func (a PointAffine) String() string {
+	if a.Inf {
+		return "(inf)"
+	}
+	return fmt.Sprintf("(%s, %s)", a.X, a.Y)
+}

@@ -1,0 +1,83 @@
+package curve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/big"
+	"math/rand"
+
+	"distmsm/internal/bigint"
+)
+
+// DerivePoint deterministically derives a curve point from a seed by
+// hashing to an x-coordinate and incrementing until x³ + Ax + B is a
+// quadratic residue (try-and-increment map-to-curve).
+func (c *Curve) DerivePoint(seed uint64) PointAffine {
+	f := c.Fp
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], seed)
+	h := sha256.Sum256(buf[:])
+	// Widen the hash to the field size so high limbs are populated.
+	xv := new(big.Int).SetBytes(h[:])
+	for xv.BitLen() < f.Bits()-8 {
+		h = sha256.Sum256(h[:])
+		xv.Lsh(xv, 256)
+		xv.Add(xv, new(big.Int).SetBytes(h[:]))
+	}
+	x := f.FromBig(xv)
+	rhs, t, y := f.NewElement(), f.NewElement(), f.NewElement()
+	one := f.One()
+	for {
+		f.Square(rhs, x)
+		f.Mul(rhs, rhs, x)
+		f.Mul(t, c.A, x)
+		f.Add(rhs, rhs, t)
+		f.Add(rhs, rhs, c.B)
+		if f.Sqrt(y, rhs) {
+			return PointAffine{X: x.Clone(), Y: y.Clone()}
+		}
+		f.Add(x, x, one)
+	}
+}
+
+// SamplePoints deterministically generates n distinct affine points for
+// workload construction: P_0 and a step point D are derived by hashing,
+// then P_{i+1} = P_i + D (one PACC each), and the whole chain is
+// batch-normalised back to affine with two inversions total.
+func (c *Curve) SamplePoints(n int, seed uint64) []PointAffine {
+	if n == 0 {
+		return nil
+	}
+	base := c.DerivePoint(seed*2 + 1)
+	step := c.DerivePoint(seed*2 + 2)
+	adder := c.NewAdder()
+
+	acc := c.NewXYZZ()
+	c.SetAffine(acc, &base)
+	chain := make([]*PointXYZZ, n)
+	for i := 0; i < n; i++ {
+		chain[i] = acc.Clone()
+		adder.Acc(acc, &step)
+	}
+	return c.BatchToAffine(chain)
+}
+
+// SampleScalars deterministically generates n scalars of the curve's
+// ScalarBits width. When the scalar field is known, scalars are reduced
+// below the group order; otherwise they are uniform λ-bit integers.
+func (c *Curve) SampleScalars(n int, seed int64) []bigint.Nat {
+	rnd := rand.New(rand.NewSource(seed))
+	width := (c.ScalarBits + 63) / 64
+	out := make([]bigint.Nat, n)
+	var order *big.Int
+	if c.ScalarField != nil {
+		order = c.ScalarField.Modulus
+	} else {
+		order = new(big.Int).Lsh(big.NewInt(1), uint(c.ScalarBits))
+	}
+	for i := range out {
+		v := new(big.Int).Rand(rnd, order)
+		out[i] = bigint.FromBig(v, width)
+	}
+	return out
+}

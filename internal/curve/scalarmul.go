@@ -1,0 +1,152 @@
+package curve
+
+import (
+	"math/big"
+
+	"distmsm/internal/bigint"
+)
+
+// Optimised scalar-multiplication strategies beyond the double-and-add
+// reference: width-w NAF for variable bases and a fixed-base comb for
+// repeated multiplications of one point (the trusted-setup workload,
+// which multiplies the generator by thousands of scalars).
+
+// wnafDigits recodes k into width-w non-adjacent form: digits are odd,
+// |d| < 2^(w-1), and non-zero digits are separated by at least w-1
+// zeros, so a scalar multiplication needs ~λ/(w+1) additions.
+func wnafDigits(k bigint.Nat, w int) []int8 {
+	if w < 2 || w > 7 {
+		panic("curve: wNAF width out of range [2,7]")
+	}
+	v := k.ToBig()
+	var out []int8
+	mod := int64(1) << uint(w)
+	half := mod >> 1
+	for v.Sign() > 0 {
+		var d int64
+		if v.Bit(0) == 1 {
+			low := int64(0)
+			for i := 0; i < w; i++ {
+				low |= int64(v.Bit(i)) << uint(i)
+			}
+			d = low
+			if d >= half {
+				d -= mod
+			}
+			if d > 0 {
+				v.Sub(v, big.NewInt(d))
+			} else {
+				v.Add(v, big.NewInt(-d))
+			}
+		}
+		out = append(out, int8(d))
+		v.Rsh(v, 1)
+	}
+	return out
+}
+
+// ScalarMulWNAF computes k·P with width-w NAF and a small odd-multiples
+// table (P, 3P, …, (2^(w-1)−1)P).
+func (a *Adder) ScalarMulWNAF(pt *PointAffine, k bigint.Nat, w int) *PointXYZZ {
+	c := a.c
+	if pt.Inf || k.IsZero() {
+		return c.NewXYZZ()
+	}
+	digits := wnafDigits(k, w)
+	// Odd multiples table in affine form (batch-normalised).
+	tableSize := 1 << uint(w-1) // entries for 1P, 3P, ..., (2^(w-1)−1)·P pairs
+	jac := make([]*PointXYZZ, 0, tableSize/2)
+	cur := c.NewXYZZ()
+	c.SetAffine(cur, pt)
+	double := cur.Clone()
+	a.Double(double)
+	dblAff := c.ToAffine(double)
+	for i := 0; i < tableSize/2; i++ {
+		jac = append(jac, cur.Clone())
+		a.Acc(cur, &dblAff) // cur += 2P
+	}
+	table := c.BatchToAffine(jac) // table[i] = (2i+1)·P
+
+	acc := c.NewXYZZ()
+	negY := c.Fp.NewElement()
+	for i := len(digits) - 1; i >= 0; i-- {
+		a.Double(acc)
+		d := digits[i]
+		if d == 0 {
+			continue
+		}
+		if d > 0 {
+			a.Acc(acc, &table[(int(d)-1)/2])
+		} else {
+			e := &table[(int(-d)-1)/2]
+			c.Fp.Neg(negY, e.Y)
+			neg := PointAffine{X: e.X, Y: negY}
+			a.Acc(acc, &neg)
+		}
+	}
+	return acc
+}
+
+// Comb is a fixed-base comb precomputation: for base P it stores
+// T[b] = Σ_{j: bit j of b set} 2^(j·d)·P for all 2^t tooth patterns,
+// where d = ⌈λ/t⌉ is the tooth spacing. One multiplication then costs
+// d doublings and d table additions — ~8× fewer operations than
+// double-and-add at t = 8.
+type Comb struct {
+	c     *Curve
+	teeth int
+	gap   int // d
+	table []PointAffine
+}
+
+// NewComb builds the comb table for the given base with t teeth.
+func (c *Curve) NewComb(base *PointAffine, teeth int) *Comb {
+	if teeth < 2 || teeth > 12 {
+		panic("curve: comb teeth out of range [2,12]")
+	}
+	a := c.NewAdder()
+	gap := (c.ScalarBits + teeth - 1) / teeth
+	// Column points 2^(j·gap)·P.
+	cols := make([]PointAffine, teeth)
+	cur := c.NewXYZZ()
+	c.SetAffine(cur, base)
+	for j := 0; j < teeth; j++ {
+		cols[j] = c.ToAffine(cur)
+		for b := 0; b < gap; b++ {
+			a.Double(cur)
+		}
+	}
+	// All subset sums.
+	size := 1 << uint(teeth)
+	jac := make([]*PointXYZZ, size)
+	jac[0] = c.NewXYZZ()
+	for b := 1; b < size; b++ {
+		low := b & (-b)
+		j := 0
+		for 1<<uint(j) != low {
+			j++
+		}
+		p := jac[b^low].Clone()
+		a.Acc(p, &cols[j])
+		jac[b] = p
+	}
+	return &Comb{c: c, teeth: teeth, gap: gap, table: c.BatchToAffine(jac)}
+}
+
+// Mul computes k·P for the comb's base.
+func (m *Comb) Mul(k bigint.Nat) *PointXYZZ {
+	c := m.c
+	a := c.NewAdder()
+	acc := c.NewXYZZ()
+	for i := m.gap - 1; i >= 0; i-- {
+		a.Double(acc)
+		idx := 0
+		for j := 0; j < m.teeth; j++ {
+			idx |= int(k.Bit(j*m.gap+i)) << uint(j)
+		}
+		if idx != 0 {
+			a.Acc(acc, &m.table[idx])
+		}
+	}
+	return acc
+}

@@ -1,0 +1,193 @@
+package curve
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"distmsm/internal/bigint"
+)
+
+func TestWNAFMatchesDoubleAndAdd(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	a := c.NewAdder()
+	g := &c.Gen
+	for _, w := range []int{2, 4, 5, 7} {
+		for _, k := range c.SampleScalars(8, int64(w)) {
+			want := a.ScalarMul(g, k)
+			got := a.ScalarMulWNAF(g, k, w)
+			if !c.EqualXYZZ(got, want) {
+				t.Fatalf("w=%d: wNAF mismatch", w)
+			}
+		}
+	}
+	// zero scalar and infinity input
+	zero := bigint.New(4)
+	if !a.ScalarMulWNAF(g, zero, 4).IsInf() {
+		t.Fatal("0*P != inf")
+	}
+	inf := PointAffine{Inf: true}
+	if !a.ScalarMulWNAF(&inf, c.SampleScalars(1, 1)[0], 4).IsInf() {
+		t.Fatal("k*inf != inf")
+	}
+}
+
+func TestWNAFDigitProperties(t *testing.T) {
+	prop := func(a, b uint64, wRaw uint8) bool {
+		w := int(wRaw%5) + 2 // [2,6]
+		k := bigint.Nat{a, b}
+		digits := wnafDigits(k, w)
+		v := new(big.Int)
+		for i := len(digits) - 1; i >= 0; i-- {
+			v.Lsh(v, 1)
+			v.Add(v, big.NewInt(int64(digits[i])))
+		}
+		if v.Cmp(k.ToBig()) != 0 {
+			return false
+		}
+		half := 1 << uint(w-1)
+		for i, d := range digits {
+			if d == 0 {
+				continue
+			}
+			if int(d)%2 == 0 || int(d) >= half || int(d) <= -half {
+				return false
+			}
+			// non-adjacency: next w-1 digits are zero
+			for j := i + 1; j < i+w && j < len(digits); j++ {
+				if digits[j] != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombMatchesDoubleAndAdd(t *testing.T) {
+	for _, name := range []string{"BN254", "BLS12-381"} {
+		c := mustCurve(t, name)
+		a := c.NewAdder()
+		g := &c.Gen
+		for _, teeth := range []int{2, 4, 8} {
+			comb := c.NewComb(g, teeth)
+			for _, k := range c.SampleScalars(6, int64(teeth)) {
+				want := a.ScalarMul(g, k)
+				got := comb.Mul(k)
+				if !c.EqualXYZZ(got, want) {
+					t.Fatalf("%s teeth=%d: comb mismatch", name, teeth)
+				}
+			}
+			zero := bigint.New((c.ScalarBits + 63) / 64)
+			if !comb.Mul(zero).IsInf() {
+				t.Fatalf("%s: comb 0*P != inf", name)
+			}
+		}
+	}
+}
+
+func TestJacobianMatchesXYZZ(t *testing.T) {
+	for _, name := range []string{"BN254", "MNT4753"} { // a=0 and a!=0 paths
+		c := mustCurve(t, name)
+		pts := c.SamplePoints(20, 77)
+		ja := c.NewJacAdder()
+		xa := c.NewAdder()
+
+		jac := c.NewJacobian()
+		xyzz := c.NewXYZZ()
+		for i := range pts {
+			ja.AccMixed(jac, &pts[i])
+			xa.Acc(xyzz, &pts[i])
+			if i%5 == 0 {
+				ja.Double(jac)
+				xa.Double(xyzz)
+			}
+		}
+		gotJ := c.JacToAffine(jac)
+		gotX := c.ToAffine(xyzz)
+		if !c.EqualAffine(&gotJ, &gotX) {
+			t.Fatalf("%s: Jacobian and XYZZ accumulation disagree", name)
+		}
+		// Edge cases: doubling via AccMixed, cancellation, infinity.
+		j2 := c.NewJacobian()
+		c.SetAffineJac(j2, &pts[0])
+		ja.AccMixed(j2, &pts[0]) // same point → doubling path
+		x2 := c.NewXYZZ()
+		c.SetAffine(x2, &pts[0])
+		xa.Acc(x2, &pts[0])
+		aj, ax := c.JacToAffine(j2), c.ToAffine(x2)
+		if !c.EqualAffine(&aj, &ax) {
+			t.Fatalf("%s: Jacobian doubling edge mismatch", name)
+		}
+		neg := PointAffine{X: pts[0].X.Clone(), Y: pts[0].Y.Clone()}
+		c.NegAffine(&neg)
+		j3 := c.NewJacobian()
+		c.SetAffineJac(j3, &pts[0])
+		ja.AccMixed(j3, &neg)
+		if !j3.IsInf() {
+			t.Fatalf("%s: P + (−P) != inf in Jacobian", name)
+		}
+		ja.AccMixed(j3, &pts[1]) // inf + P = P
+		a3 := c.JacToAffine(j3)
+		if !c.EqualAffine(&a3, &pts[1]) {
+			t.Fatalf("%s: inf + P != P in Jacobian", name)
+		}
+		ja.Double(j3)
+		inf := c.NewJacobian()
+		ja.Double(inf)
+		if !inf.IsInf() {
+			t.Fatalf("%s: 2*inf != inf in Jacobian", name)
+		}
+	}
+}
+
+// The coordinate-system comparison behind the paper's XYZZ choice.
+func BenchmarkCoordinateSystems(b *testing.B) {
+	c := mustCurve(b, "BLS12-381")
+	pt := c.DerivePoint(123)
+	b.Run("XYZZ-PACC", func(b *testing.B) {
+		a := c.NewAdder()
+		acc := c.NewXYZZ()
+		c.SetAffine(acc, &c.Gen)
+		a.Double(acc)
+		for i := 0; i < b.N; i++ {
+			a.Acc(acc, &pt)
+		}
+	})
+	b.Run("Jacobian-madd", func(b *testing.B) {
+		a := c.NewJacAdder()
+		acc := c.NewJacobian()
+		c.SetAffineJac(acc, &c.Gen)
+		a.Double(acc)
+		for i := 0; i < b.N; i++ {
+			a.AccMixed(acc, &pt)
+		}
+	})
+}
+
+func BenchmarkScalarMulStrategies(b *testing.B) {
+	c := mustCurve(b, "BN254")
+	k := c.SampleScalars(1, 9)[0]
+	g := &c.Gen
+	b.Run("double-and-add", func(b *testing.B) {
+		a := c.NewAdder()
+		for i := 0; i < b.N; i++ {
+			a.ScalarMul(g, k)
+		}
+	})
+	b.Run("wnaf-5", func(b *testing.B) {
+		a := c.NewAdder()
+		for i := 0; i < b.N; i++ {
+			a.ScalarMulWNAF(g, k, 5)
+		}
+	})
+	comb := c.NewComb(g, 8)
+	b.Run("comb-8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			comb.Mul(k)
+		}
+	})
+}

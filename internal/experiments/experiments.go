@@ -1,0 +1,80 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) from this repository's implementations and cost models.
+// Each experiment returns a structured result plus a formatted text table
+// whose rows mirror the paper's; cmd/experiments prints them and the
+// repository benchmarks execute them (see DESIGN.md §3 for the index and
+// EXPERIMENTS.md for paper-vs-model comparisons).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"distmsm/internal/curve"
+	"distmsm/internal/gpusim"
+)
+
+// Names lists the experiment identifiers in paper order.
+func Names() []string {
+	return []string{"table1", "table2", "table3", "table4",
+		"fig3", "fig8", "fig9", "fig10", "fig11", "fig12"}
+}
+
+// Run executes one experiment by name and returns its report.
+func Run(name string) (string, error) {
+	switch name {
+	case "table1":
+		return Table1()
+	case "table2":
+		return Table2()
+	case "table3":
+		return Table3(DefaultTable3Config())
+	case "table4":
+		return Table4()
+	case "fig3":
+		return Fig3()
+	case "fig8":
+		return Fig8(DefaultFig8Config())
+	case "fig9":
+		return Fig9()
+	case "fig10":
+		return Fig10()
+	case "fig11":
+		return Fig11()
+	case "fig12":
+		return Fig12()
+	default:
+		return "", fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+}
+
+// table is a tiny fixed-width text-table builder.
+type table struct {
+	sb     strings.Builder
+	widths []int
+}
+
+func newTable(title string, widths ...int) *table {
+	t := &table{widths: widths}
+	t.sb.WriteString(title + "\n")
+	return t
+}
+
+func (t *table) row(cells ...string) {
+	for i, c := range cells {
+		w := 12
+		if i < len(t.widths) {
+			w = t.widths[i]
+		}
+		fmt.Fprintf(&t.sb, "%-*s", w, c)
+	}
+	t.sb.WriteString("\n")
+}
+
+func (t *table) line(s string) { t.sb.WriteString(s + "\n") }
+
+func (t *table) String() string { return t.sb.String() }
+
+func ms(sec float64) string { return fmt.Sprintf("%.2f", gpusim.Milliseconds(sec)) }
+
+func mustCurves() ([]*curve.Curve, error) { return curve.All() }

@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAllByName(t *testing.T) {
+	for _, n := range Names() {
+		out, err := Run(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if len(out) < 50 {
+			t.Errorf("%s: suspiciously short report", n)
+		}
+	}
+	if _, err := Run("table99"); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	out, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"BN254", "254", "MNT4753", "753", "BLS12-381", "381"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+// Table 3's headline claims: DistMSM wins every multi-GPU cell except the
+// BLS12-377 rows where Yrrid leads at low GPU counts; the average
+// multi-GPU speedup is in the paper's single-digit band; speedups on
+// MNT4753 are the largest.
+func TestTable3Shape(t *testing.T) {
+	cells, err := Table3Cells(Table3Config{Sizes: []int{22, 26}, GPUs: []int{1, 8, 16, 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, cnt float64
+	var mntMin = 1e9
+	for _, c := range cells {
+		if c.GPUs == 1 {
+			continue
+		}
+		sp := c.Speedup()
+		sum += sp
+		cnt++
+		if c.Curve == "MNT4753" && sp < mntMin {
+			mntMin = sp
+		}
+		if c.Curve != "BLS12-377" && sp <= 1 {
+			t.Errorf("%s logN=%d g=%d: DistMSM lost (%.2fx)", c.Curve, c.LogN, c.GPUs, sp)
+		}
+	}
+	avg := sum / cnt
+	if avg < 3 || avg > 15 {
+		t.Errorf("average multi-GPU speedup %.2fx outside the plausible band around the paper's 6.39x", avg)
+	}
+	if mntMin < 8 {
+		t.Errorf("minimum MNT4753 multi-GPU speedup %.1fx below the paper's 10-20x regime", mntMin)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	rows, err := Table4Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 workloads, got %d", len(rows))
+	}
+	for _, r := range rows {
+		sp := r.LibsnarkSec / r.DistMSMSec
+		if sp < 18 || sp > 35 {
+			t.Errorf("%s: end-to-end speedup %.1fx outside the paper's ~25x band", r.Workload.Name, sp)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	series, err := Fig8Data(DefaultFig8Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string][]float64{}
+	for _, s := range series {
+		byName[s.Name] = s.Speedups
+	}
+	dist := byName["DistMSM"]
+	if dist == nil {
+		t.Fatal("missing DistMSM series")
+	}
+	last := len(dist) - 1
+	// Near-linear DistMSM scaling at 32 GPUs; every baseline scales worse.
+	if dist[last] < 16 {
+		t.Errorf("DistMSM 32-GPU scaling %.1fx not near-linear", dist[last])
+	}
+	for name, sp := range byName {
+		if name == "DistMSM" {
+			continue
+		}
+		if sp[last] >= dist[last] {
+			t.Errorf("%s out-scales DistMSM (%.1fx >= %.1fx)", name, sp[last], dist[last])
+		}
+	}
+	// Yrrid and Sppark (single-GPU champions) scale worst (§5.1).
+	if byName["Yrrid"][last] > byName["cuZK"][last] {
+		t.Error("Yrrid should scale worse than cuZK")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	rows, err := Fig9Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDev := map[string]Fig9Row{}
+	for _, r := range rows {
+		byDev[r.Device] = r
+	}
+	a100, rtx, amd := byDev["NVIDIA A100"], byDev["NVIDIA RTX4090"], byDev["AMD 6900XT"]
+	// DistMSM beats Bellperson everywhere; the gap is smaller on AMD.
+	for _, r := range rows {
+		if r.DistMSM >= r.Bellperson {
+			t.Errorf("%s: DistMSM (%.3g) not faster than Bellperson (%.3g)", r.Device, r.DistMSM, r.Bellperson)
+		}
+	}
+	nvRatio := a100.Bellperson / a100.DistMSM
+	amdRatio := amd.Bellperson / amd.DistMSM
+	if amdRatio >= nvRatio {
+		t.Errorf("AMD speedup %.1fx should be below the NVIDIA %.1fx (paper: 9.4 vs 16.5)", amdRatio, nvRatio)
+	}
+	// Both run faster on the RTX4090 than the A100, and DistMSM gains more
+	// (its compute-bound kernels track the 2.12x int throughput).
+	if rtx.DistMSM >= a100.DistMSM || rtx.Bellperson >= a100.Bellperson {
+		t.Error("RTX4090 should beat A100 for both implementations")
+	}
+	distGain := a100.DistMSM / rtx.DistMSM
+	bellGain := a100.Bellperson / rtx.Bellperson
+	if distGain <= bellGain {
+		t.Errorf("DistMSM's RTX4090 gain %.2fx should exceed Bellperson's %.2fx", distGain, bellGain)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	rows, err := Fig10Data(26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevAlg float64
+	for i, r := range rows {
+		alg := r.NoOpt / r.AlgOnly
+		kern := r.NoOpt / r.KernelOnly
+		obs := r.NoOpt / r.Full
+		// Multi-GPU algorithm gains grow with GPU count.
+		if i > 0 && alg < prevAlg*0.95 {
+			t.Errorf("g=%d: algorithm speedup fell (%.2f -> %.2f)", r.GPUs, prevAlg, alg)
+		}
+		prevAlg = alg
+		if r.GPUs >= 8 {
+			// Synergy (§5.3.1): observed exceeds the product of parts.
+			if obs <= alg*kern*0.95 {
+				t.Errorf("g=%d: no synergy (observed %.2f vs product %.2f)", r.GPUs, obs, alg*kern)
+			}
+		}
+	}
+	// PADD-kernel benefit shrinks as GPUs are added under NO-OPT.
+	first := rows[0].NoOpt / rows[0].KernelOnly
+	lastRow := rows[len(rows)-1]
+	lastKern := lastRow.NoOpt / lastRow.KernelOnly
+	if lastKern >= first {
+		t.Errorf("kernel-only speedup should shrink with GPUs (%.2f -> %.2f)", first, lastKern)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	rows, err := Fig11Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevRatio float64 = 1e9
+	for _, r := range rows {
+		if r.S > 14 {
+			if r.Hierarchical >= 0 {
+				t.Errorf("s=%d: hierarchical should fail (shared memory)", r.S)
+			}
+			continue
+		}
+		if r.Hierarchical < 0 {
+			t.Errorf("s=%d: hierarchical unexpectedly failed", r.S)
+			continue
+		}
+		ratio := r.Naive / r.Hierarchical
+		if ratio <= 1 {
+			t.Errorf("s=%d: hierarchical not faster (%.2fx)", r.S, ratio)
+		}
+		// The advantage grows as s shrinks (paper: 6.7x at s=11, 18.3x at s=9).
+		if ratio > prevRatio*1.05 {
+			t.Errorf("s=%d: advantage should shrink with larger s", r.S)
+		}
+		if r.S == 11 && (ratio < 3 || ratio > 14) {
+			t.Errorf("s=11 advantage %.1fx far from the paper's 6.7x", ratio)
+		}
+		prevRatio = ratio
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	rows, err := Fig12Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCurve := map[string][]float64{}
+	for _, r := range rows {
+		byCurve[r.Curve] = r.Speedups
+	}
+	for name, sp := range byCurve {
+		if len(sp) != 6 {
+			t.Fatalf("%s: %d variants", name, len(sp))
+		}
+		// PACC is the largest single step (§5.3.3).
+		if sp[1] < 1.3 {
+			t.Errorf("%s: PADD→PACC speedup %.2fx too small", name, sp[1])
+		}
+		// Naive tensor-core use regresses from the spill level; compaction
+		// recovers it (except on MNT4753, where fragments worsen pressure).
+		if sp[4] >= sp[3] {
+			t.Errorf("%s: naive TC should regress from spill (%.2f vs %.2f)", name, sp[4], sp[3])
+		}
+		if name != "MNT4753" && sp[5] <= sp[3] {
+			t.Errorf("%s: compacted TC should beat spill (%.2f vs %.2f)", name, sp[5], sp[3])
+		}
+		if name == "MNT4753" && sp[5] >= sp[3] {
+			t.Errorf("MNT4753: compacted TC should stay below spill (register pressure)")
+		}
+	}
+	// The register-pressure work pays off most on MNT4753 (§5.3.3:
+	// 1.94x overall vs 1.61x for the narrow curves).
+	if byCurve["MNT4753"][3] <= byCurve["BN254"][3] {
+		t.Error("MNT4753 should gain more from pressure optimisations than BN254")
+	}
+}
+
+func TestFig3Report(t *testing.T) {
+	out, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "optimal s for  1 GPU(s): 20") {
+		t.Errorf("Figure 3 should report the paper's single-GPU optimum of 20:\n%s", out)
+	}
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+
+	"distmsm/internal/baselines"
+	"distmsm/internal/core"
+	"distmsm/internal/gpusim"
+	"distmsm/internal/workloads"
+)
+
+// Table1 reports the scalar and point bit widths of the supported curves.
+func Table1() (string, error) {
+	cs, err := mustCurves()
+	if err != nil {
+		return "", err
+	}
+	t := newTable("Table 1: number of bits for the supported elliptic curves", 12, 12, 12)
+	t.row("EC", "k_i (bits)", "P_i (bits)")
+	for _, c := range cs {
+		t.row(c.Name, fmt.Sprint(c.ScalarBits), fmt.Sprint(c.Fp.Bits()))
+	}
+	return t.String(), nil
+}
+
+// Table2 reports the baseline inventory.
+func Table2() (string, error) {
+	t := newTable("Table 2: baseline GPU implementations used for evaluation", 4, 14, 40)
+	t.row("#", "Baseline", "Supported Elliptic Curves")
+	for _, b := range baselines.All() {
+		t.row(fmt.Sprint(b.ID), b.Name, fmt.Sprint(b.Curves))
+	}
+	return t.String(), nil
+}
+
+// Table3Config selects the Table 3 grid.
+type Table3Config struct {
+	Sizes []int // log2 of N
+	GPUs  []int
+}
+
+// DefaultTable3Config is the paper's full grid.
+func DefaultTable3Config() Table3Config {
+	return Table3Config{Sizes: []int{22, 24, 26, 28}, GPUs: []int{1, 8, 16, 32}}
+}
+
+// Table3Cell is one (curve, size, gpus) measurement.
+type Table3Cell struct {
+	Curve      string
+	LogN, GPUs int
+	BGSeconds  float64
+	BGID       int
+	DistMSM    float64
+}
+
+// Speedup returns BG / DistMSM.
+func (c Table3Cell) Speedup() float64 { return c.BGSeconds / c.DistMSM }
+
+// Table3Cells computes the full grid of modeled times.
+func Table3Cells(cfg Table3Config) ([]Table3Cell, error) {
+	cs, err := mustCurves()
+	if err != nil {
+		return nil, err
+	}
+	dev := gpusim.A100()
+	var out []Table3Cell
+	for _, c := range cs {
+		for _, logN := range cfg.Sizes {
+			n := 1 << uint(logN)
+			for _, g := range cfg.GPUs {
+				bg, bb, err := baselines.BestGPU(c, dev, g, n)
+				if err != nil {
+					return nil, err
+				}
+				cl, err := gpusim.NewCluster(dev, g)
+				if err != nil {
+					return nil, err
+				}
+				res, err := core.Analytic(c, cl, n, core.Options{})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, Table3Cell{
+					Curve: c.Name, LogN: logN, GPUs: g,
+					BGSeconds: bg, BGID: bb.ID, DistMSM: res.Cost.Total(),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Table3 renders the execution-time grid (milliseconds, modeled).
+func Table3(cfg Table3Config) (string, error) {
+	cells, err := Table3Cells(cfg)
+	if err != nil {
+		return "", err
+	}
+	t := newTable("Table 3: modeled execution time (ms) of DistMSM vs the best baseline (BG, superscript = Table 2 id)",
+		11, 6, 6, 14, 14, 9)
+	t.row("Curve", "logN", "GPUs", "BG", "DistMSM", "Speedup")
+	var sum, cnt float64
+	for _, c := range cells {
+		t.row(c.Curve, fmt.Sprint(c.LogN), fmt.Sprint(c.GPUs),
+			fmt.Sprintf("%s^%d", ms(c.BGSeconds), c.BGID),
+			ms(c.DistMSM), fmt.Sprintf("%.1fx", c.Speedup()))
+		if c.GPUs > 1 {
+			sum += c.Speedup()
+			cnt++
+		}
+	}
+	t.line(fmt.Sprintf("average multi-GPU speedup: %.2fx (paper: 6.39x)", sum/cnt))
+	return t.String(), nil
+}
+
+// Table4Row is one end-to-end workload measurement.
+type Table4Row struct {
+	Workload                    workloads.Workload
+	LibsnarkSec, DistMSMSec     float64
+	LibsnarkStage, DistMSMStage workloads.Breakdown
+}
+
+// Table4Rows computes the end-to-end grid.
+func Table4Rows() ([]Table4Row, error) {
+	var out []Table4Row
+	for _, w := range workloads.All() {
+		cpu := workloads.LibsnarkProver(w.Constraints)
+		gpu, err := workloads.DistMSMProver(w.Constraints, 8)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Table4Row{
+			Workload: w, LibsnarkSec: cpu.Total(), DistMSMSec: gpu.Total(),
+			LibsnarkStage: cpu, DistMSMStage: gpu,
+		})
+	}
+	return out, nil
+}
+
+// Table4 renders the end-to-end proof-generation comparison (seconds).
+func Table4() (string, error) {
+	rows, err := Table4Rows()
+	if err != nil {
+		return "", err
+	}
+	t := newTable("Table 4: modeled end-to-end proof generation (s), BN254, MSM on 8 GPUs",
+		14, 12, 12, 12, 10, 22)
+	t.row("Application", "Size", "libsnark", "DistMSM", "Speedup", "(paper: libsnark/dist)")
+	for _, r := range rows {
+		t.row(r.Workload.Name, fmt.Sprint(r.Workload.Constraints),
+			fmt.Sprintf("%.1f", r.LibsnarkSec), fmt.Sprintf("%.1f", r.DistMSMSec),
+			fmt.Sprintf("%.1fx", r.LibsnarkSec/r.DistMSMSec),
+			fmt.Sprintf("(%.1f / %.1f)", r.Workload.PaperLibsnarkSec, r.Workload.PaperDistMSMSec))
+	}
+	t.line("CPU stage split (modeled): MSM 78.2% / NTT 17.9% / others 3.9%")
+	return t.String(), nil
+}

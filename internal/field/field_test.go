@@ -1,0 +1,269 @@
+package field
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+var testPrimes = map[string]string{
+	// p ≡ 3 mod 4
+	"bn254-fp": "21888242871839275222246405745257275088696311157297823662689037894645226208583",
+	// high 2-adicity (28): exercises Tonelli–Shanks
+	"bn254-fr": "21888242871839275222246405745257275088548364400416034343698204186575808495617",
+	"bls381-fp": "4002409555221667393417789825735904156556882819939007885332058136124031650490" +
+		"837864442687629129015664037894272559787",
+	"small": "65537",
+}
+
+func mustField(t testing.TB, name string) *Field {
+	t.Helper()
+	p, ok := new(big.Int).SetString(testPrimes[name], 10)
+	if !ok {
+		t.Fatalf("bad prime %s", name)
+	}
+	f, err := New(name, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFieldAxioms(t *testing.T) {
+	for name := range testPrimes {
+		f := mustField(t, name)
+		rnd := rand.New(rand.NewSource(1))
+		for iter := 0; iter < 50; iter++ {
+			a, b, c := f.Rand(rnd), f.Rand(rnd), f.Rand(rnd)
+			t1, t2, t3 := f.NewElement(), f.NewElement(), f.NewElement()
+
+			// commutativity
+			f.Add(t1, a, b)
+			f.Add(t2, b, a)
+			if !t1.Equal(t2) {
+				t.Fatalf("%s: a+b != b+a", name)
+			}
+			f.Mul(t1, a, b)
+			f.Mul(t2, b, a)
+			if !t1.Equal(t2) {
+				t.Fatalf("%s: ab != ba", name)
+			}
+			// associativity of mul
+			f.Mul(t1, a, b)
+			f.Mul(t1, t1, c)
+			f.Mul(t2, b, c)
+			f.Mul(t2, a, t2)
+			if !t1.Equal(t2) {
+				t.Fatalf("%s: (ab)c != a(bc)", name)
+			}
+			// distributivity
+			f.Add(t1, b, c)
+			f.Mul(t1, a, t1)
+			f.Mul(t2, a, b)
+			f.Mul(t3, a, c)
+			f.Add(t2, t2, t3)
+			if !t1.Equal(t2) {
+				t.Fatalf("%s: a(b+c) != ab+ac", name)
+			}
+			// identities
+			f.Mul(t1, a, f.One())
+			if !t1.Equal(a) {
+				t.Fatalf("%s: a*1 != a", name)
+			}
+			f.Add(t1, a, f.Zero())
+			if !t1.Equal(a) {
+				t.Fatalf("%s: a+0 != a", name)
+			}
+			// inverse
+			if !a.IsZero() {
+				f.Inv(t1, a)
+				f.Mul(t1, t1, a)
+				if !t1.Equal(f.One()) {
+					t.Fatalf("%s: a * a^-1 != 1", name)
+				}
+			}
+			// negation
+			f.Neg(t1, a)
+			f.Add(t1, t1, a)
+			if !t1.IsZero() {
+				t.Fatalf("%s: a + (-a) != 0", name)
+			}
+		}
+	}
+}
+
+func TestFieldMatchesBig(t *testing.T) {
+	f := mustField(t, "bn254-fp")
+	rnd := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 100; iter++ {
+		av := new(big.Int).Rand(rnd, f.Modulus)
+		bv := new(big.Int).Rand(rnd, f.Modulus)
+		a, b := f.FromBig(av), f.FromBig(bv)
+		z := f.NewElement()
+
+		f.Mul(z, a, b)
+		want := new(big.Int).Mul(av, bv)
+		want.Mod(want, f.Modulus)
+		if f.ToBig(z).Cmp(want) != 0 {
+			t.Fatal("Mul mismatch vs math/big")
+		}
+		f.Add(z, a, b)
+		want.Add(av, bv).Mod(want, f.Modulus)
+		if f.ToBig(z).Cmp(want) != 0 {
+			t.Fatal("Add mismatch vs math/big")
+		}
+	}
+}
+
+func TestExpMatchesBig(t *testing.T) {
+	f := mustField(t, "bn254-fr")
+	rnd := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 20; iter++ {
+		av := new(big.Int).Rand(rnd, f.Modulus)
+		e := new(big.Int).Rand(rnd, f.Modulus)
+		a := f.FromBig(av)
+		z := f.NewElement()
+		f.Exp(z, a, e)
+		want := new(big.Int).Exp(av, e, f.Modulus)
+		if f.ToBig(z).Cmp(want) != 0 {
+			t.Fatal("Exp mismatch vs math/big")
+		}
+	}
+	// edge: x^0 == 1, 0^e == 0 (e>0)
+	z := f.NewElement()
+	f.Exp(z, f.FromUint64(12345), big.NewInt(0))
+	if !z.Equal(f.One()) {
+		t.Fatal("x^0 != 1")
+	}
+	f.Exp(z, f.Zero(), big.NewInt(5))
+	if !z.IsZero() {
+		t.Fatal("0^5 != 0")
+	}
+}
+
+func TestSqrtBothBranches(t *testing.T) {
+	for _, name := range []string{"bn254-fp", "bn254-fr", "small"} {
+		f := mustField(t, name)
+		rnd := rand.New(rand.NewSource(4))
+		found := 0
+		for iter := 0; iter < 60; iter++ {
+			a := f.Rand(rnd)
+			sq := f.NewElement()
+			f.Square(sq, a)
+			root := f.NewElement()
+			if !f.Sqrt(root, sq) {
+				t.Fatalf("%s: square reported as non-residue", name)
+			}
+			check := f.NewElement()
+			f.Square(check, root)
+			if !check.Equal(sq) {
+				t.Fatalf("%s: sqrt(a^2)^2 != a^2", name)
+			}
+			// Non-residues must be rejected.
+			if f.Legendre(a) == -1 {
+				found++
+				if f.Sqrt(root, a) {
+					t.Fatalf("%s: accepted sqrt of non-residue", name)
+				}
+			}
+		}
+		if found == 0 {
+			t.Fatalf("%s: no non-residues sampled", name)
+		}
+	}
+}
+
+func TestBatchInvert(t *testing.T) {
+	f := mustField(t, "bn254-fp")
+	rnd := rand.New(rand.NewSource(5))
+	xs := make([]Element, 30)
+	want := make([]Element, len(xs))
+	for i := range xs {
+		if i%7 == 3 {
+			xs[i] = f.Zero() // zeros must survive untouched
+		} else {
+			xs[i] = f.Rand(rnd)
+		}
+		want[i] = f.NewElement()
+		f.Inv(want[i], xs[i])
+	}
+	f.BatchInvert(xs)
+	for i := range xs {
+		if !xs[i].Equal(want[i]) {
+			t.Fatalf("BatchInvert[%d] mismatch", i)
+		}
+	}
+	// empty batch is a no-op
+	f.BatchInvert(nil)
+}
+
+func TestRootOfUnity(t *testing.T) {
+	f := mustField(t, "bn254-fr") // 2-adicity 28
+	if f.TwoAdicity() != 28 {
+		t.Fatalf("bn254-fr 2-adicity = %d, want 28", f.TwoAdicity())
+	}
+	for _, k := range []int{0, 1, 5, 16, 28} {
+		w, err := f.RootOfUnity(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// w^(2^k) == 1 and w^(2^(k-1)) != 1
+		acc := w.Clone()
+		tmp := f.NewElement()
+		for i := 0; i < k-1; i++ {
+			f.Square(tmp, acc)
+			acc.Set(tmp)
+		}
+		if k >= 1 {
+			if acc.Equal(f.One()) {
+				t.Fatalf("order of root < 2^%d", k)
+			}
+			f.Square(tmp, acc)
+			acc.Set(tmp)
+		}
+		if !acc.Equal(f.One()) {
+			t.Fatalf("root^2^%d != 1", k)
+		}
+	}
+	if _, err := f.RootOfUnity(29); err == nil {
+		t.Fatal("expected error beyond 2-adicity")
+	}
+}
+
+func TestLegendreMultiplicative(t *testing.T) {
+	f := mustField(t, "bn254-fp")
+	rnd := rand.New(rand.NewSource(6))
+	for iter := 0; iter < 50; iter++ {
+		a, b := f.Rand(rnd), f.Rand(rnd)
+		if a.IsZero() || b.IsZero() {
+			continue
+		}
+		ab := f.NewElement()
+		f.Mul(ab, a, b)
+		if f.Legendre(ab) != f.Legendre(a)*f.Legendre(b) {
+			t.Fatal("Legendre symbol not multiplicative")
+		}
+	}
+}
+
+func BenchmarkFieldMul(b *testing.B) {
+	f := mustField(b, "bn254-fp")
+	rnd := rand.New(rand.NewSource(7))
+	x, y := f.Rand(rnd), f.Rand(rnd)
+	z := f.NewElement()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Mul(z, x, y)
+	}
+}
+
+func BenchmarkFieldInv(b *testing.B) {
+	f := mustField(b, "bn254-fp")
+	rnd := rand.New(rand.NewSource(8))
+	x := f.Rand(rnd)
+	z := f.NewElement()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Inv(z, x)
+	}
+}

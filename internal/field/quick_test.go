@@ -1,0 +1,102 @@
+package field
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests (testing/quick): field invariants over elements
+// derived from arbitrary uint64 quadruples.
+
+func quickField(t *testing.T) *Field {
+	t.Helper()
+	return mustField(t, "bn254-fr")
+}
+
+func elemFrom(f *Field, a, b, c, d uint64) Element {
+	v := new(big.Int).SetUint64(a)
+	for _, x := range []uint64{b, c, d} {
+		v.Lsh(v, 64)
+		v.Add(v, new(big.Int).SetUint64(x))
+	}
+	return f.FromBig(v)
+}
+
+func TestQuickMulCommutesAndDistributes(t *testing.T) {
+	f := quickField(t)
+	prop := func(a1, a2, a3, a4, b1, b2, b3, b4, c1, c2, c3, c4 uint64) bool {
+		a := elemFrom(f, a1, a2, a3, a4)
+		b := elemFrom(f, b1, b2, b3, b4)
+		c := elemFrom(f, c1, c2, c3, c4)
+		ab, ba := f.NewElement(), f.NewElement()
+		f.Mul(ab, a, b)
+		f.Mul(ba, b, a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		// a(b+c) == ab + ac
+		s, l, ac, r := f.NewElement(), f.NewElement(), f.NewElement(), f.NewElement()
+		f.Add(s, b, c)
+		f.Mul(l, a, s)
+		f.Mul(ac, a, c)
+		f.Add(r, ab, ac)
+		return l.Equal(r)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInverseAndNegation(t *testing.T) {
+	f := quickField(t)
+	prop := func(a1, a2, a3, a4 uint64) bool {
+		a := elemFrom(f, a1, a2, a3, a4)
+		// a + (-a) == 0
+		n, s := f.NewElement(), f.NewElement()
+		f.Neg(n, a)
+		f.Add(s, a, n)
+		if !s.IsZero() {
+			return false
+		}
+		if a.IsZero() {
+			return true
+		}
+		// a * a^-1 == 1
+		inv := f.NewElement()
+		f.Inv(inv, a)
+		f.Mul(inv, inv, a)
+		return inv.Equal(f.One())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSqrtOfSquare(t *testing.T) {
+	f := quickField(t)
+	prop := func(a1, a2, a3, a4 uint64) bool {
+		a := elemFrom(f, a1, a2, a3, a4)
+		sq, root, check := f.NewElement(), f.NewElement(), f.NewElement()
+		f.Square(sq, a)
+		if !f.Sqrt(root, sq) {
+			return false
+		}
+		f.Square(check, root)
+		return check.Equal(sq)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickToBigRoundTrip(t *testing.T) {
+	f := quickField(t)
+	prop := func(a1, a2, a3, a4 uint64) bool {
+		a := elemFrom(f, a1, a2, a3, a4)
+		return f.FromBig(f.ToBig(a)).Equal(a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package gpusim
+
+import "fmt"
+
+// Cluster is a homogeneous multi-GPU system with a host CPU, the
+// execution substrate DistMSM schedules onto.
+type Cluster struct {
+	Dev  Device
+	N    int
+	IC   Interconnect
+	Host CPU
+}
+
+// NewCluster returns an n-GPU cluster of the given device with the DGX
+// interconnect and host CPU profile.
+func NewCluster(dev Device, n int) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gpusim: cluster needs at least one GPU, got %d", n)
+	}
+	return &Cluster{Dev: dev, N: n, IC: NVLinkDGX(), Host: Rome7742()}, nil
+}
+
+// Model returns the per-device cost model.
+func (c *Cluster) Model() Model { return Model{Dev: c.Dev} }
+
+// Cost is a wall-time breakdown of one MSM execution, in seconds, by the
+// phases of Figure 1. Phases within one entry are already serialised;
+// Total assumes the phases themselves run back to back except for the
+// CPU bucket-reduce, which §3.2.3 overlaps with GPU work.
+type Cost struct {
+	Scatter      float64 // bucket-scatter kernels
+	BucketSum    float64 // bucket accumulation kernels
+	BucketReduce float64 // Σ 2^i·B_i (GPU or CPU depending on algorithm)
+	WindowReduce float64 // final window combination
+	Transfer     float64 // host<->device traffic
+	// ReduceOnCPU marks BucketReduce as host work that overlaps GPU
+	// execution; it then contributes only the excess beyond GPU time.
+	ReduceOnCPU bool
+}
+
+// Total returns the end-to-end seconds.
+func (c Cost) Total() float64 {
+	gpu := c.Scatter + c.BucketSum + c.Transfer
+	if c.ReduceOnCPU {
+		// CPU reduce is pipelined behind GPU phases; only the tail that
+		// outlasts the GPU shows up.
+		if c.BucketReduce > gpu {
+			return c.BucketReduce + c.WindowReduce
+		}
+		return gpu + c.WindowReduce
+	}
+	return gpu + c.BucketReduce + c.WindowReduce
+}
+
+// AddInPlace accumulates o into c field by field.
+func (c *Cost) AddInPlace(o Cost) {
+	c.Scatter += o.Scatter
+	c.BucketSum += o.BucketSum
+	c.BucketReduce += o.BucketReduce
+	c.WindowReduce += o.WindowReduce
+	c.Transfer += o.Transfer
+	c.ReduceOnCPU = c.ReduceOnCPU || o.ReduceOnCPU
+}
+
+// Milliseconds formats seconds as milliseconds for reporting.
+func Milliseconds(sec float64) float64 { return sec * 1e3 }
+
+// NodeSize is the GPUs per DGX node in the paper's testbed; beyond it a
+// cluster spans multiple nodes. The paper's methodology runs the
+// per-node shares sequentially on one DGX and reports the longest
+// runtime — equivalent to parallel nodes with no inter-node traffic —
+// which is exactly how the cost model composes per-GPU loads (phase
+// times are the max over GPUs). DistMSM needs no inter-node exchanges
+// until the final window results reach the host.
+const NodeSize = 8
+
+// Nodes returns the DGX node count the cluster spans.
+func (c *Cluster) Nodes() int { return (c.N + NodeSize - 1) / NodeSize }

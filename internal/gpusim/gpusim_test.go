@@ -1,0 +1,203 @@
+package gpusim
+
+import (
+	"testing"
+
+	"distmsm/internal/kernel"
+)
+
+func spec(t testing.TB, v kernel.Variant) kernel.Spec {
+	t.Helper()
+	s, err := kernel.BuildSpec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDeviceProfiles(t *testing.T) {
+	a, r, amd := A100(), RTX4090(), AMD6900XT()
+	// Paper Figure 9: RTX4090 has 2.12× the A100's CUDA int throughput.
+	ratio := r.Int32TOPS / a.Int32TOPS
+	if ratio < 2.0 || ratio > 2.3 {
+		t.Errorf("RTX4090/A100 int ratio = %.2f, want ~2.12", ratio)
+	}
+	if amd.Int32TOPS >= a.Int32TOPS {
+		t.Error("AMD 6900XT should have lower integer throughput than A100")
+	}
+	if amd.TensorInt8TOPS != 0 {
+		t.Error("AMD 6900XT has no int8 matrix unit in this model")
+	}
+	// The paper's N_T = 2^16 concurrent threads is the A100 class.
+	if nt := a.MaxThreads(); nt < 1<<16 {
+		t.Errorf("A100 thread capacity %d < 2^16", nt)
+	}
+}
+
+func TestOccupancyOrderingAcrossCurves(t *testing.T) {
+	m := Model{Dev: A100()}
+	base := spec(t, kernel.VariantBaseline)
+	occ254 := m.Occupancy(base, 254)
+	occ377 := m.Occupancy(base, 377)
+	occ753 := m.Occupancy(base, 753)
+	if !(occ254 >= occ377 && occ377 >= occ753) {
+		t.Errorf("occupancy should fall with field width: %v %v %v", occ254, occ377, occ753)
+	}
+	if occ753 >= 0.2 {
+		t.Errorf("753-bit baseline occupancy %v suspiciously high (needs 264+ regs)", occ753)
+	}
+}
+
+func TestPressureReliefHelpsWideCurvesMore(t *testing.T) {
+	// §5.3.3: register-pressure optimisations matter most for MNT4753.
+	m := Model{Dev: A100()}
+	base, opt := spec(t, kernel.VariantPACC), spec(t, kernel.VariantSpill)
+	gain254 := m.ECOpSeconds(base, 254, 1e6) / m.ECOpSeconds(opt, 254, 1e6)
+	gain753 := m.ECOpSeconds(base, 753, 1e6) / m.ECOpSeconds(opt, 753, 1e6)
+	if gain753 <= gain254 {
+		t.Errorf("spill gain: 254-bit %.3f >= 753-bit %.3f; want MNT to gain more", gain254, gain753)
+	}
+}
+
+func TestPACCBeatsPADD(t *testing.T) {
+	m := Model{Dev: A100()}
+	padd, pacc := spec(t, kernel.VariantBaseline), spec(t, kernel.VariantPACC)
+	for _, bits := range []int{254, 377, 753} {
+		if m.ECOpSeconds(pacc, bits, 1e6) >= m.ECOpSeconds(padd, bits, 1e6) {
+			t.Errorf("PACC not faster than PADD at %d bits", bits)
+		}
+	}
+}
+
+func TestTensorCoreWaterfall(t *testing.T) {
+	// Figure 12 shape: naive TC is *slower* than the spill level (the
+	// fragment round trip), compacted TC is faster — on narrow curves.
+	m := Model{Dev: A100()}
+	spill, tc, tcc := spec(t, kernel.VariantSpill), spec(t, kernel.VariantTensorCore), spec(t, kernel.VariantTCCompact)
+	tSpill := m.ECOpSeconds(spill, 254, 1e6)
+	tTC := m.ECOpSeconds(tc, 254, 1e6)
+	tTCC := m.ECOpSeconds(tcc, 254, 1e6)
+	if tTC <= tSpill {
+		t.Errorf("naive TC (%.3g) should be slower than spill (%.3g)", tTC, tSpill)
+	}
+	if tTCC >= tSpill {
+		t.Errorf("compacted TC (%.3g) should beat spill (%.3g)", tTCC, tSpill)
+	}
+	// On a device without tensor cores the TC variants degrade gracefully
+	// to the CUDA path.
+	amd := Model{Dev: AMD6900XT()}
+	if amd.ECOpSeconds(tcc, 254, 1e6) != amd.ECOpSeconds(spill, 254, 1e6) {
+		t.Error("TC variant on AMD should equal the CUDA path")
+	}
+}
+
+func TestECOpSecondsScaling(t *testing.T) {
+	m := Model{Dev: A100()}
+	s := spec(t, kernel.VariantPACC)
+	t1 := m.ECOpSeconds(s, 254, 1e6)
+	t2 := m.ECOpSeconds(s, 254, 2e6)
+	if t2 <= t1 || t2 > 2.05*t1 {
+		t.Errorf("time should scale linearly with ops: %v vs %v", t1, t2)
+	}
+	if m.ECOpSeconds(s, 254, 0) != 0 {
+		t.Error("zero ops should cost zero")
+	}
+	// Wider fields cost more.
+	if m.ECOpSeconds(s, 753, 1e6) <= m.ECOpSeconds(s, 254, 1e6) {
+		t.Error("753-bit ops should cost more than 254-bit")
+	}
+}
+
+func TestAtomicContention(t *testing.T) {
+	m := Model{Dev: A100()}
+	free := m.GlobalAtomicSeconds(1e6, 1)
+	hot := m.GlobalAtomicSeconds(1e6, 128)
+	if hot <= free {
+		t.Error("contention must increase atomic cost")
+	}
+	if hot/free < 2 || hot/free > 16 {
+		t.Errorf("128-way contention %.1fx; want the saturating regime (~2-3x)", hot/free)
+	}
+	if m.SharedAtomicSeconds(1e6, 1) >= free {
+		t.Error("shared atomics should be cheaper than global")
+	}
+	// contention < 1 clamps to uncontended.
+	if m.GlobalAtomicSeconds(1e6, 0.01) != free {
+		t.Error("sub-1 contention should clamp")
+	}
+}
+
+func TestCPUFarSlowerThanGPU(t *testing.T) {
+	s := spec(t, kernel.VariantPACC)
+	gpu := Model{Dev: A100()}.ECOpSeconds(s, 254, 1e6)
+	cpu := CPUECOpSeconds(Rome7742(), s, 254, 1e6)
+	ratio := cpu / gpu
+	if ratio < 32 || ratio > 512 {
+		t.Errorf("CPU/GPU ratio %.0f out of the paper's ~128x regime", ratio)
+	}
+}
+
+func TestHostTransfer(t *testing.T) {
+	ic := NVLinkDGX()
+	small := HostTransferSeconds(1, ic)
+	if small < ic.HostLatency {
+		t.Error("latency floor missing")
+	}
+	if HostTransferSeconds(0, ic) != 0 {
+		t.Error("zero bytes should cost zero")
+	}
+	big := HostTransferSeconds(1e9, ic)
+	if big < 1e9/(ic.HostLinkGBs*1e9) {
+		t.Error("bandwidth term missing")
+	}
+}
+
+func TestClusterAndCost(t *testing.T) {
+	if _, err := NewCluster(A100(), 0); err == nil {
+		t.Fatal("expected error for empty cluster")
+	}
+	cl, err := NewCluster(A100(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Model().Dev.Name != "NVIDIA A100" {
+		t.Fatal("model device mismatch")
+	}
+
+	c := Cost{Scatter: 1, BucketSum: 4, BucketReduce: 2, WindowReduce: 0.5, Transfer: 0.5}
+	if got := c.Total(); got != 8 {
+		t.Errorf("serial total = %v, want 8", got)
+	}
+	// CPU-overlapped reduce hides behind GPU time...
+	c.ReduceOnCPU = true
+	if got := c.Total(); got != 6 {
+		t.Errorf("overlapped total = %v, want 6 (reduce hidden)", got)
+	}
+	// ...unless it dominates.
+	c.BucketReduce = 100
+	if got := c.Total(); got != 100.5 {
+		t.Errorf("dominated total = %v, want 100.5", got)
+	}
+
+	var acc Cost
+	acc.AddInPlace(Cost{Scatter: 1})
+	acc.AddInPlace(Cost{BucketSum: 2, ReduceOnCPU: true})
+	if acc.Scatter != 1 || acc.BucketSum != 2 || !acc.ReduceOnCPU {
+		t.Error("AddInPlace wrong")
+	}
+	if Milliseconds(0.5) != 500 {
+		t.Error("Milliseconds wrong")
+	}
+}
+
+func TestNodes(t *testing.T) {
+	for _, tc := range []struct{ gpus, nodes int }{{1, 1}, {8, 1}, {9, 2}, {16, 2}, {32, 4}} {
+		cl, err := NewCluster(A100(), tc.gpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := cl.Nodes(); got != tc.nodes {
+			t.Errorf("%d GPUs: %d nodes, want %d", tc.gpus, got, tc.nodes)
+		}
+	}
+}

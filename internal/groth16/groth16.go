@@ -1,0 +1,413 @@
+// Package groth16 implements the Groth16 zkSNARK over BN254 from the
+// substrates in this repository: R1CS → QAP via the NTT, proving-key
+// MSMs over G1 (the workload DistMSM accelerates) and G2, and pairing-
+// based verification. It is the end-to-end pipeline of Table 4; the
+// prover accepts a pluggable G1 MSM so the simulated multi-GPU DistMSM
+// can be swapped in for the CPU Pippenger.
+package groth16
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"distmsm/internal/bigint"
+	"distmsm/internal/curve"
+	"distmsm/internal/field"
+	"distmsm/internal/msm"
+	"distmsm/internal/ntt"
+	"distmsm/internal/pairing"
+	"distmsm/internal/r1cs"
+)
+
+// ProvingKey holds the per-variable evaluated setup elements.
+type ProvingKey struct {
+	// G1 elements.
+	Alpha, Beta, Delta curve.PointAffine
+	A                  []curve.PointAffine // u_i(τ)·G1 per variable
+	B1                 []curve.PointAffine // v_i(τ)·G1 per variable
+	K                  []curve.PointAffine // ((βu_i+αv_i+w_i)/δ)·G1, private vars
+	Z                  []curve.PointAffine // (τ^j·t(τ)/δ)·G1, j = 0..d-2
+	// G2 elements.
+	Beta2, Delta2 pairing.G2Affine
+	B2            []pairing.G2Affine // v_i(τ)·G2 per variable
+
+	Domain int // QAP domain size d
+}
+
+// VerifyingKey is the succinct verification key.
+type VerifyingKey struct {
+	Alpha                 curve.PointAffine
+	Beta2, Gamma2, Delta2 pairing.G2Affine
+	// IC[i] = ((βu_i+αv_i+w_i)/γ)·G1 for the constant one and each
+	// public input.
+	IC []curve.PointAffine
+}
+
+// Proof is the three-element Groth16 proof (~256 bytes over BN254).
+type Proof struct {
+	A curve.PointAffine
+	B pairing.G2Affine
+	C curve.PointAffine
+}
+
+// MSMFunc computes a G1 multi-scalar multiplication; the prover calls it
+// for every G1 MSM so callers can route the work through DistMSM.
+type MSMFunc func(points []curve.PointAffine, scalars []bigint.Nat) (*curve.PointXYZZ, error)
+
+// Engine bundles the pairing context used by setup/prove/verify.
+type Engine struct {
+	P  *pairing.Pairing
+	Fr *field.Field
+}
+
+// NewEngine builds the BN254 Groth16 engine.
+func NewEngine() (*Engine, error) {
+	p, err := pairing.NewBN254()
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{P: p, Fr: p.Fr}, nil
+}
+
+// qapEvalsAtTau evaluates all QAP basis polynomials at τ using the
+// Lagrange basis on the size-d subgroup: L_q(τ) = ω^q·(τ^d−1)/(d·(τ−ω^q)).
+func (e *Engine) qapEvalsAtTau(cs *r1cs.System, d int, tau field.Element) (u, v, w []field.Element, err error) {
+	fr := e.Fr
+	omega, err := fr.RootOfUnity(log2(d))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Compute L_q(τ) for all q with one batch inversion.
+	tauD := fr.NewElement()
+	fr.Exp(tauD, tau, big.NewInt(int64(d)))
+	zH := fr.NewElement()
+	fr.Sub(zH, tauD, fr.One()) // τ^d − 1
+	dEl := fr.FromUint64(uint64(d))
+
+	den := make([]field.Element, d)
+	wq := fr.One()
+	tmp := fr.NewElement()
+	omegaPow := make([]field.Element, d)
+	for q := 0; q < d; q++ {
+		omegaPow[q] = wq.Clone()
+		den[q] = fr.NewElement()
+		fr.Sub(den[q], tau, wq)
+		fr.Mul(tmp, den[q], dEl)
+		den[q].Set(tmp)
+		fr.Mul(tmp, wq, omega)
+		wq.Set(tmp)
+	}
+	fr.BatchInvert(den)
+	lag := make([]field.Element, d)
+	for q := 0; q < d; q++ {
+		lag[q] = fr.NewElement()
+		fr.Mul(lag[q], den[q], zH)
+		fr.Mul(tmp, lag[q], omegaPow[q])
+		lag[q].Set(tmp)
+	}
+
+	u = zeroVec(fr, cs.NVars)
+	v = zeroVec(fr, cs.NVars)
+	w = zeroVec(fr, cs.NVars)
+	for q, con := range cs.Constraints {
+		for _, t := range con.A {
+			fr.Mul(tmp, t.Coeff, lag[q])
+			fr.Add(u[t.Var], u[t.Var], tmp)
+		}
+		for _, t := range con.B {
+			fr.Mul(tmp, t.Coeff, lag[q])
+			fr.Add(v[t.Var], v[t.Var], tmp)
+		}
+		for _, t := range con.C {
+			fr.Mul(tmp, t.Coeff, lag[q])
+			fr.Add(w[t.Var], w[t.Var], tmp)
+		}
+	}
+	return u, v, w, nil
+}
+
+func zeroVec(f *field.Field, n int) []field.Element {
+	out := make([]field.Element, n)
+	for i := range out {
+		out[i] = f.NewElement()
+	}
+	return out
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}
+
+// Setup runs the (simulated) trusted setup for the constraint system,
+// sampling the toxic waste from rnd and discarding it.
+func (e *Engine) Setup(cs *r1cs.System, rnd *rand.Rand) (*ProvingKey, *VerifyingKey, error) {
+	fr := e.Fr
+	d := 1
+	for d < len(cs.Constraints)+1 {
+		d <<= 1
+	}
+	if log2(d) > fr.TwoAdicity() {
+		return nil, nil, fmt.Errorf("groth16: circuit too large for the field's 2-adicity")
+	}
+
+	tau, alpha, beta, gamma, delta := fr.Rand(rnd), fr.Rand(rnd), fr.Rand(rnd), fr.Rand(rnd), fr.Rand(rnd)
+	for _, x := range []field.Element{tau, gamma, delta} {
+		if x.IsZero() {
+			return nil, nil, fmt.Errorf("groth16: degenerate toxic waste")
+		}
+	}
+	u, v, w, err := e.qapEvalsAtTau(cs, d, tau)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	gammaInv, deltaInv := fr.NewElement(), fr.NewElement()
+	fr.Inv(gammaInv, gamma)
+	fr.Inv(deltaInv, delta)
+
+	g1 := &e.P.Curve.Gen
+	g2 := &e.P.G2.Gen
+	// Fixed-base comb on the G1 generator: the setup performs ~4 G1
+	// multiplications per variable, and the comb cuts each from λ
+	// doublings+additions to λ/8 of either.
+	comb := e.P.Curve.NewComb(g1, 8)
+	mulG1 := func(k field.Element) curve.PointAffine {
+		return e.P.Curve.ToAffine(comb.Mul(frNat(fr, k)))
+	}
+	mulG2 := func(k field.Element) pairing.G2Affine {
+		return e.P.G2.ScalarMulFr(g2, fr, k)
+	}
+
+	pk := &ProvingKey{Domain: d}
+	vk := &VerifyingKey{}
+	pk.Alpha = mulG1(alpha)
+	pk.Beta = mulG1(beta)
+	pk.Delta = mulG1(delta)
+	pk.Beta2 = mulG2(beta)
+	pk.Delta2 = mulG2(delta)
+	vk.Alpha = pk.Alpha
+	vk.Beta2 = pk.Beta2
+	vk.Gamma2 = mulG2(gamma)
+	vk.Delta2 = pk.Delta2
+
+	tmp, tmp2 := fr.NewElement(), fr.NewElement()
+	pk.A = make([]curve.PointAffine, cs.NVars)
+	pk.B1 = make([]curve.PointAffine, cs.NVars)
+	pk.B2 = make([]pairing.G2Affine, cs.NVars)
+	pk.K = make([]curve.PointAffine, cs.NVars)
+	vk.IC = make([]curve.PointAffine, cs.NPublic+1)
+	for i := 0; i < cs.NVars; i++ {
+		pk.A[i] = mulG1(u[i])
+		pk.B1[i] = mulG1(v[i])
+		pk.B2[i] = mulG2(v[i])
+		// k_i = β·u_i + α·v_i + w_i
+		fr.Mul(tmp, beta, u[i])
+		fr.Mul(tmp2, alpha, v[i])
+		fr.Add(tmp, tmp, tmp2)
+		fr.Add(tmp, tmp, w[i])
+		if i <= cs.NPublic {
+			fr.Mul(tmp2, tmp, gammaInv)
+			vk.IC[i] = mulG1(tmp2)
+			pk.K[i] = curve.PointAffine{Inf: true}
+		} else {
+			fr.Mul(tmp2, tmp, deltaInv)
+			pk.K[i] = mulG1(tmp2)
+		}
+	}
+
+	// Z_j = τ^j·t(τ)/δ with t(τ) = τ^d − 1.
+	tTau := fr.NewElement()
+	fr.Exp(tTau, tau, big.NewInt(int64(d)))
+	fr.Sub(tTau, tTau, fr.One())
+	fr.Mul(tTau, tTau, deltaInv)
+	pk.Z = make([]curve.PointAffine, d-1)
+	pw := tTau.Clone()
+	for j := 0; j < d-1; j++ {
+		pk.Z[j] = mulG1(pw)
+		fr.Mul(tmp, pw, tau)
+		pw.Set(tmp)
+	}
+	return pk, vk, nil
+}
+
+// frNat converts an Fr element to the plain scalar Nat the MSM consumes.
+func frNat(fr *field.Field, k field.Element) bigint.Nat {
+	return bigint.FromBig(fr.ToBig(k), fr.Width())
+}
+
+// Prove generates a proof for the witness. msmG1 routes the prover's G1
+// multi-scalar multiplications (nil = CPU Pippenger).
+func (e *Engine) Prove(cs *r1cs.System, pk *ProvingKey, witness []field.Element, rnd *rand.Rand, msmG1 MSMFunc) (*Proof, error) {
+	if err := cs.Satisfied(witness); err != nil {
+		return nil, err
+	}
+	fr := e.Fr
+	if msmG1 == nil {
+		msmG1 = func(points []curve.PointAffine, scalars []bigint.Nat) (*curve.PointXYZZ, error) {
+			return msm.MSM(e.P.Curve, points, scalars, msm.Config{Signed: true})
+		}
+	}
+
+	h, err := e.quotient(cs, pk.Domain, witness)
+	if err != nil {
+		return nil, err
+	}
+
+	r, s := fr.Rand(rnd), fr.Rand(rnd)
+	scalars := make([]bigint.Nat, len(witness))
+	for i, a := range witness {
+		scalars[i] = frNat(fr, a)
+	}
+
+	adder := e.P.Curve.NewAdder()
+	g2 := e.P.G2
+
+	// A = α + Σ a_i·u_i(τ) + r·δ  (G1)
+	sumA, err := msmG1(pk.A, scalars)
+	if err != nil {
+		return nil, err
+	}
+	accA := e.P.Curve.NewXYZZ()
+	e.P.Curve.SetAffine(accA, &pk.Alpha)
+	adder.Add(accA, sumA)
+	rDelta := adder.ScalarMul(&pk.Delta, frNat(fr, r))
+	adder.Add(accA, rDelta)
+	proofA := e.P.Curve.ToAffine(accA)
+
+	// B = β + Σ a_i·v_i(τ) + s·δ  (G2), plus its G1 mirror.
+	big2 := make([]*big.Int, len(witness))
+	for i := range witness {
+		big2[i] = fr.ToBig(witness[i])
+	}
+	sumB2 := g2.MSM(pk.B2, big2)
+	withBeta := g2.Add(&sumB2, &pk.Beta2)
+	sDelta2 := g2.ScalarMulFr(&pk.Delta2, fr, s)
+	proofB := g2.Add(&withBeta, &sDelta2)
+
+	sumB1, err := msmG1(pk.B1, scalars)
+	if err != nil {
+		return nil, err
+	}
+	accB1 := e.P.Curve.NewXYZZ()
+	e.P.Curve.SetAffine(accB1, &pk.Beta)
+	adder.Add(accB1, sumB1)
+	sDelta1 := adder.ScalarMul(&pk.Delta, frNat(fr, s))
+	adder.Add(accB1, sDelta1)
+
+	// C = Σ_priv a_i·K_i + Σ_j h_j·Z_j + s·A + r·B1 − r·s·δ
+	privScalars := make([]bigint.Nat, len(witness))
+	for i := range witness {
+		if i <= cs.NPublic {
+			privScalars[i] = bigint.New(fr.Width())
+		} else {
+			privScalars[i] = scalars[i]
+		}
+	}
+	sumK, err := msmG1(pk.K, privScalars)
+	if err != nil {
+		return nil, err
+	}
+	hScalars := make([]bigint.Nat, len(pk.Z))
+	for j := range pk.Z {
+		if j < len(h) {
+			hScalars[j] = frNat(fr, h[j])
+		} else {
+			hScalars[j] = bigint.New(fr.Width())
+		}
+	}
+	sumH, err := msmG1(pk.Z, hScalars)
+	if err != nil {
+		return nil, err
+	}
+	accC := sumK
+	adder.Add(accC, sumH)
+	aAff := proofA
+	sA := adder.ScalarMul(&aAff, frNat(fr, s))
+	adder.Add(accC, sA)
+	b1Aff := e.P.Curve.ToAffine(accB1)
+	rB1 := adder.ScalarMul(&b1Aff, frNat(fr, r))
+	adder.Add(accC, rB1)
+	rs := fr.NewElement()
+	fr.Mul(rs, r, s)
+	rsDelta := adder.ScalarMul(&pk.Delta, frNat(fr, rs))
+	e.P.Curve.Neg(rsDelta)
+	adder.Add(accC, rsDelta)
+
+	return &Proof{A: proofA, B: proofB, C: e.P.Curve.ToAffine(accC)}, nil
+}
+
+// quotient computes the coefficients of h(X) = (a(X)·b(X) − c(X))/t(X)
+// via coset NTTs (t is constant on the coset: g^d − 1).
+func (e *Engine) quotient(cs *r1cs.System, d int, witness []field.Element) ([]field.Element, error) {
+	fr := e.Fr
+	dom, err := ntt.NewDomain(fr, d)
+	if err != nil {
+		return nil, err
+	}
+	evalA := zeroVec(fr, d)
+	evalB := zeroVec(fr, d)
+	evalC := zeroVec(fr, d)
+	for q, con := range cs.Constraints {
+		evalA[q].Set(cs.EvalLC(con.A, witness))
+		evalB[q].Set(cs.EvalLC(con.B, witness))
+		evalC[q].Set(cs.EvalLC(con.C, witness))
+	}
+	// To coefficients, then onto the coset.
+	dom.Inverse(evalA)
+	dom.Inverse(evalB)
+	dom.Inverse(evalC)
+	dom.CosetForward(evalA)
+	dom.CosetForward(evalB)
+	dom.CosetForward(evalC)
+	// t(g·ω^j) = g^d − 1, a constant.
+	zInv := fr.NewElement()
+	fr.Exp(zInv, dom.Gen(), big.NewInt(int64(d)))
+	fr.Sub(zInv, zInv, fr.One())
+	fr.Inv(zInv, zInv)
+	tmp := fr.NewElement()
+	for j := 0; j < d; j++ {
+		fr.Mul(tmp, evalA[j], evalB[j])
+		fr.Sub(tmp, tmp, evalC[j])
+		fr.Mul(evalA[j], tmp, zInv)
+	}
+	dom.CosetInverse(evalA)
+	// h has degree ≤ d−2: the top coefficient must vanish.
+	if !evalA[d-1].IsZero() {
+		return nil, fmt.Errorf("groth16: quotient degree overflow (unsatisfied witness?)")
+	}
+	return evalA[:d-1], nil
+}
+
+// Verify checks the proof against the public inputs (without the leading
+// constant one).
+func (e *Engine) Verify(vk *VerifyingKey, proof *Proof, public []field.Element) (bool, error) {
+	if len(public)+1 != len(vk.IC) {
+		return false, fmt.Errorf("groth16: %d public inputs, key expects %d", len(public), len(vk.IC)-1)
+	}
+	fr := e.Fr
+	adder := e.P.Curve.NewAdder()
+	acc := e.P.Curve.NewXYZZ()
+	e.P.Curve.SetAffine(acc, &vk.IC[0])
+	for i, x := range public {
+		term := adder.ScalarMul(&vk.IC[i+1], frNat(fr, x))
+		adder.Add(acc, term)
+	}
+	ic := e.P.Curve.ToAffine(acc)
+
+	// e(−A, B)·e(α, β)·e(IC, γ)·e(C, δ) == 1
+	negA := curve.PointAffine{X: proof.A.X.Clone(), Y: proof.A.Y.Clone(), Inf: proof.A.Inf}
+	e.P.Curve.NegAffine(&negA)
+	out, err := e.P.PairingProduct(
+		[]curve.PointAffine{negA, vk.Alpha, ic, proof.C},
+		[]pairing.G2Affine{proof.B, vk.Beta2, vk.Gamma2, vk.Delta2},
+	)
+	if err != nil {
+		return false, err
+	}
+	return e.P.T.E12IsOne(&out), nil
+}

@@ -1,0 +1,154 @@
+// Package kernel models the GPU elliptic-curve kernels of DistMSM §4 at
+// the microarchitectural level: the dataflow graphs of PADD (Algorithm 1)
+// and PACC (Algorithm 4), register-pressure (live big-integer) accounting,
+// the brute-force optimal execution-sequence search of §4.2.1, the
+// explicit shared-memory spilling of §4.2.2, and the occupancy/throughput
+// model the GPU simulator prices kernels with.
+package kernel
+
+import "fmt"
+
+// Op is one scheduling unit of an EC kernel: a modular multiplication or
+// an addition/subtraction on big integers, producing Dst from Srcs.
+type Op struct {
+	Name string
+	Dst  string
+	Srcs []string
+	Mul  bool // modular multiplication (needs a Montgomery scratch integer)
+}
+
+// Graph is the dataflow graph of a kernel: Inputs are live on entry,
+// Outputs must be live on exit, and Ops is listed in the straightforward
+// (paper pseudocode) order.
+type Graph struct {
+	Name    string
+	Ops     []Op
+	Inputs  []string
+	Outputs []string
+}
+
+// PACCGraph returns the dataflow graph of the dedicated point-accumulation
+// kernel (Algorithm 4): acc(Xa,Ya,ZZa,ZZZa) += P(Xp,Yp), 10 multiplications.
+func PACCGraph() *Graph {
+	return &Graph{
+		Name:    "PACC",
+		Inputs:  []string{"Xa", "Ya", "ZZa", "ZZZa", "Xp", "Yp"},
+		Outputs: []string{"X3", "Y3", "ZZ3", "ZZZ3"},
+		Ops: []Op{
+			{"U2=Xp*ZZa", "U2", []string{"Xp", "ZZa"}, true},
+			{"S2=Yp*ZZZa", "S2", []string{"Yp", "ZZZa"}, true},
+			{"P=U2-Xa", "P", []string{"U2", "Xa"}, false},
+			{"R=S2-Ya", "R", []string{"S2", "Ya"}, false},
+			{"PP=P*P", "PP", []string{"P"}, true},
+			{"PPP=PP*P", "PPP", []string{"PP", "P"}, true},
+			{"Q=Xa*PP", "Q", []string{"Xa", "PP"}, true},
+			{"V0=R*R", "V0", []string{"R"}, true},
+			{"V1=V0-PPP", "V1", []string{"V0", "PPP"}, false},
+			{"V2=V1-Q", "V2", []string{"V1", "Q"}, false},
+			{"X3=V2-Q", "X3", []string{"V2", "Q"}, false},
+			{"T=Q-X3", "T", []string{"Q", "X3"}, false},
+			{"Y0=R*T", "Y0", []string{"R", "T"}, true},
+			{"T2=Ya*PPP", "T2", []string{"Ya", "PPP"}, true},
+			{"Y3=Y0-T2", "Y3", []string{"Y0", "T2"}, false},
+			{"ZZ3=ZZa*PP", "ZZ3", []string{"ZZa", "PP"}, true},
+			{"ZZZ3=ZZZa*PPP", "ZZZ3", []string{"ZZZa", "PPP"}, true},
+		},
+	}
+}
+
+// PADDGraph returns the dataflow graph of the general PADD kernel
+// (Algorithm 1): both operands in XYZZ form, 14 multiplications.
+func PADDGraph() *Graph {
+	return &Graph{
+		Name:    "PADD",
+		Inputs:  []string{"X1", "Y1", "ZZ1", "ZZZ1", "X2", "Y2", "ZZ2", "ZZZ2"},
+		Outputs: []string{"X3", "Y3", "ZZ3", "ZZZ3"},
+		Ops: []Op{
+			{"U1=X1*ZZ2", "U1", []string{"X1", "ZZ2"}, true},
+			{"U2=X2*ZZ1", "U2", []string{"X2", "ZZ1"}, true},
+			{"S1=Y1*ZZZ2", "S1", []string{"Y1", "ZZZ2"}, true},
+			{"S2=Y2*ZZZ1", "S2", []string{"Y2", "ZZZ1"}, true},
+			{"P=U2-U1", "P", []string{"U2", "U1"}, false},
+			{"R=S2-S1", "R", []string{"S2", "S1"}, false},
+			{"PP=P*P", "PP", []string{"P"}, true},
+			{"PPP=PP*P", "PPP", []string{"PP", "P"}, true},
+			{"Q=U1*PP", "Q", []string{"U1", "PP"}, true},
+			{"V0=R*R", "V0", []string{"R"}, true},
+			{"V1=V0-PPP", "V1", []string{"V0", "PPP"}, false},
+			{"V2=V1-Q", "V2", []string{"V1", "Q"}, false},
+			{"X3=V2-Q", "X3", []string{"V2", "Q"}, false},
+			{"T=Q-X3", "T", []string{"Q", "X3"}, false},
+			{"Y0=R*T", "Y0", []string{"R", "T"}, true},
+			{"T1=S1*PPP", "T1", []string{"S1", "PPP"}, true},
+			{"Y3=Y0-T1", "Y3", []string{"Y0", "T1"}, false},
+			{"ZZ=ZZ1*ZZ2", "ZZ", []string{"ZZ1", "ZZ2"}, true},
+			{"ZZ3=ZZ*PP", "ZZ3", []string{"ZZ", "PP"}, true},
+			{"ZZZ=ZZZ1*ZZZ2", "ZZZ", []string{"ZZZ1", "ZZZ2"}, true},
+			{"ZZZ3=ZZZ*PPP", "ZZZ3", []string{"ZZZ", "PPP"}, true},
+		},
+	}
+}
+
+// PDBLGraph returns the dataflow graph of the point-doubling kernel
+// (dbl-2008-s-1 in XYZZ coordinates, a = 0 variant): 2*(X1,Y1,ZZ1,ZZZ1).
+func PDBLGraph() *Graph {
+	return &Graph{
+		Name:    "PDBL",
+		Inputs:  []string{"X1", "Y1", "ZZ1", "ZZZ1"},
+		Outputs: []string{"X3", "Y3", "ZZ3", "ZZZ3"},
+		Ops: []Op{
+			{"U=2*Y1", "U", []string{"Y1"}, false},
+			{"V=U*U", "V", []string{"U"}, true},
+			{"W=U*V", "W", []string{"U", "V"}, true},
+			{"S=X1*V", "S", []string{"X1", "V"}, true},
+			{"X2sq=X1*X1", "X2sq", []string{"X1"}, true},
+			{"M=3*X2sq", "M", []string{"X2sq"}, false},
+			{"M2=M*M", "M2", []string{"M"}, true},
+			{"X3a=M2-S", "X3a", []string{"M2", "S"}, false},
+			{"X3=X3a-S", "X3", []string{"X3a", "S"}, false},
+			{"SX=S-X3", "SX", []string{"S", "X3"}, false},
+			{"Y0=M*SX", "Y0", []string{"M", "SX"}, true},
+			{"WY=W*Y1", "WY", []string{"W", "Y1"}, true},
+			{"Y3=Y0-WY", "Y3", []string{"Y0", "WY"}, false},
+			{"ZZ3=V*ZZ1", "ZZ3", []string{"V", "ZZ1"}, true},
+			{"ZZZ3=W*ZZZ1", "ZZZ3", []string{"W", "ZZZ1"}, true},
+		},
+	}
+}
+
+// MulCount returns the number of modular multiplications in the graph.
+func (g *Graph) MulCount() int {
+	n := 0
+	for _, op := range g.Ops {
+		if op.Mul {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks internal consistency: every source is an input or a
+// prior definition, definitions are unique, and outputs are defined.
+func (g *Graph) Validate() error {
+	defined := map[string]bool{}
+	for _, in := range g.Inputs {
+		defined[in] = true
+	}
+	for _, op := range g.Ops {
+		for _, s := range op.Srcs {
+			if !defined[s] {
+				return fmt.Errorf("kernel %s: op %s uses undefined %s", g.Name, op.Name, s)
+			}
+		}
+		if defined[op.Dst] {
+			return fmt.Errorf("kernel %s: op %s redefines %s", g.Name, op.Name, op.Dst)
+		}
+		defined[op.Dst] = true
+	}
+	for _, out := range g.Outputs {
+		if !defined[out] {
+			return fmt.Errorf("kernel %s: output %s never defined", g.Name, out)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package kernel
+
+// Fused returns a copy of g in which each single-use multiplication
+// result feeding an addition/subtraction is merged with its consumer,
+// forming the compound "scheduling units" of §4.2.1. The paper's example:
+// executing P = U2 - X1 immediately after U2 = X2*ZZ1 means U2 lives only
+// in the multiplier's scratch register, "removing U2 from the set of live
+// variables, adding only P". A consumer may absorb several producers
+// (Y3 = R*T − Ya*PPP merges two multiplications); compound units are not
+// themselves fused further. This collapses PACC's 17 raw operations into
+// the paper's 12 scheduling units.
+func Fused(g *Graph) *Graph {
+	outputs := map[string]bool{}
+	for _, o := range g.Outputs {
+		outputs[o] = true
+	}
+	uses := map[string][]int{}
+	for i, op := range g.Ops {
+		for _, s := range op.Srcs {
+			uses[s] = append(uses[s], i)
+		}
+	}
+
+	merged := make([]bool, len(g.Ops))   // producer merged away
+	compound := make([]bool, len(g.Ops)) // consumer became compound
+	ops := make([]Op, len(g.Ops))
+	copy(ops, g.Ops)
+
+	for i, op := range g.Ops {
+		u := uses[op.Dst]
+		if !op.Mul || outputs[op.Dst] || len(u) != 1 {
+			continue
+		}
+		j := u[0]
+		if g.Ops[j].Mul || compound[i] || merged[i] {
+			continue
+		}
+		// Merge producer i into consumer j.
+		var srcs []string
+		seen := map[string]bool{}
+		add := func(s string) {
+			if !seen[s] {
+				seen[s] = true
+				srcs = append(srcs, s)
+			}
+		}
+		for _, s := range ops[j].Srcs {
+			if s == op.Dst {
+				for _, ps := range ops[i].Srcs {
+					add(ps)
+				}
+			} else {
+				add(s)
+			}
+		}
+		ops[j] = Op{
+			Name: ops[i].Name + "; " + ops[j].Name,
+			Dst:  ops[j].Dst,
+			Srcs: srcs,
+			Mul:  true,
+		}
+		merged[i] = true
+		compound[j] = true
+	}
+
+	out := &Graph{Name: g.Name + "-fused", Inputs: g.Inputs, Outputs: g.Outputs}
+	for i, op := range ops {
+		if !merged[i] {
+			out.Ops = append(out.Ops, op)
+		}
+	}
+	return out
+}

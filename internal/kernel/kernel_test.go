@@ -1,0 +1,333 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGraphsValidate(t *testing.T) {
+	for _, g := range []*Graph{PACCGraph(), PADDGraph(), PDBLGraph()} {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	g := &Graph{
+		Name:   "bad",
+		Inputs: []string{"a"},
+		Ops: []Op{
+			{"x=a*b", "x", []string{"a", "b"}, true}, // b undefined
+		},
+		Outputs: []string{"x"},
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected undefined-source error")
+	}
+	g2 := &Graph{
+		Name:   "bad2",
+		Inputs: []string{"a"},
+		Ops: []Op{
+			{"x=a+a", "x", []string{"a"}, false},
+			{"x=a+a again", "x", []string{"a"}, false},
+		},
+		Outputs: []string{"x"},
+	}
+	if err := g2.Validate(); err == nil {
+		t.Fatal("expected redefinition error")
+	}
+	g3 := &Graph{Name: "bad3", Inputs: []string{"a"}, Outputs: []string{"y"}}
+	if err := g3.Validate(); err == nil {
+		t.Fatal("expected undefined-output error")
+	}
+}
+
+// The multiplication counts the paper quotes: PADD needs 14 modular
+// multiplications, the dedicated PACC kernel only 10 (§4.1).
+func TestMulCounts(t *testing.T) {
+	if got := PADDGraph().MulCount(); got != 14 {
+		t.Errorf("PADD muls = %d, want 14", got)
+	}
+	if got := PACCGraph().MulCount(); got != 10 {
+		t.Errorf("PACC muls = %d, want 10", got)
+	}
+	if got := PDBLGraph().MulCount(); got != 9 {
+		t.Errorf("PDBL muls = %d, want 9", got)
+	}
+}
+
+// The straightforward (pseudocode-order) register pressures of §4.2:
+// 11 live big integers for PADD and 9 for PACC.
+func TestStraightforwardPressureMatchesPaper(t *testing.T) {
+	if got := PeakPressure(PADDGraph(), StraightforwardOrder(PADDGraph())); got != 11 {
+		t.Errorf("straightforward PADD pressure = %d, want 11 (paper §4.2)", got)
+	}
+	if got := PeakPressure(PACCGraph(), StraightforwardOrder(PACCGraph())); got != 9 {
+		t.Errorf("straightforward PACC pressure = %d, want 9 (paper §4.2)", got)
+	}
+}
+
+func TestOptimalSchedule(t *testing.T) {
+	// PADD: the paper's optimal order reaches 9 (11 → 9); the search must
+	// find it. PACC: the paper reports 7; this model's accounting floor is
+	// 8 (one Montgomery-scratch difference from Figure 5's bookkeeping),
+	// recorded in EXPERIMENTS.md.
+	padd, err := OptimalSchedule(PADDGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if padd.Peak != 9 {
+		t.Errorf("optimal PADD pressure = %d, want 9 (paper §4.2.1)", padd.Peak)
+	}
+	if !IsTopological(PADDGraph(), padd.Order) {
+		t.Error("optimal PADD order is not topological")
+	}
+	pacc, err := OptimalSchedule(PACCGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pacc.Peak != 8 {
+		t.Errorf("optimal PACC pressure = %d, want 8 (model floor; paper reports 7)", pacc.Peak)
+	}
+	if !IsTopological(PACCGraph(), pacc.Order) {
+		t.Error("optimal PACC order is not topological")
+	}
+}
+
+// Property: the optimal peak is a lower bound over random topological orders.
+func TestOptimalIsLowerBound(t *testing.T) {
+	rnd := rand.New(rand.NewSource(17))
+	for _, g := range []*Graph{PACCGraph(), PADDGraph(), PDBLGraph()} {
+		opt, err := OptimalSchedule(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 200; trial++ {
+			order := randomTopoOrder(g, rnd)
+			if !IsTopological(g, order) {
+				t.Fatalf("%s: generated order invalid", g.Name)
+			}
+			if p := PeakPressure(g, order); p < opt.Peak {
+				t.Fatalf("%s: random order beat the optimum: %d < %d", g.Name, p, opt.Peak)
+			}
+		}
+	}
+}
+
+func randomTopoOrder(g *Graph, rnd *rand.Rand) []int {
+	defined := map[string]bool{}
+	for _, in := range g.Inputs {
+		defined[in] = true
+	}
+	done := make([]bool, len(g.Ops))
+	var order []int
+	for len(order) < len(g.Ops) {
+		var ready []int
+		for i, op := range g.Ops {
+			if done[i] {
+				continue
+			}
+			ok := true
+			for _, s := range op.Srcs {
+				if !defined[s] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, i)
+			}
+		}
+		pick := ready[rnd.Intn(len(ready))]
+		done[pick] = true
+		defined[g.Ops[pick].Dst] = true
+		order = append(order, pick)
+	}
+	return order
+}
+
+// The fusion pass must collapse PACC's 17 raw operations into the paper's
+// 12 scheduling units and preserve graph validity and outputs.
+func TestFusedSchedulingUnits(t *testing.T) {
+	fg := Fused(PACCGraph())
+	if err := fg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fg.Ops) != 12 {
+		t.Errorf("fused PACC has %d units, want 12 (paper §4.2.1)", len(fg.Ops))
+	}
+	// Outputs must still be produced.
+	dsts := map[string]bool{}
+	for _, op := range fg.Ops {
+		dsts[op.Dst] = true
+	}
+	for _, o := range fg.Outputs {
+		if !dsts[o] {
+			t.Errorf("fused PACC lost output %s", o)
+		}
+	}
+	// PADD fusion also validates.
+	if err := Fused(PADDGraph()).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpillReachesTarget(t *testing.T) {
+	g := PACCGraph()
+	sched, err := OptimalSchedule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanSpills(g, sched.Order, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PeakRegisters > 5 {
+		t.Errorf("spilled PACC peak = %d, want <= 5 (paper §4.2.2)", plan.PeakRegisters)
+	}
+	if plan.PeakShared == 0 || plan.Transfers == 0 || len(plan.Spilled) == 0 {
+		t.Error("spill plan is suspiciously empty")
+	}
+	outputs := map[string]bool{}
+	for _, o := range g.Outputs {
+		outputs[o] = true
+	}
+	for _, v := range plan.Spilled {
+		if outputs[v] {
+			t.Errorf("accumulator output %s was spilled", v)
+		}
+	}
+	// A trivial target needs no spills.
+	plan0, err := PlanSpills(g, sched.Order, sched.Peak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan0.Spilled) != 0 {
+		t.Error("no spills should be needed at the schedule's own peak")
+	}
+	// An impossible target errors instead of looping.
+	if _, err := PlanSpills(g, sched.Order, 0); err == nil {
+		t.Error("expected error for unreachable spill target")
+	}
+}
+
+func TestRegsPerBigInt(t *testing.T) {
+	// Paper: "a single big integer can consume 8 to 24 registers".
+	cases := map[int]int{254: 8, 253: 8, 377: 12, 381: 12, 753: 24}
+	for bits, want := range cases {
+		if got := RegsPerBigInt(bits); got != want {
+			t.Errorf("RegsPerBigInt(%d) = %d, want %d", bits, got, want)
+		}
+	}
+	// Paper: straightforward PADD needs 132 registers for BLS12-377 and
+	// 264 for MNT4753 (11 live ints × 12/24 regs).
+	peak := PeakPressure(PADDGraph(), StraightforwardOrder(PADDGraph()))
+	if got := peak * RegsPerBigInt(377); got != 132 {
+		t.Errorf("BLS12-377 straightforward PADD registers = %d, want 132", got)
+	}
+	if got := peak * RegsPerBigInt(753); got != 264 {
+		t.Errorf("MNT4753 straightforward PADD registers = %d, want 264", got)
+	}
+}
+
+func TestOccupancyModel(t *testing.T) {
+	const regFile, maxThreads = 65536, 2048
+	// Fewer registers -> occupancy never decreases.
+	prev := 0.0
+	for regs := 256; regs >= 16; regs /= 2 {
+		occ := Occupancy(regs, regFile, maxThreads)
+		if occ < prev {
+			t.Fatalf("occupancy decreased when registers dropped to %d", regs)
+		}
+		prev = occ
+	}
+	if Occupancy(32, regFile, maxThreads) != 1.0 {
+		t.Error("32 regs/thread should give full occupancy on A100-class SM")
+	}
+	if occ := Occupancy(64, regFile, maxThreads); occ != 0.5 {
+		t.Errorf("64 regs/thread occupancy = %v, want 0.5", occ)
+	}
+	// Degenerate inputs stay sane.
+	if Occupancy(0, regFile, maxThreads) <= 0 || Occupancy(1<<20, regFile, maxThreads) <= 0 {
+		t.Error("occupancy must stay positive")
+	}
+}
+
+func TestBuildSpecWaterfall(t *testing.T) {
+	var prev *Spec
+	for _, v := range Variants() {
+		spec, err := BuildSpec(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Variant != v {
+			t.Errorf("spec variant mismatch for %v", v)
+		}
+		switch v {
+		case VariantBaseline:
+			if spec.Muls != 14 || spec.PeakLive != 11 {
+				t.Errorf("baseline spec = %+v, want 14 muls / 11 live", spec)
+			}
+		case VariantPACC:
+			if spec.Muls != 10 || spec.PeakLive != 9 {
+				t.Errorf("PACC spec = %+v, want 10 muls / 9 live", spec)
+			}
+		case VariantOptimalOrder:
+			if spec.PeakLive >= 9 {
+				t.Errorf("optimal order did not reduce pressure: %+v", spec)
+			}
+		case VariantSpill:
+			if spec.PeakLive > 5 || spec.SharedInts == 0 {
+				t.Errorf("spill spec = %+v, want <=5 live with shared residents", spec)
+			}
+		case VariantTensorCore:
+			if !spec.TensorCore || spec.TCCompacted {
+				t.Errorf("TC spec = %+v", spec)
+			}
+		case VariantTCCompact:
+			if !spec.TensorCore || !spec.TCCompacted {
+				t.Errorf("TC-compact spec = %+v", spec)
+			}
+		}
+		if prev != nil && v <= VariantSpill && spec.PeakLive > prev.PeakLive {
+			t.Errorf("pressure increased from %v to %v", prev.Variant, v)
+		}
+		prev = &spec
+	}
+}
+
+func TestVariantStrings(t *testing.T) {
+	if VariantBaseline.String() != "Baseline" || VariantTCCompact.String() != "On-the-fly Compact" {
+		t.Error("variant names wrong")
+	}
+	if Variant(99).String() != "Unknown" {
+		t.Error("unknown variant name")
+	}
+}
+
+func TestPressureProfileLength(t *testing.T) {
+	g := PACCGraph()
+	prof := PressureProfile(g, StraightforwardOrder(g))
+	if len(prof) != len(g.Ops) {
+		t.Fatalf("profile length %d != ops %d", len(prof), len(g.Ops))
+	}
+	max := 0
+	for _, p := range prof {
+		if p > max {
+			max = p
+		}
+	}
+	if max != PeakPressure(g, StraightforwardOrder(g)) {
+		t.Fatal("profile max != peak")
+	}
+}
+
+func BenchmarkOptimalScheduleSearch(b *testing.B) {
+	g := PADDGraph()
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimalSchedule(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package kernel
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Pressure accounting (§4.2): at each op, the live set is every value that
+// has been defined (or is an input) and still has a pending use, or is a
+// kernel output. A modular multiplication additionally needs one scratch
+// big integer while it runs. The destination of an op can reuse the
+// register of a source that dies at the same op (the "consecutive pairing"
+// insight the paper uses to merge units), so the pressure of an op is
+//
+//	max(|live before|, |live after|) + (1 scratch if Mul)
+//
+// With this accounting the straightforward orders of Algorithms 1 and 4
+// evaluate to the paper's 11 and 9 live big integers, respectively.
+
+// PeakPressure returns the peak number of concurrently live big integers
+// for executing g's ops in the given order (indices into g.Ops). Inputs
+// are live from the start; outputs remain live to the end.
+func PeakPressure(g *Graph, order []int) int {
+	p, _ := pressureProfile(g, order)
+	return p
+}
+
+// PressureProfile returns the per-op pressure for the given order.
+func PressureProfile(g *Graph, order []int) []int {
+	_, prof := pressureProfile(g, order)
+	return prof
+}
+
+func pressureProfile(g *Graph, order []int) (int, []int) {
+	remaining := useCounts(g)
+	live := map[string]bool{}
+	for _, in := range g.Inputs {
+		live[in] = true
+	}
+	outputs := map[string]bool{}
+	for _, o := range g.Outputs {
+		outputs[o] = true
+	}
+	peak := len(live)
+	prof := make([]int, len(order))
+	for i, idx := range order {
+		op := g.Ops[idx]
+		before := len(live)
+		// Consume sources.
+		for _, s := range op.Srcs {
+			remaining[s]--
+			if remaining[s] == 0 && !outputs[s] {
+				delete(live, s)
+			}
+		}
+		// Define destination (it is live if used later or an output).
+		if remaining[op.Dst] > 0 || outputs[op.Dst] {
+			live[op.Dst] = true
+		}
+		after := len(live)
+		p := before
+		if after > p {
+			p = after
+		}
+		if op.Mul {
+			p++
+		}
+		prof[i] = p
+		if p > peak {
+			peak = p
+		}
+	}
+	return peak, prof
+}
+
+func useCounts(g *Graph) map[string]int {
+	remaining := map[string]int{}
+	for _, op := range g.Ops {
+		for _, s := range op.Srcs {
+			remaining[s]++
+		}
+	}
+	return remaining
+}
+
+// StraightforwardOrder returns the identity order (the paper's pseudocode
+// sequence).
+func StraightforwardOrder(g *Graph) []int {
+	order := make([]int, len(g.Ops))
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// Schedule is the result of the optimal execution-sequence search.
+type Schedule struct {
+	Graph *Graph
+	Order []int // indices into Graph.Ops
+	Peak  int   // peak live big integers (including the Mul scratch)
+}
+
+// OptimalSchedule exhaustively searches the topological orders of g for
+// one minimising peak register pressure (§4.2.1). The search is a
+// branch-and-bound DFS with subset memoisation; the paper observes the
+// space is small (at most 12! before dependency pruning), and in practice
+// a few thousand states are visited.
+func OptimalSchedule(g *Graph) (*Schedule, error) {
+	n := len(g.Ops)
+	if n > 63 {
+		return nil, fmt.Errorf("kernel: graph too large for bitmask search (%d ops)", n)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Precompute per-op source/dst and dependency masks.
+	varID := map[string]int{}
+	id := func(v string) int {
+		if i, ok := varID[v]; ok {
+			return i
+		}
+		varID[v] = len(varID)
+		return len(varID) - 1
+	}
+	defOf := map[string]int{} // var -> op index defining it
+	for i, op := range g.Ops {
+		defOf[op.Dst] = i
+		id(op.Dst)
+	}
+	for _, in := range g.Inputs {
+		id(in)
+	}
+	deps := make([]uint64, n) // ops that must precede op i
+	for i, op := range g.Ops {
+		for _, s := range op.Srcs {
+			if j, ok := defOf[s]; ok {
+				deps[i] |= 1 << uint(j)
+			}
+		}
+	}
+
+	s := &searcher{g: g, deps: deps, memo: map[uint64]int{}, bestPeak: 1 << 30}
+	s.useTotal = useCounts(g)
+	s.outputs = map[string]bool{}
+	for _, o := range g.Outputs {
+		s.outputs[o] = true
+	}
+	live := map[string]bool{}
+	for _, in := range g.Inputs {
+		live[in] = true
+	}
+	s.dfs(0, live, cloneCounts(s.useTotal), nil, len(live))
+	if s.bestOrder == nil {
+		return nil, fmt.Errorf("kernel: no topological order found for %s", g.Name)
+	}
+	return &Schedule{Graph: g, Order: s.bestOrder, Peak: s.bestPeak}, nil
+}
+
+type searcher struct {
+	g         *Graph
+	deps      []uint64
+	outputs   map[string]bool
+	useTotal  map[string]int
+	memo      map[uint64]int // scheduled-set -> best peak-so-far seen entering it
+	bestPeak  int
+	bestOrder []int
+}
+
+func cloneCounts(m map[string]int) map[string]int {
+	c := make(map[string]int, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func (s *searcher) dfs(done uint64, live map[string]bool, remaining map[string]int, order []int, peakSoFar int) {
+	n := len(s.g.Ops)
+	if peakSoFar >= s.bestPeak {
+		return // cannot improve
+	}
+	if best, ok := s.memo[done]; ok && best <= peakSoFar {
+		return // reached this subset with no-worse pressure before
+	}
+	s.memo[done] = peakSoFar
+	if bits.OnesCount64(done) == n {
+		s.bestPeak = peakSoFar
+		s.bestOrder = append([]int(nil), order...)
+		return
+	}
+	for i := 0; i < n; i++ {
+		bit := uint64(1) << uint(i)
+		if done&bit != 0 || s.deps[i]&^done != 0 {
+			continue
+		}
+		op := s.g.Ops[i]
+		// Apply op.
+		before := len(live)
+		var killed []string
+		for _, src := range op.Srcs {
+			remaining[src]--
+			if remaining[src] == 0 && !s.outputs[src] && live[src] {
+				delete(live, src)
+				killed = append(killed, src)
+			}
+		}
+		defined := false
+		if remaining[op.Dst] > 0 || s.outputs[op.Dst] {
+			live[op.Dst] = true
+			defined = true
+		}
+		after := len(live)
+		p := before
+		if after > p {
+			p = after
+		}
+		if op.Mul {
+			p++
+		}
+		newPeak := peakSoFar
+		if p > newPeak {
+			newPeak = p
+		}
+		s.dfs(done|bit, live, remaining, append(order, i), newPeak)
+		// Undo op.
+		if defined {
+			delete(live, op.Dst)
+		}
+		for _, src := range op.Srcs {
+			remaining[src]++
+		}
+		for _, src := range killed {
+			live[src] = true
+		}
+	}
+}
+
+// IsTopological reports whether order is a valid topological order of g.
+func IsTopological(g *Graph, order []int) bool {
+	if len(order) != len(g.Ops) {
+		return false
+	}
+	defined := map[string]bool{}
+	for _, in := range g.Inputs {
+		defined[in] = true
+	}
+	seen := map[int]bool{}
+	for _, idx := range order {
+		if idx < 0 || idx >= len(g.Ops) || seen[idx] {
+			return false
+		}
+		seen[idx] = true
+		op := g.Ops[idx]
+		for _, s := range op.Srcs {
+			if !defined[s] {
+				return false
+			}
+		}
+		defined[op.Dst] = true
+	}
+	return true
+}

@@ -1,0 +1,157 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SpillPlan is the result of the explicit register-spilling pass of
+// §4.2.2: selected big integers are kept in shared memory instead of
+// registers, with explicit store/load routines woven into the kernel.
+//
+// Model: big-integer routines access shared-memory residents limb by
+// limb, streaming through the kernel's existing scratch registers, so a
+// spilled integer contributes no full-width register pressure at its
+// definition or uses — only shared-memory occupancy and transfer traffic.
+// (This is why shared memory beats the compiler's device-memory spilling:
+// the per-limb round trips stay on-chip.)
+type SpillPlan struct {
+	Graph  *Graph
+	Order  []int
+	Target int
+
+	Spilled       []string // values resident in shared memory
+	PeakRegisters int      // peak live big integers in registers after spilling
+	PeakShared    int      // peak big integers in shared memory at once
+	Transfers     int      // store+load big-integer transfers inserted
+}
+
+// PlanSpills lowers the peak register pressure of the given schedule to at
+// most target live big integers by moving values to shared memory. The
+// victim choice follows Belady's rule: among registers live at the peak
+// operation, spill the one whose next use is furthest away.
+func PlanSpills(g *Graph, order []int, target int) (*SpillPlan, error) {
+	if !IsTopological(g, order) {
+		return nil, fmt.Errorf("kernel: spill order is not topological for %s", g.Name)
+	}
+	spilled := map[string]bool{}
+	for {
+		peak, prof, _ := spilledProfile(g, order, spilled)
+		if peak <= target {
+			break
+		}
+		peakIdx := -1
+		for i, p := range prof {
+			if p == peak {
+				peakIdx = i
+				break
+			}
+		}
+		victim := chooseVictim(g, order, peakIdx, spilled)
+		if victim == "" {
+			return nil, fmt.Errorf("kernel %s: cannot reach target %d (stuck at %d)", g.Name, target, peak)
+		}
+		spilled[victim] = true
+	}
+
+	peak, _, shared := spilledProfile(g, order, spilled)
+	plan := &SpillPlan{Graph: g, Order: order, Target: target, PeakRegisters: peak, PeakShared: shared}
+	uses := useCounts(g)
+	for v := range spilled {
+		plan.Spilled = append(plan.Spilled, v)
+		plan.Transfers += 1 + uses[v] // one store + one load per use
+	}
+	sort.Strings(plan.Spilled)
+	return plan, nil
+}
+
+// spilledProfile computes the register-pressure profile with the given
+// spill set, returning (peak registers, per-op profile, peak shared slots).
+func spilledProfile(g *Graph, order []int, spilled map[string]bool) (int, []int, int) {
+	remaining := useCounts(g)
+	outputs := map[string]bool{}
+	for _, o := range g.Outputs {
+		outputs[o] = true
+	}
+	liveReg := map[string]bool{}
+	liveShm := map[string]bool{}
+	for _, in := range g.Inputs {
+		if spilled[in] {
+			liveShm[in] = true
+		} else {
+			liveReg[in] = true
+		}
+	}
+	peak, peakShm := len(liveReg), len(liveShm)
+	prof := make([]int, len(order))
+	for i, idx := range order {
+		op := g.Ops[idx]
+		before := len(liveReg)
+		for _, s := range op.Srcs {
+			remaining[s]--
+			if remaining[s] == 0 && !outputs[s] {
+				delete(liveReg, s)
+				delete(liveShm, s)
+			}
+		}
+		if remaining[op.Dst] > 0 || outputs[op.Dst] {
+			if spilled[op.Dst] && !outputs[op.Dst] {
+				liveShm[op.Dst] = true // streamed to shared memory as produced
+			} else {
+				liveReg[op.Dst] = true
+			}
+		}
+		after := len(liveReg)
+		p := before
+		if after > p {
+			p = after
+		}
+		if op.Mul {
+			p++ // Montgomery scratch
+		}
+		prof[i] = p
+		if p > peak {
+			peak = p
+		}
+		if len(liveShm) > peakShm {
+			peakShm = len(liveShm)
+		}
+	}
+	return peak, prof, peakShm
+}
+
+// chooseVictim picks the register-resident value at order[peakIdx] whose
+// next use is furthest away (Belady). Kernel outputs (the accumulator,
+// which must end in registers) and already-spilled values are ineligible;
+// the op's own destination is kept in registers.
+func chooseVictim(g *Graph, order []int, peakIdx int, spilled map[string]bool) string {
+	outputs := map[string]bool{}
+	for _, o := range g.Outputs {
+		outputs[o] = true
+	}
+	dst := g.Ops[order[peakIdx]].Dst
+	// next use position at or after peakIdx, per value.
+	nextUse := map[string]int{}
+	for pos := len(order) - 1; pos >= peakIdx; pos-- {
+		for _, s := range g.Ops[order[pos]].Srcs {
+			nextUse[s] = pos
+		}
+	}
+	definedBefore := map[string]bool{}
+	for _, in := range g.Inputs {
+		definedBefore[in] = true
+	}
+	for pos := 0; pos < peakIdx; pos++ {
+		definedBefore[g.Ops[order[pos]].Dst] = true
+	}
+	best, bestDist := "", -1
+	for v, use := range nextUse {
+		if !definedBefore[v] || v == dst || spilled[v] || outputs[v] {
+			continue
+		}
+		if use > bestDist {
+			best, bestDist = v, use
+		}
+	}
+	return best
+}

@@ -1,0 +1,216 @@
+package kzg
+
+import (
+	"math/rand"
+	"testing"
+
+	"distmsm/internal/bigint"
+	"distmsm/internal/core"
+	"distmsm/internal/curve"
+	"distmsm/internal/field"
+	"distmsm/internal/gpusim"
+)
+
+func scheme(t testing.TB) *Scheme {
+	t.Helper()
+	s, err := NewScheme()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func randPoly(f *field.Field, rnd *rand.Rand, n int) []field.Element {
+	out := make([]field.Element, n)
+	for i := range out {
+		out[i] = f.Rand(rnd)
+	}
+	return out
+}
+
+func TestCommitOpenVerify(t *testing.T) {
+	s := scheme(t)
+	rnd := rand.New(rand.NewSource(1))
+	srs, err := s.Setup(64, rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, deg := range []int{0, 1, 7, 63} {
+		p := randPoly(s.Fr, rnd, deg+1)
+		com, err := s.Commit(srs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z := s.Fr.Rand(rnd)
+		y, proof, err := s.Open(srs, p, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !y.Equal(evalPoly(s.Fr, p, z)) {
+			t.Fatalf("deg %d: opened value wrong", deg)
+		}
+		ok, err := s.Verify(srs, com, z, y, proof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("deg %d: valid opening rejected", deg)
+		}
+		// A wrong evaluation must be rejected.
+		bad := s.Fr.NewElement()
+		s.Fr.Add(bad, y, s.Fr.One())
+		ok, err = s.Verify(srs, com, z, bad, proof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("deg %d: wrong evaluation accepted", deg)
+		}
+	}
+}
+
+func TestCommitRejectsOversized(t *testing.T) {
+	s := scheme(t)
+	rnd := rand.New(rand.NewSource(2))
+	srs, err := s.Setup(4, rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Commit(srs, randPoly(s.Fr, rnd, 7)); err == nil {
+		t.Fatal("oversized polynomial accepted")
+	}
+	if _, err := s.Commit(srs, nil); err == nil {
+		t.Fatal("empty polynomial accepted")
+	}
+	if _, err := s.Setup(0, rnd); err == nil {
+		t.Fatal("degree-0 SRS accepted")
+	}
+}
+
+func TestCommitmentIsBinding(t *testing.T) {
+	// Two different polynomials almost surely have different commitments,
+	// and the same polynomial always has the same commitment.
+	s := scheme(t)
+	rnd := rand.New(rand.NewSource(3))
+	srs, err := s.Setup(16, rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := randPoly(s.Fr, rnd, 10)
+	p2 := randPoly(s.Fr, rnd, 10)
+	c1, _ := s.Commit(srs, p1)
+	c1b, _ := s.Commit(srs, p1)
+	c2, _ := s.Commit(srs, p2)
+	if !s.P.Curve.EqualAffine(&c1, &c1b) {
+		t.Fatal("commitment not deterministic")
+	}
+	if s.P.Curve.EqualAffine(&c1, &c2) {
+		t.Fatal("distinct polynomials collided")
+	}
+}
+
+func TestBatchOpenVerify(t *testing.T) {
+	s := scheme(t)
+	rnd := rand.New(rand.NewSource(4))
+	srs, err := s.Setup(32, rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polys := [][]field.Element{
+		randPoly(s.Fr, rnd, 5),
+		randPoly(s.Fr, rnd, 20),
+		randPoly(s.Fr, rnd, 33),
+	}
+	coms := make([]curve.PointAffine, len(polys))
+	for i, p := range polys {
+		c, err := s.Commit(srs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coms[i] = c
+	}
+	z := s.Fr.Rand(rnd)
+	ys, proof, err := s.BatchOpen(srs, polys, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := s.BatchVerify(srs, coms, z, ys, proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("valid batch opening rejected")
+	}
+	// Tampering with any evaluation breaks the batch.
+	s.Fr.Add(ys[1], ys[1], s.Fr.One())
+	ok, err = s.BatchVerify(srs, coms, z, ys, proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("tampered batch accepted")
+	}
+	// Arity errors.
+	if _, err := s.BatchVerify(srs, coms[:1], z, ys, proof); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if _, _, err := s.BatchOpen(srs, nil, z); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+// Committing through the simulated multi-GPU DistMSM engine: same
+// commitment, modeled GPU cost recorded.
+func TestCommitViaDistMSM(t *testing.T) {
+	s := scheme(t)
+	rnd := rand.New(rand.NewSource(5))
+	srs, err := s.Setup(128, rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := randPoly(s.Fr, rnd, 129)
+	cpuCom, err := s.Commit(srs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := gpusim.NewCluster(gpusim.A100(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var modeled float64
+	s.MSM = func(points []curve.PointAffine, scalars []bigint.Nat) (*curve.PointXYZZ, error) {
+		res, err := core.Run(s.P.Curve, cl, points, scalars, core.Options{WindowSize: 8})
+		if err != nil {
+			return nil, err
+		}
+		modeled += res.Cost.Total()
+		return res.Point, nil
+	}
+	gpuCom, err := s.Commit(srs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.P.Curve.EqualAffine(&cpuCom, &gpuCom) {
+		t.Fatal("DistMSM commitment differs from CPU commitment")
+	}
+	if modeled <= 0 {
+		t.Fatal("no modeled GPU time recorded")
+	}
+}
+
+func BenchmarkCommit(b *testing.B) {
+	s := scheme(b)
+	rnd := rand.New(rand.NewSource(6))
+	srs, err := s.Setup(1<<10, rnd)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := randPoly(s.Fr, rnd, 1<<10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Commit(srs, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package msm
+
+import (
+	"math/big"
+	"testing"
+
+	"distmsm/internal/bigint"
+	"distmsm/internal/curve"
+)
+
+// --- precomputation (§2.3.1) ---
+
+func TestPrecomputedMSMMatchesReference(t *testing.T) {
+	for _, name := range []string{"BN254", "BLS12-381"} {
+		c := mustCurve(t, name)
+		n := 48
+		points := c.SamplePoints(n, 51)
+		scalars := c.SampleScalars(n, 52)
+		want := c.MSMReference(points, scalars)
+		for _, cfg := range []Config{
+			{WindowSize: 6},
+			{WindowSize: 9, Signed: true},
+		} {
+			pre, err := Precompute(c, points, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := pre.MSM(scalars)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !c.EqualXYZZ(got, want) {
+				t.Fatalf("%s cfg=%+v: precomputed MSM mismatch", name, cfg)
+			}
+			if pre.Tables() < 2 {
+				t.Fatalf("%s: suspicious table count %d", name, pre.Tables())
+			}
+		}
+	}
+}
+
+func TestPrecomputedErrors(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	points := c.SamplePoints(4, 1)
+	pre, err := Precompute(c, points, Config{WindowSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pre.MSM(c.SampleScalars(5, 2)); err == nil {
+		t.Fatal("scalar-count mismatch must error")
+	}
+	if _, err := Precompute(c, points, Config{WindowSize: 40}); err == nil {
+		t.Fatal("oversized window must error")
+	}
+}
+
+// --- batch-affine accumulation ---
+
+func TestBatchAffineSumMatchesWindowSum(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	n := 200
+	points := c.SamplePoints(n, 61)
+	// Digits engineered to hit all edge cases: zeros, negatives, repeats
+	// (same bucket repeatedly → doubling path), and a duplicate point.
+	digits := make([]int32, n)
+	for i := range digits {
+		switch i % 6 {
+		case 0:
+			digits[i] = 0
+		case 1:
+			digits[i] = 7
+		case 2:
+			digits[i] = -7
+		case 3:
+			digits[i] = int32(i%15 + 1)
+		case 4:
+			digits[i] = 1
+		default:
+			digits[i] = 15
+		}
+	}
+	points[10] = points[4] // duplicate point into bucket 1 (doubling edge)
+	digits[10], digits[4] = 1, 1
+
+	nBuckets := 16
+	got := BatchAffineSum(c, points, digits, nBuckets)
+
+	a := c.NewAdder()
+	cfg := Config{WindowSize: 4}
+	want := windowSum(c, points, digits, cfg, a)
+	// Reduce got buckets the same way and compare.
+	running := c.NewXYZZ()
+	total := c.NewXYZZ()
+	for b := nBuckets - 1; b >= 1; b-- {
+		if !got[b].Inf {
+			a.Acc(running, &got[b])
+		}
+		a.Add(total, running)
+	}
+	if !c.EqualXYZZ(total, want) {
+		t.Fatal("batch-affine buckets reduce to a different window sum")
+	}
+	// Every non-empty bucket is on the curve.
+	for b := range got {
+		if !got[b].Inf && !c.IsOnCurveAffine(&got[b]) {
+			t.Fatalf("bucket %d off curve", b)
+		}
+	}
+}
+
+func TestBatchAffineMSMMatchesReference(t *testing.T) {
+	c := mustCurve(t, "BLS12-381")
+	n := 64
+	points := c.SamplePoints(n, 71)
+	scalars := c.SampleScalars(n, 72)
+	want := c.MSMReference(points, scalars)
+	for _, cfg := range []Config{
+		{WindowSize: 5},
+		{WindowSize: 8, Signed: true},
+	} {
+		got, err := BatchAffineMSM(c, points, scalars, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.EqualXYZZ(got, want) {
+			t.Fatalf("cfg=%+v: batch-affine MSM mismatch", cfg)
+		}
+	}
+	if _, err := BatchAffineMSM(c, points[:2], scalars, Config{}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	empty, err := BatchAffineMSM(c, nil, nil, Config{})
+	if err != nil || !empty.IsInf() {
+		t.Fatal("empty batch-affine MSM should be infinity")
+	}
+}
+
+// --- GLV endomorphism ---
+
+// subgroupPoints returns n distinct points of the prime-order subgroup
+// (multiples of the canonical generator), required by GLV.
+func subgroupPoints(t *testing.T, c *curve.Curve, n int, seed int64) []curve.PointAffine {
+	t.Helper()
+	a := c.NewAdder()
+	acc := c.NewXYZZ()
+	c.SetAffine(acc, &c.Gen)
+	step := c.SampleScalars(1, seed)[0]
+	base := a.ScalarMul(&c.Gen, step)
+	var chain []*curve.PointXYZZ
+	for i := 0; i < n; i++ {
+		a.Add(base, acc)
+		chain = append(chain, base.Clone())
+	}
+	return c.BatchToAffine(chain)
+}
+
+func TestGLVDecompose(t *testing.T) {
+	for _, name := range []string{"BN254", "BLS12-381"} {
+		c := mustCurve(t, name)
+		g, err := NewGLV(c)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		r := c.ScalarField.Modulus
+		for _, k := range []*big.Int{
+			big.NewInt(1),
+			big.NewInt(0),
+			new(big.Int).Sub(r, big.NewInt(1)),
+			new(big.Int).Rsh(r, 1),
+		} {
+			k1, k2 := g.Decompose(k)
+			// k1 + k2·λ ≡ k (mod r)
+			chk := new(big.Int).Mul(k2, g.lambda)
+			chk.Add(chk, k1).Mod(chk, r)
+			want := new(big.Int).Mod(k, r)
+			if chk.Cmp(want) != 0 {
+				t.Fatalf("%s: decomposition incongruent for k=%v", name, k)
+			}
+			// Both halves are short.
+			if k1.BitLen() > g.halfBits+2 || k2.BitLen() > g.halfBits+2 {
+				t.Fatalf("%s: long half-scalars: %d/%d bits (half=%d)",
+					name, k1.BitLen(), k2.BitLen(), g.halfBits)
+			}
+		}
+	}
+}
+
+func TestGLVPhiIsEndomorphism(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	g, err := NewGLV(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := c.SamplePoints(5, 81)
+	a := c.NewAdder()
+	w := (c.ScalarBits + 63) / 64
+	lam := bigint.FromBig(g.lambda, w)
+	for i := range pts {
+		phi := g.Phi(&pts[i])
+		if !c.IsOnCurveAffine(&phi) {
+			t.Fatal("phi(P) off curve")
+		}
+		want := a.ScalarMul(&pts[i], lam)
+		got := c.NewXYZZ()
+		c.SetAffine(got, &phi)
+		if !c.EqualXYZZ(got, want) {
+			t.Fatalf("phi(P) != lambda*P for sample %d", i)
+		}
+	}
+	inf := g.Phi(&curve.PointAffine{Inf: true})
+	if !inf.Inf {
+		t.Fatal("phi(O) != O")
+	}
+}
+
+func TestGLVMSMMatchesReference(t *testing.T) {
+	for _, name := range []string{"BN254", "BLS12-381"} {
+		c := mustCurve(t, name)
+		g, err := NewGLV(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 48
+		points := subgroupPoints(t, c, n, 91)
+		scalars := c.SampleScalars(n, 92)
+		want := c.MSMReference(points, scalars)
+		got, err := g.MSM(points, scalars, Config{WindowSize: 8, Signed: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.EqualXYZZ(got, want) {
+			t.Fatalf("%s: GLV MSM mismatch", name)
+		}
+		// The inputs must not be corrupted by the sign handling.
+		for i := range points {
+			if !c.IsOnCurveAffine(&points[i]) {
+				t.Fatalf("%s: input point %d mutated", name, i)
+			}
+		}
+		again := c.MSMReference(points, scalars)
+		if !c.EqualXYZZ(again, want) {
+			t.Fatalf("%s: inputs changed by GLV MSM", name)
+		}
+	}
+}
+
+func TestGLVRejectsUnsupportedCurves(t *testing.T) {
+	c := mustCurve(t, "MNT4753") // a = 2, no j-invariant-0 endomorphism
+	if _, err := NewGLV(c); err == nil {
+		t.Fatal("MNT4753 must be rejected")
+	}
+	// BLS12-377 has the endomorphism but no embedded subgroup generator
+	// in this build; GLV must refuse rather than risk wrong results.
+	if _, err := NewGLV(mustCurve(t, "BLS12-377")); err == nil {
+		t.Fatal("BLS12-377 (derived generator) must be rejected")
+	}
+}
+
+func BenchmarkMSMVariants(b *testing.B) {
+	c := mustCurve(b, "BN254")
+	const n = 1 << 12
+	points := c.SamplePoints(n, 5)
+	scalars := c.SampleScalars(n, 6)
+	cfg := Config{Signed: true, Workers: 1}
+
+	b.Run("pippenger", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := MSM(c, points, scalars, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch-affine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := BatchAffineMSM(c, points, scalars, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	g, err := NewGLV(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("glv", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := g.MSM(points, scalars, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	pre, err := Precompute(c, points, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("precomputed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pre.MSM(scalars); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,212 @@
+package msm
+
+import (
+	"math/big"
+	"testing"
+
+	"distmsm/internal/bigint"
+	"distmsm/internal/curve"
+)
+
+func mustCurve(t testing.TB, name string) *curve.Curve {
+	t.Helper()
+	c, err := curve.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDigitsReconstruct(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	for _, s := range []int{1, 4, 11, 13, 16, 23} {
+		for _, k := range c.SampleScalars(20, 42) {
+			digits := Digits(k, c.ScalarBits, s)
+			want := k.ToBig()
+			got := new(big.Int)
+			for j := len(digits) - 1; j >= 0; j-- {
+				got.Lsh(got, uint(s))
+				got.Add(got, big.NewInt(int64(digits[j])))
+			}
+			if got.Cmp(want) != 0 {
+				t.Fatalf("s=%d: digits do not reconstruct scalar", s)
+			}
+		}
+	}
+}
+
+func TestSignedDigitsReconstruct(t *testing.T) {
+	c := mustCurve(t, "BLS12-381")
+	for _, s := range []int{2, 4, 11, 16} {
+		half := int64(1) << (s - 1)
+		for _, k := range c.SampleScalars(20, 43) {
+			digits := SignedDigits(k, c.ScalarBits, s)
+			want := k.ToBig()
+			got := new(big.Int)
+			for j := len(digits) - 1; j >= 0; j-- {
+				d := int64(digits[j])
+				if d < -half+1 && d != -half || d > half {
+					t.Fatalf("s=%d: digit %d out of range", s, d)
+				}
+				got.Lsh(got, uint(s))
+				got.Add(got, big.NewInt(d))
+			}
+			if got.Cmp(want) != 0 {
+				t.Fatalf("s=%d: signed digits do not reconstruct scalar", s)
+			}
+		}
+	}
+}
+
+func TestSignedDigitsEdge(t *testing.T) {
+	// All-ones scalar forces carries through every window.
+	w := 4
+	k := bigint.New(w)
+	for i := range k {
+		k[i] = ^uint64(0)
+	}
+	for _, s := range []int{3, 8, 13} {
+		digits := SignedDigits(k, 256, s)
+		got := new(big.Int)
+		for j := len(digits) - 1; j >= 0; j-- {
+			got.Lsh(got, uint(s))
+			got.Add(got, big.NewInt(int64(digits[j])))
+		}
+		if got.Cmp(k.ToBig()) != 0 {
+			t.Fatalf("s=%d: carry chain broken", s)
+		}
+	}
+}
+
+func TestMSMMatchesReference(t *testing.T) {
+	for _, name := range []string{"BN254", "BLS12-377", "BLS12-381"} {
+		c := mustCurve(t, name)
+		n := 64
+		points := c.SamplePoints(n, 7)
+		scalars := c.SampleScalars(n, 8)
+		want := c.MSMReference(points, scalars)
+
+		for _, cfg := range []Config{
+			{WindowSize: 4, Workers: 1},
+			{WindowSize: 13, Workers: 1},
+			{WindowSize: 8, Workers: 4},
+			{WindowSize: 4, Signed: true, Workers: 1},
+			{WindowSize: 13, Signed: true, Workers: 8},
+			{}, // heuristic everything
+		} {
+			got, err := MSM(c, points, scalars, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !c.EqualXYZZ(got, want) {
+				t.Fatalf("%s cfg=%+v: MSM != reference", name, cfg)
+			}
+		}
+	}
+}
+
+func TestMSMMNT4753(t *testing.T) {
+	c := mustCurve(t, "MNT4753")
+	n := 16
+	points := c.SamplePoints(n, 9)
+	scalars := c.SampleScalars(n, 10)
+	want := c.MSMReference(points, scalars)
+	got, err := MSM(c, points, scalars, Config{WindowSize: 11, Signed: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.EqualXYZZ(got, want) {
+		t.Fatal("753-bit MSM mismatch")
+	}
+}
+
+func TestMSMEdgeCases(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	// empty input
+	got, err := MSM(c, nil, nil, Config{})
+	if err != nil || !got.IsInf() {
+		t.Fatal("empty MSM should be infinity")
+	}
+	// mismatched lengths
+	if _, err := MSM(c, c.SamplePoints(2, 1), c.SampleScalars(3, 1), Config{}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	// all-zero scalars
+	pts := c.SamplePoints(8, 2)
+	zeros := make([]bigint.Nat, 8)
+	for i := range zeros {
+		zeros[i] = bigint.New(4)
+	}
+	got, err = MSM(c, pts, zeros, Config{WindowSize: 5, Workers: 2})
+	if err != nil || !got.IsInf() {
+		t.Fatal("zero-scalar MSM should be infinity")
+	}
+	// single point, scalar one
+	one := bigint.New(4)
+	one.SetUint64(1)
+	got, err = MSM(c, pts[:1], []bigint.Nat{one}, Config{WindowSize: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantP := c.NewXYZZ()
+	c.SetAffine(wantP, &pts[0])
+	if !c.EqualXYZZ(got, wantP) {
+		t.Fatal("1*P != P")
+	}
+}
+
+func TestMSMDuplicatePoints(t *testing.T) {
+	// Duplicate points land in the same bucket, exercising the PACC
+	// doubling edge case inside bucket accumulation.
+	c := mustCurve(t, "BN254")
+	p := c.SamplePoints(1, 3)[0]
+	points := []curve.PointAffine{p, p, p, p}
+	one := bigint.New(4)
+	one.SetUint64(5)
+	scalars := []bigint.Nat{one, one, one, one}
+	got, err := MSM(c, points, scalars, Config{WindowSize: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.MSMReference(points, scalars)
+	if !c.EqualXYZZ(got, want) {
+		t.Fatal("duplicate-point MSM mismatch")
+	}
+}
+
+func TestHeuristicWindowSize(t *testing.T) {
+	small := HeuristicWindowSize(1 << 10)
+	big_ := HeuristicWindowSize(1 << 26)
+	if small >= big_ {
+		t.Fatalf("window size should grow with N: s(2^10)=%d s(2^26)=%d", small, big_)
+	}
+	if got := HeuristicWindowSize(1); got != 1 {
+		t.Fatalf("HeuristicWindowSize(1) = %d", got)
+	}
+	if big_ < 15 || big_ > 24 {
+		t.Fatalf("s(2^26) = %d looks wrong", big_)
+	}
+}
+
+func BenchmarkMSMCPU(b *testing.B) {
+	c := mustCurve(b, "BN254")
+	for _, n := range []int{1 << 10, 1 << 14} {
+		points := c.SamplePoints(n, 5)
+		scalars := c.SampleScalars(n, 6)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := MSM(c, points, scalars, Config{Signed: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return "2^" + string(rune('0'+k/10)) + string(rune('0'+k%10))
+}

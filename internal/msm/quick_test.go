@@ -1,0 +1,97 @@
+package msm
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"distmsm/internal/bigint"
+)
+
+// Property-based tests (testing/quick) on the scalar-recoding and MSM
+// invariants.
+
+func TestQuickDigitsReconstruct(t *testing.T) {
+	prop := func(a, b, c, d uint64, sRaw uint8) bool {
+		s := int(sRaw%22) + 2 // s in [2, 23]
+		k := bigint.Nat{a, b, c, d}
+		v := new(big.Int)
+		for j, dig := range Digits(k, 256, s) {
+			v.Add(v, new(big.Int).Lsh(big.NewInt(int64(dig)), uint(j*s)))
+		}
+		return v.Cmp(k.ToBig()) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSignedDigitsReconstruct(t *testing.T) {
+	prop := func(a, b, c, d uint64, sRaw uint8) bool {
+		s := int(sRaw%20) + 3 // s in [3, 22]
+		k := bigint.Nat{a, b, c, d}
+		v := new(big.Int)
+		half := int64(1) << (s - 1)
+		for j, dig := range SignedDigits(k, 256, s) {
+			if int64(dig) > half || int64(dig) < -half {
+				return false
+			}
+			term := new(big.Int).Lsh(big.NewInt(int64(dig)), uint(j*s))
+			v.Add(v, term)
+		}
+		return v.Cmp(k.ToBig()) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// MSM linearity: MSM(k ∪ {0}) == MSM(k), and scaling one scalar by two
+// equals adding the same point twice.
+func TestQuickMSMSmall(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	points := c.SamplePoints(6, 7)
+	prop := func(k1, k2, k3, k4, k5, k6 uint32) bool {
+		scalars := make([]bigint.Nat, 6)
+		for i, v := range []uint32{k1, k2, k3, k4, k5, k6} {
+			scalars[i] = bigint.New(4)
+			scalars[i].SetUint64(uint64(v))
+		}
+		got, err := MSM(c, points, scalars, Config{WindowSize: 7, Signed: true, Workers: 1})
+		if err != nil {
+			return false
+		}
+		want := c.MSMReference(points, scalars)
+		return c.EqualXYZZ(got, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGLVDecompose(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	g, err := NewGLV(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := c.ScalarField.Modulus
+	prop := func(a, b, cc, d uint64) bool {
+		k := new(big.Int).SetUint64(a)
+		for _, x := range []uint64{b, cc, d} {
+			k.Lsh(k, 64)
+			k.Add(k, new(big.Int).SetUint64(x))
+		}
+		k.Mod(k, r)
+		k1, k2 := g.Decompose(k)
+		chk := new(big.Int).Mul(k2, g.lambda)
+		chk.Add(chk, k1).Mod(chk, r)
+		if chk.Cmp(k) != 0 {
+			return false
+		}
+		return k1.BitLen() <= g.halfBits+2 && k2.BitLen() <= g.halfBits+2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

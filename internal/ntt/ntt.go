@@ -1,0 +1,190 @@
+// Package ntt implements the number-theoretic transform over a prime
+// field's 2-adic multiplicative subgroup — the second pillar of zkSNARK
+// proof generation next to MSM (§5.1.1). It provides in-place forward and
+// inverse transforms, coset transforms (needed by the Groth16 quotient
+// polynomial), and polynomial helpers built on them.
+package ntt
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+
+	"distmsm/internal/field"
+)
+
+// Domain is an evaluation domain of size N = 2^k with a precomputed
+// primitive N-th root of unity.
+type Domain struct {
+	F *field.Field
+	N int
+
+	root    field.Element // ω, order N
+	rootInv field.Element // ω⁻¹
+	nInv    field.Element // N⁻¹
+	// gen is the coset shift g (the field's smallest non-residue-based
+	// generator works; any non-subgroup element does).
+	gen    field.Element
+	genInv field.Element
+}
+
+// NewDomain builds a size-n domain (n must be a power of two within the
+// field's 2-adicity).
+func NewDomain(f *field.Field, n int) (*Domain, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ntt: domain size %d is not a power of two", n)
+	}
+	k := bits.TrailingZeros(uint(n))
+	root, err := f.RootOfUnity(k)
+	if err != nil {
+		return nil, err
+	}
+	d := &Domain{F: f, N: n, root: root}
+	d.rootInv = f.NewElement()
+	f.Inv(d.rootInv, root)
+	nEl := f.FromUint64(uint64(n))
+	d.nInv = f.NewElement()
+	f.Inv(d.nInv, nEl)
+	// Pick a coset shift g with g^N ≠ 1, so the coset never meets the
+	// subgroup (the quotient-polynomial division needs Z_H(g·ω^i) ≠ 0).
+	gN := f.NewElement()
+	for c := uint64(5); ; c += 2 {
+		d.gen = f.FromUint64(c)
+		f.Exp(gN, d.gen, big.NewInt(int64(n)))
+		if !gN.Equal(f.One()) {
+			break
+		}
+	}
+	d.genInv = f.NewElement()
+	f.Inv(d.genInv, d.gen)
+	return d, nil
+}
+
+// Forward computes the in-place NTT of a (natural order in, natural order
+// out): a[j] ← Σ_i a[i]·ω^(ij).
+func (d *Domain) Forward(a []field.Element) { d.transform(a, d.root) }
+
+// Inverse computes the in-place inverse NTT.
+func (d *Domain) Inverse(a []field.Element) {
+	d.transform(a, d.rootInv)
+	tmp := d.F.NewElement()
+	for i := range a {
+		d.F.Mul(tmp, a[i], d.nInv)
+		a[i].Set(tmp)
+	}
+}
+
+// CosetForward evaluates the polynomial on the coset g·⟨ω⟩: it shifts the
+// coefficients by powers of g, then transforms.
+func (d *Domain) CosetForward(a []field.Element) {
+	d.shift(a, d.gen)
+	d.Forward(a)
+}
+
+// CosetInverse interpolates from the coset g·⟨ω⟩ back to coefficients.
+func (d *Domain) CosetInverse(a []field.Element) {
+	d.Inverse(a)
+	d.shift(a, d.genInv)
+}
+
+func (d *Domain) shift(a []field.Element, g field.Element) {
+	f := d.F
+	pw := f.One()
+	tmp := f.NewElement()
+	for i := range a {
+		f.Mul(tmp, a[i], pw)
+		a[i].Set(tmp)
+		f.Mul(tmp, pw, g)
+		pw.Set(tmp)
+	}
+}
+
+// transform is the iterative radix-2 Cooley–Tukey NTT with the given
+// primitive root.
+func (d *Domain) transform(a []field.Element, omega field.Element) {
+	n := len(a)
+	if n != d.N {
+		panic(fmt.Sprintf("ntt: input length %d != domain size %d", n, d.N))
+	}
+	if n == 1 {
+		return
+	}
+	f := d.F
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	t1, t2 := f.NewElement(), f.NewElement()
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		// w_size = ω^(N/size)
+		w := omega.Clone()
+		for m := n; m > size; m >>= 1 {
+			f.Square(t1, w)
+			w.Set(t1)
+		}
+		for start := 0; start < n; start += size {
+			tw := f.One()
+			for k := start; k < start+half; k++ {
+				f.Mul(t1, a[k+half], tw)
+				f.Sub(t2, a[k], t1)
+				f.Add(a[k], a[k], t1)
+				a[k+half].Set(t2)
+				f.Mul(t1, tw, w)
+				tw.Set(t1)
+			}
+		}
+	}
+}
+
+// MulPolys multiplies two coefficient vectors via the NTT, returning a
+// product of length d.N (the caller guarantees deg(a)+deg(b) < N).
+func (d *Domain) MulPolys(a, b []field.Element) ([]field.Element, error) {
+	if len(a) > d.N || len(b) > d.N {
+		return nil, fmt.Errorf("ntt: operands exceed domain size")
+	}
+	f := d.F
+	pa := make([]field.Element, d.N)
+	pb := make([]field.Element, d.N)
+	for i := range pa {
+		pa[i] = f.NewElement()
+		pb[i] = f.NewElement()
+		if i < len(a) {
+			pa[i].Set(a[i])
+		}
+		if i < len(b) {
+			pb[i].Set(b[i])
+		}
+	}
+	d.Forward(pa)
+	d.Forward(pb)
+	tmp := f.NewElement()
+	for i := range pa {
+		f.Mul(tmp, pa[i], pb[i])
+		pa[i].Set(tmp)
+	}
+	d.Inverse(pa)
+	return pa, nil
+}
+
+// EvaluatePoly computes Σ coeffs[i]·x^i by Horner's rule (reference for
+// property tests).
+func EvaluatePoly(f *field.Field, coeffs []field.Element, x field.Element) field.Element {
+	acc := f.NewElement()
+	tmp := f.NewElement()
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		f.Mul(tmp, acc, x)
+		f.Add(acc, tmp, coeffs[i])
+	}
+	return acc
+}
+
+// Gen returns the coset shift g used by the coset transforms.
+func (d *Domain) Gen() field.Element { return d.gen.Clone() }
+
+// Root returns the domain's primitive N-th root of unity.
+func (d *Domain) Root() field.Element { return d.root.Clone() }

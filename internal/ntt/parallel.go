@@ -1,0 +1,159 @@
+package ntt
+
+import (
+	"runtime"
+	"sync"
+
+	"distmsm/internal/field"
+)
+
+// ParallelForward computes the in-place NTT using worker goroutines: at
+// each butterfly level the independent blocks are sharded across
+// workers (the host-side analogue of the GPU NTT's thread-parallel
+// stages). workers <= 0 selects GOMAXPROCS. Output is identical to
+// Forward.
+func (d *Domain) ParallelForward(a []field.Element, workers int) {
+	d.parallelTransform(a, d.root, workers)
+}
+
+// ParallelInverse computes the in-place inverse NTT with workers.
+func (d *Domain) ParallelInverse(a []field.Element, workers int) {
+	d.parallelTransform(a, d.rootInv, workers)
+	f := d.F
+	parallelRange(len(a), workers, func(lo, hi int) {
+		tmp := f.NewElement()
+		for i := lo; i < hi; i++ {
+			f.Mul(tmp, a[i], d.nInv)
+			a[i].Set(tmp)
+		}
+	})
+}
+
+func (d *Domain) parallelTransform(a []field.Element, omega field.Element, workers int) {
+	n := len(a)
+	if n != d.N {
+		panic("ntt: input length != domain size")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n < 1024 || workers == 1 {
+		d.transform(a, omega)
+		return
+	}
+	f := d.F
+	// Bit-reversal permutation (cheap, serial).
+	shift := 64 - uint(trailingZeros(n))
+	for i := 0; i < n; i++ {
+		j := int(reverse64(uint64(i)) >> shift)
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		w := omega.Clone()
+		tmp := f.NewElement()
+		for m := n; m > size; m >>= 1 {
+			f.Square(tmp, w)
+			w.Set(tmp)
+		}
+		blocks := n / size
+		if blocks >= workers {
+			// Shard whole blocks.
+			parallelRange(blocks, workers, func(lo, hi int) {
+				t1, t2, tw, tm := f.NewElement(), f.NewElement(), f.NewElement(), f.NewElement()
+				for blk := lo; blk < hi; blk++ {
+					start := blk * size
+					tw.Set(f.One())
+					for k := start; k < start+half; k++ {
+						f.Mul(t1, a[k+half], tw)
+						f.Sub(t2, a[k], t1)
+						f.Add(a[k], a[k], t1)
+						a[k+half].Set(t2)
+						f.Mul(tm, tw, w)
+						tw.Set(tm)
+					}
+				}
+			})
+			continue
+		}
+		// Few large blocks: shard butterflies inside each block. Each
+		// worker seeds its twiddle as w^lo.
+		for start := 0; start < n; start += size {
+			parallelRange(half, workers, func(lo, hi int) {
+				t1, t2, tm := f.NewElement(), f.NewElement(), f.NewElement()
+				tw := powElement(f, w, lo)
+				for off := lo; off < hi; off++ {
+					k := start + off
+					f.Mul(t1, a[k+half], tw)
+					f.Sub(t2, a[k], t1)
+					f.Add(a[k], a[k], t1)
+					a[k+half].Set(t2)
+					f.Mul(tm, tw, w)
+					tw.Set(tm)
+				}
+			})
+		}
+	}
+}
+
+// powElement computes base^e for a small non-negative exponent.
+func powElement(f *field.Field, base field.Element, e int) field.Element {
+	acc := f.One()
+	tmp := f.NewElement()
+	b := base.Clone()
+	for ; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			f.Mul(tmp, acc, b)
+			acc.Set(tmp)
+		}
+		f.Square(tmp, b)
+		b.Set(tmp)
+	}
+	return acc
+}
+
+// parallelRange splits [0, n) across workers and waits for completion.
+func parallelRange(n, workers int, fn func(lo, hi int)) {
+	if workers <= 1 || n < 2*workers {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func trailingZeros(n int) int {
+	k := 0
+	for n&1 == 0 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+func reverse64(v uint64) uint64 {
+	v = v>>32 | v<<32
+	v = (v&0xffff0000ffff0000)>>16 | (v&0x0000ffff0000ffff)<<16
+	v = (v&0xff00ff00ff00ff00)>>8 | (v&0x00ff00ff00ff00ff)<<8
+	v = (v&0xf0f0f0f0f0f0f0f0)>>4 | (v&0x0f0f0f0f0f0f0f0f)<<4
+	v = (v&0xcccccccccccccccc)>>2 | (v&0x3333333333333333)<<2
+	v = (v&0xaaaaaaaaaaaaaaaa)>>1 | (v&0x5555555555555555)<<1
+	return v
+}

@@ -1,0 +1,117 @@
+package ntt
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distmsm/internal/field"
+)
+
+// Property-based tests (testing/quick) for the NTT.
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := frField(t)
+	d, err := NewDomain(f, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64, coset bool) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		v := randVec(f, rnd, 64)
+		w := cloneVec(v)
+		if coset {
+			d.CosetForward(w)
+			d.CosetInverse(w)
+		} else {
+			d.Forward(w)
+			d.Inverse(w)
+		}
+		for i := range v {
+			if !w[i].Equal(v[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Convolution theorem: NTT(a)·NTT(b) pointwise == NTT(a ⊛ b).
+func TestQuickConvolutionTheorem(t *testing.T) {
+	f := frField(t)
+	d, err := NewDomain(f, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		a := randVec(f, rnd, 12)
+		b := randVec(f, rnd, 12)
+		viaNTT, err := d.MulPolys(a, b)
+		if err != nil {
+			return false
+		}
+		// Schoolbook product evaluated at the domain root.
+		direct := make([]field.Element, 32)
+		for i := range direct {
+			direct[i] = f.NewElement()
+		}
+		tmp := f.NewElement()
+		for i := range a {
+			for j := range b {
+				f.Mul(tmp, a[i], b[j])
+				f.Add(direct[i+j], direct[i+j], tmp)
+			}
+		}
+		for i := range direct {
+			if !viaNTT[i].Equal(direct[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Parseval-flavoured invariant: the NTT of a delta function is the
+// geometric sequence of root powers.
+func TestQuickDeltaTransform(t *testing.T) {
+	f := frField(t)
+	d, err := NewDomain(f, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(posRaw uint8) bool {
+		pos := int(posRaw) % 16
+		v := make([]field.Element, 16)
+		for i := range v {
+			v[i] = f.NewElement()
+		}
+		v[pos].Set(f.One())
+		d.Forward(v)
+		// v[j] should be ω^(pos·j).
+		w := f.One()
+		step := f.NewElement()
+		f.Exp(step, d.Root(), bigFromInt(pos))
+		tmp := f.NewElement()
+		for j := 0; j < 16; j++ {
+			if !v[j].Equal(w) {
+				return false
+			}
+			f.Mul(tmp, w, step)
+			w.Set(tmp)
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bigFromInt(v int) *big.Int { return big.NewInt(int64(v)) }

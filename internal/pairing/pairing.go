@@ -1,0 +1,199 @@
+package pairing
+
+import (
+	"fmt"
+	"math/big"
+
+	"distmsm/internal/curve"
+	"distmsm/internal/field"
+)
+
+// Pairing is a bilinear map e: G1 × G2 → GT over BN254, realised as the
+// Tate pairing: a Miller loop f_{r,P}(ψ(Q)) over the group order r with
+// affine line functions on E(Fp), followed by the final exponentiation
+// to the power (p¹² − 1)/r. Bilinearity and non-degeneracy are verified
+// by the package tests.
+type Pairing struct {
+	Curve *curve.Curve // BN254 G1
+	Fp    *field.Field
+	Fr    *field.Field
+	T     *Tower
+	G2    *G2
+
+	// finalExp = (p¹² − 1)/r (reference path; the structured easy/hard
+	// split in finalexp.go is the default).
+	finalExp *big.Int
+	hardPart *big.Int
+	gammaP2  *E2
+}
+
+// NewBN254 constructs the pairing engine.
+func NewBN254() (*Pairing, error) {
+	c, err := curve.ByName("BN254")
+	if err != nil {
+		return nil, err
+	}
+	t := NewTower(c.Fp)
+	e := &Pairing{Curve: c, Fp: c.Fp, Fr: c.ScalarField, T: t, G2: NewG2(t)}
+	if !e.G2.IsOnCurve(&e.G2.Gen) {
+		return nil, fmt.Errorf("pairing: embedded G2 generator is not on the twist")
+	}
+	p := c.Fp.Modulus
+	p12 := new(big.Int).Exp(p, big.NewInt(12), nil)
+	p12.Sub(p12, big.NewInt(1))
+	e.finalExp = p12.Div(p12, c.ScalarField.Modulus)
+	if new(big.Int).Mul(e.finalExp, c.ScalarField.Modulus).Cmp(new(big.Int).Sub(new(big.Int).Exp(p, big.NewInt(12), nil), big.NewInt(1))) != 0 {
+		return nil, fmt.Errorf("pairing: r does not divide p^12 - 1 (wrong constants)")
+	}
+	return e, nil
+}
+
+// untwist maps a twist point into E(Fp12): (x', y') → (x'·w², y'·w³).
+// In the tower, w² = v and w³ = v·w, so
+// x = x'·v  (an Fp6 coefficient of D0)  and  y = (x'-part in D1 via v·w).
+func (e *Pairing) untwist(q *G2Affine) (x, y E12) {
+	t := e.T
+	// x'·w² = x'·v: place x' in the C1 slot of D0.
+	x = t.E12Zero()
+	t.E2Set(&x.D0.C1, &q.X)
+	// y'·w³ = y'·v·w: place y' in the C1 slot of D1.
+	y = t.E12Zero()
+	t.E2Set(&y.D1.C1, &q.Y)
+	return x, y
+}
+
+// Pair computes e(P, Q). Either argument at infinity yields 1.
+func (e *Pairing) Pair(p *curve.PointAffine, q *G2Affine) E12 {
+	t := e.T
+	if p.Inf || q.Inf {
+		return t.E12One()
+	}
+	f := e.MillerLoop(p, q)
+	return e.FinalExponentiation(&f)
+}
+
+// MillerLoop computes f_{r,P}(ψ(Q)) without the final exponentiation.
+func (e *Pairing) MillerLoop(p *curve.PointAffine, q *G2Affine) E12 {
+	t := e.T
+	fp := e.Fp
+	xQ, yQ := e.untwist(q)
+
+	f := t.E12One()
+	// T = P, affine coordinates over Fp.
+	xT, yT := p.X.Clone(), p.Y.Clone()
+	inf := false
+
+	r := e.Fr.Modulus
+	lam, tmp, num, den := fp.NewElement(), fp.NewElement(), fp.NewElement(), fp.NewElement()
+	line := t.E12Zero()
+
+	evalLine := func() {
+		// l(Q) = λ·xQ − yQ + (yT − λ·xT)
+		t.E12ScaleFp(&line, &xQ, lam)
+		t.E12Sub(&line, &line, &yQ)
+		fp.Mul(tmp, lam, xT)
+		fp.Sub(tmp, yT, tmp)
+		c := t.E12FromFp(tmp)
+		t.E12Add(&line, &line, &c)
+		t.E12Mul(&f, &f, &line)
+	}
+	vertical := func(x field.Element) {
+		// v(Q) = xQ − x
+		c := t.E12FromFp(x)
+		t.E12Sub(&line, &xQ, &c)
+		t.E12Mul(&f, &f, &line)
+	}
+
+	for i := r.BitLen() - 2; i >= 0; i-- {
+		// f = f²·l_{T,T}(Q); T = 2T
+		t.E12Square(&f, &f)
+		if !inf {
+			if yT.IsZero() {
+				vertical(xT)
+				inf = true
+			} else {
+				// λ = 3x²/(2y)
+				fp.Square(num, xT)
+				fp.Double(tmp, num)
+				fp.Add(num, num, tmp)
+				fp.Double(den, yT)
+				fp.Inv(den, den)
+				fp.Mul(lam, num, den)
+				evalLine()
+				// T = 2T (affine)
+				fp.Square(tmp, lam)
+				fp.Sub(tmp, tmp, xT)
+				fp.Sub(tmp, tmp, xT) // x3
+				fp.Sub(num, xT, tmp)
+				fp.Mul(num, lam, num)
+				fp.Sub(yT, num, yT)
+				xT.Set(tmp)
+			}
+		}
+		if r.Bit(i) == 1 && !inf {
+			// f = f·l_{T,P}(Q); T = T + P
+			fp.Sub(den, p.X, xT)
+			if den.IsZero() {
+				fp.Sub(num, p.Y, yT)
+				if num.IsZero() {
+					// T == P: tangent line (handled above pattern)
+					fp.Square(num, xT)
+					fp.Double(tmp, num)
+					fp.Add(num, num, tmp)
+					fp.Double(den, yT)
+					fp.Inv(den, den)
+					fp.Mul(lam, num, den)
+					evalLine()
+					fp.Square(tmp, lam)
+					fp.Sub(tmp, tmp, xT)
+					fp.Sub(tmp, tmp, p.X)
+					fp.Sub(num, xT, tmp)
+					fp.Mul(num, lam, num)
+					fp.Sub(yT, num, yT)
+					xT.Set(tmp)
+				} else {
+					// T == −P: vertical line, T → infinity
+					vertical(xT)
+					inf = true
+				}
+			} else {
+				fp.Inv(den, den)
+				fp.Sub(num, p.Y, yT)
+				fp.Mul(lam, num, den)
+				evalLine()
+				fp.Square(tmp, lam)
+				fp.Sub(tmp, tmp, xT)
+				fp.Sub(tmp, tmp, p.X)
+				fp.Sub(num, xT, tmp)
+				fp.Mul(num, lam, num)
+				fp.Sub(yT, num, yT)
+				xT.Set(tmp)
+			}
+		}
+	}
+	return f
+}
+
+// PairingProduct computes Π e(P_i, Q_i) with one shared final
+// exponentiation — the form Groth16 verification uses.
+func (e *Pairing) PairingProduct(ps []curve.PointAffine, qs []G2Affine) (E12, error) {
+	if len(ps) != len(qs) {
+		return E12{}, fmt.Errorf("pairing: %d G1 points but %d G2 points", len(ps), len(qs))
+	}
+	t := e.T
+	acc := t.E12One()
+	for i := range ps {
+		if ps[i].Inf || qs[i].Inf {
+			continue
+		}
+		f := e.MillerLoop(&ps[i], &qs[i])
+		t.E12Mul(&acc, &acc, &f)
+	}
+	return e.FinalExponentiation(&acc), nil
+}
+
+// GT returns the multiplicative identity of the target group.
+func (e *Pairing) GT() E12 { return e.T.E12One() }
+
+// ReferenceFinalExp exposes the plain (p¹²−1)/r exponent for cross-checks.
+func (e *Pairing) ReferenceFinalExp() *big.Int { return new(big.Int).Set(e.finalExp) }

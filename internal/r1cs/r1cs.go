@@ -1,0 +1,178 @@
+// Package r1cs implements rank-1 constraint systems — the circuit
+// representation the paper's end-to-end workloads use ("the constraints
+// are generated with the R1CS protocol", §5.1.1) — plus builders for the
+// example and synthetic workload circuits.
+package r1cs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"distmsm/internal/field"
+)
+
+// Term is one coefficient·variable product of a linear combination.
+type Term struct {
+	Var   int
+	Coeff field.Element
+}
+
+// LC is a linear combination Σ coeff·var over the witness vector.
+type LC []Term
+
+// Constraint is one rank-1 constraint ⟨A,w⟩·⟨B,w⟩ = ⟨C,w⟩.
+type Constraint struct {
+	A, B, C LC
+}
+
+// System is a rank-1 constraint system. The witness vector layout is
+// [1, public..., private...]: index 0 is the constant one, indices
+// 1..NPublic are public inputs, the rest are private.
+type System struct {
+	F           *field.Field
+	NPublic     int
+	NVars       int // including the constant-one slot
+	Constraints []Constraint
+}
+
+// New creates a system with nPublic public inputs.
+func New(f *field.Field, nPublic int) *System {
+	return &System{F: f, NPublic: nPublic, NVars: 1 + nPublic}
+}
+
+// AllocVar allocates a new private variable, returning its index.
+func (s *System) AllocVar() int {
+	s.NVars++
+	return s.NVars - 1
+}
+
+// AddConstraint appends A·B = C.
+func (s *System) AddConstraint(a, b, c LC) {
+	s.Constraints = append(s.Constraints, Constraint{A: a, B: b, C: c})
+}
+
+// One returns the LC for the constant 1.
+func (s *System) One() LC { return LC{{Var: 0, Coeff: s.F.One()}} }
+
+// Var returns the LC for a single variable with coefficient 1.
+func (s *System) Var(i int) LC { return LC{{Var: i, Coeff: s.F.One()}} }
+
+// EvalLC evaluates a linear combination against a full witness vector.
+func (s *System) EvalLC(lc LC, w []field.Element) field.Element {
+	acc := s.F.NewElement()
+	tmp := s.F.NewElement()
+	for _, t := range lc {
+		s.F.Mul(tmp, t.Coeff, w[t.Var])
+		s.F.Add(acc, acc, tmp)
+	}
+	return acc
+}
+
+// Satisfied checks every constraint against the witness.
+func (s *System) Satisfied(w []field.Element) error {
+	if len(w) != s.NVars {
+		return fmt.Errorf("r1cs: witness length %d != %d variables", len(w), s.NVars)
+	}
+	if !w[0].Equal(s.F.One()) {
+		return fmt.Errorf("r1cs: witness slot 0 must be the constant one")
+	}
+	tmp := s.F.NewElement()
+	for q, c := range s.Constraints {
+		a := s.EvalLC(c.A, w)
+		b := s.EvalLC(c.B, w)
+		cc := s.EvalLC(c.C, w)
+		s.F.Mul(tmp, a, b)
+		if !tmp.Equal(cc) {
+			return fmt.Errorf("r1cs: constraint %d unsatisfied", q)
+		}
+	}
+	return nil
+}
+
+// NewWitness returns a witness vector with slot 0 set to one.
+func (s *System) NewWitness() []field.Element {
+	w := make([]field.Element, s.NVars)
+	for i := range w {
+		w[i] = s.F.NewElement()
+	}
+	w[0].Set(s.F.One())
+	return w
+}
+
+// --- circuit builders ---
+
+// BuildProduct builds the quickstart circuit: public c, private a, b with
+// a·b = c and neither factor equal to 1 (via inverse witnesses for a−1
+// and b−1). Returns the system and the indices of a and b.
+func BuildProduct(f *field.Field) (*System, int, int) {
+	s := New(f, 1) // public: c at index 1
+	a := s.AllocVar()
+	b := s.AllocVar()
+	// a·b = c
+	s.AddConstraint(s.Var(a), s.Var(b), s.Var(1))
+	// (a−1)·invA1 = 1 proves a ≠ 1; same for b.
+	one := f.One()
+	negOne := f.NewElement()
+	f.Neg(negOne, one)
+	for _, v := range []int{a, b} {
+		inv := s.AllocVar()
+		s.AddConstraint(LC{{v, one.Clone()}, {0, negOne.Clone()}}, s.Var(inv), s.One())
+	}
+	return s, a, b
+}
+
+// WitnessProduct builds a witness for BuildProduct given factors a, b.
+func WitnessProduct(s *System, aVal, bVal field.Element) ([]field.Element, error) {
+	f := s.F
+	w := s.NewWitness()
+	w[2].Set(aVal)
+	w[3].Set(bVal)
+	f.Mul(w[1], aVal, bVal)
+	one := f.One()
+	for i, v := range []field.Element{aVal, bVal} {
+		d := f.NewElement()
+		f.Sub(d, v, one)
+		if d.IsZero() {
+			return nil, fmt.Errorf("r1cs: factor %d equals one", i)
+		}
+		f.Inv(w[4+i], d)
+	}
+	return w, nil
+}
+
+// BuildSynthetic builds a satisfiable chain circuit with exactly n
+// multiplication constraints (a hash-chain-like squaring ladder with a
+// random affine twist per step) — the shape used to stand in for the
+// paper's workload circuits. Returns the system and a valid witness.
+func BuildSynthetic(f *field.Field, n int, seed int64) (*System, []field.Element) {
+	rnd := rand.New(rand.NewSource(seed))
+	s := New(f, 1)
+	vars := make([]int, n+1)
+	vals := make([]field.Element, n+1)
+	vars[0] = s.AllocVar()
+	vals[0] = f.Rand(rnd)
+	coeffs := make([]field.Element, n)
+	for q := 0; q < n; q++ {
+		vars[q+1] = s.AllocVar()
+		coeffs[q] = f.Rand(rnd)
+		// x_{q+1} = x_q · (x_q + c_q)
+		s.AddConstraint(
+			s.Var(vars[q]),
+			LC{{vars[q], f.One()}, {0, coeffs[q].Clone()}},
+			s.Var(vars[q+1]),
+		)
+		t := f.NewElement()
+		f.Add(t, vals[q], coeffs[q])
+		vals[q+1] = f.NewElement()
+		f.Mul(vals[q+1], vals[q], t)
+	}
+	// public output = final chain value: out·1 = x_n
+	s.AddConstraint(s.Var(1), s.One(), s.Var(vars[n]))
+
+	w := s.NewWitness()
+	w[1].Set(vals[n])
+	for i, v := range vars {
+		w[v].Set(vals[i])
+	}
+	return s, w
+}

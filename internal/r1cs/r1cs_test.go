@@ -1,0 +1,94 @@
+package r1cs
+
+import (
+	"testing"
+
+	"distmsm/internal/curve"
+	"distmsm/internal/field"
+)
+
+func frField(t testing.TB) *field.Field {
+	t.Helper()
+	c, err := curve.ByName("BN254")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.ScalarField
+}
+
+func TestProductCircuit(t *testing.T) {
+	f := frField(t)
+	cs, aIdx, bIdx := BuildProduct(f)
+	if cs.NPublic != 1 {
+		t.Fatalf("NPublic = %d", cs.NPublic)
+	}
+	a := f.FromUint64(17)
+	b := f.FromUint64(19)
+	w, err := WitnessProduct(cs, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Satisfied(w); err != nil {
+		t.Fatal(err)
+	}
+	if !w[aIdx].Equal(a) || !w[bIdx].Equal(b) {
+		t.Fatal("witness slots wrong")
+	}
+	// A factor of one must be rejected (the circuit forbids trivial
+	// factorisations).
+	if _, err := WitnessProduct(cs, f.One(), b); err == nil {
+		t.Fatal("factor 1 should be rejected")
+	}
+	// A corrupted witness fails.
+	w[1] = f.FromUint64(999)
+	if err := cs.Satisfied(w); err == nil {
+		t.Fatal("corrupted witness accepted")
+	}
+}
+
+func TestSatisfiedValidation(t *testing.T) {
+	f := frField(t)
+	cs, _, _ := BuildProduct(f)
+	if err := cs.Satisfied(make([]field.Element, 2)); err == nil {
+		t.Fatal("short witness accepted")
+	}
+	w := cs.NewWitness()
+	w[0] = f.Zero()
+	if err := cs.Satisfied(w); err == nil {
+		t.Fatal("witness without constant one accepted")
+	}
+}
+
+func TestSyntheticCircuit(t *testing.T) {
+	f := frField(t)
+	for _, n := range []int{1, 5, 100, 1000} {
+		cs, w := BuildSynthetic(f, n, 42)
+		if len(cs.Constraints) != n+1 {
+			t.Fatalf("n=%d: %d constraints", n, len(cs.Constraints))
+		}
+		if err := cs.Satisfied(w); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+	// Deterministic for a fixed seed.
+	_, w1 := BuildSynthetic(f, 10, 7)
+	_, w2 := BuildSynthetic(f, 10, 7)
+	for i := range w1 {
+		if !w1[i].Equal(w2[i]) {
+			t.Fatal("synthetic circuit not deterministic")
+		}
+	}
+}
+
+func TestEvalLC(t *testing.T) {
+	f := frField(t)
+	s := New(f, 0)
+	x := s.AllocVar()
+	w := s.NewWitness()
+	w[x] = f.FromUint64(3)
+	lc := LC{{0, f.FromUint64(10)}, {x, f.FromUint64(4)}}
+	got := s.EvalLC(lc, w)
+	if !got.Equal(f.FromUint64(22)) {
+		t.Fatalf("EvalLC = %v", f.ToBig(got))
+	}
+}

@@ -1,0 +1,66 @@
+package serial
+
+import (
+	"bytes"
+	"testing"
+
+	"distmsm/internal/curve"
+)
+
+// Fuzz-style decoders: arbitrary bytes must never panic, and every
+// successful decode must re-encode to a valid (round-trippable) object.
+
+func FuzzUnmarshalPoint(f *testing.F) {
+	c, err := curve.ByName("BN254")
+	if err != nil {
+		f.Fatal(err)
+	}
+	pts := c.SamplePoints(3, 1)
+	for i := range pts {
+		f.Add(MarshalPoint(c, &pts[i], true))
+		f.Add(MarshalPoint(c, &pts[i], false))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x02})
+	f.Add(bytes.Repeat([]byte{0xff}, 33))
+	f.Add(bytes.Repeat([]byte{0x00}, 65))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := UnmarshalPoint(c, data)
+		if err != nil {
+			return
+		}
+		if !c.IsOnCurveAffine(&p) {
+			t.Fatal("decoder produced an off-curve point")
+		}
+		// Re-encode in the matching form and decode again.
+		compressed := len(data) > 0 && (data[0] == PrefixCompressedE || data[0] == PrefixCompressedO)
+		if len(data) > 0 && data[0] == PrefixInfinity {
+			compressed = true // infinity frames exist in both sizes; pick one
+		}
+		enc := MarshalPoint(c, &p, compressed)
+		back, err := UnmarshalPoint(c, enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !c.EqualAffine(&back, &p) {
+			t.Fatal("round trip changed the point")
+		}
+	})
+}
+
+func FuzzUnmarshalScalar(f *testing.F) {
+	f.Add(bytes.Repeat([]byte{0xab}, 32))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, err := UnmarshalScalar(data, 254)
+		if err != nil {
+			return
+		}
+		enc := MarshalScalar(k, 254)
+		back, err := UnmarshalScalar(enc, 254)
+		if err != nil || !back.Equal(k) {
+			t.Fatal("scalar round trip failed")
+		}
+	})
+}

@@ -1,0 +1,186 @@
+// Package serial provides canonical binary encodings for the library's
+// cryptographic objects: field elements (fixed-width big-endian), curve
+// points (SEC1-style: infinity / compressed with y-parity / uncompressed)
+// and scalars. The Groth16 proof and key encodings in internal/groth16
+// build on it.
+package serial
+
+import (
+	"fmt"
+	"math/big"
+
+	"distmsm/internal/bigint"
+	"distmsm/internal/curve"
+	"distmsm/internal/field"
+)
+
+// Point-encoding prefix bytes (SEC1 §2.3 style).
+const (
+	PrefixInfinity     = 0x00
+	PrefixCompressedE  = 0x02 // even y
+	PrefixCompressedO  = 0x03 // odd y
+	PrefixUncompressed = 0x04
+)
+
+// ElementSize returns the byte length of one encoded field element.
+func ElementSize(f *field.Field) int { return (f.Bits() + 7) / 8 }
+
+// MarshalElement encodes e as fixed-width big-endian bytes (canonical,
+// non-Montgomery form).
+func MarshalElement(f *field.Field, e field.Element) []byte {
+	return f.ToBig(e).FillBytes(make([]byte, ElementSize(f)))
+}
+
+// UnmarshalElement decodes a fixed-width big-endian element, rejecting
+// wrong lengths and non-canonical (≥ p) values.
+func UnmarshalElement(f *field.Field, b []byte) (field.Element, error) {
+	if len(b) != ElementSize(f) {
+		return nil, fmt.Errorf("serial: element length %d, want %d", len(b), ElementSize(f))
+	}
+	v := new(big.Int).SetBytes(b)
+	if v.Cmp(f.Modulus) >= 0 {
+		return nil, fmt.Errorf("serial: element not canonical (>= modulus)")
+	}
+	return f.FromBig(v), nil
+}
+
+// MarshalScalar encodes an MSM scalar as fixed-width big-endian bytes.
+func MarshalScalar(k bigint.Nat, scalarBits int) []byte {
+	size := (scalarBits + 7) / 8
+	return k.ToBig().FillBytes(make([]byte, size))
+}
+
+// UnmarshalScalar decodes a fixed-width scalar.
+func UnmarshalScalar(b []byte, scalarBits int) (bigint.Nat, error) {
+	size := (scalarBits + 7) / 8
+	if len(b) != size {
+		return nil, fmt.Errorf("serial: scalar length %d, want %d", len(b), size)
+	}
+	v := new(big.Int).SetBytes(b)
+	if v.BitLen() > scalarBits {
+		return nil, fmt.Errorf("serial: scalar exceeds %d bits", scalarBits)
+	}
+	return bigint.FromBig(v, (scalarBits+63)/64), nil
+}
+
+// PointSize returns the encoded size of a point (compressed or not).
+func PointSize(c *curve.Curve, compressed bool) int {
+	if compressed {
+		return 1 + ElementSize(c.Fp)
+	}
+	return 1 + 2*ElementSize(c.Fp)
+}
+
+// MarshalPoint encodes an affine point. Infinity encodes as a single
+// zero byte padded to the fixed point size (so framing stays uniform).
+func MarshalPoint(c *curve.Curve, p *curve.PointAffine, compressed bool) []byte {
+	out := make([]byte, PointSize(c, compressed))
+	if p.Inf {
+		out[0] = PrefixInfinity
+		return out
+	}
+	es := ElementSize(c.Fp)
+	if compressed {
+		if c.Fp.ToBig(p.Y).Bit(0) == 1 {
+			out[0] = PrefixCompressedO
+		} else {
+			out[0] = PrefixCompressedE
+		}
+		copy(out[1:], MarshalElement(c.Fp, p.X))
+		return out
+	}
+	out[0] = PrefixUncompressed
+	copy(out[1:1+es], MarshalElement(c.Fp, p.X))
+	copy(out[1+es:], MarshalElement(c.Fp, p.Y))
+	return out
+}
+
+// UnmarshalPoint decodes a point in either form (detected by the prefix),
+// verifying curve membership; compressed points are decompressed with a
+// square root and the encoded y-parity.
+func UnmarshalPoint(c *curve.Curve, b []byte) (curve.PointAffine, error) {
+	if len(b) == 0 {
+		return curve.PointAffine{}, fmt.Errorf("serial: empty point encoding")
+	}
+	f := c.Fp
+	es := ElementSize(f)
+	switch b[0] {
+	case PrefixInfinity:
+		for _, x := range b[1:] {
+			if x != 0 {
+				return curve.PointAffine{}, fmt.Errorf("serial: malformed infinity encoding")
+			}
+		}
+		return curve.PointAffine{Inf: true}, nil
+	case PrefixUncompressed:
+		if len(b) != 1+2*es {
+			return curve.PointAffine{}, fmt.Errorf("serial: uncompressed point length %d", len(b))
+		}
+		x, err := UnmarshalElement(f, b[1:1+es])
+		if err != nil {
+			return curve.PointAffine{}, err
+		}
+		y, err := UnmarshalElement(f, b[1+es:])
+		if err != nil {
+			return curve.PointAffine{}, err
+		}
+		p := curve.PointAffine{X: x, Y: y}
+		if !c.IsOnCurveAffine(&p) {
+			return curve.PointAffine{}, fmt.Errorf("serial: point not on curve")
+		}
+		return p, nil
+	case PrefixCompressedE, PrefixCompressedO:
+		if len(b) != 1+es {
+			return curve.PointAffine{}, fmt.Errorf("serial: compressed point length %d", len(b))
+		}
+		x, err := UnmarshalElement(f, b[1:])
+		if err != nil {
+			return curve.PointAffine{}, err
+		}
+		// y² = x³ + a·x + b
+		rhs, t := f.NewElement(), f.NewElement()
+		f.Square(rhs, x)
+		f.Mul(rhs, rhs, x)
+		f.Mul(t, c.A, x)
+		f.Add(rhs, rhs, t)
+		f.Add(rhs, rhs, c.B)
+		y := f.NewElement()
+		if !f.Sqrt(y, rhs) {
+			return curve.PointAffine{}, fmt.Errorf("serial: x has no point on the curve")
+		}
+		wantOdd := b[0] == PrefixCompressedO
+		if (f.ToBig(y).Bit(0) == 1) != wantOdd {
+			f.Neg(y, y)
+		}
+		return curve.PointAffine{X: x, Y: y}, nil
+	default:
+		return curve.PointAffine{}, fmt.Errorf("serial: unknown point prefix 0x%02x", b[0])
+	}
+}
+
+// MarshalPoints encodes a point vector (uniform framing).
+func MarshalPoints(c *curve.Curve, ps []curve.PointAffine, compressed bool) []byte {
+	size := PointSize(c, compressed)
+	out := make([]byte, 0, size*len(ps))
+	for i := range ps {
+		out = append(out, MarshalPoint(c, &ps[i], compressed)...)
+	}
+	return out
+}
+
+// UnmarshalPoints decodes a vector of n points.
+func UnmarshalPoints(c *curve.Curve, b []byte, n int, compressed bool) ([]curve.PointAffine, error) {
+	size := PointSize(c, compressed)
+	if len(b) != size*n {
+		return nil, fmt.Errorf("serial: point vector length %d, want %d", len(b), size*n)
+	}
+	out := make([]curve.PointAffine, n)
+	for i := 0; i < n; i++ {
+		p, err := UnmarshalPoint(c, b[i*size:(i+1)*size])
+		if err != nil {
+			return nil, fmt.Errorf("serial: point %d: %w", i, err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package serial
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"distmsm/internal/curve"
+)
+
+func mustCurve(t testing.TB, name string) *curve.Curve {
+	t.Helper()
+	c, err := curve.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestElementRoundTrip(t *testing.T) {
+	for _, name := range curve.Names() {
+		c := mustCurve(t, name)
+		rnd := rand.New(rand.NewSource(1))
+		for i := 0; i < 20; i++ {
+			e := c.Fp.Rand(rnd)
+			b := MarshalElement(c.Fp, e)
+			if len(b) != ElementSize(c.Fp) {
+				t.Fatalf("%s: size %d", name, len(b))
+			}
+			back, err := UnmarshalElement(c.Fp, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !back.Equal(e) {
+				t.Fatalf("%s: element round trip failed", name)
+			}
+		}
+		// wrong length / non-canonical rejected
+		if _, err := UnmarshalElement(c.Fp, []byte{1, 2, 3}); err == nil {
+			t.Fatal("short element accepted")
+		}
+		full := bytes.Repeat([]byte{0xff}, ElementSize(c.Fp))
+		if _, err := UnmarshalElement(c.Fp, full); err == nil && name != "MNT4753" {
+			t.Fatalf("%s: non-canonical element accepted", name)
+		}
+	}
+}
+
+func TestScalarRoundTrip(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	for _, k := range c.SampleScalars(20, 2) {
+		b := MarshalScalar(k, c.ScalarBits)
+		back, err := UnmarshalScalar(b, c.ScalarBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(k) {
+			t.Fatal("scalar round trip failed")
+		}
+	}
+	if _, err := UnmarshalScalar([]byte{1}, 254); err == nil {
+		t.Fatal("short scalar accepted")
+	}
+}
+
+func TestPointRoundTrip(t *testing.T) {
+	for _, name := range []string{"BN254", "BLS12-381", "MNT4753"} {
+		c := mustCurve(t, name)
+		pts := c.SamplePoints(10, 3)
+		pts = append(pts, curve.PointAffine{Inf: true})
+		for _, compressed := range []bool{false, true} {
+			for i := range pts {
+				b := MarshalPoint(c, &pts[i], compressed)
+				if len(b) != PointSize(c, compressed) {
+					t.Fatalf("%s: encoded size %d", name, len(b))
+				}
+				back, err := UnmarshalPoint(c, b)
+				if err != nil {
+					t.Fatalf("%s compressed=%v point %d: %v", name, compressed, i, err)
+				}
+				if !c.EqualAffine(&back, &pts[i]) {
+					t.Fatalf("%s compressed=%v: round trip failed", name, compressed)
+				}
+			}
+		}
+	}
+}
+
+func TestPointRejectsInvalid(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	es := ElementSize(c.Fp)
+	// off-curve uncompressed point
+	bad := make([]byte, 1+2*es)
+	bad[0] = PrefixUncompressed
+	bad[es] = 5 // x = 5-ish, y = 0: not on curve
+	if _, err := UnmarshalPoint(c, bad); err == nil {
+		t.Fatal("off-curve point accepted")
+	}
+	// unknown prefix
+	if _, err := UnmarshalPoint(c, append([]byte{0x07}, make([]byte, es)...)); err == nil {
+		t.Fatal("unknown prefix accepted")
+	}
+	// empty
+	if _, err := UnmarshalPoint(c, nil); err == nil {
+		t.Fatal("empty encoding accepted")
+	}
+	// malformed infinity
+	inf := make([]byte, 1+es)
+	inf[3] = 9
+	if _, err := UnmarshalPoint(c, inf); err == nil {
+		t.Fatal("malformed infinity accepted")
+	}
+	// compressed x with no curve point: find a non-residue rhs
+	found := false
+	f := c.Fp
+	for x := uint64(1); x < 200 && !found; x++ {
+		xe := f.FromUint64(x)
+		rhs, tmp := f.NewElement(), f.NewElement()
+		f.Square(rhs, xe)
+		f.Mul(rhs, rhs, xe)
+		f.Mul(tmp, c.A, xe)
+		f.Add(rhs, rhs, tmp)
+		f.Add(rhs, rhs, c.B)
+		if f.Legendre(rhs) == -1 {
+			enc := make([]byte, 1+es)
+			enc[0] = PrefixCompressedE
+			copy(enc[1:], MarshalElement(f, xe))
+			if _, err := UnmarshalPoint(c, enc); err == nil {
+				t.Fatal("x without a curve point accepted")
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no test x found (unexpected)")
+	}
+}
+
+func TestPointVectorRoundTrip(t *testing.T) {
+	c := mustCurve(t, "BLS12-381")
+	pts := c.SamplePoints(7, 4)
+	b := MarshalPoints(c, pts, true)
+	back, err := UnmarshalPoints(c, b, len(pts), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if !c.EqualAffine(&back[i], &pts[i]) {
+			t.Fatalf("vector round trip failed at %d", i)
+		}
+	}
+	if _, err := UnmarshalPoints(c, b[:10], len(pts), true); err == nil {
+		t.Fatal("truncated vector accepted")
+	}
+}

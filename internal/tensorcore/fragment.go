@@ -1,0 +1,126 @@
+package tensorcore
+
+// This file models the output data layout of Figure 7 and the two
+// compaction strategies of §4.3. Tensor-core output fragments scatter the
+// uint32 convolution elements across the warp: within each 32-element
+// block, a group of 4 threads shares the block, each thread holding two
+// consecutive elements of every 8-element run. Compacting four
+// consecutive elements (C_{4t}..C_{4t+3} → Σ C_{4t+j}·2^{8j}) therefore
+// spans two threads — unless the columns of the constant matrix are
+// pre-shuffled so that each thread ends up owning four consecutive
+// outputs, which is DistMSM's on-the-fly compaction trick.
+
+// FragBlock is the fragment block size (uint32 elements per 4-thread group).
+const FragBlock = 32
+
+// FragThreads is the number of threads sharing one fragment block.
+const FragThreads = 4
+
+// NaiveOwner returns the thread (0..3 within the block's thread group)
+// holding output element e under the hardware's natural fragment layout:
+// each thread holds two consecutive elements of every 8-element run.
+func NaiveOwner(e int) int { return (e % 8) / 2 }
+
+// ShuffledColumn returns the matrix column at which output value v must be
+// computed so that, under the natural fragment layout, every group of four
+// consecutive values lands in a single thread. It is the generalisation of
+// the paper's example swap {2,3,18,19} ↔ {8,9,24,25}, applied per
+// 32-element block.
+func ShuffledColumn(v int) int {
+	block := v / FragBlock * FragBlock
+	w := v % FragBlock
+	half := w / 16 // 0 = lower 16 values, 1 = upper 16 values
+	r := w % 16
+	k := r / 4 // destination thread
+	j := r % 4 // index within the thread's group of four
+	// Thread k's positions for half h: {8j' + 2k + (j%2)} with j' = j/2,
+	// offset by 16h.
+	pos := 16*half + 8*(j/2) + 2*k + j%2
+	return block + pos
+}
+
+// ShuffledOwner returns the owning thread of value v after shuffling.
+func ShuffledOwner(v int) int { return NaiveOwner(ShuffledColumn(v) % FragBlock) }
+
+// GroupThreadLocal reports whether compaction group g (values 4g..4g+3)
+// is held entirely by one thread under the given value→thread mapping.
+func GroupThreadLocal(owner func(int) int, g int) bool {
+	t := owner(4 * g)
+	for j := 1; j < 4; j++ {
+		if owner(4*g+j) != t {
+			return false
+		}
+	}
+	return true
+}
+
+// CompactOnTheFly compacts raw convolution outputs within registers:
+// every four consecutive uint32 fold into one value Σ C_{4t+j}·2^{8j}
+// (≤ 47 bits; 45 bits for 256-bit operands), halving the representation
+// to one value per 32 bits of product. Counters record the in-register
+// multiply-adds; no memory traffic is generated.
+func (e *Engine) CompactOnTheFly(c []uint32) []uint64 {
+	n := (len(c) + 3) / 4
+	out := make([]uint64, n)
+	for t := 0; t < n; t++ {
+		var d uint64
+		for j := 0; j < 4; j++ {
+			if idx := 4*t + j; idx < len(c) {
+				d += uint64(c[idx]) << (8 * uint(j))
+			}
+		}
+		out[t] = d
+		e.Counters.CompactOps += 3
+	}
+	return out
+}
+
+// CompactViaMemory models the conventional path the paper criticises:
+// the expanded uint32 fragments are first stored to memory through the
+// official fragment-store API (4× the traffic of the dense form), then
+// recombined. The returned values are identical to CompactOnTheFly; only
+// the counters differ.
+func (e *Engine) CompactViaMemory(c []uint32) []uint64 {
+	e.Counters.MemWrites += len(c)
+	out := make([]uint64, (len(c)+3)/4)
+	for t := range out {
+		var d uint64
+		for j := 0; j < 4; j++ {
+			if idx := 4*t + j; idx < len(c) {
+				d += uint64(c[idx]) << (8 * uint(j))
+			}
+		}
+		out[t] = d
+	}
+	return out
+}
+
+// CompactedToValue folds compacted 32-bit-stride values into 64-bit limbs:
+// value = Σ D_t·2^(32t).
+func CompactedToValue(d []uint64, limbs int) []uint64 {
+	out := make([]uint64, limbs)
+	for t, v := range d {
+		lo := v << (32 * uint(t%2))
+		var hi uint64
+		if t%2 == 1 {
+			hi = v >> 32
+		}
+		idx := t / 2
+		if idx >= len(out) {
+			break
+		}
+		var carry uint64
+		out[idx], carry = add64(out[idx], lo)
+		for i := idx + 1; i < len(out); i++ {
+			add := carry
+			if i == idx+1 {
+				add += hi
+			}
+			if add == 0 {
+				break
+			}
+			out[i], carry = add64(out[i], add)
+		}
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+// Package tensorcore is a bit-exact functional model of the tensor-core
+// big-integer multiplication of DistMSM §4.3. Big integers are split into
+// uint8 digits; multiplication by a *constant* integer (the Montgomery
+// modulus n, or n' = -n⁻¹ mod R) becomes a matrix product against a
+// constant Toeplitz digit matrix, executed as 8×8×16 integer MMA tiles
+// with uint32 accumulators. The package also models the output fragment
+// layout of Figure 7, the column shuffle that makes each thread own four
+// consecutive output elements, and the on-the-fly register compaction
+// that turns the redundant uint32 stream back into dense limbs.
+//
+// Everything is cross-checked against math/big; the op counters feed the
+// GPU cost model in internal/gpusim.
+package tensorcore
+
+// Digits8 converts little-endian 64-bit limbs into little-endian uint8
+// digits (8 per limb).
+func Digits8(limbs []uint64) []uint8 {
+	out := make([]uint8, len(limbs)*8)
+	for i, l := range limbs {
+		for b := 0; b < 8; b++ {
+			out[i*8+b] = uint8(l >> (8 * uint(b)))
+		}
+	}
+	return out
+}
+
+// Batch is the number of independent products one MMA pass computes —
+// the eight 256-bit products of Figure 7a.
+const Batch = 8
+
+// mmaK is the depth of one simulated MMA tile (int8 m8n8k16 shape).
+const mmaK = 16
+
+// Counters tallies the simulated hardware operations for the cost model.
+type Counters struct {
+	MMAOps     int // 8x8x16 tensor-core tile operations
+	Shuffles   int // warp shuffle / layout exchange operations
+	MemWrites  int // uint32 values written to memory (naive compaction path)
+	CompactOps int // in-register multiply-add compaction steps
+}
+
+// Engine multiplies batches of big integers by one constant integer using
+// the simulated tensor-core path.
+type Engine struct {
+	// constDigits are the uint8 digits of the constant operand B.
+	constDigits []uint8
+	// aDigits is the digit count of the variable operand.
+	aDigits int
+
+	Counters Counters
+}
+
+// NewEngine builds an engine computing a × B for the constant B given as
+// little-endian 64-bit limbs; variable operands carry aLimbs limbs.
+func NewEngine(constLimbs []uint64, aLimbs int) *Engine {
+	return &Engine{constDigits: Digits8(constLimbs), aDigits: aLimbs * 8}
+}
+
+// OutputElems returns the number of uint32 convolution outputs per
+// product: one per digit of the full double-width result.
+func (e *Engine) OutputElems() int { return e.aDigits + len(e.constDigits) }
+
+// MulBatch multiplies each of the Batch variable operands (uint8 digit
+// vectors of the engine's width) by the constant, returning the raw
+// uint32 convolution outputs C with C[k] = Σ_{i+j=k} a_i·b_j — the
+// "expanded" tensor-core result whose elements carry at most ~23
+// significant bits. The computation is performed tile by tile through a
+// simulated 8×8×16 integer MMA so the op counters reflect real tensor-core
+// work.
+func (e *Engine) MulBatch(as *[Batch][]uint8) [Batch][]uint32 {
+	nOut := e.OutputElems()
+	var out [Batch][]uint32
+	for r := range out {
+		out[r] = make([]uint32, nOut)
+		if len(as[r]) != e.aDigits {
+			panic("tensorcore: operand digit width mismatch")
+		}
+	}
+
+	// The constant operand forms a Toeplitz matrix Bm with
+	// Bm[i][k] = b_{k-i}; the product row a × Bm yields the convolution.
+	// Tiles: rows of A are the batch (8), columns of A / rows of Bm are
+	// the reduction dimension (digit index i), columns of Bm are outputs.
+	for k0 := 0; k0 < nOut; k0 += Batch { // output-column tiles
+		for i0 := 0; i0 < e.aDigits; i0 += mmaK { // reduction tiles
+			var aTile [Batch][mmaK]uint8
+			for r := 0; r < Batch; r++ {
+				for i := 0; i < mmaK && i0+i < e.aDigits; i++ {
+					aTile[r][i] = as[r][i0+i]
+				}
+			}
+			var bTile [mmaK][Batch]uint8
+			for i := 0; i < mmaK; i++ {
+				for k := 0; k < Batch; k++ {
+					col := k0 + k
+					row := i0 + i
+					if d := col - row; d >= 0 && d < len(e.constDigits) && row < e.aDigits {
+						bTile[i][k] = e.constDigits[d]
+					}
+				}
+			}
+			var cTile [Batch][Batch]uint32
+			mma(&cTile, &aTile, &bTile)
+			e.Counters.MMAOps++
+			for r := 0; r < Batch; r++ {
+				for k := 0; k < Batch && k0+k < nOut; k++ {
+					out[r][k0+k] += cTile[r][k]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// mma is the simulated tensor-core primitive: C += A(8×16) · B(16×8) with
+// uint8 operands and uint32 accumulation, the int8 m8n8k16 MMA shape.
+func mma(c *[Batch][Batch]uint32, a *[Batch][mmaK]uint8, b *[mmaK][Batch]uint8) {
+	for r := 0; r < Batch; r++ {
+		for k := 0; k < Batch; k++ {
+			var acc uint32
+			for i := 0; i < mmaK; i++ {
+				acc += uint32(a[r][i]) * uint32(b[i][k])
+			}
+			c[r][k] += acc
+		}
+	}
+}
+
+// ExpandedToValue folds raw convolution outputs back into 64-bit limbs:
+// value = Σ C[k]·2^(8k). The result has ⌈(len(C)+... )⌉ limbs as needed.
+func ExpandedToValue(c []uint32, limbs int) []uint64 {
+	out := make([]uint64, limbs)
+	for k, v := range c {
+		addShifted(out, uint64(v), 8*k)
+	}
+	return out
+}
+
+// addShifted adds v·2^bitOff into the little-endian limb vector (carries
+// propagate; overflow past the top limb is dropped).
+func addShifted(limbs []uint64, v uint64, bitOff int) {
+	idx := bitOff / 64
+	sh := uint(bitOff % 64)
+	if idx >= len(limbs) {
+		return
+	}
+	lo := v << sh
+	var hi uint64
+	if sh != 0 {
+		hi = v >> (64 - sh)
+	}
+	var carry uint64
+	limbs[idx], carry = add64(limbs[idx], lo)
+	for i := idx + 1; i < len(limbs); i++ {
+		add := carry
+		if i == idx+1 {
+			add += hi // hi < 2^63, carry <= 1: no overflow
+		}
+		if add == 0 {
+			break
+		}
+		limbs[i], carry = add64(limbs[i], add)
+	}
+}
+
+func add64(a, b uint64) (sum, carry uint64) {
+	sum = a + b
+	if sum < a {
+		carry = 1
+	}
+	return
+}

@@ -1,0 +1,105 @@
+package tensorcore
+
+import (
+	"math/big"
+
+	"distmsm/internal/bigint"
+)
+
+// MontMultiplier performs Montgomery modular multiplication with the
+// m×n product of Algorithm 2 executed on the simulated tensor cores
+// (§4.3): both n and n' = -n⁻¹ mod R are constants, so both the
+// reduction-factor computation m = C·n' mod R and the wide product m×n
+// run as digit-matrix multiplications. Results are bit-for-bit equal to
+// the CUDA-core (CIOS) path; the engines' counters expose the tensor-core
+// work for the cost model.
+type MontMultiplier struct {
+	m *bigint.Montgomery
+	// engN multiplies by the modulus n (width w digits → 2w product).
+	engN *Engine
+	// engNPrime multiplies by n' (full width) to form m = C_low·n' mod R.
+	engNPrime *Engine
+	// Compact selects on-the-fly register compaction; when false the
+	// expanded fragments take the memory round trip (CompactViaMemory).
+	Compact bool
+}
+
+// NewMontMultiplier builds the tensor-core Montgomery multiplier for the
+// given Montgomery context.
+func NewMontMultiplier(m *bigint.Montgomery) *MontMultiplier {
+	w := m.Width()
+	r := new(big.Int).Lsh(big.NewInt(1), uint(64*w))
+	nPrime := new(big.Int).ModInverse(m.N.ToBig(), r)
+	nPrime.Neg(nPrime).Mod(nPrime, r)
+	return &MontMultiplier{
+		m:         m,
+		engN:      NewEngine(m.N, w),
+		engNPrime: NewEngine(bigint.FromBig(nPrime, w), w),
+	}
+}
+
+// Counters returns the accumulated simulated-hardware counters of both
+// engines.
+func (t *MontMultiplier) Counters() Counters {
+	a, b := t.engN.Counters, t.engNPrime.Counters
+	return Counters{
+		MMAOps:     a.MMAOps + b.MMAOps,
+		Shuffles:   a.Shuffles + b.Shuffles,
+		MemWrites:  a.MemWrites + b.MemWrites,
+		CompactOps: a.CompactOps + b.CompactOps,
+	}
+}
+
+// MulBatch computes z[i] = x[i]·y[i]·R⁻¹ mod N for a batch of 8
+// independent products (the warp-level batching of Figure 7a). All slices
+// must have the context's width.
+func (t *MontMultiplier) MulBatch(z, x, y *[Batch]bigint.Nat) {
+	w := t.m.Width()
+
+	// Step 1 (CUDA cores): full products C = x·y.
+	var cLow [Batch][]uint8
+	cFull := make([]bigint.Nat, Batch)
+	for i := 0; i < Batch; i++ {
+		c := bigint.New(2 * w)
+		bigint.MulInto(c, x[i], y[i])
+		cFull[i] = c
+		cLow[i] = Digits8(c[:w])
+	}
+
+	// Step 2 (tensor cores): m = (C mod R)·n' mod R.
+	mExpanded := t.engNPrime.MulBatch(&cLow)
+	var mDigits [Batch][]uint8
+	for i := 0; i < Batch; i++ {
+		mLimbs := t.fold(t.engNPrime, mExpanded[i], 2*w)
+		mDigits[i] = Digits8(mLimbs[:w]) // mod R: keep the low w limbs
+	}
+
+	// Step 3 (tensor cores): P = m·n, the multiply the paper offloads.
+	pExpanded := t.engN.MulBatch(&mDigits)
+
+	for i := 0; i < Batch; i++ {
+		p := t.fold(t.engN, pExpanded[i], 2*w+1)
+		// C + P ≡ 0 mod R by construction; (C+P)/R < 2N.
+		sum := bigint.New(2*w + 1)
+		copy(sum, cFull[i])
+		carry := bigint.AddInto(sum[:2*w], sum[:2*w], p[:2*w])
+		sum[2*w] = p[2*w] + carry
+		res := sum[w : 2*w+1] // divide by R
+		copy(z[i], res[:w])
+		if res[w] != 0 || z[i].Cmp(t.m.N) >= 0 {
+			bigint.SubInto(z[i], z[i], t.m.N)
+		}
+	}
+}
+
+// fold converts expanded convolution outputs to limbs via the selected
+// compaction strategy.
+func (t *MontMultiplier) fold(e *Engine, c []uint32, limbs int) []uint64 {
+	var compacted []uint64
+	if t.Compact {
+		compacted = e.CompactOnTheFly(c)
+	} else {
+		compacted = e.CompactViaMemory(c)
+	}
+	return CompactedToValue(compacted, limbs)
+}

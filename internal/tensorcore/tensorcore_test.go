@@ -1,0 +1,275 @@
+package tensorcore
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"distmsm/internal/bigint"
+)
+
+func randLimbs(rnd *rand.Rand, w int) []uint64 {
+	out := make([]uint64, w)
+	for i := range out {
+		out[i] = rnd.Uint64()
+	}
+	return out
+}
+
+func limbsToBig(l []uint64) *big.Int { return bigint.Nat(l).ToBig() }
+
+func TestDigits8RoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	limbs := randLimbs(rnd, 6)
+	d := Digits8(limbs)
+	if len(d) != 48 {
+		t.Fatalf("digit count %d", len(d))
+	}
+	v := new(big.Int)
+	for i := len(d) - 1; i >= 0; i-- {
+		v.Lsh(v, 8)
+		v.Add(v, big.NewInt(int64(d[i])))
+	}
+	if v.Cmp(limbsToBig(limbs)) != 0 {
+		t.Fatal("Digits8 does not reconstruct value")
+	}
+}
+
+func TestMulBatchMatchesBig(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	for _, w := range []int{4, 6, 12} { // BN254-, BLS-, MNT-class widths
+		constLimbs := randLimbs(rnd, w)
+		e := NewEngine(constLimbs, w)
+		var as [Batch][]uint8
+		aBig := make([]*big.Int, Batch)
+		for i := 0; i < Batch; i++ {
+			a := randLimbs(rnd, w)
+			as[i] = Digits8(a)
+			aBig[i] = limbsToBig(a)
+		}
+		out := e.MulBatch(&as)
+		cBig := limbsToBig(constLimbs)
+		for i := 0; i < Batch; i++ {
+			got := limbsToBig(ExpandedToValue(out[i], 2*w))
+			want := new(big.Int).Mul(aBig[i], cBig)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("w=%d product %d mismatch", w, i)
+			}
+		}
+		if e.Counters.MMAOps == 0 {
+			t.Fatal("no MMA ops counted")
+		}
+	}
+}
+
+// The paper's significant-bits claim: every expanded element carries at
+// most ~23 significant bits (95 uint16 terms for 753-bit operands), and
+// for 256-bit operands the compacted values fit in 45 bits.
+func TestExpandedSignificantBits(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	for _, tc := range []struct {
+		w, maxBits int
+	}{
+		{4, 21},  // 32 terms × (2^8-1)^2 < 2^21
+		{12, 23}, // 96 terms → < 2^23 (the paper's 23-bit bound)
+	} {
+		e := NewEngine(randLimbs(rnd, tc.w), tc.w)
+		var as [Batch][]uint8
+		for i := range as {
+			// all-0xff operands maximise every convolution element
+			d := make([]uint8, tc.w*8)
+			for j := range d {
+				d[j] = 0xff
+			}
+			as[i] = d
+		}
+		eAll := NewEngine(onesLimbs(tc.w), tc.w)
+		out := eAll.MulBatch(&as)
+		for _, c := range out[0] {
+			if bits := bitLen32(c); bits > tc.maxBits {
+				t.Fatalf("w=%d: element has %d significant bits > %d", tc.w, bits, tc.maxBits)
+			}
+		}
+		// compacted bound: 45 bits for 256-bit operands
+		if tc.w == 4 {
+			for _, d := range eAll.CompactOnTheFly(out[0]) {
+				if bits := bitLen64(d); bits > 45 {
+					t.Fatalf("compacted value has %d bits > 45", bits)
+				}
+			}
+		}
+		_ = e
+	}
+}
+
+func onesLimbs(w int) []uint64 {
+	out := make([]uint64, w)
+	for i := range out {
+		out[i] = ^uint64(0)
+	}
+	return out
+}
+
+func bitLen32(v uint32) int { return big.NewInt(int64(v)).BitLen() }
+func bitLen64(v uint64) int { return new(big.Int).SetUint64(v).BitLen() }
+
+func TestCompactionPathsAgree(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	e := NewEngine(randLimbs(rnd, 6), 6)
+	var as [Batch][]uint8
+	for i := range as {
+		as[i] = Digits8(randLimbs(rnd, 6))
+	}
+	out := e.MulBatch(&as)
+	for i := 0; i < Batch; i++ {
+		fly := e.CompactOnTheFly(out[i])
+		mem := e.CompactViaMemory(out[i])
+		if len(fly) != len(mem) {
+			t.Fatal("length mismatch")
+		}
+		for j := range fly {
+			if fly[j] != mem[j] {
+				t.Fatal("compaction paths disagree")
+			}
+		}
+		a := limbsToBig(CompactedToValue(fly, 12))
+		b := limbsToBig(ExpandedToValue(out[i], 12))
+		if a.Cmp(b) != 0 {
+			t.Fatal("CompactedToValue != ExpandedToValue")
+		}
+	}
+	// The memory path must account 4x-traffic writes; the register path none.
+	if e.Counters.MemWrites == 0 || e.Counters.CompactOps == 0 {
+		t.Fatalf("counters not recorded: %+v", e.Counters)
+	}
+}
+
+// Under the natural fragment layout, compaction groups straddle threads;
+// after the column shuffle every group is thread-local (the property that
+// makes on-the-fly compaction possible without warp exchanges).
+func TestFragmentLayoutShuffle(t *testing.T) {
+	anySplit := false
+	for g := 0; g < 16; g++ {
+		if !GroupThreadLocal(NaiveOwner, g) {
+			anySplit = true
+		}
+		if !GroupThreadLocal(ShuffledOwner, g) {
+			t.Fatalf("group %d not thread-local after shuffle", g)
+		}
+	}
+	if !anySplit {
+		t.Fatal("naive layout unexpectedly thread-local (shuffle would be pointless)")
+	}
+	// The shuffle is a permutation within each 32-element block.
+	seen := map[int]bool{}
+	for v := 0; v < FragBlock; v++ {
+		p := ShuffledColumn(v)
+		if p < 0 || p >= FragBlock || seen[p] {
+			t.Fatalf("ShuffledColumn not a block permutation: v=%d p=%d", v, p)
+		}
+		seen[p] = true
+	}
+	// Blocks beyond the first shift consistently.
+	if ShuffledColumn(FragBlock+2) != FragBlock+ShuffledColumn(2) {
+		t.Fatal("shuffle not block-periodic")
+	}
+}
+
+var montModuli = []string{
+	"21888242871839275222246405745257275088696311157297823662689037894645226208583",                                       // BN254
+	"258664426012969094010652733694893533536393512754914660539884262666720468348340822774968888139573360124440321458177",  // BLS12-377
+	"4002409555221667393417789825735904156556882819939007885332058136124031650490837864442687629129015664037894272559787", // BLS12-381
+}
+
+func TestMontMulBatchMatchesCIOS(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	for _, dec := range montModuli {
+		n, _ := new(big.Int).SetString(dec, 10)
+		m, err := bigint.NewMontgomery(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := m.Width()
+		for _, compact := range []bool{false, true} {
+			tm := NewMontMultiplier(m)
+			tm.Compact = compact
+			var xs, ys, zs [Batch]bigint.Nat
+			want := make([]bigint.Nat, Batch)
+			for i := 0; i < Batch; i++ {
+				xs[i] = bigint.FromBig(new(big.Int).Rand(rnd, n), w)
+				ys[i] = bigint.FromBig(new(big.Int).Rand(rnd, n), w)
+				zs[i] = bigint.New(w)
+				want[i] = bigint.New(w)
+				m.MulCIOS(want[i], xs[i], ys[i])
+			}
+			tm.MulBatch(&zs, &xs, &ys)
+			for i := 0; i < Batch; i++ {
+				if !zs[i].Equal(want[i]) {
+					t.Fatalf("mod %s compact=%v: TC Montgomery != CIOS at %d", dec[:12], compact, i)
+				}
+			}
+			c := tm.Counters()
+			if c.MMAOps == 0 {
+				t.Fatal("no tensor-core ops recorded")
+			}
+			if compact && c.MemWrites != 0 {
+				t.Fatal("on-the-fly path should not write fragments to memory")
+			}
+			if !compact && c.MemWrites == 0 {
+				t.Fatal("memory path should record fragment writes")
+			}
+		}
+	}
+}
+
+func TestMontMulEdgeValues(t *testing.T) {
+	n, _ := new(big.Int).SetString(montModuli[0], 10)
+	m, _ := bigint.NewMontgomery(n)
+	w := m.Width()
+	tm := NewMontMultiplier(m)
+	tm.Compact = true
+	var xs, ys, zs [Batch]bigint.Nat
+	nm1 := bigint.FromBig(new(big.Int).Sub(n, big.NewInt(1)), w)
+	for i := 0; i < Batch; i++ {
+		zs[i] = bigint.New(w)
+		switch i % 4 {
+		case 0:
+			xs[i], ys[i] = bigint.New(w), nm1.Clone() // 0 * (n-1)
+		case 1:
+			xs[i], ys[i] = nm1.Clone(), nm1.Clone() // (n-1)^2
+		case 2:
+			one := bigint.New(w)
+			one[0] = 1
+			xs[i], ys[i] = one, nm1.Clone()
+		default:
+			xs[i], ys[i] = m.One.Clone(), m.R2.Clone()
+		}
+	}
+	tm.MulBatch(&zs, &xs, &ys)
+	for i := 0; i < Batch; i++ {
+		want := bigint.New(w)
+		m.MulCIOS(want, xs[i], ys[i])
+		if !zs[i].Equal(want) {
+			t.Fatalf("edge case %d mismatch", i)
+		}
+	}
+}
+
+func BenchmarkTCMontMul(b *testing.B) {
+	rnd := rand.New(rand.NewSource(6))
+	n, _ := new(big.Int).SetString(montModuli[0], 10)
+	m, _ := bigint.NewMontgomery(n)
+	w := m.Width()
+	tm := NewMontMultiplier(m)
+	tm.Compact = true
+	var xs, ys, zs [Batch]bigint.Nat
+	for i := 0; i < Batch; i++ {
+		xs[i] = bigint.FromBig(new(big.Int).Rand(rnd, n), w)
+		ys[i] = bigint.FromBig(new(big.Int).Rand(rnd, n), w)
+		zs[i] = bigint.New(w)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.MulBatch(&zs, &xs, &ys)
+	}
+}

@@ -1,0 +1,52 @@
+// Package transcript implements a Fiat–Shamir transcript over SHA-256:
+// both parties absorb the same protocol messages and derive identical
+// pseudo-random challenges, turning interactive arguments (like KZG
+// batch openings) non-interactive.
+package transcript
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/big"
+
+	"distmsm/internal/field"
+)
+
+// Transcript accumulates labelled protocol messages.
+type Transcript struct {
+	state [32]byte
+}
+
+// New creates a transcript bound to a domain-separation label.
+func New(label string) *Transcript {
+	t := &Transcript{}
+	t.Append("domain", []byte(label))
+	return t
+}
+
+// Append absorbs a labelled message: state ← H(state ‖ len(label) ‖
+// label ‖ len(msg) ‖ msg).
+func (t *Transcript) Append(label string, msg []byte) {
+	h := sha256.New()
+	h.Write(t.state[:])
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(label)))
+	h.Write(lenBuf[:])
+	h.Write([]byte(label))
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(msg)))
+	h.Write(lenBuf[:])
+	h.Write(msg)
+	copy(t.state[:], h.Sum(nil))
+}
+
+// Challenge derives a field element from the current state (and ratchets
+// the state so successive challenges are independent).
+func (t *Transcript) Challenge(label string, f *field.Field) field.Element {
+	t.Append("challenge:"+label, nil)
+	// Two hash blocks give > field-size bits; reduce mod p (the bias is
+	// negligible for ~256-bit fields and irrelevant for 753-bit ones).
+	h1 := sha256.Sum256(append(t.state[:], 0x01))
+	h2 := sha256.Sum256(append(t.state[:], 0x02))
+	v := new(big.Int).SetBytes(append(h1[:], h2[:]...))
+	return f.FromBig(v)
+}

@@ -1,0 +1,62 @@
+package transcript
+
+import (
+	"testing"
+
+	"distmsm/internal/curve"
+)
+
+func TestDeterministicAndOrderSensitive(t *testing.T) {
+	c, err := curve.ByName("BN254")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := c.ScalarField
+
+	t1 := New("proto")
+	t1.Append("a", []byte{1, 2, 3})
+	t1.Append("b", []byte{4})
+	c1 := t1.Challenge("x", fr)
+
+	t2 := New("proto")
+	t2.Append("a", []byte{1, 2, 3})
+	t2.Append("b", []byte{4})
+	c2 := t2.Challenge("x", fr)
+	if !c1.Equal(c2) {
+		t.Fatal("same transcript produced different challenges")
+	}
+
+	// Order matters.
+	t3 := New("proto")
+	t3.Append("b", []byte{4})
+	t3.Append("a", []byte{1, 2, 3})
+	if t3.Challenge("x", fr).Equal(c1) {
+		t.Fatal("reordered transcript collided")
+	}
+
+	// Domain separation matters.
+	t4 := New("other-proto")
+	t4.Append("a", []byte{1, 2, 3})
+	t4.Append("b", []byte{4})
+	if t4.Challenge("x", fr).Equal(c1) {
+		t.Fatal("different domain collided")
+	}
+
+	// Message boundaries matter: ("ab", "") vs ("a", "b").
+	t5 := New("proto")
+	t5.Append("l", []byte("ab"))
+	t6 := New("proto")
+	t6.Append("l", []byte("a"))
+	t6.Append("l", []byte("b"))
+	if t5.Challenge("x", fr).Equal(t6.Challenge("x", fr)) {
+		t.Fatal("length framing broken")
+	}
+
+	// Successive challenges differ (state ratchets).
+	t7 := New("proto")
+	x1 := t7.Challenge("x", fr)
+	x2 := t7.Challenge("x", fr)
+	if x1.Equal(x2) {
+		t.Fatal("challenge stream repeated")
+	}
+}

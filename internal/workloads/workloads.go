@@ -1,0 +1,233 @@
+// Package workloads models the end-to-end zkSNARK workloads of Table 4:
+// the three applications (Zcash-Sprout, Otti-SGD, Zen-LeNet) with their
+// R1CS constraint counts, the libsnark CPU prover, and the DistMSM
+// configuration (MSM on 8 GPUs, single-GPU NTT, remaining stages on the
+// CPU). Proof generation is decomposed into the paper's measured stages —
+// MSM 78.2%, NTT 17.9%, others 3.9% of CPU time — with the MSM component
+// derived from this repository's own cost models. Small instances of the
+// same circuit shape are really proven and verified by internal/groth16.
+package workloads
+
+import (
+	"fmt"
+
+	"distmsm/internal/core"
+	"distmsm/internal/curve"
+	"distmsm/internal/gpusim"
+	"distmsm/internal/kernel"
+	"distmsm/internal/ntt"
+)
+
+// Workload is one Table 4 application.
+type Workload struct {
+	Name        string
+	Constraints int
+	// PaperLibsnarkSec / PaperDistMSMSec are the published reference
+	// numbers, used for paper-vs-model reporting in EXPERIMENTS.md.
+	PaperLibsnarkSec float64
+	PaperDistMSMSec  float64
+}
+
+// All returns the Table 4 workloads.
+func All() []Workload {
+	return []Workload{
+		{Name: "Zcash-Sprout", Constraints: 2585747, PaperLibsnarkSec: 145.8, PaperDistMSMSec: 5.8},
+		{Name: "Otti-SGD", Constraints: 6968254, PaperLibsnarkSec: 291.0, PaperDistMSMSec: 11.7},
+		{Name: "Zen-LeNet", Constraints: 77689757, PaperLibsnarkSec: 5036.7, PaperDistMSMSec: 188.7},
+	}
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// Breakdown is a proof-generation time split (seconds).
+type Breakdown struct {
+	MSM, NTT, Other float64
+}
+
+// Total returns the end-to-end seconds.
+func (b Breakdown) Total() float64 { return b.MSM + b.NTT + b.Other }
+
+// The paper's measured stage proportions of CPU proof generation.
+const (
+	msmFraction   = 0.782
+	nttFraction   = 0.179
+	otherFraction = 0.039
+)
+
+// LibsnarkEfficiency scales the repository's (dual-Rome) CPU model down
+// to libsnark's effective throughput — calibrated once against the
+// Zcash-Sprout row of Table 4.
+const LibsnarkEfficiency = 0.155
+
+// proofMSMOps returns the EC point operations of one Groth16 proof's MSM
+// stage for m constraints: four G1 MSMs of size ~m (A, B1, K, Z) plus a
+// G2 MSM whose Fp2 arithmetic costs ~3× G1.
+func proofMSMOps(m int) float64 {
+	s := 16 // libsnark-class fixed window
+	windows := (254 + s - 1) / s
+	perMSM := float64(windows) * (float64(m) + float64(int(1)<<s))
+	return perMSM * (4 + 3)
+}
+
+// LibsnarkProver models the CPU prover for m constraints: the MSM stage
+// from the EC cost model, NTT and "others" at the paper's measured
+// proportions.
+func LibsnarkProver(m int) Breakdown {
+	spec, err := kernel.BuildSpec(kernel.VariantBaseline)
+	if err != nil {
+		panic(err) // static spec construction cannot fail
+	}
+	cpu := gpusim.Rome7742()
+	cpu.ECThroughputRatio *= LibsnarkEfficiency
+	msmSec := gpusim.CPUECOpSeconds(cpu, spec, 254, proofMSMOps(m))
+	return Breakdown{
+		MSM:   msmSec,
+		NTT:   msmSec * nttFraction / msmFraction,
+		Other: msmSec * otherFraction / msmFraction,
+	}
+}
+
+// NTTGPUSpeedup is the paper's measured single-GPU NTT speedup (§5.1.1:
+// "898× for NTT", the Sppark implementation).
+const NTTGPUSpeedup = 898.0
+
+// DistMSMProver models the paper's accelerated configuration for m
+// constraints: the MSM stage on nGPU simulated A100s via DistMSM, NTT on
+// a single GPU, the remaining stages on the CPU.
+func DistMSMProver(m, nGPU int) (Breakdown, error) {
+	c, err := curve.ByName("BN254")
+	if err != nil {
+		return Breakdown{}, err
+	}
+	cl, err := gpusim.NewCluster(gpusim.A100(), nGPU)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	// 4 G1 MSMs of size m plus the G2 MSM at ~3× G1 cost.
+	res, err := core.Analytic(c, cl, m, core.Options{})
+	if err != nil {
+		return Breakdown{}, err
+	}
+	msmSec := res.Cost.Total() * (4 + 3)
+
+	cpu := LibsnarkProver(m)
+	return Breakdown{
+		MSM:   msmSec,
+		NTT:   cpu.NTT / NTTGPUSpeedup,
+		Other: cpu.Other, // stays on the CPU (§5.1.1)
+	}, nil
+}
+
+// AllGPUProjection models the paper's §5.1.1 hypothetical in which the
+// "others" stage is also GPU-accelerated ("similar speedups are expected
+// for these operations"): on a single GPU the distribution becomes
+// ~78.9 / 17.1 / 3.92 %, and accelerating only the MSM across nGPU
+// devices shifts it to ~38.1 / 50.4 / 11.5 % at 8 GPUs — NTT becomes the
+// bottleneck, the paper's argument for future multi-GPU NTT work.
+func AllGPUProjection(m, nGPU int) (Breakdown, error) {
+	cpu := LibsnarkProver(m)
+	// Single-GPU speedups of §5.1.1: 871x for MSM, 898x for NTT; others
+	// assumed to match NTT's class.
+	single := Breakdown{
+		MSM:   cpu.MSM / 871,
+		NTT:   cpu.NTT / NTTGPUSpeedup,
+		Other: cpu.Other / NTTGPUSpeedup,
+	}
+	if nGPU <= 1 {
+		return single, nil
+	}
+	c, err := curve.ByName("BN254")
+	if err != nil {
+		return Breakdown{}, err
+	}
+	cl1, err := gpusim.NewCluster(gpusim.A100(), 1)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	clN, err := gpusim.NewCluster(gpusim.A100(), nGPU)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	r1, err := core.Analytic(c, cl1, m, core.Options{})
+	if err != nil {
+		return Breakdown{}, err
+	}
+	rN, err := core.Analytic(c, clN, m, core.Options{})
+	if err != nil {
+		return Breakdown{}, err
+	}
+	single.MSM *= rN.Cost.Total() / r1.Cost.Total() // DistMSM's own scaling
+	return single, nil
+}
+
+// FutureProjection models the paper's closing §5.1.1 remark — "this
+// analysis still underestimates the potential speedup, as it does not
+// account for the possibility that NTT and others could also benefit
+// from multi-GPU acceleration" — by distributing the NTT with the
+// four-step schedule (internal/ntt) and scaling "others" like the NTT.
+func FutureProjection(m, nGPU int) (Breakdown, error) {
+	base, err := AllGPUProjection(m, nGPU)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	if nGPU <= 1 {
+		return base, nil
+	}
+	cl1, err := gpusim.NewCluster(gpusim.A100(), 1)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	clN, err := gpusim.NewCluster(gpusim.A100(), nGPU)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	// Domain size: next power of two above the constraint count; ~7
+	// transforms per proof, but the ratio is all that matters here.
+	n := 1
+	for n < m {
+		n <<= 1
+	}
+	scale := ntt.MultiGPUNTTSeconds(clN, n, 254) / ntt.MultiGPUNTTSeconds(cl1, n, 254)
+	base.NTT *= scale
+	base.Other *= scale
+	return base, nil
+}
+
+// ProofPipelineEstimate models a proving service generating `proofs`
+// consecutive proofs of m constraints on nGPU devices, with the MSMs
+// software-pipelined per §3.2.3 (the CPU bucket-reduce of one MSM hides
+// behind the GPU phases of the next). Returns (pipelined, serial)
+// end-to-end seconds; the gap is the pipelining head-room.
+func ProofPipelineEstimate(m, nGPU, proofs int) (pipelined, serial float64, err error) {
+	c, err := curve.ByName("BN254")
+	if err != nil {
+		return 0, 0, err
+	}
+	cl, err := gpusim.NewCluster(gpusim.A100(), nGPU)
+	if err != nil {
+		return 0, 0, err
+	}
+	plan, err := core.BuildPlan(c, cl, m, core.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	const msmsPerProof = 7 // 4 G1 MSMs + the G2 MSM at ~3x G1 (as in DistMSMProver)
+	total := proofs * msmsPerProof
+	pipe, err := plan.EstimatePipeline(total)
+	if err != nil {
+		return 0, 0, err
+	}
+	single := plan.EstimateCost()
+	nonMSM := LibsnarkProver(m).NTT/NTTGPUSpeedup + LibsnarkProver(m).Other
+	serialMSM := float64(total) * (single.Scatter + single.BucketSum + single.Transfer +
+		single.BucketReduce + single.WindowReduce)
+	return pipe.Total() + float64(proofs)*nonMSM, serialMSM + float64(proofs)*nonMSM, nil
+}
