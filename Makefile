@@ -1,0 +1,32 @@
+# Build / CI entry points. `make tier1` is the gate every PR must keep
+# green; `make race` runs the engine-bearing packages under the race
+# detector (the concurrent MSM engine lives in internal/core).
+
+GO ?= go
+
+.PHONY: all tier1 build vet test race bench examples
+
+all: tier1
+
+tier1: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core ./internal/msm
+
+bench:
+	$(GO) test -bench=BenchmarkReal -benchmem -run=^$$ .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/scaling
+	$(GO) run ./examples/zkproof
+	$(GO) run ./examples/kzgcommit

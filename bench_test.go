@@ -6,6 +6,8 @@
 package distmsm_test
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -87,6 +89,38 @@ func BenchmarkRealMSM(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkRealEngines compares the serial reference engine with the
+// concurrent per-GPU engine on genuine arithmetic at 2^12–2^16 points,
+// recording the perf trajectory of the concurrent engine from the PR
+// that introduced it onward.
+func BenchmarkRealEngines(b *testing.B) {
+	c, err := distmsm.Curve("BN254")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := distmsm.NewSystem(distmsm.A100, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, logN := range []int{12, 14, 16} {
+		n := 1 << logN
+		points := c.SamplePoints(n, 7)
+		scalars := c.SampleScalars(n, 8)
+		for _, eng := range []distmsm.Engine{distmsm.EngineSerial, distmsm.EngineConcurrent} {
+			b.Run(fmt.Sprintf("%s/2^%d", eng, logN), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_, err := sys.MSMContext(ctx, c, points, scalars,
+						distmsm.WithWindowBits(12), distmsm.WithEngine(eng))
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -5,17 +5,20 @@
 // Usage:
 //
 //	distmsm -curve BN254 -n 4096 -gpus 8 [-window 0] [-device a100]
-//	        [-naive-scatter] [-gpu-reduce] [-unsigned] [-estimate]
+//	        [-engine concurrent] [-naive-scatter] [-gpu-reduce]
+//	        [-unsigned] [-estimate]
 //
 // With -estimate the MSM is priced analytically (paper-scale N allowed);
 // otherwise it is computed functionally and verified against the CPU
-// Pippenger implementation.
+// Pippenger implementation. Ctrl-C cancels an in-flight execution.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"distmsm"
@@ -28,6 +31,7 @@ func main() {
 		gpus      = flag.Int("gpus", 8, "simulated GPU count")
 		device    = flag.String("device", "a100", "device model: a100, rtx4090, amd6900xt")
 		window    = flag.Int("window", 0, "window size s (0 = auto)")
+		engine    = flag.String("engine", "concurrent", "execution engine: serial, concurrent")
 		naive     = flag.Bool("naive-scatter", false, "disable the hierarchical bucket scatter")
 		gpuReduce = flag.Bool("gpu-reduce", false, "keep bucket-reduce on the GPUs")
 		unsigned  = flag.Bool("unsigned", false, "disable signed-digit recoding")
@@ -36,13 +40,15 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*curveName, *device, *n, *gpus, *window, *naive, *gpuReduce, *unsigned, *estimate, *seed); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *curveName, *device, *engine, *n, *gpus, *window, *naive, *gpuReduce, *unsigned, *estimate, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "distmsm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(curveName, device string, n, gpus, window int, naive, gpuReduce, unsigned, estimate bool, seed int64) error {
+func run(ctx context.Context, curveName, device, engine string, n, gpus, window int, naive, gpuReduce, unsigned, estimate bool, seed int64) error {
 	var model distmsm.DeviceModel
 	switch strings.ToLower(device) {
 	case "a100":
@@ -54,6 +60,15 @@ func run(curveName, device string, n, gpus, window int, naive, gpuReduce, unsign
 	default:
 		return fmt.Errorf("unknown device %q", device)
 	}
+	var eng distmsm.Engine
+	switch strings.ToLower(engine) {
+	case "serial":
+		eng = distmsm.EngineSerial
+	case "concurrent":
+		eng = distmsm.EngineConcurrent
+	default:
+		return fmt.Errorf("unknown engine %q", engine)
+	}
 	c, err := distmsm.Curve(curveName)
 	if err != nil {
 		return err
@@ -62,20 +77,21 @@ func run(curveName, device string, n, gpus, window int, naive, gpuReduce, unsign
 	if err != nil {
 		return err
 	}
-	opts := distmsm.Options{
-		WindowSize:        window,
-		ForceNaiveScatter: naive,
-		ReduceOnGPU:       gpuReduce,
-		Unsigned:          unsigned,
+	opts := []distmsm.Option{
+		distmsm.WithWindowBits(window),
+		distmsm.WithEngine(eng),
+		distmsm.WithHierarchicalScatter(!naive),
+		distmsm.WithGPUReduce(gpuReduce),
+		distmsm.WithSignedDigits(!unsigned),
 	}
 
 	var res *distmsm.Result
 	if estimate {
-		res, err = sys.Estimate(c, n, opts)
+		res, err = sys.EstimateContext(ctx, c, n, opts...)
 	} else {
 		points := c.SamplePoints(n, uint64(seed))
 		scalars := c.SampleScalars(n, seed)
-		res, err = sys.MSM(c, points, scalars, opts)
+		res, err = sys.MSMContext(ctx, c, points, scalars, opts...)
 		if err != nil {
 			return err
 		}
@@ -96,11 +112,17 @@ func run(curveName, device string, n, gpus, window int, naive, gpuReduce, unsign
 
 	p := res.Plan
 	fmt.Printf("curve      : %s (λ=%d bits, p=%d bits)\n", c.Name, c.ScalarBits, c.Fp.Bits())
-	fmt.Printf("system     : %d x %s\n", sys.GPUs(), sys.DeviceName())
+	fmt.Printf("system     : %d x %s (%s engine)\n", sys.GPUs(), sys.DeviceName(), eng)
 	fmt.Printf("plan       : s=%d windows=%d buckets=%d signed=%v hierarchical=%v cpu-reduce=%v\n",
 		p.S, p.Windows, p.Buckets, p.Signed, p.Hierarchical, !p.ReduceOnGPU)
 	fmt.Printf("modeled ms : total=%.3f scatter=%.3f bucket-sum=%.3f reduce=%.3f transfer=%.3f\n",
 		res.Cost.Total()*1e3, res.Cost.Scatter*1e3, res.Cost.BucketSum*1e3,
 		res.Cost.BucketReduce*1e3, res.Cost.Transfer*1e3)
+	if !estimate {
+		for _, g := range res.Stats.PerGPU {
+			fmt.Printf("gpu %-6d : %d shards, %d PACC ops, %.3f ms host busy\n",
+				g.GPU, g.Shards, g.PACCOps, float64(g.Busy.Microseconds())/1e3)
+		}
+	}
 	return nil
 }

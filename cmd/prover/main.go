@@ -9,10 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"time"
 
 	"distmsm"
@@ -28,13 +30,15 @@ func main() {
 		seed        = flag.Int64("seed", 1, "circuit/setup seed")
 	)
 	flag.Parse()
-	if err := run(*constraints, *gpus, *out, *seed); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *constraints, *gpus, *out, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "prover:", err)
 		os.Exit(1)
 	}
 }
 
-func run(constraints, gpus int, out string, seed int64) error {
+func run(ctx context.Context, constraints, gpus int, out string, seed int64) error {
 	sys, err := distmsm.NewSystem(distmsm.A100, gpus)
 	if err != nil {
 		return err
@@ -58,7 +62,7 @@ func run(constraints, gpus int, out string, seed int64) error {
 	setupDur := time.Since(start)
 
 	start = time.Now()
-	proof, err := snark.Prove(cs, pk, w, rnd)
+	proof, err := snark.ProveContext(ctx, cs, pk, w, rnd)
 	if err != nil {
 		return err
 	}

@@ -11,8 +11,19 @@
 //	points := c.SamplePoints(1<<12, 1)
 //	scalars := c.SampleScalars(1<<12, 2)
 //	sys, _ := distmsm.NewSystem(distmsm.A100, 8)
-//	res, _ := sys.MSM(c, points, scalars, distmsm.Options{})
+//	res, _ := sys.MSMContext(context.Background(), c, points, scalars)
 //	fmt.Println(c.ToAffine(res.Point), res.Cost.Total())
+//
+// MSMContext is the primary entry point: it is cancellable through its
+// context, configured with functional options (WithWindowBits,
+// WithEngine, WithWorkers, ...), and by default runs the concurrent
+// per-GPU engine — one host worker per simulated GPU, with the CPU
+// bucket-reduce of window j overlapped with the bucket-sum of window
+// j+1 (§3.2.3). Failures match the sentinel errors ErrLengthMismatch,
+// ErrScalarTooWide and ErrNoGPUs via errors.Is.
+//
+// The Options-struct entry points (System.MSM, System.Estimate, ...)
+// are retained as deprecated wrappers; see README.md's MIGRATION table.
 //
 // The packages under internal/ hold the implementation: finite fields,
 // curves, the CPU Pippenger, the GPU performance model, the DistMSM
@@ -22,12 +33,15 @@
 package distmsm
 
 import (
+	"context"
+
 	"distmsm/internal/baselines"
 	"distmsm/internal/bigint"
 	"distmsm/internal/core"
 	"distmsm/internal/curve"
 	"distmsm/internal/experiments"
 	"distmsm/internal/gpusim"
+	"distmsm/internal/kernel"
 	"distmsm/internal/msm"
 )
 
@@ -42,14 +56,142 @@ type (
 	// Scalar is a little-endian multi-precision MSM scalar.
 	Scalar = bigint.Nat
 	// Options configure a DistMSM execution (zero value = full DistMSM).
+	//
+	// Deprecated: new code should pass functional options (WithEngine,
+	// WithWindowBits, ...) to the *Context entry points instead of
+	// filling this struct. WithOptions bridges existing values.
 	Options = core.Options
-	// Result carries the MSM value, modeled cost and execution plan.
+	// Result carries the MSM value, modeled cost, execution plan and
+	// the per-phase/per-GPU execution statistics.
 	Result = core.Result
+	// Stats are the execution statistics of a functional run.
+	Stats = core.Stats
+	// GPUStats is one simulated GPU's share of a concurrent execution.
+	GPUStats = core.GPUStats
 	// Cost is a modeled wall-time breakdown.
 	Cost = gpusim.Cost
 	// Device describes a GPU model.
 	Device = gpusim.Device
+	// Engine selects the host execution engine.
+	Engine = core.Engine
+	// KernelVariant identifies a PADD-kernel optimisation level.
+	KernelVariant = kernel.Variant
 )
+
+// The execution engines of MSMContext.
+const (
+	// EngineSerial is the serial reference composition.
+	EngineSerial = core.EngineSerial
+	// EngineConcurrent runs one worker per simulated GPU and overlaps
+	// the host bucket-reduce with later windows' bucket-sum (§3.2.3).
+	// It produces bit-identical results to EngineSerial.
+	EngineConcurrent = core.EngineConcurrent
+)
+
+// Kernel optimisation levels, in the cumulative Figure 12 order.
+const (
+	KernelBaseline     = kernel.VariantBaseline
+	KernelPACC         = kernel.VariantPACC
+	KernelOptimalOrder = kernel.VariantOptimalOrder
+	KernelSpill        = kernel.VariantSpill
+	KernelTensorCore   = kernel.VariantTensorCore
+	KernelTCCompact    = kernel.VariantTCCompact
+)
+
+// Sentinel errors, matchable with errors.Is.
+var (
+	// ErrLengthMismatch reports points/scalars vectors of unequal length.
+	ErrLengthMismatch = core.ErrLengthMismatch
+	// ErrScalarTooWide reports a scalar wider than the curve's scalar
+	// field (scalars are rejected, never silently truncated).
+	ErrScalarTooWide = core.ErrScalarTooWide
+	// ErrNoGPUs reports a system requested with fewer than one GPU.
+	ErrNoGPUs = gpusim.ErrNoGPUs
+)
+
+// Option configures one MSM execution of the *Context entry points.
+type Option func(*core.Options)
+
+// WithWindowBits forces the window size s; without it the §3.1 workload
+// model searches for the cheapest size.
+func WithWindowBits(s int) Option {
+	return func(o *core.Options) { o.WindowSize = s }
+}
+
+// WithWorkers bounds the host parallelism of the serial engine's
+// bucket-sum (0 = GOMAXPROCS). The concurrent engine is unaffected: it
+// always runs one worker per simulated GPU.
+func WithWorkers(n int) Option {
+	return func(o *core.Options) { o.Workers = n }
+}
+
+// WithSignedDigits toggles signed-digit recoding (on by default; off
+// doubles the bucket count).
+func WithSignedDigits(on bool) Option {
+	return func(o *core.Options) { o.Unsigned = !on }
+}
+
+// WithEngine selects the execution engine. The *Context entry points
+// default to EngineConcurrent.
+func WithEngine(e Engine) Option {
+	return func(o *core.Options) { o.Engine = e }
+}
+
+// WithKernelVariant pins the accumulation-kernel optimisation level
+// (default: the full tensor-core + compaction pipeline).
+func WithKernelVariant(v KernelVariant) Option {
+	return func(o *core.Options) { o.Variant = v; o.VariantSet = true }
+}
+
+// WithHierarchicalScatter toggles the three-level bucket scatter of
+// §3.2.1 (on by default where shared memory allows it).
+func WithHierarchicalScatter(on bool) Option {
+	return func(o *core.Options) { o.ForceNaiveScatter = !on }
+}
+
+// WithGPUReduce keeps bucket-reduce on the GPUs instead of the §3.2.3
+// CPU offload.
+func WithGPUReduce(on bool) Option {
+	return func(o *core.Options) { o.ReduceOnGPU = on }
+}
+
+// WithSplitNDim shares a window across GPUs by splitting the point
+// range — the paper's rejected first approach, kept for ablations.
+func WithSplitNDim(on bool) Option {
+	return func(o *core.Options) { o.SplitNDim = on }
+}
+
+// WithScatterBlock overrides the scatter thread-block geometry:
+// `threads` per block, `k` register-cached coefficients per thread.
+func WithScatterBlock(threads, k int) Option {
+	return func(o *core.Options) { o.Block = core.BlockConfig{Threads: threads, K: k} }
+}
+
+// WithOptions overlays a legacy Options struct wholesale — the
+// migration bridge for code still building core.Options values. The
+// struct's zero-valued Engine field cannot express a deliberate choice,
+// so the engine selected so far (the EngineConcurrent default, or an
+// earlier WithEngine) is preserved unless the struct names a non-zero
+// engine; combine with WithEngine(EngineSerial) to force the serial
+// reference.
+func WithOptions(legacy Options) Option {
+	return func(o *core.Options) {
+		engine := o.Engine
+		*o = legacy
+		if legacy.Engine == EngineSerial {
+			o.Engine = engine
+		}
+	}
+}
+
+// buildOptions resolves functional options over the *Context defaults.
+func buildOptions(opts []Option) core.Options {
+	o := core.Options{Engine: core.EngineConcurrent}
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
 
 // DeviceModel selects a GPU profile for NewSystem.
 type DeviceModel int
@@ -83,7 +225,8 @@ type System struct {
 	cluster *gpusim.Cluster
 }
 
-// NewSystem builds an n-GPU system of the given device model.
+// NewSystem builds an n-GPU system of the given device model. It
+// returns ErrNoGPUs when n < 1.
 func NewSystem(model DeviceModel, n int) (*System, error) {
 	cl, err := gpusim.NewCluster(model.device(), n)
 	if err != nil {
@@ -98,20 +241,74 @@ func (s *System) GPUs() int { return s.cluster.N }
 // DeviceName returns the modeled device name.
 func (s *System) DeviceName() string { return s.cluster.Dev.Name }
 
-// MSM computes Σ scalars[i]·points[i] with the DistMSM scheduler,
-// returning the exact result together with the modeled execution cost.
-func (s *System) MSM(c *CurveParams, points []PointAffine, scalars []Scalar, opts Options) (*Result, error) {
-	return core.Run(c, s.cluster, points, scalars, opts)
+// MSMContext computes Σ scalars[i]·points[i] with the DistMSM
+// scheduler, returning the exact result together with the modeled
+// execution cost and the execution statistics.
+//
+// The context is honoured at every shard boundary: cancelling it makes
+// MSMContext return ctx.Err() promptly without leaking workers. With no
+// options the concurrent per-GPU engine runs with an auto-selected
+// window size. An empty input returns a Result holding a non-nil point
+// at infinity, zero Cost and nil Plan, without consulting the planner.
+func (s *System) MSMContext(ctx context.Context, c *CurveParams, points []PointAffine, scalars []Scalar, opts ...Option) (*Result, error) {
+	return core.RunContext(ctx, c, s.cluster, points, scalars, buildOptions(opts))
 }
 
-// Estimate prices an N-point MSM on the system without computing it
-// (the paper-scale analytic mode).
+// EstimateContext prices an N-point MSM on the system without computing
+// it (the paper-scale analytic mode), under the same options as
+// MSMContext.
+func (s *System) EstimateContext(ctx context.Context, c *CurveParams, n int, opts ...Option) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return core.Analytic(c, s.cluster, n, buildOptions(opts))
+}
+
+// EstimatePipelinedContext prices `count` back-to-back MSMs with the
+// §3.2.3 software pipeline (the CPU bucket-reduce of one MSM hides
+// behind the GPU phases of the next), under the same options as
+// MSMContext.
+func (s *System) EstimatePipelinedContext(ctx context.Context, c *CurveParams, n, count int, opts ...Option) (Cost, error) {
+	if err := ctx.Err(); err != nil {
+		return Cost{}, err
+	}
+	plan, err := core.BuildPlan(c, s.cluster, n, buildOptions(opts))
+	if err != nil {
+		return Cost{}, err
+	}
+	return plan.EstimatePipeline(count)
+}
+
+// MSM computes the MSM with an Options struct and no cancellation.
+//
+// Deprecated: use MSMContext with functional options. Unlike
+// MSMContext, MSM defaults to the serial engine (Options zero value).
+func (s *System) MSM(c *CurveParams, points []PointAffine, scalars []Scalar, opts Options) (*Result, error) {
+	return core.RunContext(context.Background(), c, s.cluster, points, scalars, opts)
+}
+
+// Estimate prices an N-point MSM with an Options struct.
+//
+// Deprecated: use EstimateContext with functional options.
 func (s *System) Estimate(c *CurveParams, n int, opts Options) (*Result, error) {
 	return core.Analytic(c, s.cluster, n, opts)
 }
 
+// EstimatePipelined prices `count` back-to-back MSMs with an Options
+// struct.
+//
+// Deprecated: use EstimatePipelinedContext with functional options.
+func (s *System) EstimatePipelined(c *CurveParams, n, count int, opts Options) (Cost, error) {
+	plan, err := core.BuildPlan(c, s.cluster, n, opts)
+	if err != nil {
+		return Cost{}, err
+	}
+	return plan.EstimatePipeline(count)
+}
+
 // CPUMSM computes the MSM with the host Pippenger implementation
-// (reference / fallback path, no simulation).
+// (reference / fallback path, no simulation). An empty input returns a
+// non-nil point at infinity, consistent with MSMContext.
 func CPUMSM(c *CurveParams, points []PointAffine, scalars []Scalar) (*PointXYZZ, error) {
 	return msm.MSM(c, points, scalars, msm.Config{Signed: true})
 }
@@ -131,14 +328,3 @@ func Experiments() []string { return experiments.Names() }
 
 // RunExperiment regenerates one table or figure and returns its report.
 func RunExperiment(name string) (string, error) { return experiments.Run(name) }
-
-// EstimatePipelined prices `count` back-to-back MSMs on the system with
-// the §3.2.3 software pipeline (the CPU bucket-reduce of one MSM hides
-// behind the GPU phases of the next).
-func (s *System) EstimatePipelined(c *CurveParams, n, count int, opts Options) (Cost, error) {
-	plan, err := core.BuildPlan(c, s.cluster, n, opts)
-	if err != nil {
-		return Cost{}, err
-	}
-	return plan.EstimatePipeline(count)
-}

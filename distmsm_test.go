@@ -1,7 +1,10 @@
 package distmsm_test
 
 import (
+	"context"
+	"errors"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -116,6 +119,144 @@ func TestPublicAPISNARK(t *testing.T) {
 	}
 	if snark.ModeledMSMSeconds <= 0 {
 		t.Error("GPU-routed prover should accumulate modeled MSM time")
+	}
+}
+
+func TestPublicAPIMSMContext(t *testing.T) {
+	c, err := distmsm.Curve("BN254")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 96
+	points := c.SamplePoints(n, 11)
+	scalars := c.SampleScalars(n, 12)
+	sys, err := distmsm.NewSystem(distmsm.A100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Default (concurrent engine, auto window) against the CPU reference.
+	res, err := sys.MSMContext(ctx, c, points, scalars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := distmsm.CPUMSM(c, points, scalars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.EqualXYZZ(res.Point, want) {
+		t.Fatal("MSMContext result mismatch")
+	}
+	if len(res.Stats.PerGPU) == 0 {
+		t.Error("concurrent default should record per-GPU stats")
+	}
+
+	// Functional options compose, and the two engines agree bit-for-bit.
+	ser, err := sys.MSMContext(ctx, c, points, scalars,
+		distmsm.WithWindowBits(9),
+		distmsm.WithEngine(distmsm.EngineSerial),
+		distmsm.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := sys.MSMContext(ctx, c, points, scalars,
+		distmsm.WithWindowBits(9),
+		distmsm.WithEngine(distmsm.EngineConcurrent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ser.Point, conc.Point) {
+		t.Fatal("serial and concurrent engines disagree through the public API")
+	}
+
+	// The deprecated Options-struct wrapper still matches, and the
+	// WithOptions bridge carries a legacy struct into the new API.
+	old, err := sys.MSM(c, points, scalars, distmsm.Options{WindowSize: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(old.Point, conc.Point) {
+		t.Fatal("deprecated MSM wrapper diverged")
+	}
+	bridged, err := sys.MSMContext(ctx, c, points, scalars,
+		distmsm.WithOptions(distmsm.Options{WindowSize: 9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bridged.Point, conc.Point) {
+		t.Fatal("WithOptions bridge diverged")
+	}
+}
+
+func TestPublicAPISentinelErrors(t *testing.T) {
+	c, err := distmsm.Curve("BN254")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := distmsm.NewSystem(distmsm.A100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if _, err := distmsm.NewSystem(distmsm.A100, 0); !errors.Is(err, distmsm.ErrNoGPUs) {
+		t.Errorf("want ErrNoGPUs, got %v", err)
+	}
+	_, err = sys.MSMContext(ctx, c, c.SamplePoints(2, 1), c.SampleScalars(1, 1))
+	if !errors.Is(err, distmsm.ErrLengthMismatch) {
+		t.Errorf("want ErrLengthMismatch, got %v", err)
+	}
+	// A scalar one bit past λ must be rejected as too wide.
+	wide := c.SampleScalars(1, 2)
+	words := len(wide[0])
+	wide[0][words-1] = 0
+	wide[0][(c.ScalarBits)/64] |= 1 << (uint(c.ScalarBits) % 64)
+	_, err = sys.MSMContext(ctx, c, c.SamplePoints(1, 2), wide)
+	if !errors.Is(err, distmsm.ErrScalarTooWide) {
+		t.Errorf("want ErrScalarTooWide, got %v", err)
+	}
+}
+
+func TestPublicAPICancellation(t *testing.T) {
+	c, err := distmsm.Curve("BN254")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := distmsm.NewSystem(distmsm.A100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = sys.MSMContext(ctx, c, c.SamplePoints(8, 3), c.SampleScalars(8, 4))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestPublicAPIEmptyInput(t *testing.T) {
+	c, err := distmsm.Curve("BLS12-381")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := distmsm.NewSystem(distmsm.A100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.MSMContext(context.Background(), c, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Point == nil || !res.Point.IsInf() || res.Plan != nil || res.Cost.Total() != 0 {
+		t.Fatal("empty MSMContext must return a non-nil identity, nil plan and zero cost")
+	}
+	pt, err := distmsm.CPUMSM(c, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt == nil || !pt.IsInf() {
+		t.Fatal("empty CPUMSM must return a non-nil point at infinity")
 	}
 }
 

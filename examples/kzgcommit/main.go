@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -37,9 +38,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 	var modeled float64
 	s.MSM = func(points []curve.PointAffine, scalars []bigint.Nat) (*curve.PointXYZZ, error) {
-		res, err := core.Run(s.P.Curve, cl, points, scalars, core.Options{WindowSize: 8})
+		res, err := core.RunContext(ctx, s.P.Curve, cl, points, scalars,
+			core.Options{WindowSize: 8, Engine: core.EngineConcurrent})
 		if err != nil {
 			return nil, err
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +27,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sys.MSM(c, points, scalars, distmsm.Options{})
+	// The concurrent per-GPU engine is the default; the context makes
+	// the execution cancellable at every shard boundary.
+	res, err := sys.MSMContext(context.Background(), c, points, scalars,
+		distmsm.WithEngine(distmsm.EngineConcurrent))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,5 +50,8 @@ func main() {
 		res.Plan.S, res.Plan.Buckets, res.Plan.Hierarchical, !res.Plan.ReduceOnGPU)
 	fmt.Printf("modeled time: %.3f ms (scatter %.3f, bucket-sum %.3f, reduce %.3f)\n",
 		res.Cost.Total()*1e3, res.Cost.Scatter*1e3, res.Cost.BucketSum*1e3, res.Cost.BucketReduce*1e3)
+	for _, g := range res.Stats.PerGPU {
+		fmt.Printf("  gpu %d: %d shards, %d bucket-accumulate ops\n", g.GPU, g.Shards, g.PACCOps)
+	}
 	fmt.Println("verified against CPU Pippenger ✓")
 }

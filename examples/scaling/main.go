@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := sys.Estimate(c, n, distmsm.Options{})
+			res, err := sys.EstimateContext(context.Background(), c, n)
 			if err != nil {
 				log.Fatal(err)
 			}

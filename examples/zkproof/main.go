@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -39,7 +40,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	proof, err := snark.Prove(cs, pk, w, rnd)
+	proof, err := snark.ProveContext(context.Background(), cs, pk, w, rnd)
 	if err != nil {
 		log.Fatal(err)
 	}

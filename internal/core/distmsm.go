@@ -1,18 +1,56 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
+	"time"
 
 	"distmsm/internal/bigint"
 	"distmsm/internal/curve"
 	"distmsm/internal/gpusim"
-	"distmsm/internal/msm"
 )
 
+// Sentinel errors of the execution engines, matchable with errors.Is.
+// The public API re-exports them.
+var (
+	// ErrLengthMismatch is returned when the point and scalar vectors
+	// have different lengths.
+	ErrLengthMismatch = errors.New("core: points/scalars length mismatch")
+	// ErrScalarTooWide is returned when a scalar exceeds the curve's
+	// scalar-field bit width (scalars are rejected, never truncated).
+	ErrScalarTooWide = errors.New("core: scalar wider than the curve scalar field")
+)
+
+// PhaseTimes records the cumulative host-measured busy time of each
+// functional execution phase. These are real wall-clock durations of
+// this host's goroutines (useful for engine comparisons), not the
+// modeled GPU cost — that is Result.Cost.
+type PhaseTimes struct {
+	Scatter      time.Duration
+	BucketSum    time.Duration
+	BucketReduce time.Duration
+	WindowReduce time.Duration
+}
+
+// GPUStats is one simulated GPU's share of a concurrent execution.
+type GPUStats struct {
+	// GPU is the simulated device index.
+	GPU int
+	// Shards is the number of (window, bucket-range) assignments the
+	// GPU's worker executed.
+	Shards int
+	// PACCOps is the bucket-accumulation point operations it performed.
+	PACCOps uint64
+	// Busy is the cumulative host wall time its worker spent summing.
+	Busy time.Duration
+}
+
 // Stats aggregates the simulated-hardware event counts of one execution.
+// The op-count fields are engine-independent: the serial and concurrent
+// engines perform bit-identical work and report identical counts.
 type Stats struct {
 	Scatter ScatterStats
 	// PACCOps is the bucket-accumulation point operations (all GPUs).
@@ -21,6 +59,17 @@ type Stats struct {
 	ReduceOps uint64
 	// WindowOps is the final window-reduction point operations.
 	WindowOps uint64
+	// Phase is the cumulative host busy time per phase.
+	Phase PhaseTimes
+	// PerGPU breaks the bucket-sum work down by simulated GPU. It is
+	// populated by the concurrent engine only (nil for the serial one).
+	PerGPU []GPUStats
+}
+
+func (s *ScatterStats) add(o ScatterStats) {
+	s.GlobalAtomics += o.GlobalAtomics
+	s.SharedAtomics += o.SharedAtomics
+	s.Passes += o.Passes
 }
 
 // Result is the outcome of a DistMSM execution.
@@ -33,74 +82,58 @@ type Result struct {
 	Stats Stats
 }
 
-// Run executes DistMSM functionally: it computes the exact MSM result by
-// running the real scatter/sum/reduce phases of the plan, and prices the
-// same work with the GPU cost model. Use Analytic for paper-scale sizes.
+// Run executes DistMSM without cancellation support.
+//
+// Deprecated: use RunContext, which additionally honours a
+// context.Context and selects the execution engine via Options.Engine.
 func Run(c *curve.Curve, cl *gpusim.Cluster, points []curve.PointAffine, scalars []bigint.Nat, opts Options) (*Result, error) {
+	return RunContext(context.Background(), c, cl, points, scalars, opts)
+}
+
+// RunContext executes DistMSM functionally: it computes the exact MSM
+// result by running the real scatter/sum/reduce phases of the plan, and
+// prices the same work with the GPU cost model. Use Analytic for
+// paper-scale sizes.
+//
+// The context is checked at every shard boundary: cancelling it makes
+// RunContext return ctx.Err() promptly without leaking workers.
+// Options.Engine selects the serial reference or the concurrent
+// per-GPU engine; both produce bit-identical points and op counts.
+//
+// An empty input is answered without building a plan: the Result holds
+// a non-nil point at infinity, a zero Cost and a nil Plan.
+func RunContext(ctx context.Context, c *curve.Curve, cl *gpusim.Cluster, points []curve.PointAffine, scalars []bigint.Nat, opts Options) (*Result, error) {
 	if len(points) != len(scalars) {
-		return nil, fmt.Errorf("core: %d points but %d scalars", len(points), len(scalars))
+		return nil, fmt.Errorf("%w: %d points but %d scalars", ErrLengthMismatch, len(points), len(scalars))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if len(points) == 0 {
 		return &Result{Point: c.NewXYZZ()}, nil
+	}
+	for i, k := range scalars {
+		if k.BitLen() > c.ScalarBits {
+			return nil, fmt.Errorf("%w: scalar %d has %d bits, curve limit is %d",
+				ErrScalarTooWide, i, k.BitLen(), c.ScalarBits)
+		}
 	}
 	plan, err := BuildPlan(c, cl, len(points), opts)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Plan: plan}
-
-	digits, err := digitsMatrix(plan, scalars)
+	var res *Result
+	switch opts.Engine {
+	case EngineConcurrent:
+		res, err = runConcurrent(ctx, points, scalars, plan)
+	case EngineSerial:
+		res, err = runSerial(ctx, points, scalars, plan, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown engine %d", opts.Engine)
+	}
 	if err != nil {
 		return nil, err
 	}
-
-	// Phase 1+2 per window: scatter, then bucket-sum over each GPU's
-	// bucket range. The sums are real (the simulated GPUs' work), run on
-	// host goroutines for speed.
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	windowSums := make([]*curve.PointXYZZ, plan.Windows)
-	bucketAcc := make([][]*curve.PointXYZZ, plan.Windows)
-	for j := 0; j < plan.Windows; j++ {
-		var sc *ScatterResult
-		if plan.Hierarchical {
-			sc, err = HierarchicalScatter(digits[j], plan.Buckets, plan.Block)
-		} else {
-			sc, err = NaiveScatter(digits[j], plan.Buckets)
-		}
-		if err != nil {
-			return nil, err
-		}
-		res.Stats.Scatter.GlobalAtomics += sc.Stats.GlobalAtomics
-		res.Stats.Scatter.SharedAtomics += sc.Stats.SharedAtomics
-		res.Stats.Scatter.Passes += sc.Stats.Passes
-
-		bucketAcc[j], err = sumBuckets(c, points, sc.Buckets, workers, &res.Stats)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// Phase 3 (§3.2.3, host CPU): bucket-reduce each window with the
-	// serial running-suffix method.
-	adder := c.NewAdder()
-	for j := 0; j < plan.Windows; j++ {
-		windowSums[j] = reduceBuckets(c, bucketAcc[j], adder, &res.Stats)
-	}
-
-	// Phase 4: window-reduce by Horner's rule.
-	acc := c.NewXYZZ()
-	for j := plan.Windows - 1; j >= 0; j-- {
-		for b := 0; b < plan.S; b++ {
-			adder.Double(acc)
-			res.Stats.WindowOps++
-		}
-		adder.Add(acc, windowSums[j])
-		res.Stats.WindowOps++
-	}
-	res.Point = acc
 	res.Cost = plan.EstimateCost()
 	return res, nil
 }
@@ -115,43 +148,67 @@ func Analytic(c *curve.Curve, cl *gpusim.Cluster, n int, opts Options) (*Result,
 	return &Result{Plan: plan, Cost: plan.EstimateCost()}, nil
 }
 
-// digitsMatrix recodes scalars per the plan: digits[j][i] is point i's
-// (possibly signed) digit in window j.
-func digitsMatrix(p *Plan, scalars []bigint.Nat) ([][]int32, error) {
-	digits := make([][]int32, p.Windows)
-	for j := range digits {
-		digits[j] = make([]int32, len(scalars))
+// scatterWindow runs the plan's bucket scatter on one window's digits.
+func scatterWindow(p *Plan, digits []int32) (*ScatterResult, error) {
+	if p.Hierarchical {
+		return HierarchicalScatter(digits, p.Buckets, p.Block)
 	}
-	for i, k := range scalars {
-		if k.BitLen() > p.Curve.ScalarBits {
-			return nil, fmt.Errorf("core: scalar %d has %d bits, curve limit is %d",
-				i, k.BitLen(), p.Curve.ScalarBits)
-		}
-		if p.Signed {
-			ds := msm.SignedDigits(k, p.Curve.ScalarBits, p.S)
-			if len(ds) > p.Windows {
-				return nil, fmt.Errorf("core: signed recoding produced %d windows > %d", len(ds), p.Windows)
-			}
-			for j, d := range ds {
-				digits[j][i] = d
-			}
-		} else {
-			for j, d := range msm.Digits(k, p.Curve.ScalarBits, p.S) {
-				digits[j][i] = int32(d)
-			}
-		}
-	}
-	return digits, nil
+	return NaiveScatter(digits, p.Buckets)
 }
 
-// sumBuckets accumulates each bucket's points (PACC per insertion,
-// negating references with negative sign), in parallel across buckets.
+// sumBucketRange accumulates buckets[lo:hi] into out[lo:hi]: one PACC
+// per referenced point, negating references with negative sign. It is
+// the per-shard kernel both engines share, and it validates the bucket
+// references so a corrupt scatter surfaces as an error instead of a
+// silent wrong answer or panic.
+func sumBucketRange(c *curve.Curve, points []curve.PointAffine, buckets [][]int32, lo, hi int, out []*curve.PointXYZZ) (uint64, error) {
+	a := c.NewAdder()
+	negY := c.Fp.NewElement()
+	var ops uint64
+	for b := lo; b < hi; b++ {
+		if len(buckets[b]) == 0 {
+			continue
+		}
+		acc := c.NewXYZZ()
+		for _, ref := range buckets[b] {
+			negated := ref < 0
+			if negated {
+				ref = -ref
+			}
+			if ref < 1 || int(ref) > len(points) {
+				return ops, fmt.Errorf("core: bucket %d references point %d outside the %d-point input", b, ref, len(points))
+			}
+			pt := &points[int(ref)-1]
+			if pt.Inf {
+				continue
+			}
+			if negated {
+				c.Fp.Neg(negY, pt.Y)
+				neg := curve.PointAffine{X: pt.X, Y: negY}
+				a.Acc(acc, &neg)
+			} else {
+				a.Acc(acc, pt)
+			}
+			ops++
+		}
+		out[b] = acc
+	}
+	return ops, nil
+}
+
+// sumBuckets accumulates every bucket, in parallel across `workers`
+// host goroutines; the first worker error is propagated.
 func sumBuckets(c *curve.Curve, points []curve.PointAffine, buckets [][]int32, workers int, stats *Stats) ([]*curve.PointXYZZ, error) {
 	out := make([]*curve.PointXYZZ, len(buckets))
-	var wg sync.WaitGroup
-	var mu sync.Mutex
+	if workers < 1 {
+		workers = 1
+	}
 	chunk := (len(buckets) + workers - 1) / workers
-	var firstErr error
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
 	for w := 0; w < workers; w++ {
 		lo, hi := w*chunk, (w+1)*chunk
 		if hi > len(buckets) {
@@ -163,57 +220,38 @@ func sumBuckets(c *curve.Curve, points []curve.PointAffine, buckets [][]int32, w
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			a := c.NewAdder()
-			negY := c.Fp.NewElement()
-			var ops uint64
-			for b := lo; b < hi; b++ {
-				if len(buckets[b]) == 0 {
-					continue
-				}
-				acc := c.NewXYZZ()
-				for _, ref := range buckets[b] {
-					negated := ref < 0
-					if negated {
-						ref = -ref
-					}
-					pt := &points[int(ref)-1]
-					if pt.Inf {
-						continue
-					}
-					if negated {
-						c.Fp.Neg(negY, pt.Y)
-						neg := curve.PointAffine{X: pt.X, Y: negY}
-						a.Acc(acc, &neg)
-					} else {
-						a.Acc(acc, pt)
-					}
-					ops++
-				}
-				out[b] = acc
-			}
+			ops, err := sumBucketRange(c, points, buckets, lo, hi, out)
 			mu.Lock()
 			stats.PACCOps += ops
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
 			mu.Unlock()
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out, firstErr
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
 }
 
 // reduceBuckets computes Σ i·B_i with the serial running-suffix method
-// (two PADDs per bucket — the "few thousand PADD operations" of §3.2.3).
-func reduceBuckets(c *curve.Curve, buckets []*curve.PointXYZZ, a *curve.Adder, stats *Stats) *curve.PointXYZZ {
+// (two PADDs per bucket — the "few thousand PADD operations" of §3.2.3)
+// and returns the window sum with its PADD count.
+func reduceBuckets(c *curve.Curve, buckets []*curve.PointXYZZ, a *curve.Adder) (*curve.PointXYZZ, uint64) {
 	running := c.NewXYZZ()
 	total := c.NewXYZZ()
+	var ops uint64
 	for i := len(buckets) - 1; i >= 1; i-- {
 		if buckets[i] != nil {
 			a.Add(running, buckets[i])
-			stats.ReduceOps++
+			ops++
 		}
 		a.Add(total, running)
-		stats.ReduceOps++
+		ops++
 	}
-	return total
+	return total, ops
 }
 
 // EstimateCost prices the plan on the cluster: the phase times of the

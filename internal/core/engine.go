@@ -1,0 +1,345 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"distmsm/internal/bigint"
+	"distmsm/internal/curve"
+	"distmsm/internal/msm"
+)
+
+// defaultWorkers is the host parallelism when Options.Workers is unset.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Engine selects how the functional execution is scheduled on the host.
+// Both engines run the same scatter/sum/reduce phases over the same plan
+// and produce bit-identical points and identical Stats op counts; they
+// differ only in concurrency structure.
+type Engine int
+
+const (
+	// EngineSerial is the reference composition: windows one after the
+	// other, bucket-sum parallelised over host goroutines, bucket-reduce
+	// after every window has been summed.
+	EngineSerial Engine = iota
+	// EngineConcurrent is the §3.2.2/§3.2.3 structure actually executed:
+	// one worker goroutine per simulated GPU consumes that GPU's
+	// (window, bucket-range) shard assignments, and a host reducer
+	// goroutine overlaps the bucket-reduce of completed windows with the
+	// bucket-sum of later ones.
+	EngineConcurrent
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineSerial:
+		return "serial"
+	case EngineConcurrent:
+		return "concurrent"
+	}
+	return "unknown"
+}
+
+// runSerial is the serial reference engine. The scalar recoding streams
+// one window at a time (a per-scalar carry byte instead of the full
+// digit matrix); cancellation is checked at every window boundary.
+func runSerial(ctx context.Context, points []curve.PointAffine, scalars []bigint.Nat, plan *Plan, opts Options) (*Result, error) {
+	c := plan.Curve
+	res := &Result{Plan: plan}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	rec := msm.NewWindowRecoder(scalars, c.ScalarBits, plan.S, plan.Signed)
+	bucketAcc := make([][]*curve.PointXYZZ, plan.Windows)
+	var digits []int32
+	for j := 0; j < plan.Windows; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		digits = rec.Window(j, digits)
+		t0 := time.Now()
+		sc, err := scatterWindow(plan, digits)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.Scatter.add(sc.Stats)
+		res.Stats.Phase.Scatter += time.Since(t0)
+
+		t0 = time.Now()
+		bucketAcc[j], err = sumBuckets(c, points, sc.Buckets, workers, &res.Stats)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.Phase.BucketSum += time.Since(t0)
+	}
+
+	// Phase 3 (§3.2.3, host CPU): bucket-reduce each window with the
+	// serial running-suffix method.
+	adder := c.NewAdder()
+	windowSums := make([]*curve.PointXYZZ, plan.Windows)
+	t0 := time.Now()
+	for j := 0; j < plan.Windows; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var ops uint64
+		windowSums[j], ops = reduceBuckets(c, bucketAcc[j], adder)
+		res.Stats.ReduceOps += ops
+	}
+	res.Stats.Phase.BucketReduce = time.Since(t0)
+
+	if err := windowReduce(ctx, plan, windowSums, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// windowReduce runs phase 4, the final Horner combination of the window
+// sums, into res.Point.
+func windowReduce(ctx context.Context, plan *Plan, windowSums []*curve.PointXYZZ, res *Result) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c := plan.Curve
+	adder := c.NewAdder()
+	acc := c.NewXYZZ()
+	t0 := time.Now()
+	for j := plan.Windows - 1; j >= 0; j-- {
+		for b := 0; b < plan.S; b++ {
+			adder.Double(acc)
+			res.Stats.WindowOps++
+		}
+		adder.Add(acc, windowSums[j])
+		res.Stats.WindowOps++
+	}
+	res.Stats.Phase.WindowReduce = time.Since(t0)
+	res.Point = acc
+	return nil
+}
+
+// group is a minimal errgroup: the first error wins and cancels the
+// derived context so sibling goroutines stop at their next boundary.
+type group struct {
+	wg     sync.WaitGroup
+	cancel context.CancelFunc
+	once   sync.Once
+	err    error
+}
+
+func newGroup(ctx context.Context) (*group, context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	return &group{cancel: cancel}, ctx
+}
+
+func (g *group) Go(f func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if err := f(); err != nil {
+			g.once.Do(func() {
+				g.err = err
+				g.cancel()
+			})
+		}
+	}()
+}
+
+func (g *group) Wait() error {
+	g.wg.Wait()
+	g.cancel()
+	return g.err
+}
+
+// windowEntry is one in-flight window of the concurrent engine: its
+// scatter result (shared by every GPU working on the window), the
+// shared bucket-accumulator array the shards fill at disjoint ranges,
+// and the count of shards still to finish.
+type windowEntry struct {
+	sc      *ScatterResult
+	acc     []*curve.PointXYZZ
+	pending int
+}
+
+// windowProvider recodes and scatters windows on demand, in window
+// order, caching each window until every shard of it has completed.
+// This keeps digit storage at one window (plus a carry byte per scalar)
+// instead of the full digits[windows][n] matrix.
+type windowProvider struct {
+	mu      sync.Mutex
+	plan    *Plan
+	rec     *msm.WindowRecoder
+	digits  []int32
+	entries map[int]*windowEntry
+	shards  []int // per-window shard count from the plan
+	next    int
+
+	stats       ScatterStats
+	scatterTime time.Duration
+}
+
+func newWindowProvider(plan *Plan, scalars []bigint.Nat) *windowProvider {
+	shards := make([]int, plan.Windows)
+	for _, a := range plan.Assignments {
+		shards[a.Window]++
+	}
+	return &windowProvider{
+		plan:    plan,
+		rec:     msm.NewWindowRecoder(scalars, plan.Curve.ScalarBits, plan.S, plan.Signed),
+		entries: map[int]*windowEntry{},
+		shards:  shards,
+	}
+}
+
+// acquire returns window j's entry, recoding and scattering windows up
+// to j first if needed. Scatter happens exactly once per window, in
+// window order, so the scatter stats match the serial engine's.
+func (p *windowProvider) acquire(j int) (*windowEntry, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.next <= j {
+		p.digits = p.rec.Window(p.next, p.digits)
+		t0 := time.Now()
+		sc, err := scatterWindow(p.plan, p.digits)
+		if err != nil {
+			return nil, err
+		}
+		p.scatterTime += time.Since(t0)
+		p.stats.add(sc.Stats)
+		p.entries[p.next] = &windowEntry{
+			sc:      sc,
+			acc:     make([]*curve.PointXYZZ, p.plan.Buckets),
+			pending: p.shards[p.next],
+		}
+		p.next++
+	}
+	return p.entries[j], nil
+}
+
+// release marks one shard of window j done. When it was the last shard
+// the window's scatter buffers are dropped and release reports true:
+// the accumulators are ready for the reducer.
+func (p *windowProvider) release(j int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.entries[j]
+	e.pending--
+	if e.pending > 0 {
+		return false
+	}
+	e.sc = nil
+	delete(p.entries, j)
+	return true
+}
+
+// runConcurrent is the concurrent per-GPU engine: one worker goroutine
+// per simulated GPU executes that GPU's shard list from the plan, and a
+// reducer goroutine bucket-reduces each window as soon as its last
+// shard completes — overlapping the host reduce of window j with the
+// bucket-sum of window j+1, the §3.2.3 pipeline. Cancellation is
+// checked at every shard boundary; the first worker error cancels the
+// rest and is returned.
+func runConcurrent(ctx context.Context, points []curve.PointAffine, scalars []bigint.Nat, plan *Plan) (*Result, error) {
+	c := plan.Curve
+	res := &Result{Plan: plan}
+	prov := newWindowProvider(plan, scalars)
+
+	// Group the plan's assignments by GPU, preserving plan (and thus
+	// window) order within each worker's shard list.
+	shardsByGPU := map[int][]Assignment{}
+	var gpuOrder []int
+	for _, a := range plan.Assignments {
+		if _, ok := shardsByGPU[a.GPU]; !ok {
+			gpuOrder = append(gpuOrder, a.GPU)
+		}
+		shardsByGPU[a.GPU] = append(shardsByGPU[a.GPU], a)
+	}
+
+	// A completed window travels to the reducer as (index, accumulators);
+	// the channel is buffered to the window count so sends never block
+	// and cancellation cannot deadlock a worker mid-send.
+	type doneWindow struct {
+		j   int
+		acc []*curve.PointXYZZ
+	}
+	windowSums := make([]*curve.PointXYZZ, plan.Windows)
+	reduceCh := make(chan doneWindow, plan.Windows)
+
+	grp, gctx := newGroup(ctx)
+	var (
+		statsMu   sync.Mutex
+		workerWG  sync.WaitGroup
+		reduceOps uint64
+		reduceDur time.Duration
+	)
+	res.Stats.PerGPU = make([]GPUStats, len(gpuOrder))
+	for slot, g := range gpuOrder {
+		workerWG.Add(1)
+		slot, g, shards := slot, g, shardsByGPU[g]
+		grp.Go(func() error {
+			defer workerWG.Done()
+			st := GPUStats{GPU: g}
+			defer func() {
+				statsMu.Lock()
+				res.Stats.PerGPU[slot] = st
+				res.Stats.PACCOps += st.PACCOps
+				res.Stats.Phase.BucketSum += st.Busy
+				statsMu.Unlock()
+			}()
+			for _, a := range shards {
+				if err := gctx.Err(); err != nil {
+					return err
+				}
+				e, err := prov.acquire(a.Window)
+				if err != nil {
+					return err
+				}
+				t0 := time.Now()
+				ops, err := sumBucketRange(c, points, e.sc.Buckets, a.BucketLo, a.BucketHi, e.acc)
+				st.Busy += time.Since(t0)
+				st.PACCOps += ops
+				if err != nil {
+					return err
+				}
+				st.Shards++
+				if prov.release(a.Window) {
+					reduceCh <- doneWindow{j: a.Window, acc: e.acc}
+				}
+			}
+			return nil
+		})
+	}
+	go func() {
+		workerWG.Wait()
+		close(reduceCh)
+	}()
+	grp.Go(func() error {
+		adder := c.NewAdder()
+		for d := range reduceCh {
+			if err := gctx.Err(); err != nil {
+				return err
+			}
+			t0 := time.Now()
+			pt, ops := reduceBuckets(c, d.acc, adder)
+			reduceDur += time.Since(t0)
+			reduceOps += ops
+			windowSums[d.j] = pt
+		}
+		return nil
+	})
+	if err := grp.Wait(); err != nil {
+		return nil, err
+	}
+
+	res.Stats.Scatter = prov.stats
+	res.Stats.Phase.Scatter = prov.scatterTime
+	res.Stats.ReduceOps = reduceOps
+	res.Stats.Phase.BucketReduce = reduceDur
+	if err := windowReduce(ctx, plan, windowSums, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

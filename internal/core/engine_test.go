@@ -1,0 +1,202 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"distmsm/internal/curve"
+)
+
+// opCounts extracts the engine-independent op-count fields of Stats.
+func opCounts(s Stats) [3]uint64 { return [3]uint64{s.PACCOps, s.ReduceOps, s.WindowOps} }
+
+// TestEngineParity: the concurrent engine must produce bit-identical
+// points and identical op counts to the serial reference across curves,
+// GPU counts and configurations (the acceptance property of this PR).
+func TestEngineParity(t *testing.T) {
+	ctx := context.Background()
+	for _, name := range []string{"BN254", "BLS12-381"} {
+		c := mustCurve(t, name)
+		for _, n := range []int{1, 65, 192} {
+			points := c.SamplePoints(n, 41)
+			scalars := c.SampleScalars(n, 42)
+			for _, gpus := range []int{1, 4, 8} {
+				cl := cluster(t, gpus)
+				for _, opts := range []Options{
+					{WindowSize: 8},
+					{WindowSize: 8, Unsigned: true},
+					{WindowSize: 8, ForceNaiveScatter: true},
+					{WindowSize: 13},
+				} {
+					serialOpts, concOpts := opts, opts
+					serialOpts.Engine = EngineSerial
+					concOpts.Engine = EngineConcurrent
+					ref, err := RunContext(ctx, c, cl, points, scalars, serialOpts)
+					if err != nil {
+						t.Fatalf("%s n=%d gpus=%d %+v serial: %v", name, n, gpus, opts, err)
+					}
+					got, err := RunContext(ctx, c, cl, points, scalars, concOpts)
+					if err != nil {
+						t.Fatalf("%s n=%d gpus=%d %+v concurrent: %v", name, n, gpus, opts, err)
+					}
+					if !reflect.DeepEqual(ref.Point, got.Point) {
+						t.Fatalf("%s n=%d gpus=%d %+v: engines disagree bit-for-bit", name, n, gpus, opts)
+					}
+					if opCounts(ref.Stats) != opCounts(got.Stats) {
+						t.Fatalf("%s n=%d gpus=%d %+v: op counts differ: serial %v concurrent %v",
+							name, n, gpus, opts, opCounts(ref.Stats), opCounts(got.Stats))
+					}
+					if ref.Stats.Scatter != got.Stats.Scatter {
+						t.Fatalf("%s n=%d gpus=%d %+v: scatter stats differ: %+v vs %+v",
+							name, n, gpus, opts, ref.Stats.Scatter, got.Stats.Scatter)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestConcurrentEnginePerGPUStats(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	cl := cluster(t, 4)
+	n := 128
+	points := c.SamplePoints(n, 51)
+	scalars := c.SampleScalars(n, 52)
+	res, err := RunContext(context.Background(), c, cl, points, scalars,
+		Options{WindowSize: 8, Engine: EngineConcurrent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.PerGPU) != 4 {
+		t.Fatalf("want 4 per-GPU stats, got %d", len(res.Stats.PerGPU))
+	}
+	var total uint64
+	for _, g := range res.Stats.PerGPU {
+		if g.Shards == 0 {
+			t.Errorf("gpu %d executed no shards", g.GPU)
+		}
+		total += g.PACCOps
+	}
+	if total != res.Stats.PACCOps {
+		t.Errorf("per-GPU PACC ops %d != total %d", total, res.Stats.PACCOps)
+	}
+	if res.Stats.Phase.BucketSum == 0 || res.Stats.Phase.BucketReduce == 0 {
+		t.Error("phase times not recorded")
+	}
+	// The serial engine does not attribute work to GPUs.
+	ser, err := RunContext(context.Background(), c, cl, points, scalars,
+		Options{WindowSize: 8, Engine: EngineSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.Stats.PerGPU != nil {
+		t.Error("serial engine must not report per-GPU stats")
+	}
+}
+
+// TestRunContextCancelled: a pre-cancelled context must fail fast with
+// context.Canceled on both engines.
+func TestRunContextCancelled(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	cl := cluster(t, 4)
+	n := 64
+	points := c.SamplePoints(n, 61)
+	scalars := c.SampleScalars(n, 62)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, e := range []Engine{EngineSerial, EngineConcurrent} {
+		_, err := RunContext(ctx, c, cl, points, scalars, Options{WindowSize: 8, Engine: e})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v engine: want context.Canceled, got %v", e, err)
+		}
+	}
+}
+
+// TestRunContextCancelMidFlight: cancelling during a long execution
+// must return context.Canceled within a shard boundary, well before the
+// full MSM would complete, and without deadlocking the workers.
+func TestRunContextCancelMidFlight(t *testing.T) {
+	c := mustCurve(t, "MNT4753") // 753-bit field: expensive per PACC
+	cl := cluster(t, 8)
+	n := 1024
+	points := c.SamplePoints(n, 71)
+	scalars := c.SampleScalars(n, 72)
+	ctx, cancel := context.WithCancel(context.Background())
+	type outcome struct {
+		err  error
+		took time.Duration
+	}
+	done := make(chan outcome, 1)
+	start := time.Now()
+	go func() {
+		_, err := RunContext(ctx, c, cl, points, scalars,
+			Options{WindowSize: 8, Engine: EngineConcurrent})
+		done <- outcome{err, time.Since(start)}
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case o := <-done:
+		if !errors.Is(o.err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v (after %v)", o.err, o.took)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled execution did not return: workers deadlocked")
+	}
+}
+
+// TestSumBucketsPropagatesErrors covers the once-dead firstErr: a
+// corrupt bucket reference must surface as an error from every engine
+// path instead of reporting success silently (or panicking).
+func TestSumBucketsPropagatesErrors(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	points := c.SamplePoints(4, 81)
+	bad := [][]int32{nil, {1, 2}, {99}, {-3}} // ref 99 exceeds the input
+	var stats Stats
+	if _, err := sumBuckets(c, points, bad, 4, &stats); err == nil {
+		t.Fatal("out-of-range bucket reference must error")
+	}
+	zero := [][]int32{nil, {0}} // ref 0 is never produced by a scatter
+	if _, err := sumBuckets(c, points, zero, 1, &stats); err == nil {
+		t.Fatal("zero bucket reference must error")
+	}
+	// The shared shard kernel reports the same corruption.
+	if _, err := sumBucketRange(c, points, bad, 0, len(bad), make([]*curve.PointXYZZ, len(bad))); err == nil {
+		t.Fatal("sumBucketRange must propagate the error")
+	}
+}
+
+// TestRunEmptyInput: the documented BuildPlan-free empty path.
+func TestRunEmptyInput(t *testing.T) {
+	c := mustCurve(t, "BLS12-381")
+	cl := cluster(t, 4)
+	for _, e := range []Engine{EngineSerial, EngineConcurrent} {
+		res, err := RunContext(context.Background(), c, cl, nil, nil, Options{Engine: e})
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if res.Point == nil || !res.Point.IsInf() {
+			t.Fatalf("%v: empty MSM must be a non-nil point at infinity", e)
+		}
+		if res.Plan != nil {
+			t.Fatalf("%v: empty MSM must not build a plan", e)
+		}
+		if res.Cost.Total() != 0 {
+			t.Fatalf("%v: empty MSM must have zero cost", e)
+		}
+	}
+}
+
+// TestRunContextSentinels: the typed errors match with errors.Is.
+func TestRunContextSentinels(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	cl := cluster(t, 2)
+	points := c.SamplePoints(2, 91)
+	scalars := c.SampleScalars(1, 92)
+	if _, err := RunContext(context.Background(), c, cl, points, scalars, Options{}); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("want ErrLengthMismatch, got %v", err)
+	}
+}

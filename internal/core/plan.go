@@ -32,7 +32,12 @@ type Options struct {
 	// Block overrides the scatter thread-block geometry.
 	Block BlockConfig
 	// Workers bounds functional-execution parallelism (0 = GOMAXPROCS).
+	// It applies to the serial engine's bucket-sum fan-out; the
+	// concurrent engine always runs one worker per simulated GPU.
 	Workers int
+	// Engine selects the host execution engine (see Engine). The zero
+	// value is EngineSerial, the reference composition.
+	Engine Engine
 }
 
 // DefaultVariant is the full DistMSM accumulation kernel.

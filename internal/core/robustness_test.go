@@ -5,6 +5,7 @@ import (
 
 	"distmsm/internal/bigint"
 	"distmsm/internal/curve"
+	"distmsm/internal/msm"
 )
 
 // Failure-injection / adversarial-input tests for the functional DistMSM
@@ -99,15 +100,14 @@ func TestRunStatsConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Count nonzero digits directly.
+	// Count nonzero digits directly with the streaming recoder.
 	plan := res.Plan
-	digits, err := digitsMatrix(plan, scalars)
-	if err != nil {
-		t.Fatal(err)
-	}
+	rec := msm.NewWindowRecoder(scalars, c.ScalarBits, plan.S, plan.Signed)
 	var nonzero uint64
-	for _, win := range digits {
-		for _, d := range win {
+	var digits []int32
+	for j := 0; j < plan.Windows; j++ {
+		digits = rec.Window(j, digits)
+		for _, d := range digits {
 			if d != 0 {
 				nonzero++
 			}

@@ -1,6 +1,13 @@
 package gpusim
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoGPUs is returned when a cluster is requested with fewer than one
+// GPU. It is re-exported by the public API and matches with errors.Is.
+var ErrNoGPUs = errors.New("gpusim: cluster needs at least one GPU")
 
 // Cluster is a homogeneous multi-GPU system with a host CPU, the
 // execution substrate DistMSM schedules onto.
@@ -15,7 +22,7 @@ type Cluster struct {
 // interconnect and host CPU profile.
 func NewCluster(dev Device, n int) (*Cluster, error) {
 	if n < 1 {
-		return nil, fmt.Errorf("gpusim: cluster needs at least one GPU, got %d", n)
+		return nil, fmt.Errorf("%w, got %d", ErrNoGPUs, n)
 	}
 	return &Cluster{Dev: dev, N: n, IC: NVLinkDGX(), Host: Rome7742()}, nil
 }

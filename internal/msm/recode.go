@@ -1,0 +1,91 @@
+package msm
+
+import (
+	"fmt"
+
+	"distmsm/internal/bigint"
+)
+
+// WindowRecoder produces scalar digits one window at a time, least
+// significant window first, without materialising the full
+// digits[windows][n] matrix that Digits/SignedDigits imply. The only
+// cross-window state of the signed recoding is a carry bit per scalar,
+// so the recoder holds n bytes of carries instead of windows·n·4 bytes
+// of digits — the streaming form the execution engines consume.
+//
+// Windows must be requested strictly in order (0, 1, 2, ...); the
+// returned slice is owned by the caller. The digit streams are
+// bit-identical to Digits (unsigned) and SignedDigits (signed), with
+// windows past the recoding's natural length reading as all-zero.
+type WindowRecoder struct {
+	scalars    []bigint.Nat
+	scalarBits int
+	s          int
+	signed     bool
+	next       int
+	carries    []uint8 // signed mode only: carry into window `next`
+}
+
+// NewWindowRecoder builds a recoder for the given scalars. Scalar width
+// validation is the caller's job (see core.RunContext); out-of-range
+// window sizes panic as in Digits.
+func NewWindowRecoder(scalars []bigint.Nat, scalarBits, s int, signed bool) *WindowRecoder {
+	if s < 1 || s > 31 {
+		panic(fmt.Sprintf("msm: window size %d out of range [1,31]", s))
+	}
+	r := &WindowRecoder{scalars: scalars, scalarBits: scalarBits, s: s, signed: signed}
+	if signed {
+		r.carries = make([]uint8, len(scalars))
+	}
+	return r
+}
+
+// rawWindows is ⌈λ/s⌉, the window count before the signed carry window.
+func (r *WindowRecoder) rawWindows() int { return NumWindows(r.scalarBits, r.s) }
+
+// Window appends window j's digits for every scalar to dst (growing it
+// to len(scalars)) and returns it. j must equal the number of windows
+// already produced.
+func (r *WindowRecoder) Window(j int, dst []int32) []int32 {
+	if j != r.next {
+		panic(fmt.Sprintf("msm: recoder window %d requested, next is %d", j, r.next))
+	}
+	r.next++
+	if cap(dst) < len(r.scalars) {
+		dst = make([]int32, len(r.scalars))
+	}
+	dst = dst[:len(r.scalars)]
+	raw := r.rawWindows()
+	if j >= raw {
+		// Past the scalar bits: zero except the signed carry bits.
+		for i := range dst {
+			dst[i] = 0
+			if r.signed && j == raw {
+				dst[i] = int32(r.carries[i])
+			}
+		}
+		return dst
+	}
+	width := r.s
+	if rem := r.scalarBits - j*r.s; rem < width {
+		width = rem
+	}
+	if !r.signed {
+		for i, k := range r.scalars {
+			dst[i] = int32(uint32(k.Bits(j*r.s, width)))
+		}
+		return dst
+	}
+	half := int64(1) << (r.s - 1)
+	for i, k := range r.scalars {
+		v := int64(k.Bits(j*r.s, width)) + int64(r.carries[i])
+		if v > half {
+			dst[i] = int32(v - (int64(1) << r.s))
+			r.carries[i] = 1
+		} else {
+			dst[i] = int32(v)
+			r.carries[i] = 0
+		}
+	}
+	return dst
+}

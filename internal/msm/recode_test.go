@@ -1,0 +1,87 @@
+package msm
+
+import (
+	"math/rand"
+	"testing"
+
+	"distmsm/internal/bigint"
+)
+
+// randScalars returns n random scalars of at most `bits` bits.
+func randScalars(n, bits int, seed int64) []bigint.Nat {
+	rnd := rand.New(rand.NewSource(seed))
+	words := (bits + 63) / 64
+	out := make([]bigint.Nat, n)
+	for i := range out {
+		k := bigint.New(words)
+		for w := range k {
+			k[w] = rnd.Uint64()
+		}
+		// Mask down to the scalar width.
+		if rem := bits % 64; rem != 0 {
+			k[words-1] &= (1 << rem) - 1
+		}
+		out[i] = k
+	}
+	// Force the edge values in as well: zero, one, all-ones.
+	if n >= 3 {
+		out[0] = bigint.New(words)
+		one := bigint.New(words)
+		one.SetUint64(1)
+		out[1] = one
+		ones := bigint.New(words)
+		for i := 0; i < bits; i++ {
+			ones[i/64] |= 1 << (uint(i) % 64)
+		}
+		out[2] = ones
+	}
+	return out
+}
+
+// TestWindowRecoderMatchesBatchRecoding checks the streaming recoder is
+// bit-identical to Digits / SignedDigits across window sizes, including
+// the carry window and the zero tail past the recoding's length.
+func TestWindowRecoderMatchesBatchRecoding(t *testing.T) {
+	const scalarBits = 253
+	scalars := randScalars(32, scalarBits, 7)
+	for _, signed := range []bool{false, true} {
+		for _, s := range []int{2, 4, 8, 13, 16, 21} {
+			windows := NumWindows(scalarBits, s) + 2 // past the natural length
+			rec := NewWindowRecoder(scalars, scalarBits, s, signed)
+			var digits []int32
+			for j := 0; j < windows; j++ {
+				digits = rec.Window(j, digits)
+				for i, k := range scalars {
+					var want int32
+					if signed {
+						ds := SignedDigits(k, scalarBits, s)
+						if j < len(ds) {
+							want = ds[j]
+						}
+					} else {
+						ds := Digits(k, scalarBits, s)
+						if j < len(ds) {
+							want = int32(ds[j])
+						}
+					}
+					if digits[i] != want {
+						t.Fatalf("signed=%v s=%d window %d scalar %d: got %d want %d",
+							signed, s, j, i, digits[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWindowRecoderEnforcesOrder(t *testing.T) {
+	scalars := randScalars(4, 253, 8)
+	rec := NewWindowRecoder(scalars, 253, 8, true)
+	rec.Window(0, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order window request must panic")
+		}
+	}()
+	rec.Window(2, nil)
+}

@@ -1,6 +1,7 @@
 package distmsm
 
 import (
+	"context"
 	"math/rand"
 
 	"distmsm/internal/core"
@@ -78,14 +79,23 @@ func (s *SNARK) Setup(cs *ConstraintSystem, rnd *rand.Rand) (*ProvingKey, *Verif
 	return s.engine.Setup(cs, rnd)
 }
 
-// Prove generates a proof; when a System is attached, the G1 MSMs run
-// through DistMSM and their modeled GPU time accumulates in
-// ModeledMSMSeconds.
+// Prove generates a proof without cancellation support.
+//
+// Deprecated: use ProveContext.
 func (s *SNARK) Prove(cs *ConstraintSystem, pk *ProvingKey, w Witness, rnd *rand.Rand) (*Proof, error) {
+	return s.ProveContext(context.Background(), cs, pk, w, rnd)
+}
+
+// ProveContext generates a proof; when a System is attached, the G1
+// MSMs run through the concurrent DistMSM engine and their modeled GPU
+// time accumulates in ModeledMSMSeconds. Cancelling the context aborts
+// the prover at the next MSM shard boundary.
+func (s *SNARK) ProveContext(ctx context.Context, cs *ConstraintSystem, pk *ProvingKey, w Witness, rnd *rand.Rand) (*Proof, error) {
 	var msmFn groth16.MSMFunc
 	if s.system != nil {
 		msmFn = func(points []curve.PointAffine, scalars []Scalar) (*curve.PointXYZZ, error) {
-			res, err := core.Run(s.engine.P.Curve, s.system.cluster, points, scalars, core.Options{WindowSize: 8})
+			res, err := core.RunContext(ctx, s.engine.P.Curve, s.system.cluster, points, scalars,
+				core.Options{WindowSize: 8, Engine: core.EngineConcurrent})
 			if err != nil {
 				return nil, err
 			}
