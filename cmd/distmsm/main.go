@@ -7,10 +7,19 @@
 //	distmsm -curve BN254 -n 4096 -gpus 8 [-window 0] [-device a100]
 //	        [-engine concurrent] [-naive-scatter] [-gpu-reduce]
 //	        [-unsigned] [-estimate]
+//	        [-inject-faults transient=0.2,straggler=0.1,device-lost=0.05,corrupt=0.1]
+//	        [-fault-seed 1]
 //
 // With -estimate the MSM is priced analytically (paper-scale N allowed);
 // otherwise it is computed functionally and verified against the CPU
 // Pippenger implementation. Ctrl-C cancels an in-flight execution.
+//
+// -inject-faults turns on deterministic fault injection on the simulated
+// GPUs (concurrent engine): a comma-separated class=probability list
+// over transient, straggler, device-lost and corrupt (plus the optional
+// straggler-factor=N cost multiple), seeded by -fault-seed. The
+// scheduler's recovery actions are reported after the run, and the
+// result is still verified against the CPU Pippenger.
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 
 	"distmsm"
@@ -37,18 +47,55 @@ func main() {
 		unsigned  = flag.Bool("unsigned", false, "disable signed-digit recoding")
 		estimate  = flag.Bool("estimate", false, "analytic cost only (no functional execution)")
 		seed      = flag.Int64("seed", 42, "workload seed")
+		faults    = flag.String("inject-faults", "", "fault injection spec, e.g. transient=0.2,straggler=0.1,device-lost=0.05,corrupt=0.1[,straggler-factor=16]")
+		faultSeed = flag.Int64("fault-seed", 1, "fault-injection seed (with -inject-faults)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *curveName, *device, *engine, *n, *gpus, *window, *naive, *gpuReduce, *unsigned, *estimate, *seed); err != nil {
+	if err := run(ctx, *curveName, *device, *engine, *n, *gpus, *window, *naive, *gpuReduce, *unsigned, *estimate, *seed, *faults, *faultSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "distmsm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, curveName, device, engine string, n, gpus, window int, naive, gpuReduce, unsigned, estimate bool, seed int64) error {
+// parseFaultSpec turns the -inject-faults class=probability list into a
+// FaultConfig (validated later by the injector itself).
+func parseFaultSpec(spec string, seed int64) (distmsm.FaultConfig, error) {
+	cfg := distmsm.FaultConfig{Seed: seed}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return cfg, fmt.Errorf("bad fault spec entry %q: want class=probability", part)
+		}
+		p, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return cfg, fmt.Errorf("bad fault probability in %q: %v", part, err)
+		}
+		switch strings.TrimSpace(key) {
+		case "transient":
+			cfg.Transient = p
+		case "straggler":
+			cfg.Straggler = p
+		case "device-lost":
+			cfg.DeviceLost = p
+		case "corrupt":
+			cfg.Corrupt = p
+		case "straggler-factor":
+			cfg.StragglerFactor = p
+		default:
+			return cfg, fmt.Errorf("unknown fault class %q (want transient, straggler, device-lost, corrupt or straggler-factor)", key)
+		}
+	}
+	return cfg, nil
+}
+
+func run(ctx context.Context, curveName, device, engine string, n, gpus, window int, naive, gpuReduce, unsigned, estimate bool, seed int64, faultSpec string, faultSeed int64) error {
 	var model distmsm.DeviceModel
 	switch strings.ToLower(device) {
 	case "a100":
@@ -83,6 +130,13 @@ func run(ctx context.Context, curveName, device, engine string, n, gpus, window 
 		distmsm.WithHierarchicalScatter(!naive),
 		distmsm.WithGPUReduce(gpuReduce),
 		distmsm.WithSignedDigits(!unsigned),
+	}
+	if faultSpec != "" {
+		cfg, err := parseFaultSpec(faultSpec, faultSeed)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, distmsm.WithFaultInjection(cfg))
 	}
 
 	var res *distmsm.Result
@@ -122,6 +176,16 @@ func run(ctx context.Context, curveName, device, engine string, n, gpus, window 
 		for _, g := range res.Stats.PerGPU {
 			fmt.Printf("gpu %-6d : %d shards, %d PACC ops, %.3f ms host busy\n",
 				g.GPU, g.Shards, g.PACCOps, float64(g.Busy.Microseconds())/1e3)
+		}
+		if f := res.Stats.Faults; f.Any() {
+			fmt.Printf("faults     : lost=%d transient=%d stragglers=%d corruptions=%d\n",
+				f.DevicesLost, f.TransientErrors, f.Stragglers, f.Corruptions)
+			fmt.Printf("recovery   : retries=%d reassigned=%d speculative=%d (won %d) verified=%d (rejected %d)\n",
+				f.Retries, f.Reassignments, f.SpeculativeLaunches, f.SpeculativeWins,
+				f.VerificationRuns, f.VerificationFailures)
+			if f.DegradedToSerial {
+				fmt.Println("degraded   : every GPU lost, completed on the serial host engine")
+			}
 		}
 	}
 	return nil

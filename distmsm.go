@@ -20,7 +20,17 @@
 // per-GPU engine — one host worker per simulated GPU, with the CPU
 // bucket-reduce of window j overlapped with the bucket-sum of window
 // j+1 (§3.2.3). Failures match the sentinel errors ErrLengthMismatch,
-// ErrScalarTooWide and ErrNoGPUs via errors.Is.
+// ErrScalarTooWide, ErrEmptyInput and ErrNoGPUs via errors.Is.
+//
+// The concurrent engine is fault-tolerant: WithFaultInjection turns on
+// deterministic fault injection on the simulated GPUs (transient
+// errors, stragglers, corrupted results, permanently lost devices), and
+// the scheduler recovers with retries, speculative re-execution, shard
+// reassignment and randomized result verification while keeping the
+// answer bit-identical to the fault-free run. If every GPU is lost the
+// run degrades to the serial host engine (Stats.Faults.DegradedToSerial)
+// unless the fault config forbids it, in which case ErrAllGPUsLost is
+// returned. WithRetryPolicy and WithVerifySampling tune the recovery.
 //
 // The Options-struct entry points (System.MSM, System.Estimate, ...)
 // are retained as deprecated wrappers; see README.md's MIGRATION table.
@@ -76,6 +86,15 @@ type (
 	Engine = core.Engine
 	// KernelVariant identifies a PADD-kernel optimisation level.
 	KernelVariant = kernel.Variant
+	// FaultConfig sets the per-shard fault-injection probabilities and
+	// the deterministic seed (see WithFaultInjection).
+	FaultConfig = gpusim.FaultConfig
+	// FaultStats counts the injected faults and recovery actions of one
+	// execution (Stats.Faults).
+	FaultStats = core.FaultStats
+	// RetryPolicy tunes the fault-tolerant scheduler's retry backoff,
+	// per-owner attempt budget and straggler-speculation deadline.
+	RetryPolicy = core.RetryPolicy
 )
 
 // The execution engines of MSMContext.
@@ -107,6 +126,20 @@ var (
 	ErrScalarTooWide = core.ErrScalarTooWide
 	// ErrNoGPUs reports a system requested with fewer than one GPU.
 	ErrNoGPUs = gpusim.ErrNoGPUs
+	// ErrEmptyInput reports a zero-length MSM (no points, no scalars).
+	ErrEmptyInput = core.ErrEmptyInput
+	// ErrAllGPUsLost reports that fault injection removed every device
+	// and the fault config forbade degrading to the serial host engine.
+	ErrAllGPUsLost = core.ErrAllGPUsLost
+	// ErrVerificationFailed reports a shard whose randomized result
+	// verification kept failing past the execution budget (a corrupted
+	// result the scheduler could not outrun).
+	ErrVerificationFailed = core.ErrVerificationFailed
+	// ErrBadDevice reports a device spec with non-physical parameters.
+	ErrBadDevice = gpusim.ErrBadDevice
+	// ErrBadFaultConfig reports a fault config with probabilities outside
+	// [0, 1], a class sum above 1, or a negative straggler factor.
+	ErrBadFaultConfig = gpusim.ErrBadFaultConfig
 )
 
 // Option configures one MSM execution of the *Context entry points.
@@ -165,6 +198,35 @@ func WithSplitNDim(on bool) Option {
 // `threads` per block, `k` register-cached coefficients per thread.
 func WithScatterBlock(threads, k int) Option {
 	return func(o *core.Options) { o.Block = core.BlockConfig{Threads: threads, K: k} }
+}
+
+// WithFaultInjection turns on deterministic fault injection on the
+// simulated GPUs of the concurrent engine: each shard execution rolls —
+// as a pure function of cfg.Seed and the shard's identity, so runs are
+// reproducible — for a transient error, a straggler stall, a corrupted
+// accumulator or a permanent device loss, and the scheduler recovers
+// (retry with backoff, speculation, reassignment to survivors,
+// verification) while keeping the result bit-identical to the
+// fault-free execution. Recovery actions are reported in Stats.Faults.
+func WithFaultInjection(cfg FaultConfig) Option {
+	return func(o *core.Options) { c := cfg; o.Faults = &c }
+}
+
+// WithRetryPolicy tunes the fault-tolerant scheduler: retry backoff
+// bounds, the consecutive-failure budget before a shard moves to
+// another GPU, and the straggler-speculation deadline multiple. Zero
+// fields keep their defaults.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(o *core.Options) { o.Retry = p }
+}
+
+// WithVerifySampling sets the per-shard probability of the randomized
+// result verification (recompute the shard and compare random linear
+// combinations of the bucket accumulators). p = 0 restores the default:
+// verify every shard when corrupted-result injection is configured,
+// none otherwise. A negative p disables verification; p > 1 clamps to 1.
+func WithVerifySampling(p float64) Option {
+	return func(o *core.Options) { o.VerifySampling = p }
 }
 
 // WithOptions overlays a legacy Options struct wholesale — the
@@ -245,11 +307,11 @@ func (s *System) DeviceName() string { return s.cluster.Dev.Name }
 // scheduler, returning the exact result together with the modeled
 // execution cost and the execution statistics.
 //
-// The context is honoured at every shard boundary: cancelling it makes
-// MSMContext return ctx.Err() promptly without leaking workers. With no
-// options the concurrent per-GPU engine runs with an auto-selected
-// window size. An empty input returns a Result holding a non-nil point
-// at infinity, zero Cost and nil Plan, without consulting the planner.
+// The context is honoured at every shard boundary (and inside the host
+// bucket-reduce): cancelling it makes MSMContext return ctx.Err()
+// promptly without leaking workers. With no options the concurrent
+// per-GPU engine runs with an auto-selected window size. A zero-length
+// input is rejected with ErrEmptyInput.
 func (s *System) MSMContext(ctx context.Context, c *CurveParams, points []PointAffine, scalars []Scalar, opts ...Option) (*Result, error) {
 	return core.RunContext(ctx, c, s.cluster, points, scalars, buildOptions(opts))
 }
@@ -307,8 +369,9 @@ func (s *System) EstimatePipelined(c *CurveParams, n, count int, opts Options) (
 }
 
 // CPUMSM computes the MSM with the host Pippenger implementation
-// (reference / fallback path, no simulation). An empty input returns a
-// non-nil point at infinity, consistent with MSMContext.
+// (reference / fallback path, no simulation). Unlike MSMContext, an
+// empty input is answered with a non-nil point at infinity: the CPU
+// path has no plan to build, so the identity is well-defined and cheap.
 func CPUMSM(c *CurveParams, points []PointAffine, scalars []Scalar) (*PointXYZZ, error) {
 	return msm.MSM(c, points, scalars, msm.Config{Signed: true})
 }

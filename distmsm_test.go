@@ -244,19 +244,91 @@ func TestPublicAPIEmptyInput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.MSMContext(context.Background(), c, nil, nil)
-	if err != nil {
-		t.Fatal(err)
+	if _, err := sys.MSMContext(context.Background(), c, nil, nil); !errors.Is(err, distmsm.ErrEmptyInput) {
+		t.Fatalf("empty MSMContext: want ErrEmptyInput, got %v", err)
 	}
-	if res.Point == nil || !res.Point.IsInf() || res.Plan != nil || res.Cost.Total() != 0 {
-		t.Fatal("empty MSMContext must return a non-nil identity, nil plan and zero cost")
-	}
+	// The plain CPU path keeps the mathematical convention: Σ over the
+	// empty set is the identity.
 	pt, err := distmsm.CPUMSM(c, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if pt == nil || !pt.IsInf() {
 		t.Fatal("empty CPUMSM must return a non-nil point at infinity")
+	}
+}
+
+func TestPublicAPIFaultInjection(t *testing.T) {
+	c, err := distmsm.Curve("BN254")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	points := c.SamplePoints(n, 21)
+	scalars := c.SampleScalars(n, 22)
+	sys, err := distmsm.NewSystem(distmsm.A100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	clean, err := sys.MSMContext(ctx, c, points, scalars, distmsm.WithWindowBits(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Stats.Faults.Any() {
+		t.Fatalf("fault-free run reported fault activity: %+v", clean.Stats.Faults)
+	}
+
+	// A mixed fault load: the result must stay bit-identical and the
+	// recovery must be visible in the stats.
+	faulty, err := sys.MSMContext(ctx, c, points, scalars,
+		distmsm.WithWindowBits(8),
+		distmsm.WithFaultInjection(distmsm.FaultConfig{
+			Seed: 7, Transient: 0.2, Straggler: 0.1, Corrupt: 0.1, DeviceLost: 0.02,
+		}),
+		distmsm.WithRetryPolicy(distmsm.RetryPolicy{MaxAttempts: 3}),
+		distmsm.WithVerifySampling(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(clean.Point, faulty.Point) {
+		t.Fatal("fault recovery changed the MSM result")
+	}
+	if !faulty.Stats.Faults.Any() {
+		t.Error("injected faults left no trace in Stats.Faults")
+	}
+	if faulty.Stats.Faults.VerificationRuns == 0 {
+		t.Error("WithVerifySampling(1) ran no verifications")
+	}
+
+	// Losing every device degrades to the serial engine, same result.
+	lost, err := sys.MSMContext(ctx, c, points, scalars,
+		distmsm.WithWindowBits(8),
+		distmsm.WithFaultInjection(distmsm.FaultConfig{Seed: 1, DeviceLost: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lost.Stats.Faults.DegradedToSerial {
+		t.Error("all-GPUs-lost run did not report serial degradation")
+	}
+	if !reflect.DeepEqual(clean.Point, lost.Point) {
+		t.Fatal("degraded serial run changed the MSM result")
+	}
+
+	// ...unless fallback is disabled, then the sentinel surfaces.
+	_, err = sys.MSMContext(ctx, c, points, scalars,
+		distmsm.WithWindowBits(8),
+		distmsm.WithFaultInjection(distmsm.FaultConfig{Seed: 1, DeviceLost: 1, DisableFallback: true}))
+	if !errors.Is(err, distmsm.ErrAllGPUsLost) {
+		t.Fatalf("want ErrAllGPUsLost, got %v", err)
+	}
+
+	// An invalid fault config is rejected up front.
+	_, err = sys.MSMContext(ctx, c, points, scalars,
+		distmsm.WithFaultInjection(distmsm.FaultConfig{Transient: 0.8, Corrupt: 0.8}))
+	if !errors.Is(err, distmsm.ErrBadFaultConfig) {
+		t.Fatalf("want ErrBadFaultConfig, got %v", err)
 	}
 }
 

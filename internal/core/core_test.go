@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sort"
 	"testing"
 
@@ -316,10 +317,9 @@ func TestRunMatchesReference(t *testing.T) {
 func TestRunEdgeCases(t *testing.T) {
 	c := mustCurve(t, "BN254")
 	cl := cluster(t, 4)
-	// empty
-	res, err := Run(c, cl, nil, nil, Options{})
-	if err != nil || !res.Point.IsInf() {
-		t.Fatal("empty MSM should be infinity")
+	// empty inputs are rejected with the typed sentinel
+	if _, err := Run(c, cl, nil, nil, Options{}); !errors.Is(err, ErrEmptyInput) {
+		t.Fatalf("empty MSM: want ErrEmptyInput, got %v", err)
 	}
 	// mismatch
 	if _, err := Run(c, cl, c.SamplePoints(2, 1), c.SampleScalars(1, 1), Options{}); err == nil {
@@ -327,7 +327,7 @@ func TestRunEdgeCases(t *testing.T) {
 	}
 	// single element
 	pts := c.SamplePoints(1, 2)
-	res, err = Run(c, cl, pts, c.SampleScalars(1, 3), Options{WindowSize: 6})
+	res, err := Run(c, cl, pts, c.SampleScalars(1, 3), Options{WindowSize: 6})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,6 +22,19 @@ var (
 	// ErrScalarTooWide is returned when a scalar exceeds the curve's
 	// scalar-field bit width (scalars are rejected, never truncated).
 	ErrScalarTooWide = errors.New("core: scalar wider than the curve scalar field")
+	// ErrEmptyInput is returned when an execution or plan is requested
+	// for zero points: an empty MSM in a prover pipeline is almost
+	// always an upstream bug, so it is rejected rather than answered
+	// with the identity.
+	ErrEmptyInput = errors.New("core: empty input, MSM needs at least one point")
+	// ErrAllGPUsLost is returned by the concurrent engine when fault
+	// injection removes every simulated GPU and the serial-fallback
+	// degradation is disabled.
+	ErrAllGPUsLost = errors.New("core: every simulated GPU was lost")
+	// ErrVerificationFailed is returned when a shard's randomized result
+	// verification keeps rejecting its partial bucket sums even after
+	// the retry budget is exhausted.
+	ErrVerificationFailed = errors.New("core: shard result verification failed")
 )
 
 // PhaseTimes records the cumulative host-measured busy time of each
@@ -48,6 +61,44 @@ type GPUStats struct {
 	Busy time.Duration
 }
 
+// FaultStats aggregates the fault-tolerance events of one concurrent
+// execution: every injected fault the scheduler observed and every
+// recovery action it took. The zero value means a fault-free run.
+type FaultStats struct {
+	// DevicesLost is the number of GPUs permanently removed mid-run.
+	DevicesLost int
+	// TransientErrors is the number of shard executions that failed
+	// recoverably.
+	TransientErrors int
+	// Stragglers is the number of shard executions slowed by injection.
+	Stragglers int
+	// Corruptions is the number of shard executions whose result was
+	// perturbed by injection.
+	Corruptions int
+	// Retries is the number of shard re-executions queued after a
+	// failure (transient or verification), with capped backoff.
+	Retries int
+	// Reassignments is the number of shards moved to a different GPU —
+	// requeues off a lost device plus retry escalations.
+	Reassignments int
+	// SpeculativeLaunches is the number of speculative duplicate
+	// executions started for overdue shards; SpeculativeWins counts how
+	// many of them committed before the original.
+	SpeculativeLaunches int
+	SpeculativeWins     int
+	// VerificationRuns is the number of sampled randomized result
+	// verifications; VerificationFailures counts rejections (each
+	// triggers a re-execution).
+	VerificationRuns     int
+	VerificationFailures int
+	// DegradedToSerial reports that every GPU was lost and the run fell
+	// back to the serial host engine.
+	DegradedToSerial bool
+}
+
+// Any reports whether any fault event was recorded.
+func (f FaultStats) Any() bool { return f != FaultStats{} }
+
 // Stats aggregates the simulated-hardware event counts of one execution.
 // The op-count fields are engine-independent: the serial and concurrent
 // engines perform bit-identical work and report identical counts.
@@ -64,6 +115,9 @@ type Stats struct {
 	// PerGPU breaks the bucket-sum work down by simulated GPU. It is
 	// populated by the concurrent engine only (nil for the serial one).
 	PerGPU []GPUStats
+	// Faults records the fault-tolerance events of the run (concurrent
+	// engine; zero for a fault-free or serial execution).
+	Faults FaultStats
 }
 
 func (s *ScatterStats) add(o ScatterStats) {
@@ -100,8 +154,11 @@ func Run(c *curve.Curve, cl *gpusim.Cluster, points []curve.PointAffine, scalars
 // Options.Engine selects the serial reference or the concurrent
 // per-GPU engine; both produce bit-identical points and op counts.
 //
-// An empty input is answered without building a plan: the Result holds
-// a non-nil point at infinity, a zero Cost and a nil Plan.
+// A zero-length input is rejected with ErrEmptyInput; mismatched vector
+// lengths with ErrLengthMismatch. With Options.Faults set, a
+// deterministic fault injector is attached to (a copy of) the cluster
+// and the concurrent engine recovers from the injected faults; see
+// FaultStats and RetryPolicy.
 func RunContext(ctx context.Context, c *curve.Curve, cl *gpusim.Cluster, points []curve.PointAffine, scalars []bigint.Nat, opts Options) (*Result, error) {
 	if len(points) != len(scalars) {
 		return nil, fmt.Errorf("%w: %d points but %d scalars", ErrLengthMismatch, len(points), len(scalars))
@@ -110,13 +167,20 @@ func RunContext(ctx context.Context, c *curve.Curve, cl *gpusim.Cluster, points 
 		return nil, err
 	}
 	if len(points) == 0 {
-		return &Result{Point: c.NewXYZZ()}, nil
+		return nil, fmt.Errorf("%w: got 0 points and 0 scalars", ErrEmptyInput)
 	}
 	for i, k := range scalars {
 		if k.BitLen() > c.ScalarBits {
 			return nil, fmt.Errorf("%w: scalar %d has %d bits, curve limit is %d",
 				ErrScalarTooWide, i, k.BitLen(), c.ScalarBits)
 		}
+	}
+	if opts.Faults != nil {
+		inj, err := gpusim.NewFaultInjector(*opts.Faults)
+		if err != nil {
+			return nil, err
+		}
+		cl = cl.WithFaults(inj)
 	}
 	plan, err := BuildPlan(c, cl, len(points), opts)
 	if err != nil {
@@ -125,7 +189,7 @@ func RunContext(ctx context.Context, c *curve.Curve, cl *gpusim.Cluster, points 
 	var res *Result
 	switch opts.Engine {
 	case EngineConcurrent:
-		res, err = runConcurrent(ctx, points, scalars, plan)
+		res, err = runConcurrent(ctx, points, scalars, plan, opts)
 	case EngineSerial:
 		res, err = runSerial(ctx, points, scalars, plan, opts)
 	default:
@@ -238,12 +302,20 @@ func sumBuckets(c *curve.Curve, points []curve.PointAffine, buckets [][]int32, w
 
 // reduceBuckets computes Σ i·B_i with the serial running-suffix method
 // (two PADDs per bucket — the "few thousand PADD operations" of §3.2.3)
-// and returns the window sum with its PADD count.
-func reduceBuckets(c *curve.Curve, buckets []*curve.PointXYZZ, a *curve.Adder) (*curve.PointXYZZ, uint64) {
+// and returns the window sum with its PADD count. Cancellation is
+// checked every 256 buckets, so a cancel lands mid-reduce instead of
+// waiting out a whole window (the reduce of one large-window 753-bit
+// curve can run for tens of milliseconds).
+func reduceBuckets(ctx context.Context, c *curve.Curve, buckets []*curve.PointXYZZ, a *curve.Adder) (*curve.PointXYZZ, uint64, error) {
 	running := c.NewXYZZ()
 	total := c.NewXYZZ()
 	var ops uint64
 	for i := len(buckets) - 1; i >= 1; i-- {
+		if i&0xFF == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, ops, err
+			}
+		}
 		if buckets[i] != nil {
 			a.Add(running, buckets[i])
 			ops++
@@ -251,7 +323,7 @@ func reduceBuckets(c *curve.Curve, buckets []*curve.PointXYZZ, a *curve.Adder) (
 		a.Add(total, running)
 		ops++
 	}
-	return total, ops
+	return total, ops, nil
 }
 
 // EstimateCost prices the plan on the cluster: the phase times of the

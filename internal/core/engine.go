@@ -83,12 +83,13 @@ func runSerial(ctx context.Context, points []curve.PointAffine, scalars []bigint
 	windowSums := make([]*curve.PointXYZZ, plan.Windows)
 	t0 := time.Now()
 	for j := 0; j < plan.Windows; j++ {
-		if err := ctx.Err(); err != nil {
+		var ops uint64
+		var err error
+		windowSums[j], ops, err = reduceBuckets(ctx, c, bucketAcc[j], adder)
+		res.Stats.ReduceOps += ops
+		if err != nil {
 			return nil, err
 		}
-		var ops uint64
-		windowSums[j], ops = reduceBuckets(c, bucketAcc[j], adder)
-		res.Stats.ReduceOps += ops
 	}
 	res.Stats.Phase.BucketReduce = time.Since(t0)
 
@@ -196,8 +197,11 @@ func newWindowProvider(plan *Plan, scalars []bigint.Nat) *windowProvider {
 
 // acquire returns window j's entry, recoding and scattering windows up
 // to j first if needed. Scatter happens exactly once per window, in
-// window order, so the scatter stats match the serial engine's.
-func (p *windowProvider) acquire(j int) (*windowEntry, error) {
+// window order, so the scatter stats match the serial engine's. The
+// ScatterResult is returned separately, captured under the lock: a
+// speculative or retried execution may outlive the window's release
+// (which drops entry.sc), and must keep using the pointer it acquired.
+func (p *windowProvider) acquire(j int) (*windowEntry, *ScatterResult, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for p.next <= j {
@@ -205,7 +209,7 @@ func (p *windowProvider) acquire(j int) (*windowEntry, error) {
 		t0 := time.Now()
 		sc, err := scatterWindow(p.plan, p.digits)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		p.scatterTime += time.Since(t0)
 		p.stats.add(sc.Stats)
@@ -216,7 +220,14 @@ func (p *windowProvider) acquire(j int) (*windowEntry, error) {
 		}
 		p.next++
 	}
-	return p.entries[j], nil
+	e := p.entries[j]
+	if e == nil {
+		// The window was already fully committed and its buffers dropped:
+		// every shard of it (including the caller's) has a winning result,
+		// so this late speculative/stolen execution has nothing to do.
+		return nil, nil, nil
+	}
+	return e, e.sc, nil
 }
 
 // release marks one shard of window j done. When it was the last shard
@@ -235,111 +246,8 @@ func (p *windowProvider) release(j int) bool {
 	return true
 }
 
-// runConcurrent is the concurrent per-GPU engine: one worker goroutine
-// per simulated GPU executes that GPU's shard list from the plan, and a
-// reducer goroutine bucket-reduces each window as soon as its last
-// shard completes — overlapping the host reduce of window j with the
-// bucket-sum of window j+1, the §3.2.3 pipeline. Cancellation is
-// checked at every shard boundary; the first worker error cancels the
-// rest and is returned.
-func runConcurrent(ctx context.Context, points []curve.PointAffine, scalars []bigint.Nat, plan *Plan) (*Result, error) {
-	c := plan.Curve
-	res := &Result{Plan: plan}
-	prov := newWindowProvider(plan, scalars)
-
-	// Group the plan's assignments by GPU, preserving plan (and thus
-	// window) order within each worker's shard list.
-	shardsByGPU := map[int][]Assignment{}
-	var gpuOrder []int
-	for _, a := range plan.Assignments {
-		if _, ok := shardsByGPU[a.GPU]; !ok {
-			gpuOrder = append(gpuOrder, a.GPU)
-		}
-		shardsByGPU[a.GPU] = append(shardsByGPU[a.GPU], a)
-	}
-
-	// A completed window travels to the reducer as (index, accumulators);
-	// the channel is buffered to the window count so sends never block
-	// and cancellation cannot deadlock a worker mid-send.
-	type doneWindow struct {
-		j   int
-		acc []*curve.PointXYZZ
-	}
-	windowSums := make([]*curve.PointXYZZ, plan.Windows)
-	reduceCh := make(chan doneWindow, plan.Windows)
-
-	grp, gctx := newGroup(ctx)
-	var (
-		statsMu   sync.Mutex
-		workerWG  sync.WaitGroup
-		reduceOps uint64
-		reduceDur time.Duration
-	)
-	res.Stats.PerGPU = make([]GPUStats, len(gpuOrder))
-	for slot, g := range gpuOrder {
-		workerWG.Add(1)
-		slot, g, shards := slot, g, shardsByGPU[g]
-		grp.Go(func() error {
-			defer workerWG.Done()
-			st := GPUStats{GPU: g}
-			defer func() {
-				statsMu.Lock()
-				res.Stats.PerGPU[slot] = st
-				res.Stats.PACCOps += st.PACCOps
-				res.Stats.Phase.BucketSum += st.Busy
-				statsMu.Unlock()
-			}()
-			for _, a := range shards {
-				if err := gctx.Err(); err != nil {
-					return err
-				}
-				e, err := prov.acquire(a.Window)
-				if err != nil {
-					return err
-				}
-				t0 := time.Now()
-				ops, err := sumBucketRange(c, points, e.sc.Buckets, a.BucketLo, a.BucketHi, e.acc)
-				st.Busy += time.Since(t0)
-				st.PACCOps += ops
-				if err != nil {
-					return err
-				}
-				st.Shards++
-				if prov.release(a.Window) {
-					reduceCh <- doneWindow{j: a.Window, acc: e.acc}
-				}
-			}
-			return nil
-		})
-	}
-	go func() {
-		workerWG.Wait()
-		close(reduceCh)
-	}()
-	grp.Go(func() error {
-		adder := c.NewAdder()
-		for d := range reduceCh {
-			if err := gctx.Err(); err != nil {
-				return err
-			}
-			t0 := time.Now()
-			pt, ops := reduceBuckets(c, d.acc, adder)
-			reduceDur += time.Since(t0)
-			reduceOps += ops
-			windowSums[d.j] = pt
-		}
-		return nil
-	})
-	if err := grp.Wait(); err != nil {
-		return nil, err
-	}
-
-	res.Stats.Scatter = prov.stats
-	res.Stats.Phase.Scatter = prov.scatterTime
-	res.Stats.ReduceOps = reduceOps
-	res.Stats.Phase.BucketReduce = reduceDur
-	if err := windowReduce(ctx, plan, windowSums, res); err != nil {
-		return nil, err
-	}
-	return res, nil
-}
+// The concurrent per-GPU engine lives in scheduler.go (runConcurrent /
+// runScheduled): one worker goroutine per simulated GPU pulls
+// (window, bucket-range) shards from the fault-tolerant scheduler, and
+// a reducer goroutine overlaps the host bucket-reduce of completed
+// windows with the bucket-sum of later ones (§3.2.3).

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"runtime"
 	"testing"
 	"time"
 
+	"distmsm/internal/bigint"
 	"distmsm/internal/curve"
 )
 
@@ -169,24 +171,66 @@ func TestSumBucketsPropagatesErrors(t *testing.T) {
 	}
 }
 
-// TestRunEmptyInput: the documented BuildPlan-free empty path.
+// TestRunEmptyInput: zero-length inputs are rejected with the typed
+// sentinel on both engines (never answered with a silent identity, and
+// never a panic).
 func TestRunEmptyInput(t *testing.T) {
 	c := mustCurve(t, "BLS12-381")
 	cl := cluster(t, 4)
 	for _, e := range []Engine{EngineSerial, EngineConcurrent} {
-		res, err := RunContext(context.Background(), c, cl, nil, nil, Options{Engine: e})
-		if err != nil {
-			t.Fatalf("%v: %v", e, err)
+		if _, err := RunContext(context.Background(), c, cl, nil, nil, Options{Engine: e}); !errors.Is(err, ErrEmptyInput) {
+			t.Fatalf("%v: want ErrEmptyInput, got %v", e, err)
 		}
-		if res.Point == nil || !res.Point.IsInf() {
-			t.Fatalf("%v: empty MSM must be a non-nil point at infinity", e)
+		if _, err := RunContext(context.Background(), c, cl, []curve.PointAffine{}, []bigint.Nat{}, Options{Engine: e}); !errors.Is(err, ErrEmptyInput) {
+			t.Fatalf("%v: want ErrEmptyInput for empty non-nil slices, got %v", e, err)
 		}
-		if res.Plan != nil {
-			t.Fatalf("%v: empty MSM must not build a plan", e)
+	}
+}
+
+// TestCancelMidBucketReduce cancels the context while the host reducer
+// goroutine is inside the bucket-reduce of a window — not at a shard
+// boundary — and asserts the run returns promptly with context.Canceled
+// and leaks no goroutines. MNT4753's 753-bit field with a 12-bit window
+// (2049 buckets, ~4100 PADDs per window) keeps the reducer busy for
+// many milliseconds per window, so the cancel lands mid-reduce with
+// high probability; the in-reduce cancellation check bounds the exit
+// latency either way.
+func TestCancelMidBucketReduce(t *testing.T) {
+	before := runtime.NumGoroutine()
+	c := mustCurve(t, "MNT4753")
+	cl := cluster(t, 4)
+	n := 96
+	points := c.SamplePoints(n, 73)
+	scalars := c.SampleScalars(n, 74)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, c, cl, points, scalars,
+			Options{WindowSize: 12, Engine: EngineConcurrent})
+		done <- err
+	}()
+	// Give the workers time to complete the first windows so the reducer
+	// is (very likely) inside a bucket-reduce, then cancel.
+	time.Sleep(120 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
 		}
-		if res.Cost.Total() != 0 {
-			t.Fatalf("%v: empty MSM must have zero cost", e)
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled execution did not return: reducer stuck inside bucket-reduce")
+	}
+	// goleak-style check: every goroutine of the run must exit.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before {
+			break
 		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after cancelled run: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -38,6 +38,17 @@ type Options struct {
 	// Engine selects the host execution engine (see Engine). The zero
 	// value is EngineSerial, the reference composition.
 	Engine Engine
+	// Faults configures deterministic fault injection on the simulated
+	// GPUs (concurrent engine only); nil injects nothing.
+	Faults *gpusim.FaultConfig
+	// Retry tunes the fault-tolerant scheduler (retry backoff, per-owner
+	// attempt budget, speculation deadline). Zero value = defaults.
+	Retry RetryPolicy
+	// VerifySampling is the per-shard probability of the randomized
+	// result-verification pass: 0 auto-enables full verification when
+	// corrupted-result injection is configured, a negative value
+	// disables verification entirely.
+	VerifySampling float64
 }
 
 // DefaultVariant is the full DistMSM accumulation kernel.
@@ -93,7 +104,7 @@ type Plan struct {
 // large windows win on one GPU, small windows and CPU reduce on many).
 func BuildPlan(c *curve.Curve, cl *gpusim.Cluster, n int, opts Options) (*Plan, error) {
 	if n <= 0 {
-		return nil, fmt.Errorf("core: plan needs n > 0, got %d", n)
+		return nil, fmt.Errorf("%w: plan needs n > 0, got %d", ErrEmptyInput, n)
 	}
 	if opts.WindowSize != 0 {
 		return buildPlanFixed(c, cl, n, opts, opts.WindowSize, opts.ReduceOnGPU)
@@ -191,6 +202,31 @@ func assignBuckets(windows, buckets, nGPU int) []Assignment {
 			}
 			lo = (win + 1) * buckets
 		}
+	}
+	return out
+}
+
+// rebalanceTargets picks, for each of n orphaned shards of a lost GPU,
+// the survivor that inherits it: always the currently least-loaded
+// healthy device (ties to the first in `healthy` order) — the same
+// levelling rule assignBuckets applies to the initial §3.2.2 shares,
+// replayed online as devices drop out. `load` holds the survivors'
+// current queue depths and is not modified.
+func rebalanceTargets(n int, load map[int]int, healthy []int) []int {
+	out := make([]int, n)
+	l := make(map[int]int, len(load))
+	for g, v := range load {
+		l[g] = v
+	}
+	for i := range out {
+		best, bestLoad := -1, 0
+		for _, g := range healthy {
+			if best == -1 || l[g] < bestLoad {
+				best, bestLoad = g, l[g]
+			}
+		}
+		out[i] = best
+		l[best]++
 	}
 	return out
 }

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"distmsm/internal/bigint"
 	"distmsm/internal/curve"
+	"distmsm/internal/gpusim"
 	"distmsm/internal/msm"
 )
 
@@ -85,6 +88,97 @@ func TestRunDegeneratePointSets(t *testing.T) {
 	}
 	if !c.EqualXYZZ(res.Point, want) {
 		t.Fatal("degenerate point-set MSM mismatch")
+	}
+}
+
+// TestInputValidation is the table-driven audit of every construction
+// and entry-point guard: degenerate cluster shapes, non-physical device
+// specs and zero-length inputs must fail fast with their typed sentinels
+// instead of dividing by zero (or worse) deep inside a run.
+func TestInputValidation(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	goodDev := gpusim.A100()
+	badDev := goodDev
+	badDev.SMs = 0
+	unnamedDev := goodDev
+	unnamedDev.Name = ""
+	pts1 := c.SamplePoints(1, 120)
+	scs1 := c.SampleScalars(1, 121)
+
+	clusterCases := []struct {
+		name string
+		dev  gpusim.Device
+		n    int
+		want error
+	}{
+		{"zero GPUs", goodDev, 0, gpusim.ErrNoGPUs},
+		{"negative GPUs", goodDev, -3, gpusim.ErrNoGPUs},
+		{"zero-value device", gpusim.Device{}, 4, gpusim.ErrBadDevice},
+		{"zero SMs", badDev, 4, gpusim.ErrBadDevice},
+		{"unnamed device", unnamedDev, 4, gpusim.ErrBadDevice},
+		{"valid", goodDev, 1, nil},
+	}
+	for _, tc := range clusterCases {
+		t.Run("cluster/"+tc.name, func(t *testing.T) {
+			_, err := gpusim.NewCluster(tc.dev, tc.n)
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("want success, got %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("want %v, got %v", tc.want, err)
+			}
+		})
+	}
+
+	cl := cluster(t, 2)
+	runCases := []struct {
+		name    string
+		points  []curve.PointAffine
+		scalars []bigint.Nat
+		want    error
+	}{
+		{"nil inputs", nil, nil, ErrEmptyInput},
+		{"empty non-nil inputs", []curve.PointAffine{}, []bigint.Nat{}, ErrEmptyInput},
+		{"nil scalars only", pts1, nil, ErrLengthMismatch},
+		{"nil points only", nil, scs1, ErrLengthMismatch},
+		{"length mismatch", c.SamplePoints(3, 122), c.SampleScalars(2, 123), ErrLengthMismatch},
+		{"valid", pts1, scs1, nil},
+	}
+	for _, tc := range runCases {
+		for _, e := range []Engine{EngineSerial, EngineConcurrent} {
+			t.Run("run/"+tc.name+"/"+e.String(), func(t *testing.T) {
+				_, err := RunContext(context.Background(), c, cl, tc.points, tc.scalars,
+					Options{WindowSize: 8, Engine: e})
+				if tc.want == nil {
+					if err != nil {
+						t.Fatalf("want success, got %v", err)
+					}
+					return
+				}
+				if !errors.Is(err, tc.want) {
+					t.Fatalf("want %v, got %v", tc.want, err)
+				}
+			})
+		}
+	}
+
+	// BuildPlan shares the n guard with the entry points.
+	if _, err := BuildPlan(c, cl, 0, Options{}); !errors.Is(err, ErrEmptyInput) {
+		t.Errorf("BuildPlan(n=0): want ErrEmptyInput, got %v", err)
+	}
+	if _, err := BuildPlan(c, cl, -5, Options{}); !errors.Is(err, ErrEmptyInput) {
+		t.Errorf("BuildPlan(n=-5): want ErrEmptyInput, got %v", err)
+	}
+
+	// An invalid fault config is rejected before any work is scheduled.
+	badFaults := &gpusim.FaultConfig{Transient: 2}
+	_, err := RunContext(context.Background(), c, cl, pts1, scs1,
+		Options{WindowSize: 8, Engine: EngineConcurrent, Faults: badFaults})
+	if !errors.Is(err, gpusim.ErrBadFaultConfig) {
+		t.Errorf("want ErrBadFaultConfig, got %v", err)
 	}
 }
 

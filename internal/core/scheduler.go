@@ -1,0 +1,799 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"distmsm/internal/bigint"
+	"distmsm/internal/curve"
+	"distmsm/internal/gpusim"
+)
+
+// This file is the fault-tolerant shard scheduler of EngineConcurrent.
+// PR 1's engine assumed every simulated GPU completes every
+// (window, bucket-range) shard it is assigned; at DGX scale device loss,
+// transient kernel failures, stragglers and (rarely) corrupted partial
+// results are routine, so the scheduler recovers from all four classes
+// while keeping the final point bit-identical to the fault-free run:
+//
+//   - transient-error: per-shard retry with capped exponential backoff;
+//   - device-lost: the GPU is marked unhealthy and its remaining shards
+//     are rebalanced onto the survivors (rebalanceTargets in plan.go);
+//   - straggler: a shard in flight past a deadline (a multiple of its
+//     estimated duration) is speculatively re-executed on an idle GPU,
+//     first result wins;
+//   - corrupted-result: a sampled random-linear-combination check
+//     against a recomputed reference rejects wrong partial bucket sums
+//     and re-executes the shard;
+//   - all GPUs lost: the run degrades to the serial host engine.
+//
+// Without a fault injector the scheduler reduces exactly to PR 1's
+// behavior: each shard runs once, on its assigned GPU, in plan order.
+
+// RetryPolicy tunes the fault-tolerant concurrent scheduler. The zero
+// value selects the documented defaults.
+type RetryPolicy struct {
+	// MaxAttempts is how many consecutive failures a shard accrues on
+	// its current owner before being reassigned to another healthy GPU
+	// (default 4).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; it doubles per
+	// consecutive failure up to MaxBackoff (defaults 200µs and 5ms of
+	// host time).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// StragglerMultiple sets the speculation deadline: a shard in flight
+	// longer than StragglerMultiple times its estimated duration is
+	// speculatively re-executed on an idle GPU (default 8; negative
+	// disables speculation).
+	StragglerMultiple float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 200 * time.Microsecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Millisecond
+	}
+	if p.StragglerMultiple == 0 {
+		p.StragglerMultiple = 8
+	}
+	return p
+}
+
+// maxShardExecutions bounds the total executions of one shard across
+// retries, reassignments and speculation; reaching it fails the MSM
+// (it takes a pathological injector — e.g. Corrupt = 1 — to get there).
+const maxShardExecutions = 64
+
+// Host wall-time floors keeping the deadline heuristics out of timer
+// noise: no shard is declared a straggler before minSpecDeadline, and an
+// injected straggler stalls for at least minStragglerWait (capped so
+// pathological configurations cannot stall tests indefinitely).
+const (
+	minSpecDeadline  = 2 * time.Millisecond
+	minStragglerWait = 8 * time.Millisecond
+	maxStragglerWait = 250 * time.Millisecond
+)
+
+// shardTask is the scheduler's state for one planned assignment. All
+// fields are guarded by scheduler.mu.
+type shardTask struct {
+	a     Assignment
+	owner int // current preferred GPU (starts as a.GPU)
+	// weight is the shard's relative modeled cost — its share of the
+	// window's bucket range — used to scale deadlines and delays.
+	weight float64
+
+	queued     bool
+	done       bool
+	running    int // in-flight executions (at most 2: primary + speculative)
+	seq        int // executions launched so far (fault-decision attempt index)
+	failures   int // consecutive failed executions
+	notBefore  time.Time
+	start      time.Time // launch time of the oldest in-flight execution
+	speculated bool
+	specGPU    int
+}
+
+// scheduler is the shared shard-dispatch state of one concurrent run.
+type scheduler struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	plan    *Plan
+	pol     RetryPolicy
+	inject  bool // fault injection configured: stealing/speculation enabled
+	verifyP float64
+	seed    uint64
+
+	gpus     []int // worker GPUs, in plan order
+	queues   map[int][]*shardTask
+	healthy  map[int]bool
+	nHealthy int
+	tasks    []*shardTask
+	nDone    int
+	fatal    error
+
+	// Online calibration of host seconds per unit of shard weight
+	// (EWMA over committed executions), the base of the speculation
+	// deadline — the "gpusim-estimated shard cost" scaled to host time.
+	ewma  float64
+	ewmaN int
+
+	stats FaultStats
+}
+
+func newScheduler(plan *Plan, opts Options) *scheduler {
+	s := &scheduler{
+		plan:    plan,
+		pol:     opts.Retry.withDefaults(),
+		queues:  map[int][]*shardTask{},
+		healthy: map[int]bool{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if inj := plan.Cluster.Faults; inj != nil {
+		s.inject = true
+		s.seed = uint64(inj.Config().Seed)
+		if inj.Config().Corrupt > 0 && opts.VerifySampling == 0 {
+			// Corruption is silent without verification: default to
+			// checking every shard unless the caller chose a rate.
+			s.verifyP = 1
+		}
+	}
+	if opts.VerifySampling > 0 {
+		s.verifyP = opts.VerifySampling
+		if s.verifyP > 1 {
+			s.verifyP = 1
+		}
+	}
+	for _, a := range plan.Assignments {
+		if !s.healthy[a.GPU] {
+			s.healthy[a.GPU] = true
+			s.gpus = append(s.gpus, a.GPU)
+		}
+		t := &shardTask{
+			a:      a,
+			owner:  a.GPU,
+			weight: float64(a.BucketHi-a.BucketLo) / float64(plan.Buckets),
+			queued: true,
+		}
+		s.tasks = append(s.tasks, t)
+		s.queues[a.GPU] = append(s.queues[a.GPU], t)
+	}
+	s.nHealthy = len(s.gpus)
+	return s
+}
+
+func (s *scheduler) wake() {
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *scheduler) fatalErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fatal
+}
+
+func (s *scheduler) snapshot() FaultStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// next blocks until GPU g has something to execute. It returns the task
+// with its execution index and whether this launch is speculative, or
+// (nil, err) on cancellation, or (nil, nil) when g is done for good
+// (all shards committed, a fatal error was recorded elsewhere, or g
+// itself was lost).
+func (s *scheduler) next(ctx context.Context, g int) (*shardTask, int, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, false, err
+		}
+		if s.fatal != nil || !s.healthy[g] || s.nDone == len(s.tasks) {
+			return nil, 0, false, nil
+		}
+		now := time.Now()
+		if t := s.popLocked(g, now); t != nil {
+			seq, spec := s.launchLocked(t, now, false)
+			return t, seq, spec, nil
+		}
+		if s.inject {
+			if t := s.stealLocked(g, now); t != nil {
+				seq, spec := s.launchLocked(t, now, false)
+				return t, seq, spec, nil
+			}
+			if t := s.overdueLocked(now); t != nil {
+				s.stats.SpeculativeLaunches++
+				t.speculated = true
+				t.specGPU = g
+				seq, spec := s.launchLocked(t, now, true)
+				return t, seq, spec, nil
+			}
+		}
+		s.cond.Wait()
+	}
+}
+
+// popLocked removes and returns the first ready task of g's queue.
+func (s *scheduler) popLocked(g int, now time.Time) *shardTask {
+	q := s.queues[g]
+	for i, t := range q {
+		if t.notBefore.After(now) {
+			continue // in backoff; later entries may still be ready
+		}
+		s.queues[g] = append(q[:i:i], q[i+1:]...)
+		t.queued = false
+		return t
+	}
+	return nil
+}
+
+// stealLocked takes the lowest-window ready task queued on another
+// healthy GPU — work stealing keeps survivors busy after a device loss
+// skews the queues.
+func (s *scheduler) stealLocked(g int, now time.Time) *shardTask {
+	bestGPU, bestIdx := -1, -1
+	for _, g2 := range s.gpus {
+		if g2 == g || !s.healthy[g2] {
+			continue
+		}
+		for i, t := range s.queues[g2] {
+			if t.notBefore.After(now) {
+				continue
+			}
+			if bestIdx == -1 || t.a.Window < s.queues[bestGPU][bestIdx].a.Window {
+				bestGPU, bestIdx = g2, i
+			}
+			break // queues are window-ordered; first ready entry is its best
+		}
+	}
+	if bestIdx == -1 {
+		return nil
+	}
+	q := s.queues[bestGPU]
+	t := q[bestIdx]
+	s.queues[bestGPU] = append(q[:bestIdx:bestIdx], q[bestIdx+1:]...)
+	t.queued = false
+	return t
+}
+
+// overdueLocked returns an in-flight, not-yet-speculated task past its
+// deadline, if any. Deadlines need at least one committed execution to
+// calibrate against.
+func (s *scheduler) overdueLocked(now time.Time) *shardTask {
+	if s.pol.StragglerMultiple <= 0 || s.ewmaN == 0 {
+		return nil
+	}
+	for _, t := range s.tasks {
+		if t.done || t.running == 0 || t.speculated {
+			continue
+		}
+		if now.Sub(t.start) > s.deadlineLocked(t) {
+			return t
+		}
+	}
+	return nil
+}
+
+func (s *scheduler) deadlineLocked(t *shardTask) time.Duration {
+	d := time.Duration(s.pol.StragglerMultiple * s.ewma * t.weight * float64(time.Second))
+	if d < minSpecDeadline {
+		d = minSpecDeadline
+	}
+	return d
+}
+
+func (s *scheduler) launchLocked(t *shardTask, now time.Time, spec bool) (int, bool) {
+	t.running++
+	t.seq++
+	if t.running == 1 {
+		t.start = now
+	}
+	return t.seq, spec
+}
+
+// stragglerWait scales the injected straggler stall to the shard's
+// estimated duration times the configured factor.
+func (s *scheduler) stragglerWait(t *shardTask, factor float64) time.Duration {
+	s.mu.Lock()
+	est := s.ewma * t.weight
+	s.mu.Unlock()
+	d := time.Duration(factor * est * float64(time.Second))
+	if d < minStragglerWait {
+		d = minStragglerWait
+	}
+	if d > maxStragglerWait {
+		d = maxStragglerWait
+	}
+	return d
+}
+
+func (s *scheduler) countFault(class gpusim.FaultClass) {
+	s.mu.Lock()
+	switch class {
+	case gpusim.FaultTransient:
+		s.stats.TransientErrors++
+	case gpusim.FaultStraggler:
+		s.stats.Stragglers++
+	case gpusim.FaultCorrupt:
+		s.stats.Corruptions++
+	}
+	s.mu.Unlock()
+}
+
+func (s *scheduler) countVerifyRun() {
+	s.mu.Lock()
+	s.stats.VerificationRuns++
+	s.mu.Unlock()
+}
+
+// fail records a failed execution of t (transient error, or a rejected
+// verification when verify is true) and requeues it with backoff unless
+// a sibling execution already committed or is still running. Reaching
+// maxShardExecutions turns the failure fatal.
+func (s *scheduler) fail(t *shardTask, verify bool) error {
+	s.mu.Lock()
+	defer func() {
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
+	t.running--
+	if verify {
+		s.stats.VerificationFailures++
+	}
+	if t.done {
+		return nil
+	}
+	t.failures++
+	if t.seq >= maxShardExecutions {
+		var err error
+		if verify {
+			err = fmt.Errorf("%w: shard window %d buckets [%d,%d) rejected after %d executions",
+				ErrVerificationFailed, t.a.Window, t.a.BucketLo, t.a.BucketHi, t.seq)
+		} else {
+			err = fmt.Errorf("core: shard window %d buckets [%d,%d) failed %d executions",
+				t.a.Window, t.a.BucketLo, t.a.BucketHi, t.seq)
+		}
+		s.fatal = err
+		return err
+	}
+	if t.running == 0 && !t.queued {
+		s.requeueLocked(t, time.Now())
+		s.stats.Retries++
+	}
+	return nil
+}
+
+// requeueLocked schedules t for re-execution after its capped
+// exponential backoff, on its owner while the per-owner attempt budget
+// lasts and the owner survives, otherwise on the least-loaded survivor.
+func (s *scheduler) requeueLocked(t *shardTask, now time.Time) {
+	backoff := s.pol.BaseBackoff
+	for i := 1; i < t.failures && backoff < s.pol.MaxBackoff; i++ {
+		backoff *= 2
+	}
+	if backoff > s.pol.MaxBackoff {
+		backoff = s.pol.MaxBackoff
+	}
+	t.notBefore = now.Add(backoff)
+	target := t.owner
+	if !s.healthy[target] || t.failures >= s.pol.MaxAttempts {
+		if g := s.leastLoadedLocked(t.owner); g >= 0 {
+			target = g
+		}
+	}
+	if target != t.owner {
+		t.owner = target
+		s.stats.Reassignments++
+	}
+	t.queued = true
+	s.queues[target] = append(s.queues[target], t)
+}
+
+// leastLoadedLocked returns the healthy GPU with the shortest queue,
+// preferring any GPU other than `avoid`; -1 if none are healthy.
+func (s *scheduler) leastLoadedLocked(avoid int) int {
+	best, bestLoad := -1, 0
+	for _, g := range s.gpus {
+		if !s.healthy[g] {
+			continue
+		}
+		load := len(s.queues[g])
+		if g == avoid {
+			load++ // soft preference for moving off the failing device
+		}
+		if best == -1 || load < bestLoad {
+			best, bestLoad = g, load
+		}
+	}
+	return best
+}
+
+// loseDevice marks g permanently unhealthy and rebalances its queued
+// shards (plus t, the shard whose execution killed it) onto the
+// survivors. When no survivor remains and work is outstanding it
+// records and returns ErrAllGPUsLost.
+func (s *scheduler) loseDevice(g int, t *shardTask) error {
+	s.mu.Lock()
+	defer func() {
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
+	t.running--
+	if s.healthy[g] {
+		s.healthy[g] = false
+		s.nHealthy--
+		s.stats.DevicesLost++
+	}
+	orphans := s.queues[g]
+	delete(s.queues, g)
+	if !t.done && !t.queued && t.running == 0 {
+		t.queued = true // re-entered below via the orphan path
+		orphans = append(orphans, t)
+	}
+	live := orphans[:0]
+	for _, o := range orphans {
+		if !o.done {
+			live = append(live, o)
+		}
+	}
+	if s.nHealthy == 0 {
+		if s.nDone < len(s.tasks) {
+			s.fatal = ErrAllGPUsLost
+			return ErrAllGPUsLost
+		}
+		return nil
+	}
+	load := map[int]int{}
+	var healthy []int
+	for _, g2 := range s.gpus {
+		if s.healthy[g2] {
+			healthy = append(healthy, g2)
+			load[g2] = len(s.queues[g2])
+		}
+	}
+	for i, target := range rebalanceTargets(len(live), load, healthy) {
+		o := live[i]
+		o.owner = target
+		o.queued = true
+		s.queues[target] = append(s.queues[target], o)
+		s.stats.Reassignments++
+	}
+	return nil
+}
+
+// commit records a completed execution. It returns whether this
+// execution won (committed the shard); losing sibling results are
+// discarded. compSec (compute-only seconds, injected stalls excluded)
+// feeds the deadline calibration.
+func (s *scheduler) commit(t *shardTask, isSpec bool, compSec float64) bool {
+	s.mu.Lock()
+	defer func() {
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
+	t.running--
+	if t.weight > 0 && compSec > 0 {
+		r := compSec / t.weight
+		if s.ewmaN == 0 {
+			s.ewma = r
+		} else {
+			s.ewma += 0.25 * (r - s.ewma)
+		}
+		s.ewmaN++
+	}
+	if t.done {
+		return false
+	}
+	t.done = true
+	t.failures = 0
+	s.nDone++
+	if isSpec {
+		s.stats.SpeculativeWins++
+	}
+	return true
+}
+
+// doneWindow carries a fully-accumulated window to the host reducer.
+type doneWindow struct {
+	j   int
+	acc []*curve.PointXYZZ
+}
+
+// concExec bundles the shared state of one concurrent execution.
+type concExec struct {
+	c        *curve.Curve
+	plan     *Plan
+	points   []curve.PointAffine
+	prov     *windowProvider
+	sched    *scheduler
+	reduceCh chan doneWindow
+}
+
+// execute runs one shard execution on GPU g: consult the fault
+// injector, honour the injected fault, compute the partial bucket sums
+// into a private buffer, optionally verify them, and commit (first
+// result wins). Failed executions requeue through the scheduler.
+func (e *concExec) execute(ctx context.Context, g int, t *shardTask, seq int, isSpec bool, st *GPUStats) error {
+	fault := e.plan.Cluster.ShardFault(g, t.a.Window, t.a.BucketLo, seq)
+	switch fault.Class {
+	case gpusim.FaultDeviceLost:
+		return e.sched.loseDevice(g, t)
+	case gpusim.FaultTransient:
+		e.sched.countFault(fault.Class)
+		return e.sched.fail(t, false)
+	}
+	entry, sc, err := e.prov.acquire(t.a.Window)
+	if err != nil {
+		return err
+	}
+	if entry == nil {
+		// A sibling execution won and the window was fully released while
+		// this launch was in flight; just retire the execution.
+		e.sched.commit(t, false, 0)
+		return nil
+	}
+	if fault.Class == gpusim.FaultStraggler {
+		e.sched.countFault(fault.Class)
+		if err := sleepCtx(ctx, e.sched.stragglerWait(t, fault.Factor)); err != nil {
+			e.sched.fail(t, false)
+			return err
+		}
+	}
+	priv := make([]*curve.PointXYZZ, e.plan.Buckets)
+	t0 := time.Now()
+	ops, err := sumBucketRange(e.c, e.points, sc.Buckets, t.a.BucketLo, t.a.BucketHi, priv)
+	comp := time.Since(t0)
+	st.Busy += comp
+	if err != nil {
+		return err
+	}
+	if fault.Class == gpusim.FaultCorrupt {
+		e.sched.countFault(fault.Class)
+		corruptShard(e.c, priv, t.a.BucketLo, t.a.BucketHi)
+	}
+	if e.sched.verifyP > 0 &&
+		gpusim.HashUnit(e.sched.seed, gpusim.TagVerify,
+			uint64(t.a.Window), uint64(t.a.BucketLo), uint64(seq)) < e.sched.verifyP {
+		e.sched.countVerifyRun()
+		ok, verr := e.verifyShard(t, seq, priv, sc.Buckets)
+		if verr != nil {
+			return verr
+		}
+		if !ok {
+			return e.sched.fail(t, true)
+		}
+	}
+	if !e.sched.commit(t, isSpec, comp.Seconds()) {
+		return nil // a sibling execution won the race
+	}
+	for b := t.a.BucketLo; b < t.a.BucketHi; b++ {
+		entry.acc[b] = priv[b]
+	}
+	st.Shards++
+	st.PACCOps += ops
+	if e.prov.release(t.a.Window) {
+		e.reduceCh <- doneWindow{j: t.a.Window, acc: entry.acc}
+	}
+	return nil
+}
+
+// verifyShard is the cheap randomized check of §(2G2T)-style outsourced
+// MSM verification: recompute the shard's reference bucket sums and
+// compare random-coefficient linear combinations of the claimed and
+// reference accumulators. A corrupted accumulator escapes only if the
+// 16-bit random coefficients align, probability ~2^-16 per check.
+func (e *concExec) verifyShard(t *shardTask, seq int, claim []*curve.PointXYZZ, buckets [][]int32) (bool, error) {
+	ref := make([]*curve.PointXYZZ, len(claim))
+	if _, err := sumBucketRange(e.c, e.points, buckets, t.a.BucketLo, t.a.BucketHi, ref); err != nil {
+		return false, err
+	}
+	seed := gpusim.Hash64(e.sched.seed, gpusim.TagCoeff,
+		uint64(t.a.Window), uint64(t.a.BucketLo), uint64(seq))
+	return rlcEqual(e.c, claim, ref, t.a.BucketLo, t.a.BucketHi, seed), nil
+}
+
+// corruptShard realizes a corrupted-result fault by doubling the first
+// nontrivial accumulator — still a valid curve point, but the wrong
+// partial sum, exactly what the RLC verification must catch.
+func corruptShard(c *curve.Curve, acc []*curve.PointXYZZ, lo, hi int) bool {
+	a := c.NewAdder()
+	for b := lo; b < hi; b++ {
+		if acc[b] != nil && !acc[b].IsInf() {
+			a.Double(acc[b])
+			return true
+		}
+	}
+	return false
+}
+
+// rlcEqual compares Σ r_b·claim[b] with Σ r_b·ref[b] over [lo, hi) for
+// deterministic pseudo-random 16-bit coefficients r_b derived from seed.
+func rlcEqual(c *curve.Curve, claim, ref []*curve.PointXYZZ, lo, hi int, seed uint64) bool {
+	a := c.NewAdder()
+	sumClaim, sumRef := c.NewXYZZ(), c.NewXYZZ()
+	h := seed
+	for b := lo; b < hi; b++ {
+		h = gpusim.Mix64(h)
+		r := uint32(h>>32) & 0xFFFF
+		if r == 0 {
+			r = 1
+		}
+		if claim[b] != nil {
+			a.Add(sumClaim, mulSmall(c, a, claim[b], r))
+		}
+		if ref[b] != nil {
+			a.Add(sumRef, mulSmall(c, a, ref[b], r))
+		}
+	}
+	return c.EqualXYZZ(sumClaim, sumRef)
+}
+
+// mulSmall computes k·p for a 16-bit k by double-and-add.
+func mulSmall(c *curve.Curve, a *curve.Adder, p *curve.PointXYZZ, k uint32) *curve.PointXYZZ {
+	out := c.NewXYZZ()
+	for i := 15; i >= 0; i-- {
+		a.Double(out)
+		if k>>uint(i)&1 == 1 {
+			a.Add(out, p)
+		}
+	}
+	return out
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// runConcurrent executes the plan on the fault-tolerant scheduler. When
+// every simulated GPU is lost mid-run and the configuration allows it,
+// the run degrades to the serial host engine over the same inputs —
+// throughput degrades, correctness does not.
+func runConcurrent(ctx context.Context, points []curve.PointAffine, scalars []bigint.Nat, plan *Plan, opts Options) (*Result, error) {
+	res, faults, err := runScheduled(ctx, points, scalars, plan, opts)
+	if err == nil {
+		res.Stats.Faults = faults
+		return res, nil
+	}
+	if errors.Is(err, ErrAllGPUsLost) {
+		if inj := plan.Cluster.Faults; inj != nil && !inj.Config().DisableFallback {
+			sres, serr := runSerial(ctx, points, scalars, plan, opts)
+			if serr != nil {
+				return nil, serr
+			}
+			faults.DegradedToSerial = true
+			sres.Stats.Faults = faults
+			return sres, nil
+		}
+	}
+	return nil, err
+}
+
+// runScheduled is the concurrent engine body: one worker goroutine per
+// simulated GPU pulls shards from the scheduler, and a host reducer
+// goroutine bucket-reduces each window as soon as its last shard
+// commits — overlapping the reduce of window j with the bucket-sum of
+// window j+1 (§3.2.3). Cancellation is honoured at shard boundaries, at
+// backoff/speculation waits, and every few hundred buckets inside the
+// reduce itself.
+func runScheduled(ctx context.Context, points []curve.PointAffine, scalars []bigint.Nat, plan *Plan, opts Options) (*Result, FaultStats, error) {
+	c := plan.Curve
+	res := &Result{Plan: plan}
+	prov := newWindowProvider(plan, scalars)
+	sched := newScheduler(plan, opts)
+
+	windowSums := make([]*curve.PointXYZZ, plan.Windows)
+	reduceCh := make(chan doneWindow, plan.Windows)
+	exec := &concExec{c: c, plan: plan, points: points, prov: prov, sched: sched, reduceCh: reduceCh}
+
+	grp, gctx := newGroup(ctx)
+
+	// The waker unblocks workers parked in next() so backoff expiries,
+	// speculation deadlines and cancellation are all observed promptly.
+	tickDone := make(chan struct{})
+	var tickWG sync.WaitGroup
+	tickWG.Add(1)
+	go func() {
+		defer tickWG.Done()
+		tick := time.NewTicker(500 * time.Microsecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tickDone:
+				return
+			case <-tick.C:
+				sched.wake()
+			}
+		}
+	}()
+	defer func() {
+		close(tickDone)
+		tickWG.Wait()
+	}()
+
+	var (
+		statsMu   sync.Mutex
+		workerWG  sync.WaitGroup
+		reduceOps uint64
+		reduceDur time.Duration
+	)
+	res.Stats.PerGPU = make([]GPUStats, len(sched.gpus))
+	for slot, g := range sched.gpus {
+		workerWG.Add(1)
+		slot, g := slot, g
+		grp.Go(func() error {
+			defer workerWG.Done()
+			st := GPUStats{GPU: g}
+			defer func() {
+				statsMu.Lock()
+				res.Stats.PerGPU[slot] = st
+				res.Stats.PACCOps += st.PACCOps
+				res.Stats.Phase.BucketSum += st.Busy
+				statsMu.Unlock()
+			}()
+			for {
+				t, seq, spec, err := sched.next(gctx, g)
+				if err != nil {
+					return err
+				}
+				if t == nil {
+					// Finished, lost, or a fatal error elsewhere.
+					return sched.fatalErr()
+				}
+				if err := exec.execute(gctx, g, t, seq, spec, &st); err != nil {
+					return err
+				}
+			}
+		})
+	}
+	go func() {
+		workerWG.Wait()
+		close(reduceCh)
+	}()
+	grp.Go(func() error {
+		adder := c.NewAdder()
+		for d := range reduceCh {
+			t0 := time.Now()
+			pt, ops, err := reduceBuckets(gctx, c, d.acc, adder)
+			reduceDur += time.Since(t0)
+			reduceOps += ops
+			if err != nil {
+				return err
+			}
+			windowSums[d.j] = pt
+		}
+		return nil
+	})
+	if err := grp.Wait(); err != nil {
+		return nil, sched.snapshot(), err
+	}
+
+	res.Stats.Scatter = prov.stats
+	res.Stats.Phase.Scatter = prov.scatterTime
+	res.Stats.ReduceOps = reduceOps
+	res.Stats.Phase.BucketReduce = reduceDur
+	if err := windowReduce(ctx, plan, windowSums, res); err != nil {
+		return nil, sched.snapshot(), err
+	}
+	return res, sched.snapshot(), nil
+}

@@ -9,6 +9,11 @@ import (
 // GPU. It is re-exported by the public API and matches with errors.Is.
 var ErrNoGPUs = errors.New("gpusim: cluster needs at least one GPU")
 
+// ErrBadDevice is returned when a cluster is requested with an empty or
+// inconsistent device specification (a zero Device would otherwise make
+// the occupancy and bandwidth models divide by zero deep inside a run).
+var ErrBadDevice = errors.New("gpusim: invalid device specification")
+
 // Cluster is a homogeneous multi-GPU system with a host CPU, the
 // execution substrate DistMSM schedules onto.
 type Cluster struct {
@@ -16,15 +21,68 @@ type Cluster struct {
 	N    int
 	IC   Interconnect
 	Host CPU
+	// Faults, when non-nil, is consulted once per shard execution by the
+	// concurrent engine; nil injects nothing.
+	Faults *FaultInjector
 }
 
 // NewCluster returns an n-GPU cluster of the given device with the DGX
-// interconnect and host CPU profile.
+// interconnect and host CPU profile. It rejects n < 1 (ErrNoGPUs) and
+// empty or inconsistent device specs (ErrBadDevice) with typed
+// sentinels instead of failing later inside the cost model.
 func NewCluster(dev Device, n int) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("%w, got %d", ErrNoGPUs, n)
 	}
+	if err := validateDevice(dev); err != nil {
+		return nil, err
+	}
 	return &Cluster{Dev: dev, N: n, IC: NVLinkDGX(), Host: Rome7742()}, nil
+}
+
+// validateDevice rejects device specs the performance model cannot
+// price: every capacity and throughput figure must be positive.
+func validateDevice(dev Device) error {
+	if dev.Name == "" {
+		return fmt.Errorf("%w: empty device name", ErrBadDevice)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"SMs", float64(dev.SMs)},
+		{"MaxThreadsPerSM", float64(dev.MaxThreadsPerSM)},
+		{"RegFilePerSM", float64(dev.RegFilePerSM)},
+		{"SharedMemPerSM", float64(dev.SharedMemPerSM)},
+		{"Int32TOPS", dev.Int32TOPS},
+		{"MemBandwidthGBs", dev.MemBandwidthGBs},
+		{"Efficiency", dev.Efficiency},
+	} {
+		if f.v <= 0 {
+			return fmt.Errorf("%w: %s (%s) must be positive, got %v", ErrBadDevice, f.name, dev.Name, f.v)
+		}
+	}
+	if dev.TensorInt8TOPS < 0 {
+		return fmt.Errorf("%w: TensorInt8TOPS (%s) must be non-negative", ErrBadDevice, dev.Name)
+	}
+	return nil
+}
+
+// WithFaults returns a shallow copy of the cluster with the fault
+// injector attached; the receiver is not modified, so one cluster can
+// serve faulty and fault-free executions concurrently.
+func (c *Cluster) WithFaults(f *FaultInjector) *Cluster {
+	cl := *c
+	cl.Faults = f
+	return &cl
+}
+
+// ShardFault is the per-shard consultation point of the engine: the
+// fault (if any) injected into the attempt-th execution of the
+// (window, bucketLo) shard on the given GPU. Without an injector it
+// always reports FaultNone.
+func (c *Cluster) ShardFault(gpu, window, bucketLo, attempt int) Fault {
+	return c.Faults.Decide(gpu, window, bucketLo, attempt)
 }
 
 // Model returns the per-device cost model.

@@ -1,0 +1,194 @@
+package gpusim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file is the fault model of the simulated cluster: a deterministic,
+// seedable injector the execution engine consults once per shard
+// execution. Production multi-GPU ZKP deployments see exactly these
+// failure classes — whole-device loss (XID errors, ECC retirement),
+// transient kernel failures, stragglers from clock throttling or
+// contention, and (rarely, but catastrophically for a proof) corrupted
+// partial results — and the DistMSM scheduler must degrade throughput,
+// never correctness, under all of them.
+
+// FaultClass enumerates the injectable fault classes.
+type FaultClass int
+
+const (
+	// FaultNone: the shard executes normally.
+	FaultNone FaultClass = iota
+	// FaultDeviceLost permanently removes the executing GPU from the
+	// cluster; its queued shards must be reassigned to survivors.
+	FaultDeviceLost
+	// FaultTransient fails this shard execution; the device survives and
+	// a retry (with a fresh attempt index) may succeed.
+	FaultTransient
+	// FaultStraggler inflates the shard's execution cost by the
+	// configured factor without failing it.
+	FaultStraggler
+	// FaultCorrupt makes the shard return a wrong partial bucket sum
+	// (one XYZZ accumulator is perturbed to a different curve point).
+	FaultCorrupt
+)
+
+func (c FaultClass) String() string {
+	switch c {
+	case FaultNone:
+		return "none"
+	case FaultDeviceLost:
+		return "device-lost"
+	case FaultTransient:
+		return "transient-error"
+	case FaultStraggler:
+		return "straggler"
+	case FaultCorrupt:
+		return "corrupted-result"
+	}
+	return "unknown"
+}
+
+// Fault is one injection decision.
+type Fault struct {
+	Class FaultClass
+	// Factor is the cost-inflation multiple for FaultStraggler (the
+	// configured StragglerFactor); zero otherwise.
+	Factor float64
+}
+
+// ErrBadFaultConfig reports an invalid FaultConfig.
+var ErrBadFaultConfig = errors.New("gpusim: invalid fault configuration")
+
+// FaultConfig describes the per-shard-execution fault probabilities. All
+// probabilities are in [0, 1] and their sum must not exceed 1 (at most
+// one fault fires per execution). The zero value injects nothing.
+type FaultConfig struct {
+	// Seed makes every injection decision a pure function of
+	// (Seed, gpu, window, bucketLo, attempt): the same seed reproduces
+	// the same decision at every decision point regardless of the
+	// host's goroutine scheduling.
+	Seed int64
+	// DeviceLost is the probability a shard execution permanently kills
+	// its GPU.
+	DeviceLost float64
+	// Transient is the probability a shard execution fails recoverably.
+	Transient float64
+	// Straggler is the probability a shard execution is slowed by
+	// StragglerFactor.
+	Straggler float64
+	// Corrupt is the probability a shard returns a perturbed result.
+	Corrupt float64
+	// StragglerFactor is the cost-inflation multiple of a straggling
+	// shard (default 32 when zero).
+	StragglerFactor float64
+	// DisableFallback surfaces ErrAllGPUsLost from the engine instead of
+	// degrading to the serial host engine when every GPU is lost.
+	DisableFallback bool
+}
+
+// DefaultStragglerFactor is the cost inflation applied to straggling
+// shards when FaultConfig.StragglerFactor is unset.
+const DefaultStragglerFactor = 32
+
+// FaultInjector makes deterministic fault decisions from a FaultConfig.
+// It is stateless and safe for concurrent use.
+type FaultInjector struct {
+	cfg FaultConfig
+	// cumulative thresholds over the unit interval, in class order
+	thLost, thTransient, thStraggler, thCorrupt float64
+}
+
+// NewFaultInjector validates cfg and returns an injector for it.
+func NewFaultInjector(cfg FaultConfig) (*FaultInjector, error) {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"DeviceLost", cfg.DeviceLost},
+		{"Transient", cfg.Transient},
+		{"Straggler", cfg.Straggler},
+		{"Corrupt", cfg.Corrupt},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return nil, fmt.Errorf("%w: %s = %v outside [0, 1]", ErrBadFaultConfig, p.name, p.v)
+		}
+	}
+	sum := cfg.DeviceLost + cfg.Transient + cfg.Straggler + cfg.Corrupt
+	if sum > 1 {
+		return nil, fmt.Errorf("%w: probabilities sum to %v > 1", ErrBadFaultConfig, sum)
+	}
+	if cfg.StragglerFactor < 0 {
+		return nil, fmt.Errorf("%w: StragglerFactor = %v < 0", ErrBadFaultConfig, cfg.StragglerFactor)
+	}
+	if cfg.StragglerFactor == 0 {
+		cfg.StragglerFactor = DefaultStragglerFactor
+	}
+	f := &FaultInjector{cfg: cfg}
+	f.thLost = cfg.DeviceLost
+	f.thTransient = f.thLost + cfg.Transient
+	f.thStraggler = f.thTransient + cfg.Straggler
+	f.thCorrupt = f.thStraggler + cfg.Corrupt
+	return f, nil
+}
+
+// Config returns the (default-filled) configuration.
+func (f *FaultInjector) Config() FaultConfig { return f.cfg }
+
+// hash-domain tags keeping the decision, verification-sampling and
+// verification-coefficient streams independent.
+const (
+	tagDecide uint64 = 0xD1CE
+	// TagVerify is the domain of the engine's verification-sampling rolls.
+	TagVerify uint64 = 0x5EED
+	// TagCoeff is the domain of the verification RLC coefficients.
+	TagCoeff uint64 = 0xC0EF
+)
+
+// Decide returns the fault (if any) injected into the attempt-th
+// execution of the (window, bucketLo) shard on the given GPU. Decisions
+// are deterministic in the tuple and independent across attempts, so a
+// retried or reassigned execution rolls afresh. A nil injector injects
+// nothing.
+func (f *FaultInjector) Decide(gpu, window, bucketLo, attempt int) Fault {
+	if f == nil {
+		return Fault{}
+	}
+	u := HashUnit(uint64(f.cfg.Seed), tagDecide,
+		uint64(gpu), uint64(window), uint64(bucketLo), uint64(attempt))
+	switch {
+	case u < f.thLost:
+		return Fault{Class: FaultDeviceLost}
+	case u < f.thTransient:
+		return Fault{Class: FaultTransient}
+	case u < f.thStraggler:
+		return Fault{Class: FaultStraggler, Factor: f.cfg.StragglerFactor}
+	case u < f.thCorrupt:
+		return Fault{Class: FaultCorrupt}
+	}
+	return Fault{}
+}
+
+// Mix64 is the SplitMix64 finalizer, the mixing primitive of the
+// injector's counter-based randomness.
+func Mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Hash64 folds the parts into one well-mixed 64-bit value.
+func Hash64(parts ...uint64) uint64 {
+	var h uint64 = 0x9e3779b97f4a7c15
+	for _, p := range parts {
+		h = Mix64(h ^ p)
+	}
+	return h
+}
+
+// HashUnit maps the parts to a uniform float64 in [0, 1).
+func HashUnit(parts ...uint64) float64 {
+	return float64(Hash64(parts...)>>11) / float64(1<<53)
+}

@@ -1,0 +1,191 @@
+package gpusim
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestFaultInjectorDeterminism: decisions are a pure function of
+// (seed, gpu, window, bucketLo, attempt) — the same tuple always rolls
+// the same fault, different seeds roll (mostly) different sequences, and
+// different attempts on the same shard re-roll independently.
+func TestFaultInjectorDeterminism(t *testing.T) {
+	cfg := FaultConfig{Seed: 42, DeviceLost: 0.1, Transient: 0.2, Straggler: 0.2, Corrupt: 0.1}
+	a, err := NewFaultInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewFaultInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewFaultInjector(FaultConfig{Seed: 43, DeviceLost: 0.1, Transient: 0.2, Straggler: 0.2, Corrupt: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for gpu := 0; gpu < 4; gpu++ {
+		for win := 0; win < 8; win++ {
+			for att := 0; att < 3; att++ {
+				x := a.Decide(gpu, win, 100*gpu, att)
+				if y := b.Decide(gpu, win, 100*gpu, att); x != y {
+					t.Fatalf("same seed, same tuple, different faults: %v vs %v", x, y)
+				}
+				if x != other.Decide(gpu, win, 100*gpu, att) {
+					diff++
+				}
+			}
+		}
+	}
+	if diff == 0 {
+		t.Error("seed 42 and 43 made identical decisions at every point")
+	}
+	// Straggler decisions carry the configured factor.
+	fi, err := NewFaultInjector(FaultConfig{Straggler: 1, StragglerFactor: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := fi.Decide(0, 0, 0, 0); f.Class != FaultStraggler || f.Factor != 5 {
+		t.Fatalf("Straggler=1: want {straggler 5}, got %v", f)
+	}
+	if fi.Config().StragglerFactor != 5 {
+		t.Error("Config() lost the straggler factor")
+	}
+}
+
+// TestFaultInjectorFrequencies: over many decision points each class
+// fires at roughly its configured probability.
+func TestFaultInjectorFrequencies(t *testing.T) {
+	cfg := FaultConfig{Seed: 7, DeviceLost: 0.05, Transient: 0.25, Straggler: 0.15, Corrupt: 0.1}
+	fi, err := NewFaultInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 40000
+	counts := map[FaultClass]int{}
+	for i := 0; i < trials; i++ {
+		counts[fi.Decide(i%16, i/16, i%1000, i%5).Class]++
+	}
+	for _, c := range []struct {
+		class FaultClass
+		p     float64
+	}{
+		{FaultDeviceLost, cfg.DeviceLost},
+		{FaultTransient, cfg.Transient},
+		{FaultStraggler, cfg.Straggler},
+		{FaultCorrupt, cfg.Corrupt},
+		{FaultNone, 1 - cfg.DeviceLost - cfg.Transient - cfg.Straggler - cfg.Corrupt},
+	} {
+		got := float64(counts[c.class]) / trials
+		if math.Abs(got-c.p) > 0.02 {
+			t.Errorf("%v: frequency %.3f, want ~%.3f", c.class, got, c.p)
+		}
+	}
+}
+
+// TestFaultConfigValidation: bad configs are rejected with the typed
+// sentinel.
+func TestFaultConfigValidation(t *testing.T) {
+	bad := []FaultConfig{
+		{Transient: -0.1},
+		{Corrupt: 1.5},
+		{DeviceLost: 0.5, Transient: 0.3, Straggler: 0.2, Corrupt: 0.1}, // sum 1.1
+		{Straggler: 0.1, StragglerFactor: -2},
+	}
+	for _, cfg := range bad {
+		if _, err := NewFaultInjector(cfg); !errors.Is(err, ErrBadFaultConfig) {
+			t.Errorf("%+v: want ErrBadFaultConfig, got %v", cfg, err)
+		}
+	}
+	// The zero config is valid and injects nothing; the default factor
+	// fills in.
+	fi, err := NewFaultInjector(FaultConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if f := fi.Decide(i, i, i, 0); f.Class != FaultNone {
+			t.Fatalf("zero config injected %v", f)
+		}
+	}
+	if fi.Config().StragglerFactor != DefaultStragglerFactor {
+		t.Errorf("zero StragglerFactor must default to %v", DefaultStragglerFactor)
+	}
+}
+
+// TestShardFaultNilSafe: a cluster without an injector reports FaultNone,
+// and WithFaults does not mutate its receiver.
+func TestShardFaultNilSafe(t *testing.T) {
+	cl, err := NewCluster(A100(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := cl.ShardFault(0, 0, 0, 0); f.Class != FaultNone {
+		t.Fatalf("injector-free cluster injected %v", f)
+	}
+	fi, err := NewFaultInjector(FaultConfig{Transient: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := cl.WithFaults(fi)
+	if f := faulty.ShardFault(0, 0, 0, 0); f.Class != FaultTransient {
+		t.Fatalf("want transient, got %v", f)
+	}
+	if cl.Faults != nil {
+		t.Error("WithFaults mutated the receiver")
+	}
+}
+
+// TestNewClusterValidation: n < 1 and non-physical device specs are
+// rejected with their sentinels.
+func TestNewClusterValidation(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if _, err := NewCluster(A100(), n); !errors.Is(err, ErrNoGPUs) {
+			t.Errorf("n=%d: want ErrNoGPUs, got %v", n, err)
+		}
+	}
+	cases := map[string]func(*Device){
+		"zero device": func(d *Device) { *d = Device{} },
+		"empty name":  func(d *Device) { d.Name = "" },
+		"zero SMs":    func(d *Device) { d.SMs = 0 },
+		"negative bandwidth": func(d *Device) {
+			d.MemBandwidthGBs = -1
+		},
+		"zero efficiency":  func(d *Device) { d.Efficiency = 0 },
+		"negative tensor":  func(d *Device) { d.TensorInt8TOPS = -1 },
+		"zero shared mem":  func(d *Device) { d.SharedMemPerSM = 0 },
+		"zero reg file":    func(d *Device) { d.RegFilePerSM = 0 },
+		"zero int32 TOPS":  func(d *Device) { d.Int32TOPS = 0 },
+		"zero max threads": func(d *Device) { d.MaxThreadsPerSM = 0 },
+	}
+	for name, mutate := range cases {
+		dev := A100()
+		mutate(&dev)
+		if _, err := NewCluster(dev, 4); !errors.Is(err, ErrBadDevice) {
+			t.Errorf("%s: want ErrBadDevice, got %v", name, err)
+		}
+	}
+	// The stock profiles all pass validation.
+	for _, dev := range []Device{A100(), RTX4090(), AMD6900XT()} {
+		if _, err := NewCluster(dev, 1); err != nil {
+			t.Errorf("%s: stock profile rejected: %v", dev.Name, err)
+		}
+	}
+}
+
+// TestHashUnitRange: the unit hash stays in [0, 1) and is well spread.
+func TestHashUnitRange(t *testing.T) {
+	var sum float64
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		u := HashUnit(uint64(i), 99)
+		if u < 0 || u >= 1 {
+			t.Fatalf("HashUnit out of [0,1): %v", u)
+		}
+		sum += u
+	}
+	if mean := sum / trials; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("HashUnit mean %.3f, want ~0.5", mean)
+	}
+}

@@ -1,6 +1,7 @@
 package msm
 
 import (
+	"math/big"
 	"math/rand"
 	"testing"
 
@@ -72,6 +73,81 @@ func TestWindowRecoderMatchesBatchRecoding(t *testing.T) {
 			}
 		}
 	}
+}
+
+// FuzzWindowRecoder cross-checks the streaming recoder against the
+// materialized Digits / SignedDigits recodings on fuzzer-chosen scalar
+// bytes, window sizes and signedness — the streaming path must be
+// bit-for-bit identical including the carry window and the zero tail.
+func FuzzWindowRecoder(f *testing.F) {
+	f.Add(uint8(8), true, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(2), false, []byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(uint8(13), true, []byte{})
+	f.Add(uint8(16), false, []byte{0x80})
+	f.Add(uint8(21), true, []byte{0, 0, 0, 0, 0, 0, 0, 0, 0xFF})
+	f.Fuzz(func(t *testing.T, sRaw uint8, signed bool, raw []byte) {
+		const scalarBits = 253
+		s := 2 + int(sRaw)%20 // window size in [2, 21]
+		words := (scalarBits + 63) / 64
+		// Pack the fuzzed bytes into up to 4 scalars, masked to width.
+		nScalars := len(raw)/(words*8) + 1
+		if nScalars > 4 {
+			nScalars = 4
+		}
+		scalars := make([]bigint.Nat, nScalars)
+		for i := range scalars {
+			k := bigint.New(words)
+			for w := 0; w < words*8; w++ {
+				idx := i*words*8 + w
+				if idx >= len(raw) {
+					break
+				}
+				k[w/8] |= uint64(raw[idx]) << (uint(w%8) * 8)
+			}
+			if rem := scalarBits % 64; rem != 0 {
+				k[words-1] &= (1 << rem) - 1
+			}
+			scalars[i] = k
+		}
+		windows := NumWindows(scalarBits, s) + 2 // past the natural length
+		rec := NewWindowRecoder(scalars, scalarBits, s, signed)
+		var digits []int32
+		for j := 0; j < windows; j++ {
+			digits = rec.Window(j, digits)
+			for i, k := range scalars {
+				var want int32
+				if signed {
+					ds := SignedDigits(k, scalarBits, s)
+					if j < len(ds) {
+						want = ds[j]
+					}
+				} else {
+					ds := Digits(k, scalarBits, s)
+					if j < len(ds) {
+						want = int32(ds[j])
+					}
+				}
+				if digits[i] != want {
+					t.Fatalf("signed=%v s=%d window %d scalar %d: streaming %d != batch %d",
+						signed, s, j, i, digits[i], want)
+				}
+			}
+		}
+		// The signed recoding must reconstruct the scalar: Σ d_j·2^(j·s) = k.
+		if signed {
+			for i, k := range scalars {
+				ds := SignedDigits(k, scalarBits, s)
+				back := new(big.Int)
+				for j := len(ds) - 1; j >= 0; j-- {
+					back.Lsh(back, uint(s))
+					back.Add(back, big.NewInt(int64(ds[j])))
+				}
+				if back.Cmp(k.ToBig()) != 0 {
+					t.Fatalf("s=%d scalar %d: signed digits do not reconstruct the scalar", s, i)
+				}
+			}
+		}
+	})
 }
 
 func TestWindowRecoderEnforcesOrder(t *testing.T) {
