@@ -4,7 +4,16 @@
 
 GO ?= go
 
-.PHONY: all tier1 build vet test race bench examples
+# Perf-regression harness: `make bench` runs the op-level
+# microbenchmarks (bigint kernels, field, curve) plus the end-to-end
+# BenchmarkReal* suite, and renders the results as BENCH_pr3.json with
+# before/after columns joined from the checked-in baseline
+# (bench/baseline_pr3.json, captured on the pre-unrolled-kernel tree).
+BENCH_BASELINE ?= bench/baseline_pr3.json
+BENCH_OUT      ?= BENCH_pr3.json
+BENCH_RAW      ?= bench_raw.txt
+
+.PHONY: all tier1 build vet test race bench bench-smoke fuzz-smoke examples
 
 all: tier1
 
@@ -20,10 +29,26 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/msm
+	$(GO) test -race ./internal/core ./internal/msm ./internal/bigint ./internal/field ./internal/curve
 
 bench:
-	$(GO) test -bench=BenchmarkReal -benchmem -run=^$$ .
+	@rm -f $(BENCH_RAW)
+	$(GO) test -bench=BenchmarkUnrolled -benchmem -run=^$$ ./internal/bigint | tee -a $(BENCH_RAW)
+	$(GO) test -bench='BenchmarkField(Mul|Ops)' -benchmem -run=^$$ ./internal/field | tee -a $(BENCH_RAW)
+	$(GO) test -bench='BenchmarkPACC|BenchmarkPADD' -benchmem -run=^$$ ./internal/curve | tee -a $(BENCH_RAW)
+	$(GO) test -bench='BenchmarkReal' -benchmem -run=^$$ -timeout 60m . | tee -a $(BENCH_RAW)
+	$(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -out $(BENCH_OUT) < $(BENCH_RAW)
+	@echo wrote $(BENCH_OUT)
+
+# One iteration of every microbenchmark: catches benchmarks that crash
+# or allocate unexpectedly without paying the full measurement cost (CI).
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./internal/bigint ./internal/field ./internal/curve
+
+# Short differential-fuzz pass over the unrolled Montgomery kernels.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzMul4Parity -fuzztime=10s ./internal/bigint
+	$(GO) test -run=^$$ -fuzz=FuzzMul6Parity -fuzztime=10s ./internal/bigint
 
 examples:
 	$(GO) run ./examples/quickstart

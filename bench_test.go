@@ -75,20 +75,22 @@ func BenchmarkRealMSM(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		const n = 1 << 12
-		points := c.SamplePoints(n, 1)
-		scalars := c.SampleScalars(n, 2)
 		sys, err := distmsm.NewSystem(distmsm.A100, 8)
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.Run(curveName, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := sys.MSM(c, points, scalars, distmsm.Options{WindowSize: 10}); err != nil {
-					b.Fatal(err)
+		for _, logN := range []int{12, 16} {
+			n := 1 << logN
+			points := c.SamplePoints(n, 1)
+			scalars := c.SampleScalars(n, 2)
+			b.Run(fmt.Sprintf("%s/2^%d", curveName, logN), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := sys.MSM(c, points, scalars, distmsm.Options{WindowSize: 10}); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

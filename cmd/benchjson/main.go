@@ -1,0 +1,161 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON report, optionally joining a baseline report so
+// perf regressions (and the speedups a PR claims) are visible in one
+// artifact. It is the back end of `make bench`:
+//
+//	go test -bench=. -benchmem -run='^$' ./... | benchjson -baseline bench/baseline.json -out BENCH.json
+//
+// Lines that are not benchmark results (goos/goarch/cpu headers, PASS,
+// package summaries) populate the environment metadata or are ignored,
+// so arbitrary concatenations of `go test -bench` runs can be piped in.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+
+	// Joined from the baseline report when one is given.
+	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_op,omitempty"`
+	Speedup             float64 `json:"speedup,omitempty"`
+}
+
+// Report is the top-level JSON artifact.
+type Report struct {
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+// benchLine matches one result row:
+//
+//	BenchmarkName[-P]  <iters>  <ns> ns/op  [<B> B/op  <allocs> allocs/op]  ...
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.eE+]+) ns/op(.*)$`)
+
+// Names are joined verbatim: the -P (GOMAXPROCS) tag go test appends at
+// P > 1 is part of the name, so stripping it would corrupt benchmark
+// names that legitimately end in -digits (PACC/BLS12-381). Capture the
+// baseline and the candidate on the same machine.
+
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Env: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "cpu", "pkg"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				if key == "pkg" {
+					pkg = v
+				} else {
+					rep.Env[key] = v
+				}
+			}
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %v", line, err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", line, err)
+		}
+		b := Benchmark{Name: m[1], Package: pkg, Iterations: iters, NsPerOp: ns}
+		for _, f := range strings.Split(m[4], "\t") {
+			f = strings.TrimSpace(f)
+			switch {
+			case strings.HasSuffix(f, " B/op"):
+				b.BytesPerOp, _ = strconv.ParseFloat(strings.TrimSuffix(f, " B/op"), 64)
+			case strings.HasSuffix(f, " allocs/op"):
+				b.AllocsPerOp, _ = strconv.ParseFloat(strings.TrimSuffix(f, " allocs/op"), 64)
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	return rep, sc.Err()
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline report (JSON) to join for speedup columns")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	if *baseline != "" {
+		base, err := loadReport(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		byName := map[string]Benchmark{}
+		for _, b := range base.Benchmarks {
+			byName[b.Name] = b
+		}
+		for i := range rep.Benchmarks {
+			b, ok := byName[rep.Benchmarks[i].Name]
+			if !ok {
+				continue
+			}
+			rep.Benchmarks[i].BaselineNsPerOp = b.NsPerOp
+			rep.Benchmarks[i].BaselineAllocsPerOp = b.AllocsPerOp
+			if rep.Benchmarks[i].NsPerOp > 0 {
+				rep.Benchmarks[i].Speedup = b.NsPerOp / rep.Benchmarks[i].NsPerOp
+			}
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

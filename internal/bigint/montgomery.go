@@ -21,6 +21,17 @@ type Montgomery struct {
 	R2      Nat    // R^2 mod N (for conversion into Montgomery form)
 	One     Nat    // R mod N   (the Montgomery representation of 1)
 	width   int
+
+	// Function-pointer dispatch, selected once at construction: the
+	// width-specialised unrolled kernels when the modulus qualifies
+	// (see unrolledOK), the generic loops otherwise. All hot callers
+	// (field, curve, msm, ntt, pairing, groth16) go through Mul/Square/
+	// AddMod/SubMod and pick up the fast path with no call-site changes.
+	backend string
+	mulFn   func(z, x, y Nat)
+	sqrFn   func(z, x Nat)
+	addFn   func(z, x, y Nat)
+	subFn   func(z, x, y Nat)
 }
 
 // NewMontgomery builds a Montgomery context for the given odd modulus.
@@ -44,8 +55,53 @@ func NewMontgomery(modulus *big.Int) (*Montgomery, error) {
 	m.One = FromBig(new(big.Int).Mod(r, modulus), width)
 	r2 := new(big.Int).Mul(r, r)
 	m.R2 = FromBig(r2.Mod(r2, modulus), width)
+	m.selectBackend()
 	return m, nil
 }
+
+// selectBackend installs the arithmetic function pointers: the unrolled
+// fixed-limb kernels for qualifying 4- and 6-limb moduli, the generic
+// variable-width loops otherwise.
+func (m *Montgomery) selectBackend() {
+	m.backend = "generic"
+	m.mulFn = m.MulCIOS
+	m.sqrFn = m.SquareSOS
+	m.addFn = m.addModGeneric
+	m.subFn = m.subModGeneric
+	if !unrolledOK(m.N) {
+		return
+	}
+	np := m.NPrime0
+	switch m.width {
+	case 4:
+		n := (*[4]uint64)(m.N)
+		m.backend = "unrolled4"
+		m.mulFn = func(z, x, y Nat) { mul4((*[4]uint64)(z), (*[4]uint64)(x), (*[4]uint64)(y), n, np) }
+		m.sqrFn = func(z, x Nat) { sqr4((*[4]uint64)(z), (*[4]uint64)(x), n, np) }
+		m.addFn = func(z, x, y Nat) { add4((*[4]uint64)(z), (*[4]uint64)(x), (*[4]uint64)(y), n) }
+		m.subFn = func(z, x, y Nat) { sub4((*[4]uint64)(z), (*[4]uint64)(x), (*[4]uint64)(y), n) }
+	case 6:
+		n := (*[6]uint64)(m.N)
+		m.backend = "unrolled6"
+		m.mulFn = func(z, x, y Nat) { mul6((*[6]uint64)(z), (*[6]uint64)(x), (*[6]uint64)(y), n, np) }
+		m.sqrFn = func(z, x Nat) { sqr6((*[6]uint64)(z), (*[6]uint64)(x), n, np) }
+		m.addFn = func(z, x, y Nat) { add6((*[6]uint64)(z), (*[6]uint64)(x), (*[6]uint64)(y), n) }
+		m.subFn = func(z, x, y Nat) { sub6((*[6]uint64)(z), (*[6]uint64)(x), (*[6]uint64)(y), n) }
+	}
+}
+
+// Backend names the arithmetic backend this context dispatches to:
+// "unrolled4", "unrolled6", or "generic".
+func (m *Montgomery) Backend() string { return m.backend }
+
+// Mul sets z = x*y*R^-1 mod N through the selected backend. z may alias
+// x or y. This is the multiplier every hot path should call; MulCIOS,
+// MulSOS and MulFIOS remain as the generic cross-check variants.
+func (m *Montgomery) Mul(z, x, y Nat) { m.mulFn(z, x, y) }
+
+// Square sets z = x²·R^-1 mod N through the selected backend. z may
+// alias x.
+func (m *Montgomery) Square(z, x Nat) { m.sqrFn(z, x) }
 
 // Width returns the limb count of the context.
 func (m *Montgomery) Width() int { return m.width }
@@ -65,12 +121,14 @@ func (m *Montgomery) reduceOnce(z Nat, overflow uint64) {
 // buffer and copied out). This is the default multiplier.
 func (m *Montgomery) MulCIOS(z, x, y Nat) {
 	w := m.width
-	// t has w+2 limbs conceptually; we keep the top two in scalars.
-	var t [maxLimbs + 1]uint64
 	if w > maxLimbs {
 		m.mulCIOSLarge(z, x, y)
 		return
 	}
+	// t has w+2 limbs conceptually; we keep the top two in scalars.
+	// The declaration zero-initialises t on every call, so no explicit
+	// clearing is needed on exit.
+	var t [maxLimbs + 1]uint64
 	var tHigh uint64
 	for i := 0; i < w; i++ {
 		// t += x[i] * y
@@ -110,9 +168,6 @@ func (m *Montgomery) MulCIOS(z, x, y Nat) {
 	}
 	copy(z, t[:w])
 	m.reduceOnce(z, t[w])
-	for i := range t[:w+1] {
-		t[i] = 0
-	}
 }
 
 // maxLimbs is the largest width served by the stack-allocated fast path;
@@ -237,14 +292,22 @@ func (m *Montgomery) MulFIOS(z, x, y Nat) {
 	m.reduceOnce(z, t[w])
 }
 
-// AddMod sets z = x + y mod N (operands already reduced).
-func (m *Montgomery) AddMod(z, x, y Nat) {
+// AddMod sets z = x + y mod N (operands already reduced) through the
+// selected backend.
+func (m *Montgomery) AddMod(z, x, y Nat) { m.addFn(z, x, y) }
+
+// SubMod sets z = x - y mod N (operands already reduced) through the
+// selected backend.
+func (m *Montgomery) SubMod(z, x, y Nat) { m.subFn(z, x, y) }
+
+// addModGeneric is the variable-width modular addition.
+func (m *Montgomery) addModGeneric(z, x, y Nat) {
 	carry := AddInto(z, x, y)
 	m.reduceOnce(z, carry)
 }
 
-// SubMod sets z = x - y mod N (operands already reduced).
-func (m *Montgomery) SubMod(z, x, y Nat) {
+// subModGeneric is the variable-width modular subtraction.
+func (m *Montgomery) subModGeneric(z, x, y Nat) {
 	borrow := SubInto(z, x, y)
 	// If we borrowed, add N back.
 	mask := -borrow
@@ -264,11 +327,11 @@ func (m *Montgomery) NegMod(z, x Nat) {
 }
 
 // ToMont converts x (a plain residue < N) to Montgomery form.
-func (m *Montgomery) ToMont(z, x Nat) { m.MulCIOS(z, x, m.R2) }
+func (m *Montgomery) ToMont(z, x Nat) { m.Mul(z, x, m.R2) }
 
 // FromMont converts x from Montgomery form back to a plain residue.
 func (m *Montgomery) FromMont(z, x Nat) {
 	one := New(m.width)
 	one[0] = 1
-	m.MulCIOS(z, x, one)
+	m.Mul(z, x, one)
 }

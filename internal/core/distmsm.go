@@ -10,6 +10,7 @@ import (
 
 	"distmsm/internal/bigint"
 	"distmsm/internal/curve"
+	"distmsm/internal/field"
 	"distmsm/internal/gpusim"
 )
 
@@ -220,20 +221,43 @@ func scatterWindow(p *Plan, digits []int32) (*ScatterResult, error) {
 	return NaiveScatter(digits, p.Buckets)
 }
 
+// bucketScratch is the reusable per-worker state of sumBucketRange: the
+// adder's registers and the negation temporary survive across shards so
+// the inner accumulation loop allocates nothing beyond the bucket
+// accumulators themselves.
+type bucketScratch struct {
+	a    *curve.Adder
+	negY field.Element
+}
+
+func newBucketScratch(c *curve.Curve) *bucketScratch {
+	return &bucketScratch{a: c.NewAdder(), negY: c.Fp.NewElement()}
+}
+
 // sumBucketRange accumulates buckets[lo:hi] into out[lo:hi]: one PACC
 // per referenced point, negating references with negative sign. It is
 // the per-shard kernel both engines share, and it validates the bucket
 // references so a corrupt scatter surfaces as an error instead of a
-// silent wrong answer or panic.
-func sumBucketRange(c *curve.Curve, points []curve.PointAffine, buckets [][]int32, lo, hi int, out []*curve.PointXYZZ) (uint64, error) {
-	a := c.NewAdder()
-	negY := c.Fp.NewElement()
+// silent wrong answer or panic. The accumulators for the range come
+// from one flat arena (NewXYZZBatch), and scr holds the caller's
+// reusable scratch — each worker owns one.
+func sumBucketRange(c *curve.Curve, points []curve.PointAffine, buckets [][]int32, lo, hi int, out []*curve.PointXYZZ, scr *bucketScratch) (uint64, error) {
+	a, negY := scr.a, scr.negY
+	nonEmpty := 0
+	for b := lo; b < hi; b++ {
+		if len(buckets[b]) > 0 {
+			nonEmpty++
+		}
+	}
+	batch := c.NewXYZZBatch(nonEmpty)
+	next := 0
 	var ops uint64
 	for b := lo; b < hi; b++ {
 		if len(buckets[b]) == 0 {
 			continue
 		}
-		acc := c.NewXYZZ()
+		acc := &batch[next]
+		next++
 		for _, ref := range buckets[b] {
 			negated := ref < 0
 			if negated {
@@ -261,11 +285,16 @@ func sumBucketRange(c *curve.Curve, points []curve.PointAffine, buckets [][]int3
 }
 
 // sumBuckets accumulates every bucket, in parallel across `workers`
-// host goroutines; the first worker error is propagated.
-func sumBuckets(c *curve.Curve, points []curve.PointAffine, buckets [][]int32, workers int, stats *Stats) ([]*curve.PointXYZZ, error) {
+// host goroutines; the first worker error is propagated. scr carries
+// one reusable scratch per worker (grown on demand) so repeated calls —
+// one per window in the serial engine — reuse the adder registers.
+func sumBuckets(c *curve.Curve, points []curve.PointAffine, buckets [][]int32, workers int, scr *[]*bucketScratch, stats *Stats) ([]*curve.PointXYZZ, error) {
 	out := make([]*curve.PointXYZZ, len(buckets))
 	if workers < 1 {
 		workers = 1
+	}
+	for len(*scr) < workers {
+		*scr = append(*scr, newBucketScratch(c))
 	}
 	chunk := (len(buckets) + workers - 1) / workers
 	var (
@@ -282,16 +311,17 @@ func sumBuckets(c *curve.Curve, points []curve.PointAffine, buckets [][]int32, w
 			continue
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		scratch := (*scr)[w]
+		go func(lo, hi int, scratch *bucketScratch) {
 			defer wg.Done()
-			ops, err := sumBucketRange(c, points, buckets, lo, hi, out)
+			ops, err := sumBucketRange(c, points, buckets, lo, hi, out, scratch)
 			mu.Lock()
 			stats.PACCOps += ops
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}
 			mu.Unlock()
-		}(lo, hi)
+		}(lo, hi, scratch)
 	}
 	wg.Wait()
 	if firstErr != nil {

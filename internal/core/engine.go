@@ -56,6 +56,7 @@ func runSerial(ctx context.Context, points []curve.PointAffine, scalars []bigint
 	rec := msm.NewWindowRecoder(scalars, c.ScalarBits, plan.S, plan.Signed)
 	bucketAcc := make([][]*curve.PointXYZZ, plan.Windows)
 	var digits []int32
+	var scratches []*bucketScratch // per-worker, reused across windows
 	for j := 0; j < plan.Windows; j++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -70,7 +71,7 @@ func runSerial(ctx context.Context, points []curve.PointAffine, scalars []bigint
 		res.Stats.Phase.Scatter += time.Since(t0)
 
 		t0 = time.Now()
-		bucketAcc[j], err = sumBuckets(c, points, sc.Buckets, workers, &res.Stats)
+		bucketAcc[j], err = sumBuckets(c, points, sc.Buckets, workers, &scratches, &res.Stats)
 		if err != nil {
 			return nil, err
 		}

@@ -158,15 +158,16 @@ func TestSumBucketsPropagatesErrors(t *testing.T) {
 	points := c.SamplePoints(4, 81)
 	bad := [][]int32{nil, {1, 2}, {99}, {-3}} // ref 99 exceeds the input
 	var stats Stats
-	if _, err := sumBuckets(c, points, bad, 4, &stats); err == nil {
+	var scr []*bucketScratch
+	if _, err := sumBuckets(c, points, bad, 4, &scr, &stats); err == nil {
 		t.Fatal("out-of-range bucket reference must error")
 	}
 	zero := [][]int32{nil, {0}} // ref 0 is never produced by a scatter
-	if _, err := sumBuckets(c, points, zero, 1, &stats); err == nil {
+	if _, err := sumBuckets(c, points, zero, 1, &scr, &stats); err == nil {
 		t.Fatal("zero bucket reference must error")
 	}
 	// The shared shard kernel reports the same corruption.
-	if _, err := sumBucketRange(c, points, bad, 0, len(bad), make([]*curve.PointXYZZ, len(bad))); err == nil {
+	if _, err := sumBucketRange(c, points, bad, 0, len(bad), make([]*curve.PointXYZZ, len(bad)), newBucketScratch(c)); err == nil {
 		t.Fatal("sumBucketRange must propagate the error")
 	}
 }

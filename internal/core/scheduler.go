@@ -523,11 +523,27 @@ type concExec struct {
 	reduceCh chan doneWindow
 }
 
+// workerScratch is the per-GPU-worker reusable state: the bucket-sum
+// scratch plus the private result buffer shard executions write into.
+// Only the accumulator points escape (into the window entry); the
+// pointer slice itself is cleared and reused across shards.
+type workerScratch struct {
+	sum  *bucketScratch
+	priv []*curve.PointXYZZ
+}
+
+func (e *concExec) newWorkerScratch() *workerScratch {
+	return &workerScratch{
+		sum:  newBucketScratch(e.c),
+		priv: make([]*curve.PointXYZZ, e.plan.Buckets),
+	}
+}
+
 // execute runs one shard execution on GPU g: consult the fault
 // injector, honour the injected fault, compute the partial bucket sums
 // into a private buffer, optionally verify them, and commit (first
 // result wins). Failed executions requeue through the scheduler.
-func (e *concExec) execute(ctx context.Context, g int, t *shardTask, seq int, isSpec bool, st *GPUStats) error {
+func (e *concExec) execute(ctx context.Context, g int, t *shardTask, seq int, isSpec bool, st *GPUStats, ws *workerScratch) error {
 	fault := e.plan.Cluster.ShardFault(g, t.a.Window, t.a.BucketLo, seq)
 	switch fault.Class {
 	case gpusim.FaultDeviceLost:
@@ -553,9 +569,12 @@ func (e *concExec) execute(ctx context.Context, g int, t *shardTask, seq int, is
 			return err
 		}
 	}
-	priv := make([]*curve.PointXYZZ, e.plan.Buckets)
+	priv := ws.priv
+	for b := t.a.BucketLo; b < t.a.BucketHi; b++ {
+		priv[b] = nil // clear this shard's range; the rest is never read
+	}
 	t0 := time.Now()
-	ops, err := sumBucketRange(e.c, e.points, sc.Buckets, t.a.BucketLo, t.a.BucketHi, priv)
+	ops, err := sumBucketRange(e.c, e.points, sc.Buckets, t.a.BucketLo, t.a.BucketHi, priv, ws.sum)
 	comp := time.Since(t0)
 	st.Busy += comp
 	if err != nil {
@@ -569,7 +588,7 @@ func (e *concExec) execute(ctx context.Context, g int, t *shardTask, seq int, is
 		gpusim.HashUnit(e.sched.seed, gpusim.TagVerify,
 			uint64(t.a.Window), uint64(t.a.BucketLo), uint64(seq)) < e.sched.verifyP {
 		e.sched.countVerifyRun()
-		ok, verr := e.verifyShard(t, seq, priv, sc.Buckets)
+		ok, verr := e.verifyShard(t, seq, priv, sc.Buckets, ws)
 		if verr != nil {
 			return verr
 		}
@@ -596,9 +615,9 @@ func (e *concExec) execute(ctx context.Context, g int, t *shardTask, seq int, is
 // compare random-coefficient linear combinations of the claimed and
 // reference accumulators. A corrupted accumulator escapes only if the
 // 16-bit random coefficients align, probability ~2^-16 per check.
-func (e *concExec) verifyShard(t *shardTask, seq int, claim []*curve.PointXYZZ, buckets [][]int32) (bool, error) {
+func (e *concExec) verifyShard(t *shardTask, seq int, claim []*curve.PointXYZZ, buckets [][]int32, ws *workerScratch) (bool, error) {
 	ref := make([]*curve.PointXYZZ, len(claim))
-	if _, err := sumBucketRange(e.c, e.points, buckets, t.a.BucketLo, t.a.BucketHi, ref); err != nil {
+	if _, err := sumBucketRange(e.c, e.points, buckets, t.a.BucketLo, t.a.BucketHi, ref, ws.sum); err != nil {
 		return false, err
 	}
 	seed := gpusim.Hash64(e.sched.seed, gpusim.TagCoeff,
@@ -744,6 +763,7 @@ func runScheduled(ctx context.Context, points []curve.PointAffine, scalars []big
 		grp.Go(func() error {
 			defer workerWG.Done()
 			st := GPUStats{GPU: g}
+			ws := exec.newWorkerScratch()
 			defer func() {
 				statsMu.Lock()
 				res.Stats.PerGPU[slot] = st
@@ -760,7 +780,7 @@ func runScheduled(ctx context.Context, points []curve.PointAffine, scalars []big
 					// Finished, lost, or a fatal error elsewhere.
 					return sched.fatalErr()
 				}
-				if err := exec.execute(gctx, g, t, seq, spec, &st); err != nil {
+				if err := exec.execute(gctx, g, t, seq, spec, &st, ws); err != nil {
 					return err
 				}
 			}

@@ -1,0 +1,33 @@
+package curve
+
+import "testing"
+
+// TestAdderAllocFree pins the zero-allocation property of the XYZZ
+// point operations: Acc (mixed PACC), Add (PADD) and Double run once per
+// point reference in the bucket-sum phase, so any per-op allocation
+// dominates an MSM's heap profile.
+func TestAdderAllocFree(t *testing.T) {
+	for _, c := range testCurves(t) {
+		a := c.NewAdder()
+		pts := c.SamplePoints(2, 17)
+		acc := c.NewXYZZ()
+		other := c.NewXYZZ()
+		c.SetAffine(other, &pts[1])
+		a.Acc(acc, &pts[0]) // leave the empty-accumulator branch
+
+		cases := []struct {
+			op string
+			fn func()
+		}{
+			{"Acc", func() { a.Acc(acc, &pts[1]) }},
+			{"Add", func() { a.Add(acc, other) }},
+			{"Double", func() { a.Double(acc) }},
+			{"SetAffine", func() { c.SetAffine(other, &pts[1]) }},
+		}
+		for _, tc := range cases {
+			if allocs := testing.AllocsPerRun(100, tc.fn); allocs != 0 {
+				t.Errorf("%s: Adder.%s allocates %.1f objects/op, want 0", c.Name, tc.op, allocs)
+			}
+		}
+	}
+}

@@ -30,7 +30,7 @@ func (c *Curve) SetAffineJac(p *PointJacobian, a *PointAffine) {
 	}
 	p.X.Set(a.X)
 	p.Y.Set(a.Y)
-	p.Z.Set(c.Fp.One())
+	c.Fp.SetOne(p.Z)
 }
 
 // JacToAffine converts p back to affine coordinates.

@@ -50,6 +50,7 @@ func (p *PointXYZZ) Set(q *PointXYZZ) {
 }
 
 // SetAffine sets p to the XYZZ form of affine point a (ZZ = ZZZ = 1).
+// Allocation-free: it runs on every first insertion into a bucket.
 func (c *Curve) SetAffine(p *PointXYZZ, a *PointAffine) {
 	if a.Inf {
 		p.SetInf()
@@ -57,8 +58,27 @@ func (c *Curve) SetAffine(p *PointXYZZ, a *PointAffine) {
 	}
 	p.X.Set(a.X)
 	p.Y.Set(a.Y)
-	p.ZZ.Set(c.Fp.One())
-	p.ZZZ.Set(c.Fp.One())
+	c.Fp.SetOne(p.ZZ)
+	c.Fp.SetOne(p.ZZZ)
+}
+
+// NewXYZZBatch returns n points at infinity whose coordinate limbs share
+// one flat backing array: two allocations instead of 5n, for callers
+// that materialise many bucket accumulators at once.
+func (c *Curve) NewXYZZBatch(n int) []PointXYZZ {
+	w := c.Fp.Width()
+	limbs := make([]uint64, 4*n*w)
+	pts := make([]PointXYZZ, n)
+	for i := range pts {
+		base := limbs[4*i*w:]
+		pts[i] = PointXYZZ{
+			X:   field.Element(base[0*w : 1*w]),
+			Y:   field.Element(base[1*w : 2*w]),
+			ZZ:  field.Element(base[2*w : 3*w]),
+			ZZZ: field.Element(base[3*w : 4*w]),
+		}
+	}
+	return pts
 }
 
 // Clone returns an independent copy of p.

@@ -80,6 +80,10 @@ func New(name string, modulus *big.Int) (*Field, error) {
 // Width returns the limb count of field elements.
 func (f *Field) Width() int { return f.width }
 
+// Backend names the arithmetic backend the underlying Montgomery
+// context dispatches to ("unrolled4", "unrolled6", or "generic").
+func (f *Field) Backend() string { return f.mont.Backend() }
+
 // Bits returns the bit length of the modulus.
 func (f *Field) Bits() int { return f.Modulus.BitLen() }
 
@@ -94,6 +98,9 @@ func (f *Field) Zero() Element { return f.NewElement() }
 
 // One returns a fresh copy of the multiplicative identity.
 func (f *Field) One() Element { return f.mont.One.Clone() }
+
+// SetOne sets z to the multiplicative identity without allocating.
+func (f *Field) SetOne(z Element) { z.Set(f.mont.One) }
 
 // FromUint64 returns the Montgomery form of v.
 func (f *Field) FromUint64(v uint64) Element {
@@ -134,12 +141,14 @@ func (f *Field) Sub(z, x, y Element) { f.mont.SubMod(z, x, y) }
 // Neg sets z = -x.
 func (f *Field) Neg(z, x Element) { f.mont.NegMod(z, x) }
 
-// Mul sets z = x * y. z may alias x or y.
-func (f *Field) Mul(z, x, y Element) { f.mont.MulCIOS(z, x, y) }
+// Mul sets z = x * y through the width-dispatched Montgomery backend
+// (unrolled fixed-limb kernels on 4- and 6-limb fields, generic CIOS
+// otherwise). z may alias x or y.
+func (f *Field) Mul(z, x, y Element) { f.mont.Mul(z, x, y) }
 
 // Square sets z = x² with the dedicated Montgomery squaring (triangle +
-// diagonal partial products). z may alias x.
-func (f *Field) Square(z, x Element) { f.mont.SquareSOS(z, x) }
+// diagonal partial products, unrolled on 4/6-limb fields). z may alias x.
+func (f *Field) Square(z, x Element) { f.mont.Square(z, x) }
 
 // Double sets z = 2x.
 func (f *Field) Double(z, x Element) { f.mont.AddMod(z, x, x) }
@@ -155,12 +164,18 @@ func (f *Field) Set(z, y Element) { z.Set(y) }
 
 // Exp sets z = x^e for a non-negative big exponent, by square-and-multiply.
 func (f *Field) Exp(z, x Element, e *big.Int) {
+	f.expInto(z, x, e, f.NewElement(), f.NewElement(), f.NewElement())
+}
+
+// expInto is the allocation-free square-and-multiply core: acc, base and
+// tmp are caller-provided scratch elements (distinct from one another;
+// z may alias x). big.Int.Bit and BitLen do not allocate.
+func (f *Field) expInto(z, x Element, e *big.Int, acc, base, tmp Element) {
 	if e.Sign() < 0 {
 		panic("field: negative exponent")
 	}
-	acc := f.One()
-	base := x.Clone()
-	tmp := f.NewElement()
+	f.SetOne(acc)
+	base.Set(x)
 	for i := 0; i < e.BitLen(); i++ {
 		if e.Bit(i) == 1 {
 			f.Mul(tmp, acc, base)
@@ -178,30 +193,72 @@ func (f *Field) Inv(z, x Element) { f.Exp(z, x, f.pMinus2) }
 // BatchInvert inverts every element of xs in place using Montgomery's
 // trick: one inversion plus 3(n-1) multiplications. Zero entries stay zero.
 func (f *Field) BatchInvert(xs []Element) {
+	f.NewBatchInverter(len(xs)).Invert(xs)
+}
+
+// BatchInverter is the reusable-scratch form of BatchInvert: the prefix
+// products, the Fermat-inversion registers and their limb backing are
+// allocated once and reused across calls, so a warmed inverter performs
+// zero allocations per Invert. Not safe for concurrent use; give each
+// worker its own.
+type BatchInverter struct {
+	f      *Field
+	prefix []Element // capacity slices into arena
+	arena  []uint64
+	// registers: running product, its inverse, swap scratch, and the
+	// three expInto registers.
+	acc, inv, tmp, ea, eb, ec Element
+}
+
+// NewBatchInverter returns an inverter pre-sized for batches of up to
+// `capacity` elements (it grows transparently if exceeded).
+func (f *Field) NewBatchInverter(capacity int) *BatchInverter {
+	bi := &BatchInverter{
+		f:   f,
+		acc: f.NewElement(), inv: f.NewElement(), tmp: f.NewElement(),
+		ea: f.NewElement(), eb: f.NewElement(), ec: f.NewElement(),
+	}
+	bi.grow(capacity)
+	return bi
+}
+
+func (bi *BatchInverter) grow(n int) {
+	if n <= len(bi.prefix) {
+		return
+	}
+	w := bi.f.width
+	bi.arena = make([]uint64, n*w)
+	bi.prefix = make([]Element, n)
+	for i := range bi.prefix {
+		bi.prefix[i] = Element(bi.arena[i*w : (i+1)*w])
+	}
+}
+
+// Invert inverts every element of xs in place; zero entries stay zero.
+func (bi *BatchInverter) Invert(xs []Element) {
 	n := len(xs)
 	if n == 0 {
 		return
 	}
-	prefix := make([]Element, n)
-	acc := f.One()
-	tmp := f.NewElement()
+	bi.grow(n)
+	f := bi.f
+	f.SetOne(bi.acc)
 	for i, x := range xs {
-		prefix[i] = acc.Clone()
+		bi.prefix[i].Set(bi.acc)
 		if !x.IsZero() {
-			f.Mul(tmp, acc, x)
-			acc.Set(tmp)
+			f.Mul(bi.tmp, bi.acc, x)
+			bi.acc.Set(bi.tmp)
 		}
 	}
-	inv := f.NewElement()
-	f.Inv(inv, acc)
+	f.expInto(bi.inv, bi.acc, f.pMinus2, bi.ea, bi.eb, bi.ec)
 	for i := n - 1; i >= 0; i-- {
 		if xs[i].IsZero() {
 			continue
 		}
-		f.Mul(tmp, inv, prefix[i])
-		f.Mul(prefix[i], inv, xs[i]) // reuse prefix[i] as scratch
-		inv.Set(prefix[i])
-		xs[i].Set(tmp)
+		f.Mul(bi.tmp, bi.inv, bi.prefix[i])
+		f.Mul(bi.prefix[i], bi.inv, xs[i]) // reuse prefix[i] as scratch
+		bi.inv.Set(bi.prefix[i])
+		xs[i].Set(bi.tmp)
 	}
 }
 

@@ -257,6 +257,32 @@ func BenchmarkFieldMul(b *testing.B) {
 	}
 }
 
+// BenchmarkFieldOps measures the dispatched hot operations per field:
+// the numbers feed the perf-regression report (`make bench`).
+func BenchmarkFieldOps(b *testing.B) {
+	for _, name := range []string{"bn254-fp", "bls381-fp"} {
+		f := mustField(b, name)
+		rnd := rand.New(rand.NewSource(9))
+		x, y := f.Rand(rnd), f.Rand(rnd)
+		z := f.NewElement()
+		b.Run(name+"/Mul", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f.Mul(z, x, y)
+			}
+		})
+		b.Run(name+"/Square", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f.Square(z, x)
+			}
+		})
+		b.Run(name+"/Add", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f.Add(z, x, y)
+			}
+		})
+	}
+}
+
 func BenchmarkFieldInv(b *testing.B) {
 	f := mustField(b, "bn254-fp")
 	rnd := rand.New(rand.NewSource(8))

@@ -1,0 +1,22 @@
+package msm
+
+import "testing"
+
+// TestBatchAffineSumAllocFree: a warmed-up BatchAffineAccumulator must
+// accumulate a full window with zero heap allocations — the bucket
+// coordinates, insertion queues, slope denominators and batch-inversion
+// scratch all live in its pre-sized pools.
+func TestBatchAffineSumAllocFree(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	const n, s = 512, 8
+	points := c.SamplePoints(n, 55)
+	scalars := c.SampleScalars(n, 56)
+	digits := digitsMatrix(c, scalars, Config{WindowSize: s, Signed: true}.resolve(n))
+	nBuckets := 1<<(s-1) + 1
+
+	acc := NewBatchAffineAccumulator(c, nBuckets)
+	acc.Sum(points, digits[0]) // warm-up: sizes the queues
+	if allocs := testing.AllocsPerRun(10, func() { acc.Sum(points, digits[1]) }); allocs != 0 {
+		t.Errorf("warmed-up BatchAffineAccumulator.Sum allocates %.1f objects/op, want 0", allocs)
+	}
+}
