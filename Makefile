@@ -13,7 +13,7 @@ BENCH_BASELINE ?= bench/baseline_pr3.json
 BENCH_OUT      ?= BENCH_pr3.json
 BENCH_RAW      ?= bench_raw.txt
 
-.PHONY: all tier1 build vet test race bench bench-smoke fuzz-smoke examples
+.PHONY: all tier1 build vet test race bench bench-smoke fuzz-smoke service-smoke examples
 
 all: tier1
 
@@ -29,7 +29,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/msm ./internal/bigint ./internal/field ./internal/curve
+	$(GO) test -race ./internal/core ./internal/msm ./internal/bigint ./internal/field ./internal/curve ./internal/service
 
 bench:
 	@rm -f $(BENCH_RAW)
@@ -45,10 +45,19 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./internal/bigint ./internal/field ./internal/curve
 
-# Short differential-fuzz pass over the unrolled Montgomery kernels.
+# Short differential-fuzz pass over the unrolled Montgomery kernels,
+# the service's wire-format parser and the proof/VK decoders.
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzMul4Parity -fuzztime=10s ./internal/bigint
 	$(GO) test -run=^$$ -fuzz=FuzzMul6Parity -fuzztime=10s ./internal/bigint
+	$(GO) test -run=^$$ -fuzz=FuzzJobRequest -fuzztime=10s ./internal/service
+	$(GO) test -run=^$$ -fuzz=FuzzProofRoundTrip -fuzztime=10s ./internal/groth16
+
+# End-to-end smoke of the proving service: submit jobs through the full
+# lifecycle (admission, proving on the simulated GPUs, verification,
+# drain) and exit non-zero on any failure.
+service-smoke:
+	$(GO) run ./cmd/provd -gpus 4 -constraints 128 -smoke 6
 
 examples:
 	$(GO) run ./examples/quickstart

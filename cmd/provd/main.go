@@ -1,0 +1,131 @@
+// Command provd runs the long-lived proving service: a worker pool
+// proving Groth16 jobs against pre-registered circuits, with bounded
+// admission, end-to-end job deadlines and cross-request GPU health
+// (see internal/service).
+//
+// Serve mode (default) exposes the JSON API:
+//
+//	provd -gpus 8 -listen :8080 -constraints 512
+//	curl -s -X POST localhost:8080/prove -d '{"circuit":"synthetic","seed":7}'
+//	curl -s localhost:8080/healthz
+//
+// Smoke mode runs N jobs through the full service lifecycle (submit,
+// prove, verify, drain) without a listener and exits non-zero on any
+// failure — the CI entry point:
+//
+//	provd -gpus 4 -constraints 200 -smoke 6
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"distmsm/internal/gpusim"
+	"distmsm/internal/service"
+)
+
+func main() {
+	var (
+		gpus        = flag.Int("gpus", 8, "simulated GPU count")
+		workers     = flag.Int("workers", 0, "proving workers (0 = one per DGX node)")
+		queue       = flag.Int("queue", 0, "queue depth (0 = 2x workers)")
+		constraints = flag.Int("constraints", 512, "registered synthetic circuit size")
+		listen      = flag.String("listen", ":8080", "HTTP listen address (serve mode)")
+		timeout     = flag.Duration("timeout", time.Minute, "default per-job deadline")
+		smoke       = flag.Int("smoke", 0, "run N smoke jobs and exit instead of serving")
+	)
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *gpus, *workers, *queue, *constraints, *listen, *timeout, *smoke); err != nil {
+		fmt.Fprintln(os.Stderr, "provd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, gpus, workers, queue, constraints int, listen string, timeout time.Duration, smoke int) error {
+	cl, err := gpusim.NewCluster(gpusim.A100(), gpus)
+	if err != nil {
+		return err
+	}
+	svc, err := service.New(service.Config{
+		Cluster:        cl,
+		Workers:        workers,
+		QueueDepth:     queue,
+		DefaultTimeout: timeout,
+	})
+	if err != nil {
+		return err
+	}
+	if err := svc.RegisterSynthetic(ctx, "synthetic", constraints); err != nil {
+		return err
+	}
+	fmt.Printf("provd: %d simulated %s GPUs, %d workers, circuit %q (%d constraints)\n",
+		gpus, cl.Dev.Name, svc.Workers(), "synthetic", constraints)
+
+	if smoke > 0 {
+		return runSmoke(ctx, svc, smoke)
+	}
+
+	srv := &http.Server{Addr: listen, Handler: svc.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("provd: listening on %s\n", listen)
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("provd: shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shCtx)
+	return svc.Shutdown(shCtx)
+}
+
+// runSmoke pushes n jobs through the service and verifies every proof
+// arrived (the service verifies each proof itself before returning it).
+func runSmoke(ctx context.Context, svc *service.Service, n int) error {
+	start := time.Now()
+	jobs := make([]*service.Job, 0, n)
+	for i := 0; i < n; i++ {
+		job, err := svc.Submit(service.Request{Circuit: "synthetic", Seed: int64(i + 1)})
+		if err != nil {
+			// Admission rejection is expected when n exceeds the queue:
+			// back off like a client would.
+			var qe *service.QueueFullError
+			if errors.As(err, &qe) {
+				time.Sleep(qe.RetryAfter)
+				i--
+				continue
+			}
+			return err
+		}
+		jobs = append(jobs, job)
+	}
+	for _, job := range jobs {
+		if _, err := job.Wait(ctx); err != nil {
+			return fmt.Errorf("job %d: %w", job.ID, err)
+		}
+		fmt.Printf("provd: job %d (seed %d) proved and verified\n", job.ID, job.Seed)
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	st := svc.Stats()
+	fmt.Printf("provd: smoke ok — %d completed, %d rejected, %v total\n",
+		st.Completed, st.Rejected, time.Since(start).Round(time.Millisecond))
+	if st.Completed != uint64(len(jobs)) {
+		return fmt.Errorf("completed %d of %d jobs", st.Completed, len(jobs))
+	}
+	return nil
+}

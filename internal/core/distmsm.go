@@ -176,6 +176,9 @@ func RunContext(ctx context.Context, c *curve.Curve, cl *gpusim.Cluster, points 
 				ErrScalarTooWide, i, k.BitLen(), c.ScalarBits)
 		}
 	}
+	if err := opts.Retry.Validate(); err != nil {
+		return nil, err
+	}
 	if opts.Faults != nil {
 		inj, err := gpusim.NewFaultInjector(*opts.Faults)
 		if err != nil {

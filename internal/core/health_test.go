@@ -1,0 +1,176 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"distmsm/internal/gpusim"
+)
+
+// checkUnitCoverage asserts the plan's assignments cover every
+// (window, bucket) unit exactly once — the invariant that makes any
+// health-filtered partition bit-identical to the default one.
+func checkUnitCoverage(t *testing.T, p *Plan) {
+	t.Helper()
+	seen := make([]bool, p.Windows*p.Buckets)
+	for _, a := range p.Assignments {
+		if a.Window < 0 || a.Window >= p.Windows || a.BucketLo < 0 ||
+			a.BucketHi > p.Buckets || a.BucketLo >= a.BucketHi {
+			t.Fatalf("malformed assignment %+v", a)
+		}
+		for b := a.BucketLo; b < a.BucketHi; b++ {
+			u := a.Window*p.Buckets + b
+			if seen[u] {
+				t.Fatalf("unit window=%d bucket=%d assigned twice", a.Window, b)
+			}
+			seen[u] = true
+		}
+	}
+	for u, ok := range seen {
+		if !ok {
+			t.Fatalf("unit window=%d bucket=%d unassigned", u/p.Buckets, u%p.Buckets)
+		}
+	}
+}
+
+// TestPlanExcludesQuarantinedGPU: a tripped breaker removes the device
+// from the plan entirely while the survivors still cover every unit.
+func TestPlanExcludesQuarantinedGPU(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	reg := gpusim.NewHealthRegistry(gpusim.HealthConfig{})
+	reg.RecordRun(2, 0, 3) // trip GPU 2's breaker
+	cl := cluster(t, 4).WithHealth(reg)
+	p, err := BuildPlan(c, cl, 64, Options{WindowSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range p.Assignments {
+		if a.GPU == 2 {
+			t.Fatalf("quarantined GPU 2 received assignment %+v", a)
+		}
+	}
+	if got := p.GPUsOf(); got != 3 {
+		t.Fatalf("plan uses %d GPUs, want 3", got)
+	}
+	checkUnitCoverage(t, p)
+}
+
+// TestPlanProbeShard: after the cooldown a half-open GPU is limited to
+// one probe shard of at most ProbeBuckets units; the rest of the space
+// levels across the healthy devices, with full coverage maintained.
+func TestPlanProbeShard(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	reg := gpusim.NewHealthRegistry(gpusim.HealthConfig{})
+	reg.RecordRun(1, 0, 3)
+	cl := cluster(t, 4).WithHealth(reg)
+	var p *Plan
+	for i := 0; i < reg.Config().CooldownRuns; i++ {
+		var err error
+		if p, err = BuildPlan(c, cl, 64, Options{WindowSize: 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := reg.State(1); s != gpusim.BreakerHalfOpen {
+		t.Fatalf("after cooldown plans: state %v, want half-open", s)
+	}
+	units := 0
+	for _, a := range p.Assignments {
+		if a.GPU == 1 {
+			units += a.BucketHi - a.BucketLo
+		}
+	}
+	if units == 0 {
+		t.Fatal("half-open GPU 1 received no probe shard")
+	}
+	if units > reg.Config().ProbeBuckets {
+		t.Fatalf("probe shard is %d units, want at most %d", units, reg.Config().ProbeBuckets)
+	}
+	checkUnitCoverage(t, p)
+}
+
+// TestQuarantinedRunBitIdentical is the cross-request acceptance
+// criterion: runs on a cluster with a quarantined GPU produce points
+// bit-identical to the fault-free serial reference, through quarantine,
+// probe and recovery alike — and the probe run heals the breaker.
+func TestQuarantinedRunBitIdentical(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	base := cluster(t, 4)
+	const n = 48
+	points := c.SamplePoints(n, 41)
+	scalars := c.SampleScalars(n, 42)
+	ctx := context.Background()
+
+	ref, err := RunContext(ctx, c, base, points, scalars, Options{WindowSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := gpusim.NewHealthRegistry(gpusim.HealthConfig{})
+	reg.RecordRun(1, 0, 3) // quarantine GPU 1
+	cl := base.WithHealth(reg)
+	for run := 0; run < 6; run++ {
+		res, err := RunContext(ctx, c, cl, points, scalars,
+			Options{WindowSize: 8, Engine: EngineConcurrent})
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if !reflect.DeepEqual(ref.Point, res.Point) {
+			t.Fatalf("run %d (GPU 1 %v): not bit-identical to serial reference",
+				run, reg.State(1))
+		}
+	}
+	// Cooldown elapsed during the runs, the probe ran fault-free, and
+	// the breaker closed again.
+	if s := reg.State(1); s != gpusim.BreakerClosed {
+		t.Fatalf("after recovery runs: state %v, want closed", s)
+	}
+	snap := reg.Snapshot(4)
+	if snap[0].Shards == 0 || snap[1].Shards == 0 {
+		t.Fatalf("scheduler did not report committed shards: %+v", snap)
+	}
+}
+
+// TestBreakerTripsFromDeviceLostRuns drives the whole loop end to end:
+// deterministic device-lost injection kills every GPU, each run degrades
+// to the serial host engine (still returning the correct point), the
+// scheduler charges the losses to the registry, and after the threshold
+// the entire cluster is quarantined — subsequent plans re-admit the
+// devices through the all-open emergency probe path.
+func TestBreakerTripsFromDeviceLostRuns(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	const n = 40
+	points := c.SamplePoints(n, 43)
+	scalars := c.SampleScalars(n, 44)
+	want := c.MSMReference(points, scalars)
+
+	reg := gpusim.NewHealthRegistry(gpusim.HealthConfig{FaultThreshold: 2, CooldownRuns: 100})
+	cl := cluster(t, 2).WithHealth(reg)
+	cfg := gpusim.FaultConfig{Seed: 7, DeviceLost: 1}
+	opts := Options{WindowSize: 8, Engine: EngineConcurrent, Faults: &cfg}
+	for run := 0; run < 3; run++ {
+		res, err := RunContext(context.Background(), c, cl, points, scalars, opts)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if !res.Stats.Faults.DegradedToSerial {
+			t.Fatalf("run %d: expected serial degradation", run)
+		}
+		if !c.EqualXYZZ(res.Point, want) {
+			t.Fatalf("run %d: wrong point", run)
+		}
+	}
+	if q := reg.Quarantined(2); q != 2 {
+		t.Fatalf("quarantined = %d, want 2 (snapshot %+v)", q, reg.Snapshot(2))
+	}
+	// Next plan: every device open, cooldown far away — the emergency
+	// path must still produce a plan covering all units.
+	p, err := BuildPlan(c, cl, 64, Options{WindowSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkUnitCoverage(t, p)
+	if got := p.GPUsOf(); got != 2 {
+		t.Fatalf("emergency plan uses %d GPUs, want 2", got)
+	}
+}

@@ -102,12 +102,24 @@ type Plan struct {
 // the full cost model (per-thread workload, atomics, CPU offload and
 // transfers), which is how DistMSM adapts to the platform (§3.1/Figure 3:
 // large windows win on one GPU, small windows and CPU reduce on many).
+//
+// With a health registry attached to the cluster, the plan consults the
+// cross-request circuit breaker exactly once (one cooldown tick per
+// plan, regardless of the window-size search): quarantined GPUs receive
+// no shards and half-open GPUs receive a single probe shard, so a
+// device that kept dying or corrupting results in earlier runs costs
+// later runs at most one probe instead of a full share of rebalancing.
 func BuildPlan(c *curve.Curve, cl *gpusim.Cluster, n int, opts Options) (*Plan, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("%w: plan needs n > 0, got %d", ErrEmptyInput, n)
 	}
+	var adm *gpusim.Admission
+	if cl.Health != nil {
+		a := cl.Health.Admit(cl.N)
+		adm = &a
+	}
 	if opts.WindowSize != 0 {
-		return buildPlanFixed(c, cl, n, opts, opts.WindowSize, opts.ReduceOnGPU)
+		return buildPlanFixed(c, cl, n, opts, opts.WindowSize, opts.ReduceOnGPU, adm)
 	}
 	var best *Plan
 	bestCost := 0.0
@@ -117,7 +129,7 @@ func BuildPlan(c *curve.Curve, cl *gpusim.Cluster, n int, opts Options) (*Plan, 
 			placements = []bool{false, true}
 		}
 		for _, gpuReduce := range placements {
-			p, err := buildPlanFixed(c, cl, n, opts, s, gpuReduce)
+			p, err := buildPlanFixed(c, cl, n, opts, s, gpuReduce, adm)
 			if err != nil {
 				return nil, err
 			}
@@ -129,7 +141,7 @@ func BuildPlan(c *curve.Curve, cl *gpusim.Cluster, n int, opts Options) (*Plan, 
 	return best, nil
 }
 
-func buildPlanFixed(c *curve.Curve, cl *gpusim.Cluster, n int, opts Options, s int, gpuReduce bool) (*Plan, error) {
+func buildPlanFixed(c *curve.Curve, cl *gpusim.Cluster, n int, opts Options, s int, gpuReduce bool, adm *gpusim.Admission) (*Plan, error) {
 	variant := DefaultVariant
 	if opts.VariantSet {
 		variant = opts.Variant
@@ -176,8 +188,41 @@ func buildPlanFixed(c *curve.Curve, cl *gpusim.Cluster, n int, opts Options, s i
 	p.ReduceOnGPU = gpuReduce
 	p.SplitNDim = opts.SplitNDim
 
-	p.Assignments = assignBuckets(p.Windows, p.Buckets, cl.N)
+	p.Assignments = assignBucketsAdmitted(p.Windows, p.Buckets, cl.N, adm)
 	return p, nil
+}
+
+// unitRange emits the per-window assignments covering the linear unit
+// range [lo, hi) of the windows×buckets space for one GPU. Units are
+// whole buckets, so a bucket is never split across shards — which is why
+// any partition of the unit space produces bit-identical MSM results.
+func unitRange(out []Assignment, lo, hi, buckets, gpu int) []Assignment {
+	for lo < hi {
+		win := lo / buckets
+		bLo := lo % buckets
+		bHi := buckets
+		if win == hi/buckets {
+			bHi = hi % buckets
+		}
+		if bHi > bLo {
+			out = append(out, Assignment{Window: win, GPU: gpu, BucketLo: bLo, BucketHi: bHi})
+		}
+		lo = (win + 1) * buckets
+	}
+	return out
+}
+
+// splitUnits levels the unit range [lo, hi) across the given GPUs in
+// contiguous shares (each GPU's shards stay window-ordered, which the
+// scheduler's steal heuristic relies on).
+func splitUnits(out []Assignment, lo, hi, buckets int, gpus []int) []Assignment {
+	total := hi - lo
+	for i, g := range gpus {
+		a := lo + total*i/len(gpus)
+		b := lo + total*(i+1)/len(gpus)
+		out = unitRange(out, a, b, buckets, g)
+	}
+	return out
 }
 
 // assignBuckets partitions the windows×buckets work units into nGPU
@@ -185,25 +230,48 @@ func buildPlanFixed(c *curve.Curve, cl *gpusim.Cluster, n int, opts Options, s i
 // 2/3 of each window, the third manages the remaining 1/3 of both"),
 // realised by launching different thread-block counts per GPU.
 func assignBuckets(windows, buckets, nGPU int) []Assignment {
+	gpus := make([]int, nGPU)
+	for g := range gpus {
+		gpus[g] = g
+	}
+	return splitUnits(nil, 0, windows*buckets, buckets, gpus)
+}
+
+// assignBucketsAdmitted applies a health-registry admission to the
+// partition: half-open GPUs get one probe shard of adm.ProbeBuckets
+// units each (clamped so probes never take more than half the work),
+// fully-admitted GPUs level the rest, and quarantined GPUs get nothing.
+// When every admitted device is a probe (the registry's all-open
+// emergency re-admission) the whole space is levelled across the probes.
+// A nil admission reproduces assignBuckets exactly.
+func assignBucketsAdmitted(windows, buckets, nGPU int, adm *gpusim.Admission) []Assignment {
+	if adm == nil {
+		return assignBuckets(windows, buckets, nGPU)
+	}
 	total := windows * buckets
+	if len(adm.Full) == 0 {
+		return splitUnits(nil, 0, total, buckets, adm.Probes)
+	}
 	var out []Assignment
-	for g := 0; g < nGPU; g++ {
-		lo := total * g / nGPU
-		hi := total * (g + 1) / nGPU
-		for lo < hi {
-			win := lo / buckets
-			bLo := lo % buckets
-			bHi := buckets
-			if win == hi/buckets {
-				bHi = hi % buckets
+	off := 0
+	if len(adm.Probes) > 0 {
+		pb := adm.ProbeBuckets
+		if maxPB := total / (2 * len(adm.Probes)); pb > maxPB {
+			pb = maxPB
+		}
+		if pb < 1 {
+			pb = 1
+		}
+		for _, g := range adm.Probes {
+			hi := off + pb
+			if hi > total {
+				hi = total
 			}
-			if bHi > bLo {
-				out = append(out, Assignment{Window: win, GPU: g, BucketLo: bLo, BucketHi: bHi})
-			}
-			lo = (win + 1) * buckets
+			out = unitRange(out, off, hi, buckets, g)
+			off = hi
 		}
 	}
-	return out
+	return splitUnits(out, off, total, buckets, adm.Full)
 }
 
 // rebalanceTargets picks, for each of n orphaned shards of a lost GPU,

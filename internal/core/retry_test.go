@@ -1,0 +1,59 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"distmsm/internal/gpusim"
+)
+
+func TestRetryPolicyValidate(t *testing.T) {
+	bad := []struct {
+		name string
+		pol  RetryPolicy
+	}{
+		{"max-below-base", RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: time.Millisecond}},
+		{"max-below-default-base", RetryPolicy{MaxBackoff: time.Nanosecond}},
+		{"nan-straggler", RetryPolicy{StragglerMultiple: math.NaN()}},
+		{"inf-straggler", RetryPolicy{StragglerMultiple: math.Inf(1)}},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.pol.Validate()
+			if !errors.Is(err, gpusim.ErrBadFaultConfig) {
+				t.Fatalf("Validate() = %v, want ErrBadFaultConfig", err)
+			}
+		})
+	}
+	good := []RetryPolicy{
+		{}, // zero value resolves to the documented defaults
+		{BaseBackoff: time.Millisecond, MaxBackoff: time.Millisecond},
+		{StragglerMultiple: -1}, // negative disables speculation, valid
+		{MaxAttempts: 1, BaseBackoff: time.Microsecond, MaxBackoff: time.Second, StragglerMultiple: 2},
+	}
+	for _, pol := range good {
+		if err := pol.Validate(); err != nil {
+			t.Fatalf("Validate(%+v) = %v, want nil", pol, err)
+		}
+	}
+}
+
+// TestRunContextRejectsBadRetryPolicy: the misconfiguration surfaces
+// from the run entry point itself, before any plan is built or worker
+// started.
+func TestRunContextRejectsBadRetryPolicy(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	cl := cluster(t, 2)
+	points := c.SamplePoints(4, 51)
+	scalars := c.SampleScalars(4, 52)
+	_, err := RunContext(context.Background(), c, cl, points, scalars, Options{
+		Engine: EngineConcurrent,
+		Retry:  RetryPolicy{BaseBackoff: time.Second, MaxBackoff: time.Millisecond},
+	})
+	if !errors.Is(err, gpusim.ErrBadFaultConfig) {
+		t.Fatalf("RunContext = %v, want ErrBadFaultConfig", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -50,6 +51,26 @@ type RetryPolicy struct {
 	// speculatively re-executed on an idle GPU (default 8; negative
 	// disables speculation).
 	StragglerMultiple float64
+}
+
+// Validate rejects retry tunings the scheduler cannot honour. The
+// policy is checked after default resolution, so only explicitly
+// contradictory configurations fail: a MaxBackoff below BaseBackoff
+// would silently invert the backoff cap, and a NaN or infinite
+// StragglerMultiple would poison every speculation-deadline comparison.
+// Errors wrap gpusim.ErrBadFaultConfig so callers match one sentinel
+// for every fault-handling misconfiguration.
+func (p RetryPolicy) Validate() error {
+	d := p.withDefaults()
+	if d.MaxBackoff < d.BaseBackoff {
+		return fmt.Errorf("%w: MaxBackoff %v < BaseBackoff %v",
+			gpusim.ErrBadFaultConfig, d.MaxBackoff, d.BaseBackoff)
+	}
+	if math.IsNaN(d.StragglerMultiple) || math.IsInf(d.StragglerMultiple, 0) {
+		return fmt.Errorf("%w: StragglerMultiple = %v is not finite",
+			gpusim.ErrBadFaultConfig, d.StragglerMultiple)
+	}
+	return nil
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -129,14 +150,23 @@ type scheduler struct {
 	ewmaN int
 
 	stats FaultStats
+
+	// Per-GPU run outcome for the cross-request health registry:
+	// committed counts winning shard executions, breakerFaults the
+	// breaker-relevant faults (device losses + verification failures)
+	// attributed to the executing device.
+	committed     map[int]int
+	breakerFaults map[int]int
 }
 
 func newScheduler(plan *Plan, opts Options) *scheduler {
 	s := &scheduler{
-		plan:    plan,
-		pol:     opts.Retry.withDefaults(),
-		queues:  map[int][]*shardTask{},
-		healthy: map[int]bool{},
+		plan:          plan,
+		pol:           opts.Retry.withDefaults(),
+		queues:        map[int][]*shardTask{},
+		healthy:       map[int]bool{},
+		committed:     map[int]int{},
+		breakerFaults: map[int]int{},
 	}
 	s.cond = sync.NewCond(&s.mu)
 	if inj := plan.Cluster.Faults; inj != nil {
@@ -340,11 +370,13 @@ func (s *scheduler) countVerifyRun() {
 	s.mu.Unlock()
 }
 
-// fail records a failed execution of t (transient error, or a rejected
-// verification when verify is true) and requeues it with backoff unless
-// a sibling execution already committed or is still running. Reaching
-// maxShardExecutions turns the failure fatal.
-func (s *scheduler) fail(t *shardTask, verify bool) error {
+// fail records a failed execution of t on GPU g (transient error, or a
+// rejected verification when verify is true) and requeues it with
+// backoff unless a sibling execution already committed or is still
+// running. Reaching maxShardExecutions turns the failure fatal.
+// Verification failures are breaker-relevant and charged to g in the
+// cross-request health report; transient errors are routine and are not.
+func (s *scheduler) fail(g int, t *shardTask, verify bool) error {
 	s.mu.Lock()
 	defer func() {
 		s.cond.Broadcast()
@@ -353,6 +385,7 @@ func (s *scheduler) fail(t *shardTask, verify bool) error {
 	t.running--
 	if verify {
 		s.stats.VerificationFailures++
+		s.breakerFaults[g]++
 	}
 	if t.done {
 		return nil
@@ -437,6 +470,7 @@ func (s *scheduler) loseDevice(g int, t *shardTask) error {
 		s.healthy[g] = false
 		s.nHealthy--
 		s.stats.DevicesLost++
+		s.breakerFaults[g]++
 	}
 	orphans := s.queues[g]
 	delete(s.queues, g)
@@ -475,11 +509,11 @@ func (s *scheduler) loseDevice(g int, t *shardTask) error {
 	return nil
 }
 
-// commit records a completed execution. It returns whether this
-// execution won (committed the shard); losing sibling results are
+// commit records a completed execution on GPU g. It returns whether
+// this execution won (committed the shard); losing sibling results are
 // discarded. compSec (compute-only seconds, injected stalls excluded)
 // feeds the deadline calibration.
-func (s *scheduler) commit(t *shardTask, isSpec bool, compSec float64) bool {
+func (s *scheduler) commit(g int, t *shardTask, isSpec bool, compSec float64) bool {
 	s.mu.Lock()
 	defer func() {
 		s.cond.Broadcast()
@@ -501,10 +535,32 @@ func (s *scheduler) commit(t *shardTask, isSpec bool, compSec float64) bool {
 	t.done = true
 	t.failures = 0
 	s.nDone++
+	s.committed[g]++
 	if isSpec {
 		s.stats.SpeculativeWins++
 	}
 	return true
+}
+
+// reportHealth folds the run's per-GPU outcome into the cross-request
+// health registry. It reports for every worker GPU of the plan — GPUs
+// with zero shards and zero faults (e.g. a cancelled run) are a no-op in
+// the breaker state machine, so cancellation never skews the breakers.
+func (s *scheduler) reportHealth(h *gpusim.HealthRegistry) {
+	s.mu.Lock()
+	gpus := append([]int(nil), s.gpus...)
+	committed := make(map[int]int, len(s.committed))
+	for g, v := range s.committed {
+		committed[g] = v
+	}
+	faults := make(map[int]int, len(s.breakerFaults))
+	for g, v := range s.breakerFaults {
+		faults[g] = v
+	}
+	s.mu.Unlock()
+	for _, g := range gpus {
+		h.RecordRun(g, committed[g], faults[g])
+	}
 }
 
 // doneWindow carries a fully-accumulated window to the host reducer.
@@ -550,7 +606,7 @@ func (e *concExec) execute(ctx context.Context, g int, t *shardTask, seq int, is
 		return e.sched.loseDevice(g, t)
 	case gpusim.FaultTransient:
 		e.sched.countFault(fault.Class)
-		return e.sched.fail(t, false)
+		return e.sched.fail(g, t, false)
 	}
 	entry, sc, err := e.prov.acquire(t.a.Window)
 	if err != nil {
@@ -559,13 +615,13 @@ func (e *concExec) execute(ctx context.Context, g int, t *shardTask, seq int, is
 	if entry == nil {
 		// A sibling execution won and the window was fully released while
 		// this launch was in flight; just retire the execution.
-		e.sched.commit(t, false, 0)
+		e.sched.commit(g, t, false, 0)
 		return nil
 	}
 	if fault.Class == gpusim.FaultStraggler {
 		e.sched.countFault(fault.Class)
 		if err := sleepCtx(ctx, e.sched.stragglerWait(t, fault.Factor)); err != nil {
-			e.sched.fail(t, false)
+			e.sched.fail(g, t, false)
 			return err
 		}
 	}
@@ -593,10 +649,10 @@ func (e *concExec) execute(ctx context.Context, g int, t *shardTask, seq int, is
 			return verr
 		}
 		if !ok {
-			return e.sched.fail(t, true)
+			return e.sched.fail(g, t, true)
 		}
 	}
-	if !e.sched.commit(t, isSpec, comp.Seconds()) {
+	if !e.sched.commit(g, t, isSpec, comp.Seconds()) {
 		return nil // a sibling execution won the race
 	}
 	for b := t.a.BucketLo; b < t.a.BucketHi; b++ {
@@ -720,6 +776,12 @@ func runScheduled(ctx context.Context, points []curve.PointAffine, scalars []big
 	res := &Result{Plan: plan}
 	prov := newWindowProvider(plan, scalars)
 	sched := newScheduler(plan, opts)
+	if h := plan.Cluster.Health; h != nil {
+		// Report on every exit path — success, fault-induced failure,
+		// and cancellation alike — so cross-request breaker state never
+		// misses a device loss that also failed the run.
+		defer sched.reportHealth(h)
+	}
 
 	windowSums := make([]*curve.PointXYZZ, plan.Windows)
 	reduceCh := make(chan doneWindow, plan.Windows)

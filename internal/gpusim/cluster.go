@@ -24,6 +24,11 @@ type Cluster struct {
 	// Faults, when non-nil, is consulted once per shard execution by the
 	// concurrent engine; nil injects nothing.
 	Faults *FaultInjector
+	// Health, when non-nil, is the cross-request circuit-breaker registry:
+	// BuildPlan consults it to exclude quarantined GPUs (and give
+	// half-open ones probe shards), and the scheduler reports per-GPU run
+	// outcomes back into it. nil plans over every device.
+	Health *HealthRegistry
 }
 
 // NewCluster returns an n-GPU cluster of the given device with the DGX
@@ -74,6 +79,16 @@ func validateDevice(dev Device) error {
 func (c *Cluster) WithFaults(f *FaultInjector) *Cluster {
 	cl := *c
 	cl.Faults = f
+	return &cl
+}
+
+// WithHealth returns a shallow copy of the cluster with the health
+// registry attached. The registry itself is shared (it is the point:
+// breaker state persists across every run on the copy), only the cluster
+// value is copied.
+func (c *Cluster) WithHealth(r *HealthRegistry) *Cluster {
+	cl := *c
+	cl.Health = r
 	return &cl
 }
 

@@ -1,0 +1,271 @@
+package gpusim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file is the cross-request GPU health registry: a per-device
+// circuit breaker that turns the scheduler's per-run fault observations
+// (PR 2's FaultStats, discarded after every MSM) into persistent cluster
+// state. A production proving service sees the same GPU fail request
+// after request — XID errors that recur until a reset, ECC pages that
+// keep corrupting results — and re-discovering that on every MSM wastes
+// retries, reassignments and (for silent corruption) verification
+// budget. The registry quarantines a device after K breaker-relevant
+// faults and re-admits it through half-open probe shards, so one sick
+// GPU degrades the cluster by its own share and nothing more.
+//
+// Breaker state machine (per GPU):
+//
+//	Closed ──K consecutive faults──▶ Open ──CooldownRuns plans──▶ HalfOpen
+//	  ▲                                ▲                             │
+//	  │                                └────────any fault────────────┤
+//	  └──────────────fault-free probe run with ≥1 shard──────────────┘
+//
+// Breaker-relevant faults are device losses and verification failures
+// (caught corruptions) — the classes that indicate a sick device.
+// Transient errors and stragglers are routine at scale and never trip
+// the breaker; the in-run scheduler already absorbs them.
+
+// BreakerState is the circuit-breaker state of one GPU.
+type BreakerState int
+
+const (
+	// BreakerClosed: the GPU is healthy and receives its full share.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the GPU is quarantined and excluded from plans.
+	BreakerOpen
+	// BreakerHalfOpen: the GPU is offered a small probe shard; a
+	// fault-free probe closes the breaker, any fault re-opens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// HealthConfig tunes the circuit breaker. The zero value selects the
+// documented defaults.
+type HealthConfig struct {
+	// FaultThreshold is how many consecutive breaker-relevant faults
+	// (device losses + verification failures) a closed GPU accrues before
+	// it is quarantined (default 3).
+	FaultThreshold int
+	// CooldownRuns is how many plans a quarantined GPU sits out before it
+	// is offered a half-open probe shard (default 4).
+	CooldownRuns int
+	// ProbeBuckets is the size, in bucket units, of the shard offered to
+	// a half-open GPU (default 32, clamped to the plan's size).
+	ProbeBuckets int
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.FaultThreshold <= 0 {
+		c.FaultThreshold = 3
+	}
+	if c.CooldownRuns <= 0 {
+		c.CooldownRuns = 4
+	}
+	if c.ProbeBuckets <= 0 {
+		c.ProbeBuckets = 32
+	}
+	return c
+}
+
+// GPUHealth is one device's registry snapshot.
+type GPUHealth struct {
+	GPU   int
+	State BreakerState
+	// ConsecutiveFaults is the current fault streak counting toward the
+	// threshold (closed state only).
+	ConsecutiveFaults int
+	// SitOut is how many plans the GPU has sat out while open.
+	SitOut int
+	// Trips is how many times the breaker has opened over its lifetime.
+	Trips int
+	// Shards and Faults are lifetime totals across runs.
+	Shards int
+	Faults int
+}
+
+type breaker struct {
+	state       BreakerState
+	consecutive int
+	sitOut      int
+	trips       int
+	shards      int
+	faults      int
+}
+
+// HealthRegistry is the persistent per-GPU breaker state shared across
+// MSM runs (and across a proving service's concurrent jobs). It is safe
+// for concurrent use. The zero registry is not valid; use
+// NewHealthRegistry.
+type HealthRegistry struct {
+	mu   sync.Mutex
+	cfg  HealthConfig
+	gpus map[int]*breaker
+}
+
+// NewHealthRegistry builds a registry with the given breaker tuning.
+func NewHealthRegistry(cfg HealthConfig) *HealthRegistry {
+	return &HealthRegistry{cfg: cfg.withDefaults(), gpus: map[int]*breaker{}}
+}
+
+// Config returns the default-filled configuration.
+func (r *HealthRegistry) Config() HealthConfig { return r.cfg }
+
+func (r *HealthRegistry) breakerLocked(g int) *breaker {
+	b := r.gpus[g]
+	if b == nil {
+		b = &breaker{}
+		r.gpus[g] = b
+	}
+	return b
+}
+
+// Admission is the registry's verdict for one plan: the devices that
+// receive their full share and the half-open devices limited to a probe
+// shard of ProbeBuckets bucket units.
+type Admission struct {
+	Full   []int
+	Probes []int
+	// ProbeBuckets is the per-probe shard size carried from the config so
+	// the planner does not need the registry again.
+	ProbeBuckets int
+}
+
+// Admit partitions GPUs [0, n) for the next plan and advances the open
+// breakers' cooldown clocks (one tick per plan). Quarantined devices
+// whose cooldown has elapsed move to half-open and are offered a probe.
+// If every device is open — the whole cluster quarantined — the registry
+// fails towards availability: all devices are re-admitted as probes
+// rather than refusing to plan at all.
+func (r *HealthRegistry) Admit(n int) Admission {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	adm := Admission{ProbeBuckets: r.cfg.ProbeBuckets}
+	for g := 0; g < n; g++ {
+		b := r.breakerLocked(g)
+		switch b.state {
+		case BreakerClosed:
+			adm.Full = append(adm.Full, g)
+		case BreakerHalfOpen:
+			adm.Probes = append(adm.Probes, g)
+		case BreakerOpen:
+			b.sitOut++
+			if b.sitOut >= r.cfg.CooldownRuns {
+				b.state = BreakerHalfOpen
+				adm.Probes = append(adm.Probes, g)
+			}
+		}
+	}
+	if len(adm.Full) == 0 && len(adm.Probes) == 0 {
+		for g := 0; g < n; g++ {
+			b := r.breakerLocked(g)
+			b.state = BreakerHalfOpen
+			adm.Probes = append(adm.Probes, g)
+		}
+	}
+	return adm
+}
+
+// RecordRun folds one run's outcome for GPU g into the breaker: shards
+// is how many shard executions the device committed, faults how many
+// breaker-relevant faults (device losses + verification failures) it
+// produced. Closed devices accumulate consecutive faults toward the
+// threshold; half-open devices close on a fault-free probe with at least
+// one committed shard and re-open on any fault.
+func (r *HealthRegistry) RecordRun(g, shards, faults int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.breakerLocked(g)
+	b.shards += shards
+	b.faults += faults
+	switch b.state {
+	case BreakerClosed:
+		if faults > 0 {
+			b.consecutive += faults
+			if b.consecutive >= r.cfg.FaultThreshold {
+				r.openLocked(b)
+			}
+		} else if shards > 0 {
+			b.consecutive = 0
+		}
+	case BreakerHalfOpen:
+		if faults > 0 {
+			r.openLocked(b)
+		} else if shards > 0 {
+			b.state = BreakerClosed
+			b.consecutive = 0
+		}
+		// A half-open device that saw neither shards nor faults (its probe
+		// was stolen, or the run was cancelled first) stays half-open and
+		// is probed again next plan.
+	case BreakerOpen:
+		// Work reached a quarantined device only through the all-open
+		// emergency re-admission; faults keep it quarantined.
+	}
+}
+
+func (r *HealthRegistry) openLocked(b *breaker) {
+	b.state = BreakerOpen
+	b.consecutive = 0
+	b.sitOut = 0
+	b.trips++
+}
+
+// State returns GPU g's current breaker state.
+func (r *HealthRegistry) State(g int) BreakerState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.breakerLocked(g).state
+}
+
+// Snapshot returns the registry state for GPUs [0, n) — the payload of a
+// service health endpoint.
+func (r *HealthRegistry) Snapshot(n int) []GPUHealth {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]GPUHealth, n)
+	for g := 0; g < n; g++ {
+		b := r.breakerLocked(g)
+		out[g] = GPUHealth{
+			GPU:               g,
+			State:             b.state,
+			ConsecutiveFaults: b.consecutive,
+			SitOut:            b.sitOut,
+			Trips:             b.trips,
+			Shards:            b.shards,
+			Faults:            b.faults,
+		}
+	}
+	return out
+}
+
+// Quarantined returns how many of GPUs [0, n) are currently open.
+func (r *HealthRegistry) Quarantined(n int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	q := 0
+	for g := 0; g < n; g++ {
+		if r.breakerLocked(g).state == BreakerOpen {
+			q++
+		}
+	}
+	return q
+}
+
+func (h GPUHealth) String() string {
+	return fmt.Sprintf("gpu%d %s (streak %d, trips %d, %d shards, %d faults)",
+		h.GPU, h.State, h.ConsecutiveFaults, h.Trips, h.Shards, h.Faults)
+}

@@ -7,6 +7,7 @@
 package groth16
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/rand"
@@ -145,7 +146,24 @@ func log2(n int) int {
 
 // Setup runs the (simulated) trusted setup for the constraint system,
 // sampling the toxic waste from rnd and discarding it.
+//
+// Deprecated: long-running services should use SetupContext so a setup
+// for a large circuit can be cancelled or deadlined.
 func (e *Engine) Setup(cs *r1cs.System, rnd *rand.Rand) (*ProvingKey, *VerifyingKey, error) {
+	return e.SetupContext(context.Background(), cs, rnd)
+}
+
+// setupCancelStride is how many per-variable key elements SetupContext
+// computes between context checks. Each element is several hundred curve
+// operations, so a stride of 64 bounds the cancellation latency to a few
+// milliseconds without measurable overhead.
+const setupCancelStride = 64
+
+// SetupContext runs the trusted setup, honouring ctx between the QAP
+// evaluation, the per-variable key-element loops (checked every
+// setupCancelStride variables) and the Z-power loop. A cancelled setup
+// returns ctx.Err() and the partial keys are discarded.
+func (e *Engine) SetupContext(ctx context.Context, cs *r1cs.System, rnd *rand.Rand) (*ProvingKey, *VerifyingKey, error) {
 	fr := e.Fr
 	d := 1
 	for d < len(cs.Constraints)+1 {
@@ -161,8 +179,14 @@ func (e *Engine) Setup(cs *r1cs.System, rnd *rand.Rand) (*ProvingKey, *Verifying
 			return nil, nil, fmt.Errorf("groth16: degenerate toxic waste")
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	u, v, w, err := e.qapEvalsAtTau(cs, d, tau)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 
@@ -202,6 +226,11 @@ func (e *Engine) Setup(cs *r1cs.System, rnd *rand.Rand) (*ProvingKey, *Verifying
 	pk.K = make([]curve.PointAffine, cs.NVars)
 	vk.IC = make([]curve.PointAffine, cs.NPublic+1)
 	for i := 0; i < cs.NVars; i++ {
+		if i%setupCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
 		pk.A[i] = mulG1(u[i])
 		pk.B1[i] = mulG1(v[i])
 		pk.B2[i] = mulG2(v[i])
@@ -228,6 +257,11 @@ func (e *Engine) Setup(cs *r1cs.System, rnd *rand.Rand) (*ProvingKey, *Verifying
 	pk.Z = make([]curve.PointAffine, d-1)
 	pw := tTau.Clone()
 	for j := 0; j < d-1; j++ {
+		if j%setupCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
 		pk.Z[j] = mulG1(pw)
 		fr.Mul(tmp, pw, tau)
 		pw.Set(tmp)
@@ -242,7 +276,26 @@ func frNat(fr *field.Field, k field.Element) bigint.Nat {
 
 // Prove generates a proof for the witness. msmG1 routes the prover's G1
 // multi-scalar multiplications (nil = CPU Pippenger).
+//
+// Deprecated: long-running services should use ProveContext, which
+// additionally honours a context.Context at every phase boundary (NTT
+// passes, QAP/quotient phases, each MSM) — not just inside a
+// context-aware msmG1.
 func (e *Engine) Prove(cs *r1cs.System, pk *ProvingKey, witness []field.Element, rnd *rand.Rand, msmG1 MSMFunc) (*Proof, error) {
+	return e.ProveContext(context.Background(), cs, pk, witness, rnd, msmG1)
+}
+
+// ProveContext generates a proof for the witness, honouring ctx through
+// the whole pipeline: the witness check, the quotient's six coset NTTs
+// (cancellation between butterfly passes), and every G1/G2 MSM phase
+// boundary. A cancelled or deadlined proof returns ctx.Err() — with an
+// expired deadline that is context.DeadlineExceeded from inside the
+// prover itself, independent of whether msmG1 observes the context.
+// msmG1 routes the prover's G1 MSMs (nil = CPU Pippenger).
+func (e *Engine) ProveContext(ctx context.Context, cs *r1cs.System, pk *ProvingKey, witness []field.Element, rnd *rand.Rand, msmG1 MSMFunc) (*Proof, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := cs.Satisfied(witness); err != nil {
 		return nil, err
 	}
@@ -253,8 +306,11 @@ func (e *Engine) Prove(cs *r1cs.System, pk *ProvingKey, witness []field.Element,
 		}
 	}
 
-	h, err := e.quotient(cs, pk.Domain, witness)
+	h, err := e.quotient(ctx, cs, pk.Domain, witness)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
@@ -280,6 +336,9 @@ func (e *Engine) Prove(cs *r1cs.System, pk *ProvingKey, witness []field.Element,
 	proofA := e.P.Curve.ToAffine(accA)
 
 	// B = β + Σ a_i·v_i(τ) + s·δ  (G2), plus its G1 mirror.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	big2 := make([]*big.Int, len(witness))
 	for i := range witness {
 		big2[i] = fr.ToBig(witness[i])
@@ -300,6 +359,9 @@ func (e *Engine) Prove(cs *r1cs.System, pk *ProvingKey, witness []field.Element,
 	adder.Add(accB1, sDelta1)
 
 	// C = Σ_priv a_i·K_i + Σ_j h_j·Z_j + s·A + r·B1 − r·s·δ
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	privScalars := make([]bigint.Nat, len(witness))
 	for i := range witness {
 		if i <= cs.NPublic {
@@ -342,8 +404,10 @@ func (e *Engine) Prove(cs *r1cs.System, pk *ProvingKey, witness []field.Element,
 }
 
 // quotient computes the coefficients of h(X) = (a(X)·b(X) − c(X))/t(X)
-// via coset NTTs (t is constant on the coset: g^d − 1).
-func (e *Engine) quotient(cs *r1cs.System, d int, witness []field.Element) ([]field.Element, error) {
+// via coset NTTs (t is constant on the coset: g^d − 1). Each of the
+// seven transforms honours ctx between butterfly passes, so a cancel or
+// deadline lands mid-quotient instead of after it.
+func (e *Engine) quotient(ctx context.Context, cs *r1cs.System, d int, witness []field.Element) ([]field.Element, error) {
 	fr := e.Fr
 	dom, err := ntt.NewDomain(fr, d)
 	if err != nil {
@@ -358,12 +422,16 @@ func (e *Engine) quotient(cs *r1cs.System, d int, witness []field.Element) ([]fi
 		evalC[q].Set(cs.EvalLC(con.C, witness))
 	}
 	// To coefficients, then onto the coset.
-	dom.Inverse(evalA)
-	dom.Inverse(evalB)
-	dom.Inverse(evalC)
-	dom.CosetForward(evalA)
-	dom.CosetForward(evalB)
-	dom.CosetForward(evalC)
+	for _, v := range [][]field.Element{evalA, evalB, evalC} {
+		if err := dom.InverseContext(ctx, v); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range [][]field.Element{evalA, evalB, evalC} {
+		if err := dom.CosetForwardContext(ctx, v); err != nil {
+			return nil, err
+		}
+	}
 	// t(g·ω^j) = g^d − 1, a constant.
 	zInv := fr.NewElement()
 	fr.Exp(zInv, dom.Gen(), big.NewInt(int64(d)))
@@ -375,7 +443,9 @@ func (e *Engine) quotient(cs *r1cs.System, d int, witness []field.Element) ([]fi
 		fr.Sub(tmp, tmp, evalC[j])
 		fr.Mul(evalA[j], tmp, zInv)
 	}
-	dom.CosetInverse(evalA)
+	if err := dom.CosetInverseContext(ctx, evalA); err != nil {
+		return nil, err
+	}
 	// h has degree ≤ d−2: the top coefficient must vanish.
 	if !evalA[d-1].IsZero() {
 		return nil, fmt.Errorf("groth16: quotient degree overflow (unsatisfied witness?)")

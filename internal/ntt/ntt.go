@@ -6,6 +6,7 @@
 package ntt
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/bits"
@@ -62,29 +63,72 @@ func NewDomain(f *field.Field, n int) (*Domain, error) {
 
 // Forward computes the in-place NTT of a (natural order in, natural order
 // out): a[j] ← Σ_i a[i]·ω^(ij).
-func (d *Domain) Forward(a []field.Element) { d.transform(a, d.root) }
+//
+// Deprecated: long-running provers should use ForwardContext so the
+// transform can be cancelled or deadlined between butterfly passes.
+func (d *Domain) Forward(a []field.Element) { _ = d.ForwardContext(context.Background(), a) }
+
+// ForwardContext computes the in-place NTT of a, honouring ctx between
+// butterfly passes: a size-N transform checks the context log2(N)+1
+// times, so a cancellation or deadline lands within one pass (O(N) work)
+// instead of waiting out the whole transform.
+func (d *Domain) ForwardContext(ctx context.Context, a []field.Element) error {
+	return d.transform(ctx, a, d.root)
+}
 
 // Inverse computes the in-place inverse NTT.
-func (d *Domain) Inverse(a []field.Element) {
-	d.transform(a, d.rootInv)
+//
+// Deprecated: long-running provers should use InverseContext so the
+// transform can be cancelled or deadlined between butterfly passes.
+func (d *Domain) Inverse(a []field.Element) { _ = d.InverseContext(context.Background(), a) }
+
+// InverseContext computes the in-place inverse NTT, honouring ctx
+// between butterfly passes (see ForwardContext).
+func (d *Domain) InverseContext(ctx context.Context, a []field.Element) error {
+	if err := d.transform(ctx, a, d.rootInv); err != nil {
+		return err
+	}
 	tmp := d.F.NewElement()
 	for i := range a {
 		d.F.Mul(tmp, a[i], d.nInv)
 		a[i].Set(tmp)
 	}
+	return nil
 }
 
 // CosetForward evaluates the polynomial on the coset g·⟨ω⟩: it shifts the
 // coefficients by powers of g, then transforms.
+//
+// Deprecated: long-running provers should use CosetForwardContext so the
+// transform can be cancelled or deadlined between butterfly passes.
 func (d *Domain) CosetForward(a []field.Element) {
+	_ = d.CosetForwardContext(context.Background(), a)
+}
+
+// CosetForwardContext evaluates the polynomial on the coset g·⟨ω⟩,
+// honouring ctx between butterfly passes (see ForwardContext).
+func (d *Domain) CosetForwardContext(ctx context.Context, a []field.Element) error {
 	d.shift(a, d.gen)
-	d.Forward(a)
+	return d.ForwardContext(ctx, a)
 }
 
 // CosetInverse interpolates from the coset g·⟨ω⟩ back to coefficients.
+//
+// Deprecated: long-running provers should use CosetInverseContext so the
+// transform can be cancelled or deadlined between butterfly passes.
 func (d *Domain) CosetInverse(a []field.Element) {
-	d.Inverse(a)
+	_ = d.CosetInverseContext(context.Background(), a)
+}
+
+// CosetInverseContext interpolates from the coset g·⟨ω⟩ back to
+// coefficients, honouring ctx between butterfly passes (see
+// ForwardContext).
+func (d *Domain) CosetInverseContext(ctx context.Context, a []field.Element) error {
+	if err := d.InverseContext(ctx, a); err != nil {
+		return err
+	}
 	d.shift(a, d.genInv)
+	return nil
 }
 
 func (d *Domain) shift(a []field.Element, g field.Element) {
@@ -100,14 +144,19 @@ func (d *Domain) shift(a []field.Element, g field.Element) {
 }
 
 // transform is the iterative radix-2 Cooley–Tukey NTT with the given
-// primitive root.
-func (d *Domain) transform(a []field.Element, omega field.Element) {
+// primitive root. The context is checked before the bit-reversal and
+// between the log2(N) butterfly passes; a cancelled transform leaves the
+// slice in an intermediate state the caller must discard.
+func (d *Domain) transform(ctx context.Context, a []field.Element, omega field.Element) error {
 	n := len(a)
 	if n != d.N {
 		panic(fmt.Sprintf("ntt: input length %d != domain size %d", n, d.N))
 	}
 	if n == 1 {
-		return
+		return ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	f := d.F
 	// Bit-reversal permutation.
@@ -120,6 +169,9 @@ func (d *Domain) transform(a []field.Element, omega field.Element) {
 	}
 	t1, t2 := f.NewElement(), f.NewElement()
 	for size := 2; size <= n; size <<= 1 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		half := size >> 1
 		// w_size = ω^(N/size)
 		w := omega.Clone()
@@ -139,6 +191,7 @@ func (d *Domain) transform(a []field.Element, omega field.Element) {
 			}
 		}
 	}
+	return nil
 }
 
 // MulPolys multiplies two coefficient vectors via the NTT, returning a

@@ -1,9 +1,12 @@
 package ntt
 
 import (
+	"context"
+	"errors"
 	"math/big"
 	"math/rand"
 	"testing"
+	"time"
 
 	"distmsm/internal/curve"
 	"distmsm/internal/field"
@@ -293,5 +296,54 @@ func TestMultiGPUNTTScaling(t *testing.T) {
 	sp := MultiGPUNTTSeconds(cl1, n, 254) / MultiGPUNTTSeconds(cl32, n, 254)
 	if sp >= 32 {
 		t.Errorf("32-GPU NTT speedup %.1fx should be sub-linear (transpose-bound)", sp)
+	}
+}
+
+// TestContextTransformsMatchAndCancel: the *Context transforms are
+// bit-identical to the ctx-less wrappers on a live context, and an
+// already-dead context aborts every variant with its error before (or
+// between) butterfly passes, leaving no panic behind.
+func TestContextTransformsMatchAndCancel(t *testing.T) {
+	f := frField(t)
+	rnd := rand.New(rand.NewSource(77))
+	d, err := NewDomain(f, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := randVec(f, rnd, 256)
+
+	variants := []struct {
+		name string
+		ref  func(a []field.Element)
+		ctx  func(ctx context.Context, a []field.Element) error
+	}{
+		{"forward", d.Forward, d.ForwardContext},
+		{"inverse", d.Inverse, d.InverseContext},
+		{"coset-forward", d.CosetForward, d.CosetForwardContext},
+		{"coset-inverse", d.CosetInverse, d.CosetInverseContext},
+	}
+	for _, v := range variants {
+		want := cloneVec(orig)
+		v.ref(want)
+		got := cloneVec(orig)
+		if err := v.ctx(context.Background(), got); err != nil {
+			t.Fatalf("%s: live context errored: %v", v.name, err)
+		}
+		for i := range want {
+			if !want[i].Equal(got[i]) {
+				t.Fatalf("%s: context variant diverged at %d", v.name, i)
+			}
+		}
+
+		cancelled, cancel := context.WithCancel(context.Background())
+		cancel()
+		if err := v.ctx(cancelled, cloneVec(orig)); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: want context.Canceled, got %v", v.name, err)
+		}
+		expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel2()
+		if err := v.ctx(expired, cloneVec(orig)); !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("%s: want context.DeadlineExceeded, got %v", v.name, err)
+		}
 	}
 }

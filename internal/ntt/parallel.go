@@ -1,6 +1,7 @@
 package ntt
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -38,7 +39,7 @@ func (d *Domain) parallelTransform(a []field.Element, omega field.Element, worke
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if n < 1024 || workers == 1 {
-		d.transform(a, omega)
+		_ = d.transform(context.Background(), a, omega)
 		return
 	}
 	f := d.F

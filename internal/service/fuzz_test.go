@@ -1,0 +1,69 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+// FuzzJobRequest holds ParseJobRequest to its contract on arbitrary
+// bytes: it never panics, and whatever it accepts satisfies every
+// documented bound (usable name, non-negative capped timeout) — the
+// admission controller downstream relies on those invariants instead of
+// re-checking them.
+func FuzzJobRequest(f *testing.F) {
+	f.Add([]byte(`{"circuit":"synthetic","seed":7}`))
+	f.Add([]byte(`{"circuit":"synthetic","seed":-1,"timeout_ms":30000}`))
+	f.Add([]byte(`{"circuit":""}`))
+	f.Add([]byte(`{"circuit":"a b"}`))
+	f.Add([]byte(`{"circuit":"x","timeout_ms":-5}`))
+	f.Add([]byte(`{"circuit":"x","timeout_ms":999999999}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"circuit":"` + string(make([]byte, 100)) + `"}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseJobRequest(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("rejection %v does not wrap ErrBadRequest", err)
+			}
+			return
+		}
+		if req.Circuit == "" || len(req.Circuit) > maxCircuitName {
+			t.Fatalf("accepted circuit name %q violates the bounds", req.Circuit)
+		}
+		for _, r := range req.Circuit {
+			if r < 0x21 || r > 0x7E {
+				t.Fatalf("accepted circuit name %q contains %q", req.Circuit, r)
+			}
+		}
+		if req.Timeout < 0 || req.Timeout > maxJobTimeout {
+			t.Fatalf("accepted timeout %v outside [0, %v]", req.Timeout, maxJobTimeout)
+		}
+		// Accepted requests round-trip: re-encoding the parsed request
+		// and parsing again is a fixed point.
+		again, err := ParseJobRequest(mustWire(t, req))
+		if err != nil {
+			t.Fatalf("re-parse of accepted request failed: %v", err)
+		}
+		if again != req {
+			t.Fatalf("round-trip changed the request: %+v vs %+v", again, req)
+		}
+	})
+}
+
+func mustWire(t *testing.T, req Request) []byte {
+	t.Helper()
+	b, err := json.Marshal(jobRequestWire{
+		Circuit:   req.Circuit,
+		Seed:      req.Seed,
+		TimeoutMS: int64(req.Timeout / time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,169 @@
+package service
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"distmsm/internal/gpusim"
+)
+
+// This file is the service's HTTP face: a small JSON API over Submit.
+// Requests stay tiny — a circuit name and a witness seed — because the
+// witness is generated server-side by the registered generator;
+// clients never ship multi-megabyte witnesses over the wire.
+
+// maxJobTimeout caps client-requested deadlines so one request cannot
+// pin a worker for an hour.
+const maxJobTimeout = 10 * time.Minute
+
+// maxCircuitName bounds the circuit-name length accepted on the wire.
+const maxCircuitName = 64
+
+// jobRequestWire is the POST /prove body.
+type jobRequestWire struct {
+	Circuit   string `json:"circuit"`
+	Seed      int64  `json:"seed"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// ParseJobRequest decodes and validates a wire-format job request. It
+// is deliberately strict — unknown fields, oversized names,
+// non-printable names and out-of-range timeouts are all rejected with
+// errors wrapping ErrBadRequest — and it never panics on any input
+// (FuzzJobRequest holds it to that).
+func ParseJobRequest(body []byte) (Request, error) {
+	var w jobRequestWire
+	if err := json.Unmarshal(body, &w); err != nil {
+		return Request{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if w.Circuit == "" {
+		return Request{}, fmt.Errorf("%w: missing circuit name", ErrBadRequest)
+	}
+	if len(w.Circuit) > maxCircuitName {
+		return Request{}, fmt.Errorf("%w: circuit name longer than %d bytes", ErrBadRequest, maxCircuitName)
+	}
+	for _, r := range w.Circuit {
+		if r < 0x21 || r > 0x7E {
+			return Request{}, fmt.Errorf("%w: circuit name contains non-printable or space character %q", ErrBadRequest, r)
+		}
+	}
+	if w.TimeoutMS < 0 {
+		return Request{}, fmt.Errorf("%w: negative timeout_ms", ErrBadRequest)
+	}
+	timeout := time.Duration(w.TimeoutMS) * time.Millisecond
+	if timeout > maxJobTimeout {
+		return Request{}, fmt.Errorf("%w: timeout_ms above the %v cap", ErrBadRequest, maxJobTimeout)
+	}
+	return Request{Circuit: w.Circuit, Seed: w.Seed, Timeout: timeout}, nil
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /prove   {"circuit": "...", "seed": 1, "timeout_ms": 30000}
+//	              → 200 {"proof": "<hex>", "job_id": n}
+//	              → 429 + Retry-After on admission rejection
+//	              → 504 on a blown job deadline
+//	GET  /healthz → per-GPU breaker states (503 if any GPU quarantined)
+//	GET  /stats   → counters snapshot
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/prove", s.handleProve)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func (s *Service) handleProve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body := make([]byte, 0, 256)
+	buf := make([]byte, 256)
+	for len(body) < 1<<16 {
+		n, err := r.Body.Read(buf)
+		body = append(body, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	req, err := ParseJobRequest(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	job, err := s.Submit(req)
+	var full *QueueFullError
+	switch {
+	case errors.As(err, &full):
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(full.RetryAfter.Seconds())+1))
+		http.Error(w, full.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, ErrUnknownCircuit):
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	case errors.Is(err, ErrShuttingDown):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	proof, err := job.Wait(r.Context())
+	if err != nil {
+		job.Cancel() // client went away or job failed: either way, stop it
+		code := http.StatusInternalServerError
+		if errors.Is(err, context.DeadlineExceeded) {
+			code = http.StatusGatewayTimeout
+		} else if errors.Is(err, context.Canceled) {
+			// 499 is nginx's "client closed request"; net/http has no name
+			// for it but it is the conventional code.
+			code = 499
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"job_id": job.ID,
+		"proof":  hex.EncodeToString(s.eng.MarshalProof(proof)),
+	})
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.Health()
+	quarantined := 0
+	gpus := make([]map[string]any, len(snap))
+	for i, h := range snap {
+		if h.State == gpusim.BreakerOpen {
+			quarantined++
+		}
+		gpus[i] = map[string]any{
+			"gpu":    h.GPU,
+			"state":  h.State.String(),
+			"streak": h.ConsecutiveFaults,
+			"trips":  h.Trips,
+			"shards": h.Shards,
+			"faults": h.Faults,
+		}
+	}
+	if quarantined > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, map[string]any{"quarantined": quarantined, "gpus": gpus})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,90 @@
+package service
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHTTPProveRoundTrip drives the JSON API end to end: submit over
+// HTTP, decode the hex proof, unmarshal and verify it out of band.
+func TestHTTPProveRoundTrip(t *testing.T) {
+	check := leakCheck(t)
+	svc := newTestService(t, 2, 64, nil)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/prove", "application/json",
+		strings.NewReader(`{"circuit":"synthetic","seed":11}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /prove: status %d", resp.StatusCode)
+	}
+	var out struct {
+		JobID uint64 `json:"job_id"`
+		Proof string `json:"proof"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := hex.DecodeString(out.Proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := svc.eng.UnmarshalProof(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vk, err := svc.VerifyingKey("synthetic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := svc.circuits["synthetic"].witness(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := svc.eng.Verify(vk, proof, w[1:1+svc.circuits["synthetic"].cs.NPublic])
+	if err != nil || !ok {
+		t.Fatalf("HTTP-delivered proof failed verification: ok=%v err=%v", ok, err)
+	}
+
+	// Error mapping: unknown circuit → 404, malformed body → 400.
+	resp, err = http.Post(srv.URL+"/prove", "application/json", strings.NewReader(`{"circuit":"nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown circuit: status %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/prove", "application/json", strings.NewReader(`{`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+
+	// Health and stats endpoints respond with JSON.
+	for _, path := range []string{"/healthz", "/stats"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	srv.Close()
+	shutdownClean(t, svc)
+	check()
+}

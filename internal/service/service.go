@@ -1,0 +1,610 @@
+// Package service is the production proving service of the repo: a
+// long-running daemon that accepts Groth16 proof jobs against
+// pre-registered circuits and routes every proof's G1 MSMs through the
+// simulated multi-GPU DistMSM engine.
+//
+// The pieces a single-shot prover does not need, and a service cannot
+// live without:
+//
+//   - Admission control: a bounded job queue plus a memory budget.
+//     Submissions beyond either bound are rejected *immediately* with a
+//     typed QueueFullError carrying a retry-after hint — clients see
+//     backpressure, not latency.
+//   - End-to-end deadlines: every job gets a deadline measured from
+//     Submit (queue wait included), propagated as a context.Context
+//     through witness generation, the quotient's coset NTTs, the MSM
+//     shards and every Groth16 phase boundary. A job that blows its
+//     deadline in the queue fails inside groth16.ProveContext with
+//     context.DeadlineExceeded, exactly like one that blows it mid-MSM.
+//   - Cross-request GPU health: one gpusim.HealthRegistry shared by all
+//     jobs. A device that keeps dying or corrupting results is
+//     quarantined by its circuit breaker and re-admitted through probe
+//     shards; a sick GPU costs the cluster its own share, not a
+//     rediscovery per request.
+//   - Graceful shutdown: Shutdown stops admission, drains queued and
+//     in-flight jobs under a deadline, then cancels the rest. No
+//     goroutine outlives it.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"distmsm/internal/bigint"
+	"distmsm/internal/core"
+	"distmsm/internal/curve"
+	"distmsm/internal/field"
+	"distmsm/internal/gpusim"
+	"distmsm/internal/groth16"
+	"distmsm/internal/r1cs"
+)
+
+// Typed sentinels of the service API; all match with errors.Is.
+var (
+	// ErrQueueFull rejects a submission the admission controller cannot
+	// accept right now (queue depth or memory budget exceeded). The
+	// concrete error is a *QueueFullError carrying a retry-after hint.
+	ErrQueueFull = errors.New("service: queue full")
+	// ErrShuttingDown rejects submissions after Shutdown began.
+	ErrShuttingDown = errors.New("service: shutting down")
+	// ErrUnknownCircuit rejects jobs against a name never registered.
+	ErrUnknownCircuit = errors.New("service: unknown circuit")
+	// ErrBadRequest rejects malformed job requests (empty or oversized
+	// circuit names, negative or absurd timeouts).
+	ErrBadRequest = errors.New("service: bad request")
+	// ErrProofRejected reports a completed proof that failed the
+	// service's own verification — never returned to a client as success.
+	ErrProofRejected = errors.New("service: proof failed verification")
+)
+
+// QueueFullError is the admission-control rejection: which bound was
+// hit and when a retry is likely to be admitted. It unwraps to
+// ErrQueueFull.
+type QueueFullError struct {
+	// Queued is the outstanding job count (waiting + in flight) at
+	// rejection time; Depth is the admission capacity it hit.
+	Queued, Depth int
+	// Memory reports whether the memory budget (not the depth) was the
+	// binding constraint.
+	Memory bool
+	// RetryAfter estimates how long until capacity frees up, from the
+	// service's completion-time EWMA.
+	RetryAfter time.Duration
+}
+
+func (e *QueueFullError) Error() string {
+	bound := fmt.Sprintf("%d/%d jobs queued", e.Queued, e.Depth)
+	if e.Memory {
+		bound = "memory budget exceeded"
+	}
+	return fmt.Sprintf("service: queue full (%s), retry after %v", bound, e.RetryAfter)
+}
+
+func (e *QueueFullError) Unwrap() error { return ErrQueueFull }
+
+// Config configures a Service. Cluster is required; everything else has
+// a documented default.
+type Config struct {
+	// Cluster is the simulated multi-GPU system the proofs' MSMs run on.
+	Cluster *gpusim.Cluster
+	// Workers is the proving worker-pool size — the service's in-flight
+	// bound. Default: one worker per DGX node of the cluster (each job's
+	// MSMs already fan out across the node's GPUs; more workers would
+	// oversubscribe the same simulated devices).
+	Workers int
+	// QueueDepth bounds the jobs waiting for a worker: admission accepts
+	// at most Workers+QueueDepth outstanding jobs. Default 2×Workers.
+	QueueDepth int
+	// MemoryBudget bounds the summed memory estimates of queued and
+	// in-flight jobs, in bytes; 0 means unbounded.
+	MemoryBudget int64
+	// DefaultTimeout is the per-job deadline when the request does not
+	// set one (default 1 minute). The deadline is end-to-end from Submit.
+	DefaultTimeout time.Duration
+	// Health tunes the cross-request GPU circuit breakers.
+	Health gpusim.HealthConfig
+	// Faults optionally injects deterministic GPU faults into every job's
+	// MSMs (chaos testing); nil injects nothing.
+	Faults *gpusim.FaultConfig
+	// Retry tunes the MSM scheduler's fault handling.
+	Retry core.RetryPolicy
+	// VerifySampling is forwarded to the MSM scheduler (see
+	// core.Options.VerifySampling).
+	VerifySampling float64
+	// WindowSize pins the MSM window size; 0 lets the planner choose.
+	WindowSize int
+	// OnJobStart/OnJobDone, when set, are called on the worker goroutine
+	// immediately before and after each job's proving pipeline —
+	// observability hooks, also used by the tests to synchronise with the
+	// pool.
+	OnJobStart func(*Job)
+	OnJobDone  func(*Job)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = c.Cluster.Nodes()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = time.Minute
+	}
+	return c
+}
+
+// circuit is one registered proving target: the constraint system, its
+// Groth16 keys, the server-side witness generator and the job memory
+// estimate.
+type circuit struct {
+	name    string
+	cs      *r1cs.System
+	pk      *groth16.ProvingKey
+	vk      *groth16.VerifyingKey
+	witness func(seed int64) ([]field.Element, error)
+	memEst  int64
+}
+
+// JobState is the lifecycle of one job.
+type JobState int32
+
+const (
+	JobQueued JobState = iota
+	JobProving
+	JobDone
+)
+
+// Job is one accepted proof request. Wait for it, or Cancel it.
+type Job struct {
+	ID      uint64
+	Circuit string
+	Seed    int64
+	// Deadline is the job's end-to-end deadline, measured from Submit.
+	Deadline time.Time
+
+	svc    *Service
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu    sync.Mutex
+	state JobState
+	proof *groth16.Proof
+	err   error
+}
+
+// Cancel aborts the job wherever it is — queued jobs fail without
+// running, proving jobs unwind at the next cancellation point of the
+// pipeline. Safe to call at any time, from any goroutine, repeatedly.
+func (j *Job) Cancel() { j.cancel() }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job completes or ctx is cancelled. On
+// completion it returns the job's own result, whatever ctx did.
+func (j *Job) Wait(ctx context.Context) (*groth16.Proof, error) {
+	select {
+	case <-j.done:
+		return j.Result()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Result returns the terminal (proof, error) pair; it is only
+// meaningful after Done is closed.
+func (j *Job) Result() (*groth16.Proof, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.proof, j.err
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func (j *Job) finish(p *groth16.Proof, err error) {
+	j.mu.Lock()
+	j.state = JobDone
+	j.proof = p
+	j.err = err
+	j.mu.Unlock()
+	j.cancel() // release the deadline timer
+	close(j.done)
+}
+
+// Stats is a counters snapshot of the service.
+type Stats struct {
+	Submitted uint64
+	Rejected  uint64 // admission-control rejections (ErrQueueFull)
+	Completed uint64 // proofs returned, verified
+	Failed    uint64 // terminal errors (faults, verification, internal)
+	Cancelled uint64 // context cancellations / deadline misses
+	Queued    int    // jobs waiting for a worker, right now
+	InFlight  int    // jobs on a worker, right now
+	// MemoryInUse is the summed memory estimate of queued + in-flight
+	// jobs, in bytes.
+	MemoryInUse int64
+}
+
+// Service is the proving daemon. Build with New, stop with Shutdown.
+type Service struct {
+	cfg     Config
+	eng     *groth16.Engine
+	cluster *gpusim.Cluster // cfg.Cluster with the health registry attached
+	health  *gpusim.HealthRegistry
+
+	// baseCtx parents every job context; cancelling it (forced shutdown)
+	// aborts all in-flight work.
+	baseCtx   context.Context
+	baseStop  context.CancelFunc
+	workersWG sync.WaitGroup
+
+	mu       sync.Mutex
+	circuits map[string]*circuit
+	queue    chan *Job
+	closed   bool
+	nextID   uint64
+	memInUse int64
+	queued   int
+	inFlight int
+	stats    Stats
+	// ewmaJobSec is the completion-time EWMA feeding retry-after hints.
+	ewmaJobSec float64
+}
+
+// New validates the configuration, builds the Groth16 engine and the
+// health registry, and starts the worker pool.
+func New(cfg Config) (*Service, error) {
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("%w: Config.Cluster is required", ErrBadRequest)
+	}
+	if err := cfg.Retry.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Faults != nil {
+		// Validate eagerly: a bad fault config should fail service start,
+		// not every job.
+		if _, err := gpusim.NewFaultInjector(*cfg.Faults); err != nil {
+			return nil, err
+		}
+	}
+	cfg = cfg.withDefaults()
+	eng, err := groth16.NewEngine()
+	if err != nil {
+		return nil, err
+	}
+	reg := gpusim.NewHealthRegistry(cfg.Health)
+	s := &Service{
+		cfg:      cfg,
+		eng:      eng,
+		cluster:  cfg.Cluster.WithHealth(reg),
+		health:   reg,
+		circuits: map[string]*circuit{},
+		// The channel holds every outstanding job in the worst case (all
+		// accepted, none dequeued), so admitted sends can never block.
+		queue: make(chan *Job, cfg.QueueDepth+cfg.Workers),
+	}
+	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
+	for w := 0; w < cfg.Workers; w++ {
+		s.workersWG.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Engine exposes the service's Groth16 engine (marshalling, field).
+func (s *Service) Engine() *groth16.Engine { return s.eng }
+
+// Health returns the per-GPU breaker snapshot.
+func (s *Service) Health() []gpusim.GPUHealth { return s.health.Snapshot(s.cluster.N) }
+
+// Workers returns the proving-pool size.
+func (s *Service) Workers() int { return s.cfg.Workers }
+
+// RegisterCircuit runs the trusted setup for cs and registers it under
+// name with a server-side witness generator (jobs reference circuits by
+// name and carry only a witness seed — proof requests stay small). The
+// context bounds the setup itself.
+func (s *Service) RegisterCircuit(ctx context.Context, name string, cs *r1cs.System, witness func(seed int64) ([]field.Element, error)) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty circuit name", ErrBadRequest)
+	}
+	pk, vk, err := s.eng.SetupContext(ctx, cs, rand.New(rand.NewSource(int64(len(name))+int64(cs.NVars))))
+	if err != nil {
+		return err
+	}
+	c := &circuit{name: name, cs: cs, pk: pk, vk: vk, witness: witness, memEst: estimateJobBytes(cs)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrShuttingDown
+	}
+	if _, dup := s.circuits[name]; dup {
+		return fmt.Errorf("%w: circuit %q already registered", ErrBadRequest, name)
+	}
+	s.circuits[name] = c
+	return nil
+}
+
+// RegisterSynthetic registers the n-constraint synthetic workload
+// circuit under name. The circuit (a multiply chain
+// x_{q+1} = x_q·(x_q + c_q) ending in a public output) is fixed, but
+// its starting value is a free private input, so the witness generator
+// derives x_0 from the job seed and walks the chain — every seed proves
+// a different statement against the same proving key.
+func (s *Service) RegisterSynthetic(ctx context.Context, name string, n int) error {
+	f := s.eng.Fr
+	cs, _ := r1cs.BuildSynthetic(f, n, 1)
+	// Replay the builder's RNG to recover the chain coefficients baked
+	// into the constraints (its first draw is the x_0 we re-derive).
+	rnd := rand.New(rand.NewSource(1))
+	f.Rand(rnd)
+	coeffs := make([]field.Element, n)
+	for q := range coeffs {
+		coeffs[q] = f.Rand(rnd)
+	}
+	return s.RegisterCircuit(ctx, name, cs, func(seed int64) ([]field.Element, error) {
+		w := cs.NewWitness()
+		x := f.Rand(rand.New(rand.NewSource(seed)))
+		// Variable layout of BuildSynthetic: slot 1 is the public output,
+		// slots 2..2+n are the chain values x_0..x_n.
+		for q := 0; q < n; q++ {
+			w[2+q].Set(x)
+			t := f.NewElement()
+			f.Add(t, x, coeffs[q])
+			next := f.NewElement()
+			f.Mul(next, x, t)
+			x = next
+		}
+		w[2+n].Set(x)
+		w[1].Set(x)
+		return w, nil
+	})
+}
+
+// estimateJobBytes is the admission controller's per-job memory model:
+// the witness, the three QAP evaluation vectors over the (padded)
+// domain, and the quotient, at 32 bytes per field element, plus a fixed
+// overhead for buckets and scratch.
+func estimateJobBytes(cs *r1cs.System) int64 {
+	d := 1
+	for d < len(cs.Constraints)+1 {
+		d <<= 1
+	}
+	const elem = 32
+	return int64(cs.NVars+4*d)*elem + 1<<16
+}
+
+// Request is one proof submission.
+type Request struct {
+	// Circuit names a registered circuit.
+	Circuit string
+	// Seed parameterises the server-side witness generator; the same
+	// (circuit, seed) always proves the same statement.
+	Seed int64
+	// Timeout is the end-to-end deadline measured from Submit; 0 uses
+	// the service default.
+	Timeout time.Duration
+}
+
+// Submit runs admission control and, if the job is accepted, enqueues
+// it. It never blocks: over-capacity submissions fail immediately with
+// a *QueueFullError (errors.Is ErrQueueFull) so clients can back off.
+// The returned Job is live — Wait on it or Cancel it.
+func (s *Service) Submit(req Request) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Submitted++
+	if s.closed {
+		return nil, ErrShuttingDown
+	}
+	c := s.circuits[req.Circuit]
+	if c == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownCircuit, req.Circuit)
+	}
+	// Admission bounds *outstanding* jobs: Workers in flight plus
+	// QueueDepth waiting. A freshly accepted job counts as queued until a
+	// worker dequeues it, so the two are bounded together.
+	outstanding := s.queued + s.inFlight
+	capacity := s.cfg.QueueDepth + s.cfg.Workers
+	if outstanding >= capacity {
+		s.stats.Rejected++
+		return nil, &QueueFullError{Queued: outstanding, Depth: capacity, RetryAfter: s.retryAfterLocked()}
+	}
+	if s.cfg.MemoryBudget > 0 && s.memInUse+c.memEst > s.cfg.MemoryBudget {
+		s.stats.Rejected++
+		return nil, &QueueFullError{Queued: outstanding, Depth: capacity, Memory: true, RetryAfter: s.retryAfterLocked()}
+	}
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	s.nextID++
+	job := &Job{
+		ID:       s.nextID,
+		Circuit:  req.Circuit,
+		Seed:     req.Seed,
+		Deadline: time.Now().Add(timeout),
+		svc:      s,
+		done:     make(chan struct{}),
+	}
+	job.ctx, job.cancel = context.WithDeadline(s.baseCtx, job.Deadline)
+	// The depth check above guarantees capacity, and s.mu serialises this
+	// send against Shutdown's close(queue) — the send cannot block or
+	// race the close.
+	s.queue <- job
+	s.queued++
+	s.memInUse += c.memEst
+	s.stats.Queued = s.queued
+	s.stats.MemoryInUse = s.memInUse
+	return job, nil
+}
+
+// retryAfterLocked estimates when a slot frees: the queue's expected
+// drain time per worker, floored at 100ms so clients never hot-loop.
+func (s *Service) retryAfterLocked() time.Duration {
+	per := s.ewmaJobSec
+	if per <= 0 {
+		per = 1
+	}
+	d := time.Duration(per * float64(s.queued+s.inFlight) / float64(s.cfg.Workers) * float64(time.Second))
+	if d < 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	return d
+}
+
+// worker is one proving-pool goroutine: pull a job, run the pipeline
+// under the job's deadline, publish the result. Exits when the queue is
+// closed and drained.
+func (s *Service) worker() {
+	defer s.workersWG.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+func (s *Service) runJob(job *Job) {
+	s.mu.Lock()
+	c := s.circuits[job.Circuit]
+	s.queued--
+	s.inFlight++
+	s.stats.Queued = s.queued
+	s.stats.InFlight = s.inFlight
+	s.mu.Unlock()
+	job.mu.Lock()
+	job.state = JobProving
+	job.mu.Unlock()
+
+	start := time.Now()
+	if s.cfg.OnJobStart != nil {
+		s.cfg.OnJobStart(job)
+	}
+	proof, err := s.prove(job.ctx, c, job.Seed)
+	if s.cfg.OnJobDone != nil {
+		s.cfg.OnJobDone(job)
+	}
+
+	s.mu.Lock()
+	s.inFlight--
+	s.memInUse -= c.memEst
+	s.stats.InFlight = s.inFlight
+	s.stats.MemoryInUse = s.memInUse
+	switch {
+	case err == nil:
+		s.stats.Completed++
+		sec := time.Since(start).Seconds()
+		if s.ewmaJobSec == 0 {
+			s.ewmaJobSec = sec
+		} else {
+			s.ewmaJobSec += 0.25 * (sec - s.ewmaJobSec)
+		}
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.stats.Cancelled++
+	default:
+		s.stats.Failed++
+	}
+	s.mu.Unlock()
+	job.finish(proof, err)
+}
+
+// prove runs the full pipeline for one job: witness generation, Groth16
+// proving with the G1 MSMs on the health-gated multi-GPU cluster, and
+// the service's own verification of the result. ctx is honoured at
+// every phase boundary of every stage.
+func (s *Service) prove(ctx context.Context, c *circuit, seed int64) (*groth16.Proof, error) {
+	w, err := c.witness(seed)
+	if err != nil {
+		return nil, err
+	}
+	// No pre-flight deadline check here: a job that is already past its
+	// deadline must fail from inside groth16.ProveContext (its entry
+	// cancellation point), proving the context reaches the pipeline.
+	msmFn := func(points []curve.PointAffine, scalars []bigint.Nat) (*curve.PointXYZZ, error) {
+		res, err := core.RunContext(ctx, s.eng.P.Curve, s.cluster, points, scalars, core.Options{
+			WindowSize:     s.cfg.WindowSize,
+			Engine:         core.EngineConcurrent,
+			Faults:         s.cfg.Faults,
+			Retry:          s.cfg.Retry,
+			VerifySampling: s.cfg.VerifySampling,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.Point, nil
+	}
+	proof, err := s.eng.ProveContext(ctx, c.cs, c.pk, w, rand.New(rand.NewSource(seed)), msmFn)
+	if err != nil {
+		return nil, err
+	}
+	ok, err := s.eng.Verify(c.vk, proof, w[1:1+c.cs.NPublic])
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, ErrProofRejected
+	}
+	return proof, nil
+}
+
+// VerifyingKey returns the registered circuit's verifying key.
+func (s *Service) VerifyingKey(name string) (*groth16.VerifyingKey, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.circuits[name]
+	if c == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownCircuit, name)
+	}
+	return c.vk, nil
+}
+
+// Stats returns a counters snapshot.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Shutdown stops the service: admission closes immediately (further
+// Submits fail with ErrShuttingDown), queued and in-flight jobs drain
+// until ctx expires, then everything still running is cancelled and the
+// pool is joined unconditionally. Shutdown returns nil on a clean drain
+// and ctx.Err() if it had to cancel; either way no service goroutine
+// survives the call. Safe to call once.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.workersWG.Wait()
+		return nil
+	}
+	s.closed = true
+	close(s.queue) // safe: sends are serialised under s.mu by Submit
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.workersWG.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.baseStop() // cancel every in-flight job
+		<-drained
+	}
+	s.baseStop()
+	return err
+}

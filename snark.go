@@ -74,9 +74,17 @@ func (s *SNARK) SyntheticCircuit(n int, seed int64) (*ConstraintSystem, Witness)
 	return r1cs.BuildSynthetic(s.engine.Fr, n, seed)
 }
 
-// Setup runs the trusted setup.
+// Setup runs the trusted setup without cancellation support.
+//
+// Deprecated: use SetupContext.
 func (s *SNARK) Setup(cs *ConstraintSystem, rnd *rand.Rand) (*ProvingKey, *VerifyingKey, error) {
-	return s.engine.Setup(cs, rnd)
+	return s.SetupContext(context.Background(), cs, rnd)
+}
+
+// SetupContext runs the trusted setup, honouring ctx between the QAP
+// evaluation and the per-variable key-element batches.
+func (s *SNARK) SetupContext(ctx context.Context, cs *ConstraintSystem, rnd *rand.Rand) (*ProvingKey, *VerifyingKey, error) {
+	return s.engine.SetupContext(ctx, cs, rnd)
 }
 
 // Prove generates a proof without cancellation support.
@@ -88,8 +96,10 @@ func (s *SNARK) Prove(cs *ConstraintSystem, pk *ProvingKey, w Witness, rnd *rand
 
 // ProveContext generates a proof; when a System is attached, the G1
 // MSMs run through the concurrent DistMSM engine and their modeled GPU
-// time accumulates in ModeledMSMSeconds. Cancelling the context aborts
-// the prover at the next MSM shard boundary.
+// time accumulates in ModeledMSMSeconds. The context is honoured through
+// the whole pipeline — the quotient's coset NTTs (between butterfly
+// passes), every MSM phase boundary, and the MSM shards themselves — so
+// a cancel or deadline aborts the prover promptly wherever it lands.
 func (s *SNARK) ProveContext(ctx context.Context, cs *ConstraintSystem, pk *ProvingKey, w Witness, rnd *rand.Rand) (*Proof, error) {
 	var msmFn groth16.MSMFunc
 	if s.system != nil {
@@ -103,7 +113,7 @@ func (s *SNARK) ProveContext(ctx context.Context, cs *ConstraintSystem, pk *Prov
 			return res.Point, nil
 		}
 	}
-	return s.engine.Prove(cs, pk, w, rnd, msmFn)
+	return s.engine.ProveContext(ctx, cs, pk, w, rnd, msmFn)
 }
 
 // Verify checks a proof against the public inputs.
