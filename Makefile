@@ -13,7 +13,7 @@ BENCH_BASELINE ?= bench/baseline_pr3.json
 BENCH_OUT      ?= BENCH_pr3.json
 BENCH_RAW      ?= bench_raw.txt
 
-.PHONY: all tier1 build vet test race bench bench-smoke fuzz-smoke service-smoke examples
+.PHONY: all tier1 build vet test race lint bench bench-smoke fuzz-smoke service-smoke examples
 
 all: tier1
 
@@ -27,6 +27,15 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Static analysis: vet always, staticcheck when the binary is on PATH
+# (CI installs it; local trees without it still get the vet pass).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; ran go vet only (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 race:
 	$(GO) test -race ./internal/core ./internal/msm ./internal/bigint ./internal/field ./internal/curve ./internal/service

@@ -14,6 +14,12 @@
 // failure — the CI entry point:
 //
 //	provd -gpus 4 -constraints 200 -smoke 6
+//
+// Observability: /metrics serves the Prometheus text exposition (job
+// latency, queue depth, fault/retry rates, per-GPU breaker states),
+// -trace-dir writes a Chrome trace_event JSON per job (open it in
+// chrome://tracing or https://ui.perfetto.dev), and -pprof mounts
+// net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -29,6 +36,7 @@ import (
 
 	"distmsm/internal/gpusim"
 	"distmsm/internal/service"
+	"distmsm/internal/telemetry"
 )
 
 func main() {
@@ -40,26 +48,36 @@ func main() {
 		listen      = flag.String("listen", ":8080", "HTTP listen address (serve mode)")
 		timeout     = flag.Duration("timeout", time.Minute, "default per-job deadline")
 		smoke       = flag.Int("smoke", 0, "run N smoke jobs and exit instead of serving")
+		traceDir    = flag.String("trace-dir", "", "write a Chrome trace JSON per job into this directory")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *gpus, *workers, *queue, *constraints, *listen, *timeout, *smoke); err != nil {
+	if err := run(ctx, *gpus, *workers, *queue, *constraints, *listen, *timeout, *smoke, *traceDir, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "provd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, gpus, workers, queue, constraints int, listen string, timeout time.Duration, smoke int) error {
+func run(ctx context.Context, gpus, workers, queue, constraints int, listen string, timeout time.Duration, smoke int, traceDir string, pprofOn bool) error {
 	cl, err := gpusim.NewCluster(gpusim.A100(), gpus)
 	if err != nil {
 		return err
 	}
+	if traceDir != "" {
+		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+			return err
+		}
+	}
+	metrics := telemetry.NewRegistry()
 	svc, err := service.New(service.Config{
 		Cluster:        cl,
 		Workers:        workers,
 		QueueDepth:     queue,
 		DefaultTimeout: timeout,
+		Metrics:        metrics,
+		TraceDir:       traceDir,
 	})
 	if err != nil {
 		return err
@@ -69,12 +87,25 @@ func run(ctx context.Context, gpus, workers, queue, constraints int, listen stri
 	}
 	fmt.Printf("provd: %d simulated %s GPUs, %d workers, circuit %q (%d constraints)\n",
 		gpus, cl.Dev.Name, svc.Workers(), "synthetic", constraints)
+	if traceDir != "" {
+		fmt.Printf("provd: writing per-job Chrome traces to %s\n", traceDir)
+	}
 
 	if smoke > 0 {
 		return runSmoke(ctx, svc, smoke)
 	}
 
-	srv := &http.Server{Addr: listen, Handler: svc.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Println("provd: pprof enabled at /debug/pprof/")
+	}
+	srv := &http.Server{Addr: listen, Handler: mux}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Printf("provd: listening on %s\n", listen)

@@ -53,6 +53,7 @@ import (
 	"distmsm/internal/gpusim"
 	"distmsm/internal/kernel"
 	"distmsm/internal/msm"
+	"distmsm/internal/telemetry"
 )
 
 // Re-exported core types.
@@ -95,7 +96,18 @@ type (
 	// RetryPolicy tunes the fault-tolerant scheduler's retry backoff,
 	// per-owner attempt budget and straggler-speculation deadline.
 	RetryPolicy = core.RetryPolicy
+	// Tracer is a fixed-capacity span ring that records the phases of an
+	// MSM execution (see WithTracer); its contents export as Chrome
+	// trace_event JSON via WriteChromeTrace / WriteChromeTraceFile.
+	Tracer = telemetry.Tracer
+	// TraceSpan is one recorded tracer span.
+	TraceSpan = telemetry.Span
 )
+
+// NewTracer allocates a span ring with the given capacity (≤ 0 selects
+// telemetry.DefaultSpanCapacity). All allocation happens here: recording
+// spans into the ring is allocation-free.
+func NewTracer(capacity int) *Tracer { return telemetry.NewTracer(capacity) }
 
 // The execution engines of MSMContext.
 const (
@@ -227,6 +239,18 @@ func WithRetryPolicy(p RetryPolicy) Option {
 // none otherwise. A negative p disables verification; p > 1 clamps to 1.
 func WithVerifySampling(p float64) Option {
 	return func(o *core.Options) { o.VerifySampling = p }
+}
+
+// WithTracer records a span for every phase of the execution into tr:
+// each window's scatter, every (window, bucket-range) shard execution
+// with its GPU, attempt number and speculative flag, each window's
+// bucket-reduce, and the final window-reduce. The ring is fixed-capacity
+// (oldest spans drop first) and recording is allocation-free; a nil
+// tracer — the default — costs a single pointer check on the shard hot
+// path. Export the result with Tracer.WriteChromeTrace (chrome://tracing
+// / Perfetto format).
+func WithTracer(tr *Tracer) Option {
+	return func(o *core.Options) { o.Tracer = tr }
 }
 
 // WithOptions overlays a legacy Options struct wholesale — the

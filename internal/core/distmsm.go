@@ -38,15 +38,40 @@ var (
 	ErrVerificationFailed = errors.New("core: shard result verification failed")
 )
 
-// PhaseTimes records the cumulative host-measured busy time of each
-// functional execution phase. These are real wall-clock durations of
-// this host's goroutines (useful for engine comparisons), not the
-// modeled GPU cost — that is Result.Cost.
+// PhaseTimes records the host-measured time of each functional
+// execution phase. These are real durations of this host's goroutines
+// (useful for engine comparisons), not the modeled GPU cost — that is
+// Result.Cost.
+//
+// Bucket-sum has two distinct readings and the struct carries both:
+//
+//   - BucketSum is the *aggregate busy time* — the per-worker compute
+//     seconds summed across every simulated GPU (Σ PerGPU.Busy for the
+//     concurrent engine). It measures work done, so on a 4-GPU run it
+//     can legitimately exceed the run's wall time.
+//   - BucketSumWall is the *phase wall time* — the span from the first
+//     shard launch to the last shard commit. It is the number to
+//     compare against Scatter/BucketReduce/WindowReduce and against
+//     the run's total duration.
+//
+// Invariant (concurrent engine, workers kept busy): BucketSumWall ≤
+// BucketSum = Σ PerGPU.Busy, with equality only on one GPU with no
+// idle gaps. Earlier revisions reported the aggregate under the name
+// BucketSum alone, which made "phase time" exceed wall time on
+// multi-GPU runs and the phases impossible to compare.
+//
+// The serial engine runs bucket-sum windows back to back on the host,
+// so there BucketSumWall equals the summed per-window durations.
 type PhaseTimes struct {
-	Scatter      time.Duration
-	BucketSum    time.Duration
-	BucketReduce time.Duration
-	WindowReduce time.Duration
+	Scatter time.Duration
+	// BucketSum is the aggregate bucket-sum busy time over all workers
+	// (Σ PerGPU.Busy on the concurrent engine).
+	BucketSum time.Duration
+	// BucketSumWall is the bucket-sum phase's wall-clock span:
+	// first-shard-start → last-shard-commit.
+	BucketSumWall time.Duration
+	BucketReduce  time.Duration
+	WindowReduce  time.Duration
 }
 
 // GPUStats is one simulated GPU's share of a concurrent execution.
@@ -78,7 +103,12 @@ type FaultStats struct {
 	Corruptions int
 	// Retries is the number of shard re-executions queued after a
 	// failure (transient or verification), with capped backoff.
+	// Executions torn down by run cancellation are not retries and are
+	// never counted here.
 	Retries int
+	// Steals is the number of shards a worker took from another healthy
+	// GPU's queue instead of idling.
+	Steals int
 	// Reassignments is the number of shards moved to a different GPU —
 	// requeues off a lost device plus retry escalations.
 	Reassignments int

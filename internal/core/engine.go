@@ -9,6 +9,7 @@ import (
 	"distmsm/internal/bigint"
 	"distmsm/internal/curve"
 	"distmsm/internal/msm"
+	"distmsm/internal/telemetry"
 )
 
 // defaultWorkers is the host parallelism when Options.Workers is unset.
@@ -54,6 +55,7 @@ func runSerial(ctx context.Context, points []curve.PointAffine, scalars []bigint
 		workers = defaultWorkers()
 	}
 	rec := msm.NewWindowRecoder(scalars, c.ScalarBits, plan.S, plan.Signed)
+	tr := opts.Tracer
 	bucketAcc := make([][]*curve.PointXYZZ, plan.Windows)
 	var digits []int32
 	var scratches []*bucketScratch // per-worker, reused across windows
@@ -67,15 +69,28 @@ func runSerial(ctx context.Context, points []curve.PointAffine, scalars []bigint
 		if err != nil {
 			return nil, err
 		}
+		dur := time.Since(t0)
 		res.Stats.Scatter.add(sc.Stats)
-		res.Stats.Phase.Scatter += time.Since(t0)
+		res.Stats.Phase.Scatter += dur
+		if tr != nil {
+			tr.Record(telemetry.Span{Name: "scatter", Cat: "msm", Track: telemetry.TrackHost,
+				Start: t0, Dur: dur, Labeled: true, Window: int32(j)})
+		}
 
 		t0 = time.Now()
 		bucketAcc[j], err = sumBuckets(c, points, sc.Buckets, workers, &scratches, &res.Stats)
 		if err != nil {
 			return nil, err
 		}
-		res.Stats.Phase.BucketSum += time.Since(t0)
+		dur = time.Since(t0)
+		// Serially there is no busy/wall distinction: one window's sum at
+		// a time, so both readings are the summed window durations.
+		res.Stats.Phase.BucketSum += dur
+		res.Stats.Phase.BucketSumWall += dur
+		if tr != nil {
+			tr.Record(telemetry.Span{Name: "bucket-sum", Cat: "msm", Track: telemetry.TrackHost,
+				Start: t0, Dur: dur, Labeled: true, Window: int32(j)})
+		}
 	}
 
 	// Phase 3 (§3.2.3, host CPU): bucket-reduce each window with the
@@ -86,15 +101,20 @@ func runSerial(ctx context.Context, points []curve.PointAffine, scalars []bigint
 	for j := 0; j < plan.Windows; j++ {
 		var ops uint64
 		var err error
+		w0 := time.Now()
 		windowSums[j], ops, err = reduceBuckets(ctx, c, bucketAcc[j], adder)
 		res.Stats.ReduceOps += ops
 		if err != nil {
 			return nil, err
 		}
+		if tr != nil {
+			tr.Record(telemetry.Span{Name: "bucket-reduce", Cat: "msm", Track: telemetry.TrackHost,
+				Start: w0, Dur: time.Since(w0), Labeled: true, Window: int32(j)})
+		}
 	}
 	res.Stats.Phase.BucketReduce = time.Since(t0)
 
-	if err := windowReduce(ctx, plan, windowSums, res); err != nil {
+	if err := windowReduce(ctx, plan, windowSums, res, tr); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -102,7 +122,7 @@ func runSerial(ctx context.Context, points []curve.PointAffine, scalars []bigint
 
 // windowReduce runs phase 4, the final Horner combination of the window
 // sums, into res.Point.
-func windowReduce(ctx context.Context, plan *Plan, windowSums []*curve.PointXYZZ, res *Result) error {
+func windowReduce(ctx context.Context, plan *Plan, windowSums []*curve.PointXYZZ, res *Result, tr *telemetry.Tracer) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -119,6 +139,10 @@ func windowReduce(ctx context.Context, plan *Plan, windowSums []*curve.PointXYZZ
 		res.Stats.WindowOps++
 	}
 	res.Stats.Phase.WindowReduce = time.Since(t0)
+	if tr != nil {
+		tr.Record(telemetry.Span{Name: "window-reduce", Cat: "msm", Track: telemetry.TrackHost,
+			Start: t0, Dur: res.Stats.Phase.WindowReduce})
+	}
 	res.Point = acc
 	return nil
 }
@@ -181,6 +205,7 @@ type windowProvider struct {
 
 	stats       ScatterStats
 	scatterTime time.Duration
+	tr          *telemetry.Tracer // nil = tracing disabled
 }
 
 func newWindowProvider(plan *Plan, scalars []bigint.Nat) *windowProvider {
@@ -212,7 +237,12 @@ func (p *windowProvider) acquire(j int) (*windowEntry, *ScatterResult, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		p.scatterTime += time.Since(t0)
+		dur := time.Since(t0)
+		p.scatterTime += dur
+		if p.tr != nil {
+			p.tr.Record(telemetry.Span{Name: "scatter", Cat: "msm", Track: telemetry.TrackHost,
+				Start: t0, Dur: dur, Labeled: true, Window: int32(p.next)})
+		}
 		p.stats.add(sc.Stats)
 		p.entries[p.next] = &windowEntry{
 			sc:      sc,

@@ -6,6 +6,7 @@ import (
 	"distmsm/internal/curve"
 	"distmsm/internal/gpusim"
 	"distmsm/internal/kernel"
+	"distmsm/internal/telemetry"
 )
 
 // Options configure a DistMSM execution. The zero value is the full
@@ -49,6 +50,12 @@ type Options struct {
 	// corrupted-result injection is configured, a negative value
 	// disables verification entirely.
 	VerifySampling float64
+	// Tracer, when set, records a span for every scatter, shard
+	// execution (with GPU/attempt/speculative labels), bucket-reduce
+	// and window-reduce of the run — exportable as a Chrome trace_event
+	// JSON via telemetry.Tracer.WriteChromeTrace. Nil disables tracing
+	// at zero cost on the shard hot path.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultVariant is the full DistMSM accumulation kernel.

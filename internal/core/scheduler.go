@@ -11,6 +11,7 @@ import (
 	"distmsm/internal/bigint"
 	"distmsm/internal/curve"
 	"distmsm/internal/gpusim"
+	"distmsm/internal/telemetry"
 )
 
 // This file is the fault-tolerant shard scheduler of EngineConcurrent.
@@ -149,6 +150,13 @@ type scheduler struct {
 	ewma  float64
 	ewmaN int
 
+	// Bucket-sum phase wall clock: the span from the first shard launch
+	// to the last shard commit (Stats.Phase.BucketSumWall). Distinct
+	// from the per-worker busy time summed into Stats.Phase.BucketSum —
+	// the wall span never exceeds Σ busy on a saturated multi-GPU run.
+	firstStart time.Time
+	lastCommit time.Time
+
 	stats FaultStats
 
 	// Per-GPU run outcome for the cross-request health registry:
@@ -273,7 +281,12 @@ func (s *scheduler) popLocked(g int, now time.Time) *shardTask {
 
 // stealLocked takes the lowest-window ready task queued on another
 // healthy GPU — work stealing keeps survivors busy after a device loss
-// skews the queues.
+// skews the queues. Queues start window-ordered (the plan emits
+// assignments in window order) but do not stay that way: requeueLocked
+// appends retried shards at the tail, so the scan must consider every
+// ready entry of every queue — stopping at the first ready entry could
+// skip a lower-window retried shard and stall the reducer pipeline,
+// which consumes windows in order.
 func (s *scheduler) stealLocked(g int, now time.Time) *shardTask {
 	bestGPU, bestIdx := -1, -1
 	for _, g2 := range s.gpus {
@@ -287,7 +300,6 @@ func (s *scheduler) stealLocked(g int, now time.Time) *shardTask {
 			if bestIdx == -1 || t.a.Window < s.queues[bestGPU][bestIdx].a.Window {
 				bestGPU, bestIdx = g2, i
 			}
-			break // queues are window-ordered; first ready entry is its best
 		}
 	}
 	if bestIdx == -1 {
@@ -297,6 +309,7 @@ func (s *scheduler) stealLocked(g int, now time.Time) *shardTask {
 	t := q[bestIdx]
 	s.queues[bestGPU] = append(q[:bestIdx:bestIdx], q[bestIdx+1:]...)
 	t.queued = false
+	s.stats.Steals++
 	return t
 }
 
@@ -332,7 +345,21 @@ func (s *scheduler) launchLocked(t *shardTask, now time.Time, spec bool) (int, b
 	if t.running == 1 {
 		t.start = now
 	}
+	if s.firstStart.IsZero() {
+		s.firstStart = now // bucket-sum phase wall clock starts here
+	}
 	return t.seq, spec
+}
+
+// bucketSumWall returns the bucket-sum phase's wall-clock span: first
+// shard launch to last shard commit (zero when nothing ever ran).
+func (s *scheduler) bucketSumWall() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.firstStart.IsZero() || s.lastCommit.Before(s.firstStart) {
+		return 0
+	}
+	return s.lastCommit.Sub(s.firstStart)
 }
 
 // stragglerWait scales the injected straggler stall to the shard's
@@ -536,10 +563,30 @@ func (s *scheduler) commit(g int, t *shardTask, isSpec bool, compSec float64) bo
 	t.failures = 0
 	s.nDone++
 	s.committed[g]++
+	s.lastCommit = time.Now()
 	if isSpec {
 		s.stats.SpeculativeWins++
 	}
 	return true
+}
+
+// cancelExec retires an execution unwound by run cancellation: the
+// in-flight count drops and the shard returns to its owner's queue so
+// the scheduler's bookkeeping stays consistent while the workers
+// drain, but — unlike fail — no retry or consecutive-failure
+// accounting is charged and no backoff is applied. A run being torn
+// down is not failing; charging FaultStats.Retries (and pushing the
+// shard toward its reassignment budget) for the teardown skewed the
+// stats of every cancelled run.
+func (s *scheduler) cancelExec(t *shardTask) {
+	s.mu.Lock()
+	t.running--
+	if !t.done && t.running == 0 && !t.queued {
+		t.queued = true
+		s.queues[t.owner] = append(s.queues[t.owner], t)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // reportHealth folds the run's per-GPU outcome into the cross-request
@@ -577,6 +624,7 @@ type concExec struct {
 	prov     *windowProvider
 	sched    *scheduler
 	reduceCh chan doneWindow
+	tr       *telemetry.Tracer // nil = tracing disabled (zero cost)
 }
 
 // workerScratch is the per-GPU-worker reusable state: the bucket-sum
@@ -621,7 +669,11 @@ func (e *concExec) execute(ctx context.Context, g int, t *shardTask, seq int, is
 	if fault.Class == gpusim.FaultStraggler {
 		e.sched.countFault(fault.Class)
 		if err := sleepCtx(ctx, e.sched.stragglerWait(t, fault.Factor)); err != nil {
-			e.sched.fail(g, t, false)
+			// Cancellation mid-stall tears the run down; it is not a shard
+			// failure, so no retry/failure accounting is charged (fail here
+			// would increment FaultStats.Retries and the shard's
+			// consecutive-failure count for a run that is already ending).
+			e.sched.cancelExec(t)
 			return err
 		}
 	}
@@ -633,6 +685,7 @@ func (e *concExec) execute(ctx context.Context, g int, t *shardTask, seq int, is
 	ops, err := sumBucketRange(e.c, e.points, sc.Buckets, t.a.BucketLo, t.a.BucketHi, priv, ws.sum)
 	comp := time.Since(t0)
 	st.Busy += comp
+	traceShard(e.tr, g, t, seq, isSpec, t0, comp)
 	if err != nil {
 		return err
 	}
@@ -664,6 +717,31 @@ func (e *concExec) execute(ctx context.Context, g int, t *shardTask, seq int, is
 		e.reduceCh <- doneWindow{j: t.a.Window, acc: entry.acc}
 	}
 	return nil
+}
+
+// traceShard records one shard execution's compute span with its
+// GPU/attempt/speculative labels. It is the only telemetry touchpoint
+// on the shard hot path, and with tracing disabled (nil tracer) it
+// must cost zero allocations — TestTraceShardAllocFree pins that, and
+// the enabled path is allocation-free too (the span ring is
+// pre-allocated).
+func traceShard(tr *telemetry.Tracer, g int, t *shardTask, seq int, spec bool, start time.Time, d time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.Record(telemetry.Span{
+		Name:        "shard",
+		Cat:         "msm",
+		Track:       telemetry.TrackGPU(g),
+		Start:       start,
+		Dur:         d,
+		Labeled:     true,
+		Window:      int32(t.a.Window),
+		BucketLo:    int32(t.a.BucketLo),
+		BucketHi:    int32(t.a.BucketHi),
+		Attempt:     int32(seq),
+		Speculative: spec,
+	})
 }
 
 // verifyShard is the cheap randomized check of §(2G2T)-style outsourced
@@ -775,6 +853,7 @@ func runScheduled(ctx context.Context, points []curve.PointAffine, scalars []big
 	c := plan.Curve
 	res := &Result{Plan: plan}
 	prov := newWindowProvider(plan, scalars)
+	prov.tr = opts.Tracer
 	sched := newScheduler(plan, opts)
 	if h := plan.Cluster.Health; h != nil {
 		// Report on every exit path — success, fault-induced failure,
@@ -785,7 +864,7 @@ func runScheduled(ctx context.Context, points []curve.PointAffine, scalars []big
 
 	windowSums := make([]*curve.PointXYZZ, plan.Windows)
 	reduceCh := make(chan doneWindow, plan.Windows)
-	exec := &concExec{c: c, plan: plan, points: points, prov: prov, sched: sched, reduceCh: reduceCh}
+	exec := &concExec{c: c, plan: plan, points: points, prov: prov, sched: sched, reduceCh: reduceCh, tr: opts.Tracer}
 
 	grp, gctx := newGroup(ctx)
 
@@ -857,10 +936,15 @@ func runScheduled(ctx context.Context, points []curve.PointAffine, scalars []big
 		for d := range reduceCh {
 			t0 := time.Now()
 			pt, ops, err := reduceBuckets(gctx, c, d.acc, adder)
-			reduceDur += time.Since(t0)
+			dur := time.Since(t0)
+			reduceDur += dur
 			reduceOps += ops
 			if err != nil {
 				return err
+			}
+			if tr := opts.Tracer; tr != nil {
+				tr.Record(telemetry.Span{Name: "bucket-reduce", Cat: "msm", Track: telemetry.TrackHost,
+					Start: t0, Dur: dur, Labeled: true, Window: int32(d.j)})
 			}
 			windowSums[d.j] = pt
 		}
@@ -874,7 +958,8 @@ func runScheduled(ctx context.Context, points []curve.PointAffine, scalars []big
 	res.Stats.Phase.Scatter = prov.scatterTime
 	res.Stats.ReduceOps = reduceOps
 	res.Stats.Phase.BucketReduce = reduceDur
-	if err := windowReduce(ctx, plan, windowSums, res); err != nil {
+	res.Stats.Phase.BucketSumWall = sched.bucketSumWall()
+	if err := windowReduce(ctx, plan, windowSums, res, opts.Tracer); err != nil {
 		return nil, sched.snapshot(), err
 	}
 	return res, sched.snapshot(), nil

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
+	"time"
 
 	"distmsm/internal/bigint"
 	"distmsm/internal/curve"
@@ -19,6 +20,7 @@ import (
 	"distmsm/internal/ntt"
 	"distmsm/internal/pairing"
 	"distmsm/internal/r1cs"
+	"distmsm/internal/telemetry"
 )
 
 // ProvingKey holds the per-variable evaluated setup elements.
@@ -274,6 +276,14 @@ func frNat(fr *field.Field, k field.Element) bigint.Nat {
 	return bigint.FromBig(fr.ToBig(k), fr.Width())
 }
 
+// phaseSpan records one prover phase into the run's tracer. Record is
+// nil-safe, so a context without a tracer costs two time reads and a
+// pointer check per phase — negligible against the ms-scale phases.
+func phaseSpan(tr *telemetry.Tracer, name string, start time.Time) {
+	tr.Record(telemetry.Span{Name: name, Cat: "groth16", Track: telemetry.TrackHost,
+		Start: start, Dur: time.Since(start)})
+}
+
 // Prove generates a proof for the witness. msmG1 routes the prover's G1
 // multi-scalar multiplications (nil = CPU Pippenger).
 //
@@ -306,10 +316,13 @@ func (e *Engine) ProveContext(ctx context.Context, cs *r1cs.System, pk *ProvingK
 		}
 	}
 
+	tr := telemetry.FromContext(ctx)
+	t0 := time.Now()
 	h, err := e.quotient(ctx, cs, pk.Domain, witness)
 	if err != nil {
 		return nil, err
 	}
+	phaseSpan(tr, "quotient", t0)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -324,10 +337,12 @@ func (e *Engine) ProveContext(ctx context.Context, cs *r1cs.System, pk *ProvingK
 	g2 := e.P.G2
 
 	// A = α + Σ a_i·u_i(τ) + r·δ  (G1)
+	t0 = time.Now()
 	sumA, err := msmG1(pk.A, scalars)
 	if err != nil {
 		return nil, err
 	}
+	phaseSpan(tr, "msm-A", t0)
 	accA := e.P.Curve.NewXYZZ()
 	e.P.Curve.SetAffine(accA, &pk.Alpha)
 	adder.Add(accA, sumA)
@@ -343,15 +358,19 @@ func (e *Engine) ProveContext(ctx context.Context, cs *r1cs.System, pk *ProvingK
 	for i := range witness {
 		big2[i] = fr.ToBig(witness[i])
 	}
+	t0 = time.Now()
 	sumB2 := g2.MSM(pk.B2, big2)
+	phaseSpan(tr, "msm-B2", t0)
 	withBeta := g2.Add(&sumB2, &pk.Beta2)
 	sDelta2 := g2.ScalarMulFr(&pk.Delta2, fr, s)
 	proofB := g2.Add(&withBeta, &sDelta2)
 
+	t0 = time.Now()
 	sumB1, err := msmG1(pk.B1, scalars)
 	if err != nil {
 		return nil, err
 	}
+	phaseSpan(tr, "msm-B1", t0)
 	accB1 := e.P.Curve.NewXYZZ()
 	e.P.Curve.SetAffine(accB1, &pk.Beta)
 	adder.Add(accB1, sumB1)
@@ -370,10 +389,12 @@ func (e *Engine) ProveContext(ctx context.Context, cs *r1cs.System, pk *ProvingK
 			privScalars[i] = scalars[i]
 		}
 	}
+	t0 = time.Now()
 	sumK, err := msmG1(pk.K, privScalars)
 	if err != nil {
 		return nil, err
 	}
+	phaseSpan(tr, "msm-K", t0)
 	hScalars := make([]bigint.Nat, len(pk.Z))
 	for j := range pk.Z {
 		if j < len(h) {
@@ -382,10 +403,12 @@ func (e *Engine) ProveContext(ctx context.Context, cs *r1cs.System, pk *ProvingK
 			hScalars[j] = bigint.New(fr.Width())
 		}
 	}
+	t0 = time.Now()
 	sumH, err := msmG1(pk.Z, hScalars)
 	if err != nil {
 		return nil, err
 	}
+	phaseSpan(tr, "msm-Z", t0)
 	accC := sumK
 	adder.Add(accC, sumH)
 	aAff := proofA

@@ -70,11 +70,15 @@ func ParseJobRequest(body []byte) (Request, error) {
 //	              → 504 on a blown job deadline
 //	GET  /healthz → per-GPU breaker states (503 if any GPU quarantined)
 //	GET  /stats   → counters snapshot
+//	GET  /metrics → Prometheus text exposition (when Config.Metrics set)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/prove", s.handleProve)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	if s.metrics != nil {
+		mux.Handle("/metrics", s.metrics.reg.Handler())
+	}
 	return mux
 }
 

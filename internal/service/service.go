@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -41,6 +42,7 @@ import (
 	"distmsm/internal/gpusim"
 	"distmsm/internal/groth16"
 	"distmsm/internal/r1cs"
+	"distmsm/internal/telemetry"
 )
 
 // Typed sentinels of the service API; all match with errors.Is.
@@ -123,6 +125,18 @@ type Config struct {
 	// pool.
 	OnJobStart func(*Job)
 	OnJobDone  func(*Job)
+	// Metrics, when set, receives the service's operational metrics:
+	// job outcomes and latency, queue depth, admission rejects, deadline
+	// misses, the scheduler's fault/retry/steal/speculation rates and
+	// per-GPU breaker-state gauges. Expose it with Registry.Handler (the
+	// service's Handler mounts it at /metrics automatically). Nil
+	// disables metrics at the cost of a nil check per event.
+	Metrics *telemetry.Registry
+	// TraceDir, when set, records a span trace of every job's proving
+	// pipeline (Groth16 phases, MSM scatter/shard/reduce) and writes it
+	// as Chrome trace_event JSON to TraceDir/job-<id>.trace.json when
+	// the job reaches a terminal state. Empty disables tracing.
+	TraceDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -242,6 +256,7 @@ type Service struct {
 	eng     *groth16.Engine
 	cluster *gpusim.Cluster // cfg.Cluster with the health registry attached
 	health  *gpusim.HealthRegistry
+	metrics *serviceMetrics // nil when Config.Metrics is unset
 
 	// baseCtx parents every job context; cancelling it (forced shutdown)
 	// aborts all in-flight work.
@@ -294,6 +309,7 @@ func New(cfg Config) (*Service, error) {
 		// accepted, none dequeued), so admitted sends can never block.
 		queue: make(chan *Job, cfg.QueueDepth+cfg.Workers),
 	}
+	s.metrics = newServiceMetrics(cfg.Metrics, reg, s.cluster.N)
 	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
 	for w := 0; w < cfg.Workers; w++ {
 		s.workersWG.Add(1)
@@ -419,12 +435,15 @@ func (s *Service) Submit(req Request) (*Job, error) {
 	capacity := s.cfg.QueueDepth + s.cfg.Workers
 	if outstanding >= capacity {
 		s.stats.Rejected++
+		s.metrics.observeAdmission(true)
 		return nil, &QueueFullError{Queued: outstanding, Depth: capacity, RetryAfter: s.retryAfterLocked()}
 	}
 	if s.cfg.MemoryBudget > 0 && s.memInUse+c.memEst > s.cfg.MemoryBudget {
 		s.stats.Rejected++
+		s.metrics.observeAdmission(true)
 		return nil, &QueueFullError{Queued: outstanding, Depth: capacity, Memory: true, RetryAfter: s.retryAfterLocked()}
 	}
+	s.metrics.observeAdmission(false)
 	timeout := req.Timeout
 	if timeout == 0 {
 		timeout = s.cfg.DefaultTimeout
@@ -447,6 +466,7 @@ func (s *Service) Submit(req Request) (*Job, error) {
 	s.memInUse += c.memEst
 	s.stats.Queued = s.queued
 	s.stats.MemoryInUse = s.memInUse
+	s.metrics.observeOccupancy(s.queued, s.inFlight, s.memInUse)
 	return job, nil
 }
 
@@ -481,18 +501,38 @@ func (s *Service) runJob(job *Job) {
 	s.inFlight++
 	s.stats.Queued = s.queued
 	s.stats.InFlight = s.inFlight
+	s.metrics.observeOccupancy(s.queued, s.inFlight, s.memInUse)
 	s.mu.Unlock()
 	job.mu.Lock()
 	job.state = JobProving
 	job.mu.Unlock()
 
+	ctx := job.ctx
+	var tr *telemetry.Tracer
+	if s.cfg.TraceDir != "" {
+		tr = telemetry.NewTracer(0)
+		ctx = telemetry.NewContext(ctx, tr)
+	}
+
 	start := time.Now()
 	if s.cfg.OnJobStart != nil {
 		s.cfg.OnJobStart(job)
 	}
-	proof, err := s.prove(job.ctx, c, job.Seed)
+	proof, err := s.prove(ctx, c, job.Seed)
 	if s.cfg.OnJobDone != nil {
 		s.cfg.OnJobDone(job)
+	}
+	sec := time.Since(start).Seconds()
+
+	outcome := outcomeCompleted
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		outcome = outcomeDeadline
+	case errors.Is(err, context.Canceled):
+		outcome = outcomeCancelled
+	default:
+		outcome = outcomeFailed
 	}
 
 	s.mu.Lock()
@@ -500,21 +540,39 @@ func (s *Service) runJob(job *Job) {
 	s.memInUse -= c.memEst
 	s.stats.InFlight = s.inFlight
 	s.stats.MemoryInUse = s.memInUse
-	switch {
-	case err == nil:
+	s.metrics.observeOccupancy(s.queued, s.inFlight, s.memInUse)
+	switch outcome {
+	case outcomeCompleted:
 		s.stats.Completed++
-		sec := time.Since(start).Seconds()
+	case outcomeDeadline, outcomeCancelled:
+		s.stats.Cancelled++
+	default:
+		s.stats.Failed++
+	}
+	// Every terminal outcome that consumed a worker feeds the
+	// completion-time EWMA — successes, deadline misses and failures
+	// alike. Updating it only on success left a deadline-heavy (or
+	// fault-heavy) workload with a stale or zero EWMA, so Retry-After
+	// hints never converged to the observed job time. Pure client
+	// cancellations are the one exclusion: their wall time measures the
+	// client's patience, not job cost.
+	if outcome != outcomeCancelled {
 		if s.ewmaJobSec == 0 {
 			s.ewmaJobSec = sec
 		} else {
 			s.ewmaJobSec += 0.25 * (sec - s.ewmaJobSec)
 		}
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		s.stats.Cancelled++
-	default:
-		s.stats.Failed++
 	}
 	s.mu.Unlock()
+	s.metrics.observeJob(outcome, sec)
+
+	if tr != nil {
+		// Written before finish so the file is complete by the time a
+		// waiting client observes the terminal state. Best-effort: a
+		// failed trace write never fails the job.
+		path := filepath.Join(s.cfg.TraceDir, fmt.Sprintf("job-%d.trace.json", job.ID))
+		_ = tr.WriteChromeTraceFile(path)
+	}
 	job.finish(proof, err)
 }
 
@@ -537,10 +595,12 @@ func (s *Service) prove(ctx context.Context, c *circuit, seed int64) (*groth16.P
 			Faults:         s.cfg.Faults,
 			Retry:          s.cfg.Retry,
 			VerifySampling: s.cfg.VerifySampling,
+			Tracer:         telemetry.FromContext(ctx),
 		})
 		if err != nil {
 			return nil, err
 		}
+		s.metrics.observeMSM(res.Stats.Faults)
 		return res.Point, nil
 	}
 	proof, err := s.eng.ProveContext(ctx, c.cs, c.pk, w, rand.New(rand.NewSource(seed)), msmFn)

@@ -1,0 +1,25 @@
+package telemetry
+
+import "context"
+
+// The tracer rides the context through layers that should not know
+// about each other: the service attaches a per-job tracer, and the
+// Groth16 prover, the NTTs and (via core.Options.Tracer) the MSM
+// engines pick it up without any of them growing a telemetry parameter.
+
+type tracerKey struct{}
+
+// NewContext returns ctx carrying tr. A nil tr returns ctx unchanged.
+func NewContext(ctx context.Context, tr *Tracer) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, tr)
+}
+
+// FromContext returns the tracer carried by ctx, or nil — and a nil
+// *Tracer is a valid no-op everywhere, so callers never need to check.
+func FromContext(ctx context.Context) *Tracer {
+	tr, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return tr
+}

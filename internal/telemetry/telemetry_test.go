@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerRingOrder(t *testing.T) {
+	tr := NewTracer(4)
+	base := time.Now()
+	for i := 0; i < 6; i++ {
+		tr.Record(Span{Name: "s", Window: int32(i), Labeled: true, Start: base, Dur: time.Millisecond})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", tr.Dropped())
+	}
+	spans := tr.Spans()
+	for i, s := range spans {
+		if want := int32(i + 2); s.Window != want {
+			t.Fatalf("span %d window = %d, want %d (oldest spans must be dropped in order)", i, s.Window, want)
+		}
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Span{Name: "x"})
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer must be an empty no-op")
+	}
+}
+
+// TestRecordAllocFree pins the tentpole's hot-path contract: recording
+// into an enabled tracer allocates nothing (the ring is pre-allocated),
+// and a disabled (nil) tracer costs only the nil check.
+func TestRecordAllocFree(t *testing.T) {
+	start := time.Now()
+	enabled := NewTracer(64)
+	if allocs := testing.AllocsPerRun(100, func() {
+		enabled.Record(Span{Name: "shard", Cat: "msm", Track: TrackGPU(3),
+			Start: start, Dur: time.Millisecond, Labeled: true, Window: 7, Attempt: 2})
+	}); allocs != 0 {
+		t.Errorf("enabled Record allocates %.1f objects/op, want 0", allocs)
+	}
+	var disabled *Tracer
+	if allocs := testing.AllocsPerRun(100, func() {
+		disabled.Record(Span{Name: "shard", Cat: "msm", Track: TrackGPU(3),
+			Start: start, Dur: time.Millisecond, Labeled: true, Window: 7, Attempt: 2})
+	}); allocs != 0 {
+		t.Errorf("disabled Record allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestMetricsAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_total", "", "")
+	g := r.Gauge("t_gauge", "", "")
+	h := r.Histogram("t_seconds", "", "", nil)
+	if allocs := testing.AllocsPerRun(100, func() { c.Inc() }); allocs != 0 {
+		t.Errorf("Counter.Inc allocates %.1f objects/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { g.Set(3.5) }); allocs != 0 {
+		t.Errorf("Gauge.Set allocates %.1f objects/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { h.Observe(0.42) }); allocs != 0 {
+		t.Errorf("Histogram.Observe allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer(16)
+	base := time.Now()
+	tr.Record(Span{Name: "scatter", Cat: "msm", Track: TrackHost, Start: base, Dur: 2 * time.Millisecond})
+	tr.Record(Span{Name: "shard", Cat: "msm", Track: TrackGPU(0), Start: base.Add(time.Millisecond),
+		Dur: 5 * time.Millisecond, Labeled: true, Window: 3, BucketLo: 0, BucketHi: 128, Attempt: 1, Speculative: true})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			TID  int32          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var sawShard, sawScatter, sawThreadName bool
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "thread_name":
+			sawThreadName = true
+		case ev.Name == "shard":
+			sawShard = true
+			if ev.TID != int32(TrackGPU(0)) {
+				t.Errorf("shard tid = %d, want %d", ev.TID, TrackGPU(0))
+			}
+			if ev.Args["window"] != float64(3) || ev.Args["attempt"] != float64(1) {
+				t.Errorf("shard args = %v, want window 3 attempt 1", ev.Args)
+			}
+			if ev.Args["speculative"] != true {
+				t.Errorf("shard args missing speculative flag: %v", ev.Args)
+			}
+			if ev.TS != 1000 { // 1ms after the earliest span, in µs
+				t.Errorf("shard ts = %v µs, want 1000", ev.TS)
+			}
+		case ev.Name == "scatter":
+			sawScatter = true
+			if ev.TS != 0 || ev.Dur != 2000 {
+				t.Errorf("scatter ts/dur = %v/%v, want 0/2000", ev.TS, ev.Dur)
+			}
+			if ev.Args != nil {
+				t.Errorf("unlabeled span exported args: %v", ev.Args)
+			}
+		}
+	}
+	if !sawShard || !sawScatter || !sawThreadName {
+		t.Fatalf("missing events: shard=%v scatter=%v thread_name=%v", sawShard, sawScatter, sawThreadName)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", "jobs by outcome", `outcome="completed"`).Add(3)
+	r.Counter("jobs_total", "jobs by outcome", `outcome="failed"`).Inc()
+	r.Gauge("queue_depth", "waiting jobs", "").Set(2)
+	r.GaugeFunc("breaker_state", "per-GPU breaker", `gpu="0"`, func() float64 { return 1 })
+	h := r.Histogram("job_seconds", "job latency", "", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	out := r.WritePrometheus()
+	for _, want := range []string{
+		"# TYPE jobs_total counter",
+		`jobs_total{outcome="completed"} 3`,
+		`jobs_total{outcome="failed"} 1`,
+		"# TYPE queue_depth gauge",
+		"queue_depth 2",
+		`breaker_state{gpu="0"} 1`,
+		"# TYPE job_seconds histogram",
+		`job_seconds_bucket{le="0.1"} 1`,
+		`job_seconds_bucket{le="1"} 2`,
+		`job_seconds_bucket{le="+Inf"} 3`,
+		"job_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "job_seconds_sum 5.55") {
+		t.Errorf("exposition sum wrong:\n%s", out)
+	}
+
+	// Idempotent registration returns the same handle.
+	if r.Counter("jobs_total", "", `outcome="completed"`).Value() != 3 {
+		t.Error("re-registration did not return the existing counter")
+	}
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain", ct)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	// counts per bucket: ≤1: 2 (0.5, 1), ≤2: 1 (1.5), ≤4: 1 (3), +Inf: 1
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d count = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-106) > 1e-9 {
+		t.Errorf("Sum = %v, want 106", h.Sum())
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if FromContext(ctx) != nil {
+		t.Fatal("empty context must carry no tracer")
+	}
+	if NewContext(ctx, nil) != ctx {
+		t.Fatal("NewContext(nil) must return ctx unchanged")
+	}
+	tr := NewTracer(1)
+	if FromContext(NewContext(ctx, tr)) != tr {
+		t.Fatal("tracer lost in context round-trip")
+	}
+}

@@ -1,0 +1,238 @@
+// Package telemetry is the observability layer of the repo: span-based
+// tracing of MSM and Groth16 executions (exportable as Chrome
+// trace_event JSON) and a dependency-free metrics registry (counters,
+// gauges, fixed-bucket histograms) with Prometheus text exposition.
+//
+// The package exists because the paper's whole argument rests on
+// per-phase, per-GPU breakdowns — §3.1's workload formulas and §3.2.3's
+// overlap of the CPU bucket-reduce with the next window's bucket-sum
+// are claims about *where time goes*, and a production service needs
+// those numbers continuously, not just in a benchmark harness.
+//
+// Both halves are allocation-conscious by construction:
+//
+//   - a Tracer's span ring buffer is fully allocated at construction,
+//     so Record never allocates (and a nil *Tracer is a no-op — the
+//     disabled-telemetry hot path costs one branch, zero allocations);
+//   - every metric handle (Counter, Gauge, Histogram) updates via
+//     atomics; allocation happens only at registration and exposition.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Track identifies the logical execution lane a span ran on — the "tid"
+// of the Chrome trace. Host phases (scatter, bucket-reduce,
+// window-reduce, the Groth16 pipeline) share TrackHost; each simulated
+// GPU's shard executions get their own lane via TrackGPU so the §3.2.3
+// pipeline overlap is visible as parallel bars in the viewer.
+type Track int32
+
+// TrackHost is the host-side lane (scatter, reducers, Groth16 phases).
+const TrackHost Track = 0
+
+// TrackGPU returns the lane of simulated GPU g.
+func TrackGPU(g int) Track { return Track(1 + g) }
+
+// Span is one completed trace interval. The zero value of the label
+// fields means "absent": Window and Attempt are only exported when
+// Labeled is set (a window-0, attempt-0 shard is distinguishable from
+// an unlabeled host phase).
+type Span struct {
+	// Name is the event name shown by the viewer ("shard", "scatter",
+	// "bucket-reduce", "groth16/quotient", ...).
+	Name string
+	// Cat is the trace_event category ("msm", "groth16", "service").
+	Cat string
+	// Track is the lane (tid) the span is drawn on.
+	Track Track
+	// Start and Dur delimit the interval in host wall time.
+	Start time.Time
+	Dur   time.Duration
+	// Labeled marks the shard-label fields below as meaningful.
+	Labeled bool
+	// Window, BucketLo, BucketHi and Attempt identify a shard execution;
+	// Speculative marks a duplicate launched for an overdue shard.
+	Window      int32
+	BucketLo    int32
+	BucketHi    int32
+	Attempt     int32
+	Speculative bool
+}
+
+// Tracer records spans of one run into a fixed-capacity ring buffer.
+// It is safe for concurrent use. The zero value is not valid; use
+// NewTracer. A nil *Tracer is valid everywhere and records nothing.
+type Tracer struct {
+	mu    sync.Mutex
+	spans []Span
+	n     int // total spans recorded; the ring holds the last len(spans)
+}
+
+// DefaultSpanCapacity is the ring size of NewTracer(0): enough for
+// every shard, window and phase of a paper-scale MSM plus the Groth16
+// phases around it.
+const DefaultSpanCapacity = 1 << 14
+
+// NewTracer builds a tracer whose ring holds the last `capacity` spans
+// (DefaultSpanCapacity when capacity <= 0). The ring is fully allocated
+// here; Record never allocates.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	return &Tracer{spans: make([]Span, capacity)}
+}
+
+// Record appends a completed span. It is nil-safe (a nil tracer records
+// nothing) and allocation-free: the span is copied into the
+// pre-allocated ring, overwriting the oldest entry once full.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans[t.n%len(t.spans)] = s
+	t.n++
+	t.mu.Unlock()
+}
+
+// Len returns how many spans the tracer currently holds (at most the
+// ring capacity). Nil-safe.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n < len(t.spans) {
+		return t.n
+	}
+	return len(t.spans)
+}
+
+// Dropped returns how many spans were overwritten because the ring
+// filled up — a non-zero value means the trace is a suffix of the run.
+func (t *Tracer) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n <= len(t.spans) {
+		return 0
+	}
+	return t.n - len(t.spans)
+}
+
+// Spans returns a copy of the recorded spans in recording order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.orderedLocked()
+}
+
+func (t *Tracer) orderedLocked() []Span {
+	if t.n <= len(t.spans) {
+		out := make([]Span, t.n)
+		copy(out, t.spans[:t.n])
+		return out
+	}
+	out := make([]Span, len(t.spans))
+	head := t.n % len(t.spans)
+	copy(out, t.spans[head:])
+	copy(out[len(t.spans)-head:], t.spans[:head])
+	return out
+}
+
+// traceEvent is the Chrome trace_event wire form of one span
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// complete ("X") events with microsecond timestamps.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int32          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace serialises the recorded spans as a Chrome
+// trace_event JSON document ({"traceEvents": [...]}), loadable in
+// chrome://tracing or https://ui.perfetto.dev. Timestamps are relative
+// to the earliest recorded span. Lanes are named via thread_name
+// metadata events ("host", "gpu0", "gpu1", ...).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	var epoch time.Time
+	tracks := map[Track]bool{}
+	for _, s := range spans {
+		if epoch.IsZero() || s.Start.Before(epoch) {
+			epoch = s.Start
+		}
+		tracks[s.Track] = true
+	}
+	events := make([]traceEvent, 0, len(spans)+len(tracks))
+	for tr := range tracks {
+		name := "host"
+		if tr > TrackHost {
+			name = fmt.Sprintf("gpu%d", int(tr)-1)
+		}
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: int32(tr),
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, s := range spans {
+		ev := traceEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			TS:   float64(s.Start.Sub(epoch)) / float64(time.Microsecond),
+			Dur:  float64(s.Dur) / float64(time.Microsecond),
+			PID:  1,
+			TID:  int32(s.Track),
+		}
+		if s.Labeled {
+			args := map[string]any{
+				"window":  s.Window,
+				"attempt": s.Attempt,
+			}
+			if s.BucketHi > s.BucketLo {
+				args["bucket_lo"] = s.BucketLo
+				args["bucket_hi"] = s.BucketHi
+			}
+			if s.Speculative {
+				args["speculative"] = true
+			}
+			ev.Args = args
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+// WriteChromeTraceFile writes the trace to path (0644, truncating).
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
