@@ -13,7 +13,7 @@ BENCH_BASELINE ?= bench/baseline_pr3.json
 BENCH_OUT      ?= BENCH_pr3.json
 BENCH_RAW      ?= bench_raw.txt
 
-.PHONY: all tier1 build vet test race lint bench bench-smoke fuzz-smoke service-smoke examples
+.PHONY: all tier1 build vet test race lint bench bench-smoke batch-smoke fuzz-smoke service-smoke examples
 
 all: tier1
 
@@ -28,9 +28,12 @@ vet:
 test:
 	$(GO) test ./...
 
-# Static analysis: vet always, staticcheck when the binary is on PATH
-# (CI installs it; local trees without it still get the vet pass).
+# Static analysis: vet and the context-first guard always, staticcheck
+# when the binary is on PATH (CI installs it; local trees without it
+# still get the vet + ctxlint pass). ctxlint rejects new in-repo calls
+# to the deprecated ctx-less wrappers (see cmd/ctxlint).
 lint: vet
+	$(GO) run ./cmd/ctxlint .
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
@@ -54,12 +57,21 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./internal/bigint ./internal/field ./internal/curve
 
+# Batch-throughput smoke: one small cached-vs-recompute batch cycle
+# through SubmitBatch. Fails if any job fails or the cached run did not
+# actually prove from the per-circuit base cache; the 1.5x amortized
+# speedup floor is only enforced on the full `go run ./cmd/batchbench`
+# (small smoke sizes are too noisy to gate on).
+batch-smoke:
+	$(GO) run ./cmd/batchbench -smoke
+
 # Short differential-fuzz pass over the unrolled Montgomery kernels,
 # the service's wire-format parser and the proof/VK decoders.
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzMul4Parity -fuzztime=10s ./internal/bigint
 	$(GO) test -run=^$$ -fuzz=FuzzMul6Parity -fuzztime=10s ./internal/bigint
 	$(GO) test -run=^$$ -fuzz=FuzzJobRequest -fuzztime=10s ./internal/service
+	$(GO) test -run=^$$ -fuzz=FuzzBatchRequest -fuzztime=10s ./internal/service
 	$(GO) test -run=^$$ -fuzz=FuzzProofRoundTrip -fuzztime=10s ./internal/groth16
 
 # End-to-end smoke of the proving service: submit jobs through the full

@@ -85,7 +85,7 @@ func BenchmarkRealMSM(b *testing.B) {
 			scalars := c.SampleScalars(n, 2)
 			b.Run(fmt.Sprintf("%s/2^%d", curveName, logN), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := sys.MSM(c, points, scalars, distmsm.Options{WindowSize: 10}); err != nil {
+					if _, err := sys.MSMContext(context.Background(), c, points, scalars, distmsm.WithWindowBits(10)); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -152,13 +152,13 @@ func BenchmarkRealProof(b *testing.B) {
 	}
 	cs, w := snark.SyntheticCircuit(64, 1)
 	rnd := rand.New(rand.NewSource(2))
-	pk, vk, err := snark.Setup(cs, rnd)
+	pk, vk, err := snark.SetupContext(context.Background(), cs, rnd)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		proof, err := snark.Prove(cs, pk, w, rnd)
+		proof, err := snark.ProveContext(context.Background(), cs, pk, w, rnd)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,179 @@
+// Command batchbench measures the amortized batch-proving throughput
+// of the service's per-circuit base cache: N same-circuit jobs proved
+// through SubmitBatch against cached fixed-base/GLV tables, versus the
+// same N jobs on a cache-disabled service where every job runs the
+// plain Pippenger path over the raw proving-key columns.
+//
+// "Amortized" is taken seriously: each side's rate divides N by its
+// *full* wall time including circuit registration, so the cached side
+// pays for its one-time table precompute and the comparison cannot
+// hide it. The JSON report also carries the steady-state (post-
+// registration) rates for the long-running-service picture.
+//
+//	batchbench -gpus 8 -constraints 512 -jobs 24 -out BENCH_pr6.json
+//	batchbench -smoke        # quick CI variant: small sizes, no file
+//
+// Exit is non-zero if any job fails, if the cached run did not actually
+// hit the cache, or (outside -smoke) if the amortized speedup falls
+// below the 1.5x acceptance floor.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"distmsm/internal/gpusim"
+	"distmsm/internal/service"
+)
+
+type sideReport struct {
+	RegisterSeconds  float64 `json:"register_seconds"`
+	BatchSeconds     float64 `json:"batch_seconds"`
+	ProofsPerSec     float64 `json:"proofs_per_sec"`    // steady state: N / batch_seconds
+	AmortizedPerSec  float64 `json:"amortized_per_sec"` // N / (register + batch)
+	BaseCacheHits    uint64  `json:"base_cache_hits"`
+	BaseCacheMisses  uint64  `json:"base_cache_misses"`
+	BatchesCoalesced uint64  `json:"batches_coalesced"`
+}
+
+type report struct {
+	GPUs             int        `json:"gpus"`
+	Constraints      int        `json:"constraints"`
+	Jobs             int        `json:"jobs"`
+	Cached           sideReport `json:"cached"`
+	Baseline         sideReport `json:"baseline"`          // DisableBaseCache: per-job recompute
+	Speedup          float64    `json:"speedup"`           // steady-state ratio
+	AmortizedSpeedup float64    `json:"amortized_speedup"` // registration included on both sides
+}
+
+func main() {
+	var (
+		gpus        = flag.Int("gpus", 8, "simulated GPU count")
+		constraints = flag.Int("constraints", 512, "synthetic circuit size")
+		jobs        = flag.Int("jobs", 24, "batch size (same circuit)")
+		out         = flag.String("out", "", "write the JSON report here (default stdout)")
+		smoke       = flag.Bool("smoke", false, "CI smoke: small sizes, no speedup floor, no file")
+	)
+	flag.Parse()
+	if *smoke {
+		*gpus, *constraints, *jobs = 4, 128, 8
+	}
+	if *jobs < 8 {
+		fmt.Fprintln(os.Stderr, "batchbench: -jobs must be >= 8 (amortization target)")
+		os.Exit(1)
+	}
+	if err := run(*gpus, *constraints, *jobs, *out, *smoke); err != nil {
+		fmt.Fprintln(os.Stderr, "batchbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(gpus, constraints, jobs int, out string, smoke bool) error {
+	ctx := context.Background()
+	rep := report{GPUs: gpus, Constraints: constraints, Jobs: jobs}
+
+	cached, err := measure(ctx, gpus, constraints, jobs, false)
+	if err != nil {
+		return fmt.Errorf("cached run: %w", err)
+	}
+	rep.Cached = cached
+	if cached.BaseCacheHits != uint64(jobs) {
+		return fmt.Errorf("cached run hit the base cache %d/%d times — the cache path is not engaged",
+			cached.BaseCacheHits, jobs)
+	}
+
+	baseline, err := measure(ctx, gpus, constraints, jobs, true)
+	if err != nil {
+		return fmt.Errorf("baseline run: %w", err)
+	}
+	rep.Baseline = baseline
+
+	rep.Speedup = cached.ProofsPerSec / baseline.ProofsPerSec
+	rep.AmortizedSpeedup = cached.AmortizedPerSec / baseline.AmortizedPerSec
+	fmt.Printf("batchbench: %d jobs x %d constraints on %d GPUs\n", jobs, constraints, gpus)
+	fmt.Printf("  cached:   %.2f proofs/sec steady, %.2f amortized (register %.2fs, batch %.2fs)\n",
+		cached.ProofsPerSec, cached.AmortizedPerSec, cached.RegisterSeconds, cached.BatchSeconds)
+	fmt.Printf("  baseline: %.2f proofs/sec steady, %.2f amortized (register %.2fs, batch %.2fs)\n",
+		baseline.ProofsPerSec, baseline.AmortizedPerSec, baseline.RegisterSeconds, baseline.BatchSeconds)
+	fmt.Printf("  speedup:  %.2fx steady, %.2fx amortized\n", rep.Speedup, rep.AmortizedSpeedup)
+
+	if !smoke && rep.AmortizedSpeedup < 1.5 {
+		return fmt.Errorf("amortized speedup %.2fx below the 1.5x floor", rep.AmortizedSpeedup)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		os.Stdout.Write(enc)
+		return nil
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("batchbench: wrote", out)
+	return nil
+}
+
+// measure runs one full cycle — build a service, register the circuit,
+// push one batch of same-circuit jobs through it, drain — and reports
+// the wall times. disable switches off the per-circuit base cache so
+// the same batch exercises the per-job-recompute path.
+func measure(ctx context.Context, gpus, constraints, jobs int, disable bool) (sideReport, error) {
+	cl, err := gpusim.NewCluster(gpusim.A100(), gpus)
+	if err != nil {
+		return sideReport{}, err
+	}
+	svc, err := service.New(service.Config{
+		Cluster:          cl,
+		Workers:          1, // serial workers: throughput deltas, not scheduling noise
+		QueueDepth:       jobs,
+		DisableBaseCache: disable,
+	})
+	if err != nil {
+		return sideReport{}, err
+	}
+	regStart := time.Now()
+	if err := svc.RegisterSynthetic(ctx, "bench", constraints); err != nil {
+		return sideReport{}, err
+	}
+	regSec := time.Since(regStart).Seconds()
+
+	reqs := make([]service.Request, jobs)
+	for i := range reqs {
+		reqs[i] = service.Request{Circuit: "bench", Seed: int64(i + 1)}
+	}
+	batchStart := time.Now()
+	batch, err := svc.SubmitBatch(reqs)
+	if err != nil {
+		return sideReport{}, err
+	}
+	for _, job := range batch {
+		if _, err := job.Wait(ctx); err != nil {
+			return sideReport{}, fmt.Errorf("job %d: %w", job.ID, err)
+		}
+	}
+	batchSec := time.Since(batchStart).Seconds()
+
+	shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(shCtx); err != nil {
+		return sideReport{}, fmt.Errorf("shutdown: %w", err)
+	}
+	st := svc.Stats()
+	return sideReport{
+		RegisterSeconds:  regSec,
+		BatchSeconds:     batchSec,
+		ProofsPerSec:     float64(jobs) / batchSec,
+		AmortizedPerSec:  float64(jobs) / (regSec + batchSec),
+		BaseCacheHits:    st.BaseCacheHits,
+		BaseCacheMisses:  st.BaseCacheMisses,
+		BatchesCoalesced: st.BatchesCoalesced,
+	}, nil
+}

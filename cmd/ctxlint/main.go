@@ -1,0 +1,323 @@
+// Command ctxlint guards the context-first migration: it type-checks
+// every package in the module and rejects calls to the Deprecated
+// ctx-less wrappers (SNARK.Setup/Prove, System.MSM/Estimate/
+// EstimatePipelined, groth16.Engine.Setup/Prove, core.Run, and the
+// ntt.Domain Forward/Inverse/Coset* quartet). `make lint` runs it, so
+// new in-repo callers of a deprecated form fail CI with a pointer to
+// the Context replacement.
+//
+// Resolution is semantic, not textual: calls resolve through go/types,
+// so an unrelated method that happens to be named Setup (e.g.
+// kzg.Scheme.Setup, which has no Context variant) is never flagged.
+//
+// Two escapes exist, both deliberate:
+//   - the package that defines a wrapper may call it from non-test
+//     files (the wrapper bodies and their in-package convenience
+//     callers are implementation, not migration debt);
+//   - a call whose line carries a "//ctxlint:allow" comment is skipped
+//     (used by the tests that pin the deprecated wrappers' behaviour).
+//
+// Usage: ctxlint [module-root]   (default ".")
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+const modulePath = "distmsm"
+
+// deprecated maps "defining-package-path.Receiver.Method" (or
+// "defining-package-path.Func" for package-level functions) to the
+// replacement named in the diagnostic.
+var deprecated = map[string]string{
+	"distmsm.SNARK.Setup":                      "SetupContext",
+	"distmsm.SNARK.Prove":                      "ProveContext",
+	"distmsm.System.MSM":                       "MSMContext",
+	"distmsm.System.Estimate":                  "EstimateContext",
+	"distmsm.System.EstimatePipelined":         "EstimatePipelinedContext",
+	"distmsm/internal/groth16.Engine.Setup":    "SetupContext",
+	"distmsm/internal/groth16.Engine.Prove":    "ProveContext or ProveContextWith",
+	"distmsm/internal/core.Run":                "RunContext",
+	"distmsm/internal/ntt.Domain.Forward":      "ForwardContext",
+	"distmsm/internal/ntt.Domain.Inverse":      "InverseContext",
+	"distmsm/internal/ntt.Domain.CosetForward": "CosetForwardContext",
+	"distmsm/internal/ntt.Domain.CosetInverse": "CosetInverseContext",
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	findings, err := run(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctxlint:", err)
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		fmt.Fprintf(os.Stderr, "ctxlint: %d call(s) to deprecated ctx-less wrappers\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Println("ctxlint: no deprecated ctx-less calls")
+}
+
+func run(root string) ([]string, error) {
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	ld := newLoader(root)
+	var findings []string
+	for _, dir := range dirs {
+		fs, err := ld.checkDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Strings(findings)
+	return findings, nil
+}
+
+// packageDirs lists every directory under root holding .go files.
+// Deduplicated with a set: WalkDir interleaves a directory's files with
+// its subdirectories, so last-seen tracking would list a dir once per
+// interleaving and every finding in it would repeat.
+func packageDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || (name != "." && strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			if dir := filepath.Dir(path); !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// loader type-checks module packages on demand. Imports of module
+// packages resolve recursively through the same loader (non-test files
+// only, memoized); the standard library resolves through the source
+// importer so no compiled export data is needed.
+type loader struct {
+	root  string
+	fset  *token.FileSet
+	std   types.Importer
+	cache map[string]*types.Package
+}
+
+func newLoader(root string) *loader {
+	l := &loader{root: root, fset: token.NewFileSet(), cache: map[string]*types.Package{}}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	return l
+}
+
+// Import implements types.Importer for the type-checker's import
+// resolution (only ever called for non-test dependency packages).
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == modulePath || strings.HasPrefix(path, modulePath+"/") {
+		dir := filepath.Join(l.root, strings.TrimPrefix(strings.TrimPrefix(path, modulePath), "/"))
+		return l.importModulePkg(path, dir)
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) importModulePkg(path, dir string) (*types.Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	files, err := l.parseDir(dir, false)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+func (l *loader) parseDir(dir string, includeTests bool) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// checkDir type-checks every package rooted in dir — the primary
+// package plus, when present, its external _test package — and reports
+// deprecated calls found in either.
+func (l *loader) checkDir(dir string) ([]string, error) {
+	all, err := l.parseDir(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string][]*ast.File{}
+	for _, f := range all {
+		name := f.Name.Name
+		byName[name] = append(byName[name], f)
+	}
+	pkgPath := l.pathFor(dir)
+	var findings []string
+	for name, files := range byName {
+		path := pkgPath
+		if strings.HasSuffix(name, "_test") && len(byName) > 1 {
+			path = pkgPath + "_test"
+		}
+		info := &types.Info{
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: l}
+		if _, err := conf.Check(path, l.fset, files, info); err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", path, err)
+		}
+		findings = append(findings, l.scan(pkgPath, files, info)...)
+	}
+	return findings, nil
+}
+
+func (l *loader) pathFor(dir string) string {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil || rel == "." {
+		return modulePath
+	}
+	return modulePath + "/" + filepath.ToSlash(rel)
+}
+
+// scan walks the checked files and reports calls that resolve to a
+// deprecated wrapper, honouring the two escapes described in the
+// package comment.
+func (l *loader) scan(pkgPath string, files []*ast.File, info *types.Info) []string {
+	var findings []string
+	for _, file := range files {
+		allowed := allowedLines(l.fset, file)
+		fileName := l.fset.Position(file.Pos()).Filename
+		isTestFile := strings.HasSuffix(fileName, "_test.go")
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			key := resolve(sel, info)
+			repl, bad := deprecated[key]
+			if !bad {
+				return true
+			}
+			pos := l.fset.Position(call.Pos())
+			if pkgPath == definingPackage(key) && !isTestFile {
+				return true // the defining package's own implementation
+			}
+			if allowed[pos.Line] {
+				return true // explicit //ctxlint:allow
+			}
+			findings = append(findings,
+				fmt.Sprintf("%s:%d: deprecated ctx-less call %s — use %s", pos.Filename, pos.Line, key, repl))
+			return true
+		})
+	}
+	return findings
+}
+
+// definingPackage extracts the package path from a deny-list key: the
+// import paths in play contain no dots, so everything before the first
+// dot past the last slash is the path.
+func definingPackage(key string) string {
+	base, prefix := key, ""
+	if j := strings.LastIndex(key, "/"); j >= 0 {
+		prefix, base = key[:j+1], key[j+1:]
+	}
+	if i := strings.Index(base, "."); i >= 0 {
+		base = base[:i]
+	}
+	return prefix + base
+}
+
+// resolve names the called function as defPkgPath.Recv.Method (method)
+// or defPkgPath.Func (package-level), or "" when it is neither.
+func resolve(sel *ast.SelectorExpr, info *types.Info) string {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		fn, ok := s.Obj().(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return ""
+		}
+		recv := s.Recv()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok {
+			return ""
+		}
+		return fn.Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+	}
+	if obj, ok := info.Uses[sel.Sel]; ok {
+		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+				return fn.Pkg().Path() + "." + fn.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// allowedLines collects the lines carrying a //ctxlint:allow comment.
+func allowedLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "ctxlint:allow") {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}

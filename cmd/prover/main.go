@@ -55,7 +55,7 @@ func run(ctx context.Context, constraints, gpus int, out string, seed int64) err
 	rnd := rand.New(rand.NewSource(seed))
 
 	start := time.Now()
-	pk, vk, err := snark.Setup(cs, rnd)
+	pk, vk, err := snark.SetupContext(ctx, cs, rnd)
 	if err != nil {
 		return err
 	}

@@ -102,7 +102,22 @@ type (
 	Tracer = telemetry.Tracer
 	// TraceSpan is one recorded tracer span.
 	TraceSpan = telemetry.Span
+	// FixedBase is an immutable fixed-base precomputation (per-window
+	// point tables, optionally with the GLV split folded in). Build with
+	// PrecomputeBases; attach to an MSM with WithPrecomputedBases.
+	FixedBase = core.FixedBase
 )
+
+// PrecomputeBases builds the §2.3.1 per-window tables for a fixed base
+// vector — the strategy behind WithPrecomputedBases. Honoured options
+// are WithWindowBits (0 auto-selects the cheapest merged-window size)
+// and WithGLV (fold the endomorphism split into the tables; every base
+// point must then lie in the prime-order subgroup). The tables cost
+// Windows()× the base-vector storage (see FixedBase.MemoryBytes) and
+// are safe for concurrent use; amortise one across many MSMs.
+func PrecomputeBases(c *CurveParams, points []PointAffine, opts ...Option) (*FixedBase, error) {
+	return core.NewFixedBase(c, points, buildOptions(opts))
+}
 
 // NewTracer allocates a span ring with the given capacity (≤ 0 selects
 // telemetry.DefaultSpanCapacity). All allocation happens here: recording
@@ -251,6 +266,30 @@ func WithVerifySampling(p float64) Option {
 // / Perfetto format).
 func WithTracer(tr *Tracer) Option {
 	return func(o *core.Options) { o.Tracer = tr }
+}
+
+// WithPrecomputedBases routes the execution through fb's per-window
+// precomputed tables (§2.3.1 merged-window evaluation): every window's
+// signed digits scatter into one shared bucket array indexing the flat
+// 2^(j·s)·B_i table vector, so the MSM runs as a single-window plan with
+// no Horner doubling ladder. The scalars must match fb.N() and the
+// points argument must be the vector fb was built from (it is not read
+// — the tables stand in for it). Build fb once per base vector with
+// PrecomputeBases and reuse it across MSMs; results are bit-identical
+// to the plain path.
+func WithPrecomputedBases(fb *FixedBase) Option {
+	return func(o *core.Options) { o.FixedBase = fb }
+}
+
+// WithGLV enables the GLV endomorphism strategy (§2.3.2): each scalar k
+// is decomposed as k = k1 + λ·k2 with |k1|,|k2| ≈ √r, and the MSM runs
+// over 2N points — [P_i…, φ(P_i)…] — with half-width scalars, halving
+// the window count. Requires an a=0 curve with a known endomorphism
+// (BN254, BLS12-377, BLS12-381) and points in the prime-order subgroup;
+// combine with WithPrecomputedBases by building the tables with GLV set.
+// Results are bit-identical to the plain path.
+func WithGLV(on bool) Option {
+	return func(o *core.Options) { o.GLV = on }
 }
 
 // WithOptions overlays a legacy Options struct wholesale — the

@@ -44,7 +44,7 @@ func TestPublicAPIMSM(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := sys.MSM(c, points, scalars, distmsm.Options{WindowSize: 8})
+		res, err := sys.MSMContext(context.Background(), c, points, scalars, distmsm.WithWindowBits(8))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -73,7 +73,7 @@ func TestPublicAPIEstimateAndBaseline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.Estimate(c, 1<<26, distmsm.Options{})
+	res, err := sys.EstimateContext(context.Background(), c, 1<<26)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestPublicAPISNARK(t *testing.T) {
 	fr := snark.ScalarField()
 	cs, witnessFor := snark.ProductCircuit()
 	rnd := rand.New(rand.NewSource(9))
-	pk, vk, err := snark.Setup(cs, rnd)
+	pk, vk, err := snark.SetupContext(context.Background(), cs, rnd)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestPublicAPISNARK(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := snark.Prove(cs, pk, w, rnd)
+	proof, err := snark.ProveContext(context.Background(), cs, pk, w, rnd)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestPublicAPIMSMContext(t *testing.T) {
 
 	// The deprecated Options-struct wrapper still matches, and the
 	// WithOptions bridge carries a legacy struct into the new API.
-	old, err := sys.MSM(c, points, scalars, distmsm.Options{WindowSize: 9})
+	old, err := sys.MSM(c, points, scalars, distmsm.Options{WindowSize: 9}) //ctxlint:allow (pinning the deprecated wrapper)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,11 +371,11 @@ func TestPublicAPIPipelined(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	one, err := sys.Estimate(c, 1<<24, distmsm.Options{WindowSize: 12})
+	one, err := sys.EstimateContext(context.Background(), c, 1<<24, distmsm.WithWindowBits(12))
 	if err != nil {
 		t.Fatal(err)
 	}
-	pipe, err := sys.EstimatePipelined(c, 1<<24, 6, distmsm.Options{WindowSize: 12})
+	pipe, err := sys.EstimatePipelinedContext(context.Background(), c, 1<<24, 6, distmsm.WithWindowBits(12))
 	if err != nil {
 		t.Fatal(err)
 	}

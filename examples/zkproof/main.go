@@ -28,7 +28,7 @@ func main() {
 	// Statement: "I know factors a, b ≠ 1 with a·b = c" for public c.
 	cs, witnessFor := snark.ProductCircuit()
 	rnd := rand.New(rand.NewSource(7))
-	pk, vk, err := snark.Setup(cs, rnd)
+	pk, vk, err := snark.SetupContext(context.Background(), cs, rnd)
 	if err != nil {
 		log.Fatal(err)
 	}

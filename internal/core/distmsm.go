@@ -216,6 +216,25 @@ func RunContext(ctx context.Context, c *curve.Curve, cl *gpusim.Cluster, points 
 		}
 		cl = cl.WithFaults(inj)
 	}
+	if opts.FixedBase != nil {
+		// Fixed-base strategy: the base vector lives in the precomputed
+		// tables; the caller's points are only checked for identity above.
+		return runFixedBase(ctx, c, cl, scalars, opts)
+	}
+	if opts.GLV {
+		// GLV endomorphism strategy (§2.3.2): split every (point, scalar)
+		// pair into two half-width pairs, then plan and execute the 2N-point
+		// MSM on a half-width curve view. Purely an input transform — the
+		// scheduler below is unchanged.
+		g, err := glvContext(c)
+		if err != nil {
+			return nil, err
+		}
+		points, scalars, c, err = glvSplit(g, c, points, scalars)
+		if err != nil {
+			return nil, err
+		}
+	}
 	plan, err := BuildPlan(c, cl, len(points), opts)
 	if err != nil {
 		return nil, err

@@ -54,7 +54,10 @@ func runSerial(ctx context.Context, points []curve.PointAffine, scalars []bigint
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}
-	rec := msm.NewWindowRecoder(scalars, c.ScalarBits, plan.S, plan.Signed)
+	var rec *msm.WindowRecoder
+	if plan.Pre == nil {
+		rec = msm.NewWindowRecoder(scalars, c.ScalarBits, plan.S, plan.Signed)
+	}
 	tr := opts.Tracer
 	bucketAcc := make([][]*curve.PointXYZZ, plan.Windows)
 	var digits []int32
@@ -63,26 +66,37 @@ func runSerial(ctx context.Context, points []curve.PointAffine, scalars []bigint
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		digits = rec.Window(j, digits)
-		t0 := time.Now()
-		sc, err := scatterWindow(plan, digits)
-		if err != nil {
-			return nil, err
-		}
-		dur := time.Since(t0)
-		res.Stats.Scatter.add(sc.Stats)
-		res.Stats.Phase.Scatter += dur
-		if tr != nil {
-			tr.Record(telemetry.Span{Name: "scatter", Cat: "msm", Track: telemetry.TrackHost,
-				Start: t0, Dur: dur, Labeled: true, Window: int32(j)})
+		var sc *ScatterResult
+		if plan.Pre != nil {
+			// Pre-scattered window (fixed-base evaluation): the scatter —
+			// and its wall time — happened at the transform; only the
+			// op-count stats are folded in here.
+			sc = plan.Pre[j]
+			res.Stats.Scatter.add(sc.Stats)
+		} else {
+			digits = rec.Window(j, digits)
+			t0 := time.Now()
+			var err error
+			sc, err = scatterWindow(plan, digits)
+			if err != nil {
+				return nil, err
+			}
+			dur := time.Since(t0)
+			res.Stats.Scatter.add(sc.Stats)
+			res.Stats.Phase.Scatter += dur
+			if tr != nil {
+				tr.Record(telemetry.Span{Name: "scatter", Cat: "msm", Track: telemetry.TrackHost,
+					Start: t0, Dur: dur, Labeled: true, Window: int32(j)})
+			}
 		}
 
-		t0 = time.Now()
+		t0 := time.Now()
+		var err error
 		bucketAcc[j], err = sumBuckets(c, points, sc.Buckets, workers, &scratches, &res.Stats)
 		if err != nil {
 			return nil, err
 		}
-		dur = time.Since(t0)
+		dur := time.Since(t0)
 		// Serially there is no busy/wall distinction: one window's sum at
 		// a time, so both readings are the summed window durations.
 		res.Stats.Phase.BucketSum += dur
@@ -131,9 +145,14 @@ func windowReduce(ctx context.Context, plan *Plan, windowSums []*curve.PointXYZZ
 	acc := c.NewXYZZ()
 	t0 := time.Now()
 	for j := plan.Windows - 1; j >= 0; j-- {
-		for b := 0; b < plan.S; b++ {
-			adder.Double(acc)
-			res.Stats.WindowOps++
+		if plan.FixedBase == nil {
+			// Horner doubling ladder. Fixed-base plans skip it: their
+			// tables already carry the 2^(j·s) factors, which is the point
+			// of the §2.3.1 precomputation.
+			for b := 0; b < plan.S; b++ {
+				adder.Double(acc)
+				res.Stats.WindowOps++
+			}
 		}
 		adder.Add(acc, windowSums[j])
 		res.Stats.WindowOps++
@@ -213,12 +232,15 @@ func newWindowProvider(plan *Plan, scalars []bigint.Nat) *windowProvider {
 	for _, a := range plan.Assignments {
 		shards[a.Window]++
 	}
-	return &windowProvider{
+	p := &windowProvider{
 		plan:    plan,
-		rec:     msm.NewWindowRecoder(scalars, plan.Curve.ScalarBits, plan.S, plan.Signed),
 		entries: map[int]*windowEntry{},
 		shards:  shards,
 	}
+	if plan.Pre == nil {
+		p.rec = msm.NewWindowRecoder(scalars, plan.Curve.ScalarBits, plan.S, plan.Signed)
+	}
+	return p
 }
 
 // acquire returns window j's entry, recoding and scattering windows up
@@ -231,17 +253,25 @@ func (p *windowProvider) acquire(j int) (*windowEntry, *ScatterResult, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for p.next <= j {
-		p.digits = p.rec.Window(p.next, p.digits)
-		t0 := time.Now()
-		sc, err := scatterWindow(p.plan, p.digits)
-		if err != nil {
-			return nil, nil, err
-		}
-		dur := time.Since(t0)
-		p.scatterTime += dur
-		if p.tr != nil {
-			p.tr.Record(telemetry.Span{Name: "scatter", Cat: "msm", Track: telemetry.TrackHost,
-				Start: t0, Dur: dur, Labeled: true, Window: int32(p.next)})
+		var sc *ScatterResult
+		if p.plan.Pre != nil {
+			// Pre-scattered window (fixed-base evaluation): scatter wall
+			// time was paid at the transform; only stats fold in here.
+			sc = p.plan.Pre[p.next]
+		} else {
+			p.digits = p.rec.Window(p.next, p.digits)
+			t0 := time.Now()
+			var err error
+			sc, err = scatterWindow(p.plan, p.digits)
+			if err != nil {
+				return nil, nil, err
+			}
+			dur := time.Since(t0)
+			p.scatterTime += dur
+			if p.tr != nil {
+				p.tr.Record(telemetry.Span{Name: "scatter", Cat: "msm", Track: telemetry.TrackHost,
+					Start: t0, Dur: dur, Labeled: true, Window: int32(p.next)})
+			}
 		}
 		p.stats.add(sc.Stats)
 		p.entries[p.next] = &windowEntry{

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"distmsm/internal/bigint"
+	"distmsm/internal/curve"
+	"distmsm/internal/gpusim"
+	"distmsm/internal/kernel"
+	"distmsm/internal/msm"
+	"distmsm/internal/telemetry"
+)
+
+// This file promotes the fixed-base precomputation (§2.3.1) and the GLV
+// endomorphism split from internal/msm helpers to first-class engine
+// strategies, selectable through Options.FixedBase / Options.GLV:
+//
+//   - FixedBase evaluation runs the merged-window form: every window's
+//     digits scatter into ONE shared bucket array whose references index
+//     the flat table vector flat[j·base+i] = 2^(j·s)·B_i, so the whole
+//     MSM is a single-window plan — one bucket-reduce, no window-reduce
+//     doubling ladder — that the existing shard scheduler (retries,
+//     steals, speculation, verification, device loss) executes unchanged.
+//   - GLV rewrites (points, scalars) into the 2N-point half-width split
+//     before planning; every downstream phase then sees a standard MSM
+//     with half the windows.
+//
+// Both strategies are bit-identical to the plain serial reference: the
+// per-bucket accumulation order is fixed by the scatter, buckets are
+// never split across shards, and the final reduce is deterministic.
+
+// FixedBase is an immutable per-window precomputation over a fixed
+// base-point vector — the Groth16 proving-key columns, typically —
+// optionally with the GLV endomorphism split folded into the tables.
+// Build one with NewFixedBase and attach it to an execution with
+// Options.FixedBase (distmsm.WithPrecomputedBases); one FixedBase is
+// safe for concurrent use by any number of executions.
+type FixedBase struct {
+	c   *curve.Curve
+	glv *msm.GLV // nil without the endomorphism split
+	pre *msm.Precomputed
+
+	n          int // caller base-vector length
+	base       int // flat stride: n, or 2n with GLV
+	s          int
+	windows    int // signed window count (incl. carry) over scalarBits
+	scalarBits int // effective scalar width the windows cover
+	// flat[j·base+i] = 2^(j·s)·B_i: the virtual point vector the merged
+	// single-window plan's bucket references index into.
+	flat []curve.PointAffine
+}
+
+// NewFixedBase precomputes per-window tables for the base vector. The
+// options honoured are WindowSize (0 picks the cheapest merged-window
+// size for this length) and GLV (fold the endomorphism split into the
+// tables — the base vector doubles, the window count halves; all points
+// must lie in the prime-order subgroup). Signed-digit recoding is always
+// used. The tables hold Windows()× the input storage; amortise them
+// across many MSMs over the same bases.
+func NewFixedBase(c *curve.Curve, points []curve.PointAffine, opts Options) (*FixedBase, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("%w: precompute needs at least one base point", ErrEmptyInput)
+	}
+	if opts.Unsigned {
+		return nil, fmt.Errorf("core: fixed-base tables require signed-digit recoding")
+	}
+	fb := &FixedBase{c: c, n: len(points), base: len(points), scalarBits: c.ScalarBits}
+	basePts := points
+	if opts.GLV {
+		g, err := glvContext(c)
+		if err != nil {
+			return nil, err
+		}
+		fb.glv = g
+		fb.scalarBits = g.HalfBits() + 4
+		fb.base = 2 * len(points)
+		basePts = g.SplitPoints(points)
+	}
+	fb.s = opts.WindowSize
+	if fb.s == 0 {
+		fb.s = fixedBaseWindow(fb.base, fb.scalarBits)
+	}
+	if fb.s < 2 || fb.s > 26 {
+		return nil, fmt.Errorf("core: fixed-base window size %d out of range", fb.s)
+	}
+	fb.windows = msm.NumWindows(fb.scalarBits, fb.s) + 1 // signed carry window
+
+	// The table builder sizes its columns from the curve's scalar width;
+	// hand it the effective (possibly GLV-halved) width.
+	cc := *c
+	cc.ScalarBits = fb.scalarBits
+	pre, err := msm.Precompute(&cc, basePts, msm.Config{WindowSize: fb.s, Signed: true})
+	if err != nil {
+		return nil, err
+	}
+	fb.pre = pre
+	fb.flat = pre.Flatten()
+	return fb, nil
+}
+
+// fixedBaseWindow picks s minimising the merged-window host work:
+// base·⌈bits/s⌉ accumulations plus one 2·2^(s−1) running-suffix reduce.
+func fixedBaseWindow(base, bits int) int {
+	best, bestCost := 8, float64(0)
+	for s := 4; s <= 20; s++ {
+		cost := float64(base)*float64((bits+s-1)/s+1) + float64(int(2)<<(s-1))
+		if bestCost == 0 || cost < bestCost {
+			best, bestCost = s, cost
+		}
+	}
+	return best
+}
+
+// WindowSize returns the precomputation's window size s.
+func (fb *FixedBase) WindowSize() int { return fb.s }
+
+// Windows returns the stored window-table count (the storage factor).
+func (fb *FixedBase) Windows() int { return fb.windows }
+
+// N returns the base-vector length scalars must match.
+func (fb *FixedBase) N() int { return fb.n }
+
+// GLV reports whether the endomorphism split is folded into the tables.
+func (fb *FixedBase) GLV() bool { return fb.glv != nil }
+
+// MemoryBytes estimates the table storage for admission budgeting.
+func (fb *FixedBase) MemoryBytes() int64 { return fb.pre.MemoryBytes() }
+
+// scatter builds the merged single-window bucket assignment for one
+// scalar vector: digit d of window j of scalar i becomes the signed
+// reference ±(j·base+i+1) in bucket |d| — all windows in one shared
+// bucket array, exactly the §2.3.1 evaluation. The per-bucket reference
+// order (scalars ascending, windows ascending within a scalar, GLV k1
+// before k2) is what both engines replay, which keeps results
+// bit-identical across engines and fault schedules.
+func (fb *FixedBase) scatter(scalars []bigint.Nat) (*ScatterResult, error) {
+	res := &ScatterResult{Buckets: make([][]int32, 1<<(fb.s-1)+1)}
+	res.Stats.Passes = 1
+	put := func(j int, d int32, idx int, flip bool) {
+		if d == 0 {
+			return
+		}
+		neg := d < 0
+		if neg {
+			d = -d
+		}
+		if flip {
+			neg = !neg
+		}
+		ref := int32(j*fb.base + idx + 1)
+		if neg {
+			ref = -ref
+		}
+		res.Buckets[d] = append(res.Buckets[d], ref)
+		res.Stats.GlobalAtomics++
+	}
+	if fb.glv == nil {
+		for i, k := range scalars {
+			for j, d := range msm.SignedDigits(k, fb.scalarBits, fb.s) {
+				put(j, d, i, false)
+			}
+		}
+		return res, nil
+	}
+	for i, k := range scalars {
+		k1, neg1, k2, neg2, err := fb.glv.DecomposeNat(k)
+		if err != nil {
+			return nil, err
+		}
+		for j, d := range msm.SignedDigits(k1, fb.scalarBits, fb.s) {
+			put(j, d, i, neg1)
+		}
+		for j, d := range msm.SignedDigits(k2, fb.scalarBits, fb.s) {
+			put(j, d, fb.n+i, neg2)
+		}
+	}
+	return res, nil
+}
+
+// buildFixedBasePlan schedules the merged single-window execution: one
+// window of 2^(s−1)+1 signed buckets over the windows·base flat point
+// vector, partitioned across the (health-admitted) GPUs exactly like any
+// other plan — so the fault-tolerant scheduler composes unchanged.
+func buildFixedBasePlan(cl *gpusim.Cluster, fb *FixedBase, opts Options) (*Plan, error) {
+	var adm *gpusim.Admission
+	if cl.Health != nil {
+		a := cl.Health.Admit(cl.N)
+		adm = &a
+	}
+	variant := DefaultVariant
+	if opts.VariantSet {
+		variant = opts.Variant
+	}
+	spec, err := kernel.BuildSpec(variant)
+	if err != nil {
+		return nil, err
+	}
+	paddSpec, err := kernel.BuildPADDSpec(variant)
+	if err != nil {
+		return nil, err
+	}
+	model := cl.Model()
+	p := &Plan{
+		Curve:     fb.c,
+		Cluster:   cl,
+		N:         len(fb.flat),
+		S:         fb.s,
+		Signed:    true,
+		Windows:   1,
+		Buckets:   1<<(fb.s-1) + 1,
+		Spec:      spec,
+		PADDSpec:  paddSpec,
+		NT:        model.ConcurrentThreads(spec, fb.c.Fp.Bits()),
+		Block:     opts.Block,
+		FixedBase: fb,
+	}
+	if p.Block.Threads == 0 {
+		p.Block = DefaultBlock()
+	}
+	p.Assignments = assignBucketsAdmitted(1, p.Buckets, cl.N, adm)
+	return p, nil
+}
+
+// runFixedBase executes an MSM through the precomputed tables: scatter
+// every window's digits into the shared bucket array, then run the
+// selected engine over the merged single-window plan.
+func runFixedBase(ctx context.Context, c *curve.Curve, cl *gpusim.Cluster, scalars []bigint.Nat, opts Options) (*Result, error) {
+	fb := opts.FixedBase
+	if fb.c.Name != c.Name {
+		return nil, fmt.Errorf("core: precomputed bases are for %s, not %s", fb.c.Name, c.Name)
+	}
+	if len(scalars) != fb.n {
+		return nil, fmt.Errorf("%w: %d scalars for %d precomputed bases", ErrLengthMismatch, len(scalars), fb.n)
+	}
+	if opts.WindowSize != 0 && opts.WindowSize != fb.s {
+		return nil, fmt.Errorf("core: window size %d conflicts with tables precomputed at s=%d", opts.WindowSize, fb.s)
+	}
+	if opts.Unsigned {
+		return nil, fmt.Errorf("core: fixed-base evaluation is signed-digit only")
+	}
+	if opts.GLV && fb.glv == nil {
+		return nil, fmt.Errorf("core: WithGLV set but the tables were precomputed without the endomorphism split")
+	}
+	t0 := time.Now()
+	sc, err := fb.scatter(scalars)
+	if err != nil {
+		return nil, err
+	}
+	scatterDur := time.Since(t0)
+	if tr := opts.Tracer; tr != nil {
+		tr.Record(telemetry.Span{Name: "scatter", Cat: "msm", Track: telemetry.TrackHost,
+			Start: t0, Dur: scatterDur, Labeled: true, Window: 0})
+	}
+	plan, err := buildFixedBasePlan(cl, fb, opts)
+	if err != nil {
+		return nil, err
+	}
+	plan.Pre = []*ScatterResult{sc}
+	var res *Result
+	switch opts.Engine {
+	case EngineConcurrent:
+		res, err = runConcurrent(ctx, fb.flat, nil, plan, opts)
+	case EngineSerial:
+		res, err = runSerial(ctx, fb.flat, nil, plan, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown engine %d", opts.Engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Phase.Scatter += scatterDur
+	res.Cost = plan.EstimateCost()
+	return res, nil
+}
+
+// glvCache memoises the per-curve GLV context (cube roots, endomorphism
+// verification, lattice basis) — pure curve constants, safe to share.
+var glvCache sync.Map // curve name -> *glvEntry
+
+type glvEntry struct {
+	once sync.Once
+	g    *msm.GLV
+	err  error
+}
+
+func glvContext(c *curve.Curve) (*msm.GLV, error) {
+	v, _ := glvCache.LoadOrStore(c.Name, &glvEntry{})
+	e := v.(*glvEntry)
+	e.once.Do(func() { e.g, e.err = msm.NewGLV(c) })
+	return e.g, e.err
+}
+
+// glvSplit rewrites the execution inputs through the endomorphism:
+// 2N points (negated copies where a decomposition half is negative),
+// half-width scalars, and a curve copy with the narrowed scalar width
+// for the planner. All input points must lie in the prime-order
+// subgroup — the λ-relation does not hold elsewhere.
+func glvSplit(g *msm.GLV, c *curve.Curve, points []curve.PointAffine, scalars []bigint.Nat) ([]curve.PointAffine, []bigint.Nat, *curve.Curve, error) {
+	n := len(points)
+	pts := g.SplitPoints(points)
+	ks := make([]bigint.Nat, 2*n)
+	for i := range scalars {
+		k1, neg1, k2, neg2, err := g.DecomposeNat(scalars[i])
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ks[i], ks[n+i] = k1, k2
+		if neg1 {
+			pts[i] = negAffineCopy(c, pts[i])
+		}
+		if neg2 {
+			pts[n+i] = negAffineCopy(c, pts[n+i])
+		}
+	}
+	hc := *c
+	hc.ScalarBits = g.HalfBits() + 4
+	return pts, ks, &hc, nil
+}
+
+// negAffineCopy negates a point into fresh Y storage (the input may
+// share element storage with the caller's vector).
+func negAffineCopy(c *curve.Curve, p curve.PointAffine) curve.PointAffine {
+	if p.Inf {
+		return p
+	}
+	negY := c.Fp.NewElement()
+	c.Fp.Neg(negY, p.Y)
+	return curve.PointAffine{X: p.X, Y: negY}
+}

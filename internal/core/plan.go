@@ -50,6 +50,20 @@ type Options struct {
 	// corrupted-result injection is configured, a negative value
 	// disables verification entirely.
 	VerifySampling float64
+	// FixedBase routes the execution through per-window precomputed
+	// tables (§2.3.1): all windows scatter into one shared bucket array
+	// indexed by the flat table vector, eliminating the per-window
+	// bucket-reduces and the window-reduce doubling ladder. The scalars
+	// must match the table's base vector; the points argument of the run
+	// is ignored in favour of the tables. Build with NewFixedBase.
+	FixedBase *FixedBase
+	// GLV splits every scalar through the curve's cube-root endomorphism
+	// (k·P = k1·P + k2·φ(P), |k_i| ≈ √r) before planning, halving the
+	// window count. Requires a j-invariant-0 curve with a canonical
+	// subgroup generator (BN254, BLS12-381) and all points in the
+	// prime-order subgroup. With FixedBase set, the split must already be
+	// folded into the tables (NewFixedBase with GLV).
+	GLV bool
 	// Tracer, when set, records a span for every scatter, shard
 	// execution (with GPU/attempt/speculative labels), bucket-reduce
 	// and window-reduce of the run — exportable as a Chrome trace_event
@@ -99,6 +113,15 @@ type Plan struct {
 	ReduceOnGPU  bool
 	SplitNDim    bool
 	Block        BlockConfig
+
+	// FixedBase marks a merged single-window plan over precomputed
+	// tables (nil for a standard plan); its window-reduce has no
+	// doubling ladder.
+	FixedBase *FixedBase
+	// Pre carries pre-scattered windows (fixed-base evaluation). When
+	// set, the engines consume Pre[j] instead of recoding and scattering
+	// window j from the scalars.
+	Pre []*ScatterResult
 
 	Assignments []Assignment
 }

@@ -22,7 +22,7 @@ func TestProveContextExpiredDeadline(t *testing.T) {
 	e := newEngine(t)
 	cs, w := r1cs.BuildSynthetic(e.Fr, 60, 5)
 	rnd := rand.New(rand.NewSource(5))
-	pk, _, err := e.Setup(cs, rnd)
+	pk, _, err := e.SetupContext(context.Background(), cs, rnd)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestProveContextCancelMidQuotient(t *testing.T) {
 	e := newEngine(t)
 	cs, w := r1cs.BuildSynthetic(e.Fr, 120, 6)
 	rnd := rand.New(rand.NewSource(6))
-	pk, _, err := e.Setup(cs, rnd)
+	pk, _, err := e.SetupContext(context.Background(), cs, rnd)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package groth16
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
@@ -22,11 +23,11 @@ func FuzzProofRoundTrip(f *testing.F) {
 	}
 	cs, w := r1cs.BuildSynthetic(e.Fr, 20, 9)
 	rnd := rand.New(rand.NewSource(9))
-	pk, vk, err := e.Setup(cs, rnd)
+	pk, vk, err := e.SetupContext(context.Background(), cs, rnd)
 	if err != nil {
 		f.Fatal(err)
 	}
-	proof, err := e.Prove(cs, pk, w, rnd, nil)
+	proof, err := e.ProveContext(context.Background(), cs, pk, w, rnd, nil)
 	if err != nil {
 		f.Fatal(err)
 	}

@@ -58,6 +58,49 @@ type Proof struct {
 // for every G1 MSM so callers can route the work through DistMSM.
 type MSMFunc func(points []curve.PointAffine, scalars []bigint.Nat) (*curve.PointXYZZ, error)
 
+// MSMPhase identifies which proving-key column a G1 MSM runs over, so a
+// phase-aware backend (ProveContextWith) can swap in per-column
+// precomputed fixed-base tables.
+type MSMPhase int
+
+// The prover's G1 MSM phases, in execution order.
+const (
+	PhaseA MSMPhase = iota
+	PhaseB1
+	PhaseK
+	PhaseZ
+)
+
+func (p MSMPhase) String() string {
+	switch p {
+	case PhaseA:
+		return "A"
+	case PhaseB1:
+		return "B1"
+	case PhaseK:
+		return "K"
+	case PhaseZ:
+		return "Z"
+	}
+	return "?"
+}
+
+// PhasedMSMFunc routes one G1 MSM, told which proving-key column the
+// point vector is. The scalars are witness-derived; the points are
+// always exactly the registered key column for the phase.
+type PhasedMSMFunc func(phase MSMPhase, points []curve.PointAffine, scalars []bigint.Nat) (*curve.PointXYZZ, error)
+
+// G2MSMFunc routes the prover's single G2 MSM (over pk.B2).
+type G2MSMFunc func(points []pairing.G2Affine, scalars []*big.Int) pairing.G2Affine
+
+// Provers bundles the MSM backends of one proof. Either field may be
+// nil: G1 falls back to the CPU Pippenger, G2 to the built-in windowed
+// G2 MSM.
+type Provers struct {
+	G1 PhasedMSMFunc
+	G2 G2MSMFunc
+}
+
 // Engine bundles the pairing context used by setup/prove/verify.
 type Engine struct {
 	P  *pairing.Pairing
@@ -303,6 +346,20 @@ func (e *Engine) Prove(cs *r1cs.System, pk *ProvingKey, witness []field.Element,
 // prover itself, independent of whether msmG1 observes the context.
 // msmG1 routes the prover's G1 MSMs (nil = CPU Pippenger).
 func (e *Engine) ProveContext(ctx context.Context, cs *r1cs.System, pk *ProvingKey, witness []field.Element, rnd *rand.Rand, msmG1 MSMFunc) (*Proof, error) {
+	var pr Provers
+	if msmG1 != nil {
+		pr.G1 = func(_ MSMPhase, points []curve.PointAffine, scalars []bigint.Nat) (*curve.PointXYZZ, error) {
+			return msmG1(points, scalars)
+		}
+	}
+	return e.ProveContextWith(ctx, cs, pk, witness, rnd, pr)
+}
+
+// ProveContextWith is ProveContext with phase-aware MSM routing: the G1
+// backend learns which proving-key column each MSM is over (so cached
+// per-column fixed-base tables apply), and the G2 MSM over pk.B2 is
+// routable too. Zero-valued Provers fields select the CPU defaults.
+func (e *Engine) ProveContextWith(ctx context.Context, cs *r1cs.System, pk *ProvingKey, witness []field.Element, rnd *rand.Rand, pr Provers) (*Proof, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -310,8 +367,9 @@ func (e *Engine) ProveContext(ctx context.Context, cs *r1cs.System, pk *ProvingK
 		return nil, err
 	}
 	fr := e.Fr
+	msmG1 := pr.G1
 	if msmG1 == nil {
-		msmG1 = func(points []curve.PointAffine, scalars []bigint.Nat) (*curve.PointXYZZ, error) {
+		msmG1 = func(_ MSMPhase, points []curve.PointAffine, scalars []bigint.Nat) (*curve.PointXYZZ, error) {
 			return msm.MSM(e.P.Curve, points, scalars, msm.Config{Signed: true})
 		}
 	}
@@ -338,7 +396,7 @@ func (e *Engine) ProveContext(ctx context.Context, cs *r1cs.System, pk *ProvingK
 
 	// A = α + Σ a_i·u_i(τ) + r·δ  (G1)
 	t0 = time.Now()
-	sumA, err := msmG1(pk.A, scalars)
+	sumA, err := msmG1(PhaseA, pk.A, scalars)
 	if err != nil {
 		return nil, err
 	}
@@ -359,14 +417,19 @@ func (e *Engine) ProveContext(ctx context.Context, cs *r1cs.System, pk *ProvingK
 		big2[i] = fr.ToBig(witness[i])
 	}
 	t0 = time.Now()
-	sumB2 := g2.MSM(pk.B2, big2)
+	var sumB2 pairing.G2Affine
+	if pr.G2 != nil {
+		sumB2 = pr.G2(pk.B2, big2)
+	} else {
+		sumB2 = g2.MSM(pk.B2, big2)
+	}
 	phaseSpan(tr, "msm-B2", t0)
 	withBeta := g2.Add(&sumB2, &pk.Beta2)
 	sDelta2 := g2.ScalarMulFr(&pk.Delta2, fr, s)
 	proofB := g2.Add(&withBeta, &sDelta2)
 
 	t0 = time.Now()
-	sumB1, err := msmG1(pk.B1, scalars)
+	sumB1, err := msmG1(PhaseB1, pk.B1, scalars)
 	if err != nil {
 		return nil, err
 	}
@@ -390,7 +453,7 @@ func (e *Engine) ProveContext(ctx context.Context, cs *r1cs.System, pk *ProvingK
 		}
 	}
 	t0 = time.Now()
-	sumK, err := msmG1(pk.K, privScalars)
+	sumK, err := msmG1(PhaseK, pk.K, privScalars)
 	if err != nil {
 		return nil, err
 	}
@@ -404,7 +467,7 @@ func (e *Engine) ProveContext(ctx context.Context, cs *r1cs.System, pk *ProvingK
 		}
 	}
 	t0 = time.Now()
-	sumH, err := msmG1(pk.Z, hScalars)
+	sumH, err := msmG1(PhaseZ, pk.Z, hScalars)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package groth16
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestProveVerifyProduct(t *testing.T) {
 	fr := e.Fr
 	cs, _, _ := r1cs.BuildProduct(fr)
 	rnd := rand.New(rand.NewSource(1))
-	pk, vk, err := e.Setup(cs, rnd)
+	pk, vk, err := e.SetupContext(context.Background(), cs, rnd)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestProveVerifyProduct(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := e.Prove(cs, pk, w, rnd, nil)
+	proof, err := e.ProveContext(context.Background(), cs, pk, w, rnd, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,12 +82,12 @@ func TestProveRejectsBadWitness(t *testing.T) {
 	e := newEngine(t)
 	cs, _, _ := r1cs.BuildProduct(e.Fr)
 	rnd := rand.New(rand.NewSource(2))
-	pk, _, err := e.Setup(cs, rnd)
+	pk, _, err := e.SetupContext(context.Background(), cs, rnd)
 	if err != nil {
 		t.Fatal(err)
 	}
 	w := cs.NewWitness() // all zeros except the one: violates constraints
-	if _, err := e.Prove(cs, pk, w, rnd, nil); err == nil {
+	if _, err := e.ProveContext(context.Background(), cs, pk, w, rnd, nil); err == nil {
 		t.Fatal("prover accepted an unsatisfying witness")
 	}
 }
@@ -99,11 +100,11 @@ func TestSyntheticCircuitSizes(t *testing.T) {
 		if err := cs.Satisfied(w); err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
-		pk, vk, err := e.Setup(cs, rnd)
+		pk, vk, err := e.SetupContext(context.Background(), cs, rnd)
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
-		proof, err := e.Prove(cs, pk, w, rnd, nil)
+		proof, err := e.ProveContext(context.Background(), cs, pk, w, rnd, nil)
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -124,7 +125,7 @@ func TestProveWithDistMSM(t *testing.T) {
 	e := newEngine(t)
 	rnd := rand.New(rand.NewSource(4))
 	cs, w := r1cs.BuildSynthetic(e.Fr, 50, 99)
-	pk, vk, err := e.Setup(cs, rnd)
+	pk, vk, err := e.SetupContext(context.Background(), cs, rnd)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,14 +135,14 @@ func TestProveWithDistMSM(t *testing.T) {
 	}
 	var modeled float64
 	msmFn := func(points []curve.PointAffine, scalars []bigint.Nat) (*curve.PointXYZZ, error) {
-		res, err := core.Run(e.P.Curve, cl, points, scalars, core.Options{WindowSize: 8})
+		res, err := core.RunContext(context.Background(), e.P.Curve, cl, points, scalars, core.Options{WindowSize: 8})
 		if err != nil {
 			return nil, err
 		}
 		modeled += res.Cost.Total()
 		return res.Point, nil
 	}
-	proof, err := e.Prove(cs, pk, w, rnd, msmFn)
+	proof, err := e.ProveContext(context.Background(), cs, pk, w, rnd, msmFn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,15 +164,15 @@ func TestProofDeterministicVerification(t *testing.T) {
 	e := newEngine(t)
 	cs, w := r1cs.BuildSynthetic(e.Fr, 10, 7)
 	rnd := rand.New(rand.NewSource(5))
-	pk, vk, err := e.Setup(cs, rnd)
+	pk, vk, err := e.SetupContext(context.Background(), cs, rnd)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p1, err := e.Prove(cs, pk, w, rand.New(rand.NewSource(100)), nil)
+	p1, err := e.ProveContext(context.Background(), cs, pk, w, rand.New(rand.NewSource(100)), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := e.Prove(cs, pk, w, rand.New(rand.NewSource(200)), nil)
+	p2, err := e.ProveContext(context.Background(), cs, pk, w, rand.New(rand.NewSource(200)), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,13 +191,13 @@ func BenchmarkProve(b *testing.B) {
 	e := newEngine(b)
 	cs, w := r1cs.BuildSynthetic(e.Fr, 128, 1)
 	rnd := rand.New(rand.NewSource(6))
-	pk, _, err := e.Setup(cs, rnd)
+	pk, _, err := e.SetupContext(context.Background(), cs, rnd)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Prove(cs, pk, w, rnd, nil); err != nil {
+		if _, err := e.ProveContext(context.Background(), cs, pk, w, rnd, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -206,11 +207,11 @@ func BenchmarkVerify(b *testing.B) {
 	e := newEngine(b)
 	cs, w := r1cs.BuildSynthetic(e.Fr, 32, 2)
 	rnd := rand.New(rand.NewSource(7))
-	pk, vk, err := e.Setup(cs, rnd)
+	pk, vk, err := e.SetupContext(context.Background(), cs, rnd)
 	if err != nil {
 		b.Fatal(err)
 	}
-	proof, err := e.Prove(cs, pk, w, rnd, nil)
+	proof, err := e.ProveContext(context.Background(), cs, pk, w, rnd, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -226,11 +227,11 @@ func TestProofAndKeySerialization(t *testing.T) {
 	e := newEngine(t)
 	cs, w := r1cs.BuildSynthetic(e.Fr, 20, 13)
 	rnd := rand.New(rand.NewSource(14))
-	pk, vk, err := e.Setup(cs, rnd)
+	pk, vk, err := e.SetupContext(context.Background(), cs, rnd)
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := e.Prove(cs, pk, w, rnd, nil)
+	proof, err := e.ProveContext(context.Background(), cs, pk, w, rnd, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package kzg
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -180,7 +181,7 @@ func TestCommitViaDistMSM(t *testing.T) {
 	}
 	var modeled float64
 	s.MSM = func(points []curve.PointAffine, scalars []bigint.Nat) (*curve.PointXYZZ, error) {
-		res, err := core.Run(s.P.Curve, cl, points, scalars, core.Options{WindowSize: 8})
+		res, err := core.RunContext(context.Background(), s.P.Curve, cl, points, scalars, core.Options{WindowSize: 8})
 		if err != nil {
 			return nil, err
 		}

@@ -173,6 +173,52 @@ func roundedDiv(a, b *big.Int) *big.Int {
 	return num
 }
 
+// HalfBits returns the bit width of the decomposition halves, ⌈log₂√r⌉.
+// Callers recoding the halves should budget HalfBits()+4 bits: the
+// rounded lattice reduction can overshoot √r by a small factor.
+func (g *GLV) HalfBits() int { return g.halfBits }
+
+// Curve returns the curve the decomposition was built for.
+func (g *GLV) Curve() *curve.Curve { return g.c }
+
+// SplitPoints returns the 2N-point GLV base vector
+// [P_0, …, P_{n−1}, φ(P_0), …, φ(P_{n−1})]: the fixed, scalar-independent
+// half of the endomorphism split (the signs of the decomposed scalars are
+// per-MSM and handled by the caller). All points must lie in the
+// prime-order subgroup.
+func (g *GLV) SplitPoints(points []curve.PointAffine) []curve.PointAffine {
+	out := make([]curve.PointAffine, 2*len(points))
+	copy(out, points)
+	for i := range points {
+		out[len(points)+i] = g.Phi(&points[i])
+	}
+	return out
+}
+
+// DecomposeNat splits the scalar k (interpreted mod r) into magnitude and
+// sign halves: k ≡ ±|k1| ± |k2|·λ (mod r), with both magnitudes at most
+// HalfBits()+4 bits wide. The returned Nats are sized for that width, so
+// they recode directly against a HalfBits()+4-bit scalar field.
+func (g *GLV) DecomposeNat(k bigint.Nat) (k1 bigint.Nat, neg1 bool, k2 bigint.Nat, neg2 bool, err error) {
+	b := k.ToBig()
+	b.Mod(b, g.c.ScalarField.Modulus)
+	b1, b2 := g.Decompose(b)
+	if b1.Sign() < 0 {
+		neg1 = true
+		b1.Neg(b1)
+	}
+	if b2.Sign() < 0 {
+		neg2 = true
+		b2.Neg(b2)
+	}
+	bits := g.halfBits + 4
+	if b1.BitLen() > bits || b2.BitLen() > bits {
+		return nil, false, nil, false, fmt.Errorf("msm: GLV half-scalar too wide (%d/%d bits)", b1.BitLen(), b2.BitLen())
+	}
+	w := (bits + 63) / 64
+	return bigint.FromBig(b1, w), neg1, bigint.FromBig(b2, w), neg2, nil
+}
+
 // Phi applies the endomorphism to an affine point: (x, y) → (β·x, y).
 func (g *GLV) Phi(p *curve.PointAffine) curve.PointAffine {
 	if p.Inf {

@@ -61,6 +61,38 @@ func (p *Precomputed) WindowSize() int { return p.s }
 // Tables returns the number of stored point tables (the storage factor).
 func (p *Precomputed) Tables() int { return len(p.tables) }
 
+// N returns the base-vector length the tables were built for.
+func (p *Precomputed) N() int { return len(p.tables[0]) }
+
+// Signed reports whether the tables were sized for signed-digit recoding.
+func (p *Precomputed) Signed() bool { return p.signed }
+
+// Table returns window j's point column (table[j][i] = 2^(j·s)·P_i). The
+// slice is shared, not copied — callers must treat it as read-only.
+func (p *Precomputed) Table(j int) []curve.PointAffine { return p.tables[j] }
+
+// Flatten concatenates the window tables into one point vector with
+// flat[j·n+i] = 2^(j·s)·P_i — the layout of the merged single-window
+// evaluation, where every window's digits scatter into one shared bucket
+// array. Only the affine headers are copied; the field-element storage
+// is shared with the tables.
+func (p *Precomputed) Flatten() []curve.PointAffine {
+	n := p.N()
+	flat := make([]curve.PointAffine, len(p.tables)*n)
+	for j, col := range p.tables {
+		copy(flat[j*n:(j+1)*n], col)
+	}
+	return flat
+}
+
+// MemoryBytes estimates the table storage: two base-field coordinates per
+// stored point. Column 0 aliases the caller's base vector but is counted
+// anyway — a conservative figure for admission budgeting.
+func (p *Precomputed) MemoryBytes() int64 {
+	limbBytes := int64((p.c.Fp.Bits()+63)/64) * 8
+	return int64(len(p.tables)) * int64(p.N()) * 2 * limbBytes
+}
+
 // MSM computes Σ scalars[i]·P_i using the precomputed tables: all windows
 // scatter into one shared bucket array, followed by a single bucket
 // reduction and no doublings.

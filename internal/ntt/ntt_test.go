@@ -60,7 +60,7 @@ func TestForwardMatchesDirectEvaluation(t *testing.T) {
 	}
 	coeffs := randVec(f, rnd, 8)
 	got := cloneVec(coeffs)
-	d.Forward(got)
+	mustForward(t, d, got)
 	// Direct evaluation at ω^j.
 	wj := f.One()
 	tmp := f.NewElement()
@@ -84,16 +84,16 @@ func TestInverseRoundTrip(t *testing.T) {
 		}
 		v := randVec(f, rnd, n)
 		w := cloneVec(v)
-		d.Forward(w)
-		d.Inverse(w)
+		mustForward(t, d, w)
+		mustInverse(t, d, w)
 		for i := range v {
 			if !w[i].Equal(v[i]) {
 				t.Fatalf("n=%d: inverse round trip failed at %d", n, i)
 			}
 		}
 		// Coset round trip too.
-		d.CosetForward(w)
-		d.CosetInverse(w)
+		mustCosetForward(t, d, w)
+		mustCosetInverse(t, d, w)
 		for i := range v {
 			if !w[i].Equal(v[i]) {
 				t.Fatalf("n=%d: coset round trip failed at %d", n, i)
@@ -114,9 +114,9 @@ func TestNTTLinearity(t *testing.T) {
 		f.Add(sum[i], a[i], b[i])
 	}
 	fa, fb, fsum := cloneVec(a), cloneVec(b), cloneVec(sum)
-	d.Forward(fa)
-	d.Forward(fb)
-	d.Forward(fsum)
+	mustForward(t, d, fa)
+	mustForward(t, d, fb)
+	mustForward(t, d, fsum)
 	tmp := f.NewElement()
 	for i := range fsum {
 		f.Add(tmp, fa[i], fb[i])
@@ -176,7 +176,7 @@ func BenchmarkNTT(b *testing.B) {
 		v := randVec(f, rnd, n)
 		b.Run(sizeName(n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				d.Forward(v)
+				mustForward(b, d, v)
 			}
 		})
 	}
@@ -201,7 +201,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 		v := randVec(f, rnd, n)
 		serial := cloneVec(v)
 		parallel := cloneVec(v)
-		d.Forward(serial)
+		mustForward(t, d, serial)
 		for _, workers := range []int{1, 3, 8} {
 			p := cloneVec(v)
 			d.ParallelForward(p, workers)
@@ -229,7 +229,7 @@ func BenchmarkNTTParallel(b *testing.B) {
 	v := randVec(f, rnd, n)
 	b.Run("serial", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			d.Forward(v)
+			mustForward(b, d, v)
 		}
 	})
 	b.Run("parallel", func(b *testing.B) {
@@ -250,7 +250,7 @@ func TestFourStepMatchesForward(t *testing.T) {
 		}
 		v := randVec(f, rnd, n)
 		want := cloneVec(v)
-		d.Forward(want)
+		mustForward(t, d, want)
 		got, err := d.FourStep(v, tc.n1, tc.n2)
 		if err != nil {
 			t.Fatal(err)
@@ -345,5 +345,37 @@ func TestContextTransformsMatchAndCancel(t *testing.T) {
 		if err := v.ctx(expired, cloneVec(orig)); !errors.Is(err, context.DeadlineExceeded) {
 			t.Fatalf("%s: want context.DeadlineExceeded, got %v", v.name, err)
 		}
+	}
+}
+
+// The must* helpers route every test through the context-first API —
+// the ctx-less Forward/Inverse wrappers are deprecated, and make lint
+// rejects new in-repo calls to them. A background context never
+// cancels, so any returned error is fatal.
+func mustForward(tb testing.TB, d *Domain, a []field.Element) {
+	tb.Helper()
+	if err := d.ForwardContext(context.Background(), a); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+func mustInverse(tb testing.TB, d *Domain, a []field.Element) {
+	tb.Helper()
+	if err := d.InverseContext(context.Background(), a); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+func mustCosetForward(tb testing.TB, d *Domain, a []field.Element) {
+	tb.Helper()
+	if err := d.CosetForwardContext(context.Background(), a); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+func mustCosetInverse(tb testing.TB, d *Domain, a []field.Element) {
+	tb.Helper()
+	if err := d.CosetInverseContext(context.Background(), a); err != nil {
+		tb.Fatal(err)
 	}
 }

@@ -22,11 +22,11 @@ func TestQuickRoundTrip(t *testing.T) {
 		v := randVec(f, rnd, 64)
 		w := cloneVec(v)
 		if coset {
-			d.CosetForward(w)
-			d.CosetInverse(w)
+			mustCosetForward(t, d, w)
+			mustCosetInverse(t, d, w)
 		} else {
-			d.Forward(w)
-			d.Inverse(w)
+			mustForward(t, d, w)
+			mustInverse(t, d, w)
 		}
 		for i := range v {
 			if !w[i].Equal(v[i]) {
@@ -94,7 +94,7 @@ func TestQuickDeltaTransform(t *testing.T) {
 			v[i] = f.NewElement()
 		}
 		v[pos].Set(f.One())
-		d.Forward(v)
+		mustForward(t, d, v)
 		// v[j] should be ω^(pos·j).
 		w := f.One()
 		step := f.NewElement()

@@ -14,7 +14,9 @@ import "math/big"
 // the single (p¹²−1)/r exponent; both paths are kept and cross-checked.
 
 // frobP2Gamma returns γ = ξ^((p²−1)/6); the p²-power Frobenius fixes Fp2
-// pointwise and maps w^k ↦ γ^k·w^k.
+// pointwise and maps w^k ↦ γ^k·w^k. The cache is populated once by
+// NewBN254 — after construction this is a pure read, safe for the
+// concurrent verifiers the proving service runs.
 func (e *Pairing) frobP2Gamma() *E2 {
 	if e.gammaP2 != nil {
 		return e.gammaP2

@@ -45,6 +45,11 @@ func NewBN254() (*Pairing, error) {
 	if new(big.Int).Mul(e.finalExp, c.ScalarField.Modulus).Cmp(new(big.Int).Sub(new(big.Int).Exp(p, big.NewInt(12), nil), big.NewInt(1))) != 0 {
 		return nil, fmt.Errorf("pairing: r does not divide p^12 - 1 (wrong constants)")
 	}
+	// Fill the Frobenius/hard-part caches here so a Pairing shared by
+	// concurrent verifiers (the service runs one per worker) never
+	// mutates after construction.
+	e.frobP2Gamma()
+	e.hardExp()
 	return e, nil
 }
 

@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 )
@@ -66,4 +67,47 @@ func mustWire(t *testing.T, req Request) []byte {
 		t.Fatal(err)
 	}
 	return b
+}
+
+// FuzzBatchRequest holds ParseBatchRequest to the same contract on
+// arbitrary bytes: no panics, every rejection wraps ErrBadRequest, and
+// whatever it accepts is a non-empty batch within the size cap whose
+// every entry satisfies the single-job bounds.
+func FuzzBatchRequest(f *testing.F) {
+	f.Add([]byte(`{"jobs":[{"circuit":"synthetic","seed":7}]}`))
+	f.Add([]byte(`{"jobs":[{"circuit":"a","seed":1},{"circuit":"b","seed":2,"timeout_ms":5000}]}`))
+	f.Add([]byte(`{"jobs":[]}`))
+	f.Add([]byte(`{"jobs":null}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"jobs":[{"circuit":""}]}`))
+	f.Add([]byte(`{"jobs":[{"circuit":"x","timeout_ms":-1}]}`))
+	// One over the size cap: must be rejected.
+	f.Add([]byte(`{"jobs":[` + strings.Repeat(`{"circuit":"x"},`, maxBatchJobs) + `{"circuit":"x"}]}`))
+	f.Add([]byte(`{`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqs, err := ParseBatchRequest(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("rejection %v does not wrap ErrBadRequest", err)
+			}
+			return
+		}
+		if len(reqs) == 0 || len(reqs) > maxBatchJobs {
+			t.Fatalf("accepted batch of %d jobs violates (0, %d]", len(reqs), maxBatchJobs)
+		}
+		for _, req := range reqs {
+			if req.Circuit == "" || len(req.Circuit) > maxCircuitName {
+				t.Fatalf("accepted circuit name %q violates the bounds", req.Circuit)
+			}
+			if req.Timeout < 0 || req.Timeout > maxJobTimeout {
+				t.Fatalf("accepted timeout %v outside [0, %v]", req.Timeout, maxJobTimeout)
+			}
+			// Every accepted entry must also stand alone.
+			if _, err := ParseJobRequest(mustWire(t, req)); err != nil {
+				t.Fatalf("accepted batch entry fails single-job parse: %v", err)
+			}
+		}
+	})
 }

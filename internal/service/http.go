@@ -12,10 +12,38 @@ import (
 	"distmsm/internal/gpusim"
 )
 
-// This file is the service's HTTP face: a small JSON API over Submit.
-// Requests stay tiny — a circuit name and a witness seed — because the
-// witness is generated server-side by the registered generator;
-// clients never ship multi-megabyte witnesses over the wire.
+// This file is the service's HTTP face: a small JSON API over Submit
+// and SubmitBatch. Requests stay tiny — a circuit name and a witness
+// seed — because the witness is generated server-side by the registered
+// generator; clients never ship multi-megabyte witnesses over the wire.
+//
+// Wire schema (v1)
+//
+//	POST /v1/prove
+//	  request   {"circuit": "<name>", "seed": <int64>, "timeout_ms": <int64, optional>}
+//	  response  200 {"job_id": <uint64>, "proof": "<hex>"}
+//	            400 malformed request   404 unknown circuit
+//	            429 admission rejected (Retry-After header, seconds)
+//	            503 shutting down       504 job deadline blown
+//	            499 client closed request
+//
+//	POST /v1/batch
+//	  request   {"jobs": [<prove request>, ...]}   (1..maxBatchJobs)
+//	  response  200 {"jobs": [{"job_id": <uint64>, "proof": "<hex>"}
+//	                          | {"job_id": <uint64>, "error": "<msg>"}, ...]}
+//	            in request order. Admission is all-or-nothing: the batch
+//	            as a whole gets the 400/404/429/503 treatment above, so a
+//	            client never unwinds a half-accepted batch; per-job
+//	            failures after admission surface as "error" entries.
+//
+//	GET /v1/healthz   per-GPU breaker states (503 if any GPU quarantined)
+//	GET /v1/stats     counters snapshot (includes base-cache hit/miss/eviction)
+//	GET /v1/metrics   Prometheus text exposition (when Config.Metrics set)
+//
+// The unversioned paths (/prove, /healthz, /stats, /metrics) are legacy
+// aliases of the v1 handlers, kept for existing clients; new clients
+// should use /v1/. There is no unversioned /batch — the endpoint was
+// born versioned.
 
 // maxJobTimeout caps client-requested deadlines so one request cannot
 // pin a worker for an hour.
@@ -24,11 +52,20 @@ const maxJobTimeout = 10 * time.Minute
 // maxCircuitName bounds the circuit-name length accepted on the wire.
 const maxCircuitName = 64
 
-// jobRequestWire is the POST /prove body.
+// maxBatchJobs bounds the per-request batch size; larger workloads
+// split into multiple batches (which the queue coalesces anyway).
+const maxBatchJobs = 64
+
+// jobRequestWire is the POST /v1/prove body (and one /v1/batch entry).
 type jobRequestWire struct {
 	Circuit   string `json:"circuit"`
 	Seed      int64  `json:"seed"`
 	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// batchRequestWire is the POST /v1/batch body.
+type batchRequestWire struct {
+	Jobs []jobRequestWire `json:"jobs"`
 }
 
 // ParseJobRequest decodes and validates a wire-format job request. It
@@ -41,6 +78,10 @@ func ParseJobRequest(body []byte) (Request, error) {
 	if err := json.Unmarshal(body, &w); err != nil {
 		return Request{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
+	return validateJobWire(w)
+}
+
+func validateJobWire(w jobRequestWire) (Request, error) {
 	if w.Circuit == "" {
 		return Request{}, fmt.Errorf("%w: missing circuit name", ErrBadRequest)
 	}
@@ -62,31 +103,55 @@ func ParseJobRequest(body []byte) (Request, error) {
 	return Request{Circuit: w.Circuit, Seed: w.Seed, Timeout: timeout}, nil
 }
 
-// Handler returns the service's HTTP API:
-//
-//	POST /prove   {"circuit": "...", "seed": 1, "timeout_ms": 30000}
-//	              → 200 {"proof": "<hex>", "job_id": n}
-//	              → 429 + Retry-After on admission rejection
-//	              → 504 on a blown job deadline
-//	GET  /healthz → per-GPU breaker states (503 if any GPU quarantined)
-//	GET  /stats   → counters snapshot
-//	GET  /metrics → Prometheus text exposition (when Config.Metrics set)
+// ParseBatchRequest decodes and validates a wire-format batch request:
+// every entry is held to the same rules as ParseJobRequest, the batch
+// must be non-empty and at most maxBatchJobs entries. Never panics on
+// any input (FuzzBatchRequest holds it to that).
+func ParseBatchRequest(body []byte) ([]Request, error) {
+	var w batchRequestWire
+	if err := json.Unmarshal(body, &w); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if len(w.Jobs) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrBadRequest)
+	}
+	if len(w.Jobs) > maxBatchJobs {
+		return nil, fmt.Errorf("%w: batch of %d jobs above the %d cap", ErrBadRequest, len(w.Jobs), maxBatchJobs)
+	}
+	reqs := make([]Request, len(w.Jobs))
+	for i, jw := range w.Jobs {
+		req, err := validateJobWire(jw)
+		if err != nil {
+			return nil, fmt.Errorf("job %d: %w", i, err)
+		}
+		reqs[i] = req
+	}
+	return reqs, nil
+}
+
+// Handler returns the service's HTTP API (see the wire-schema block at
+// the top of this file): the versioned /v1/ surface plus unversioned
+// legacy aliases for the endpoints that predate versioning.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/prove", s.handleProve)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	// Legacy aliases, same handlers.
 	mux.HandleFunc("/prove", s.handleProve)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	if s.metrics != nil {
+		mux.Handle("/v1/metrics", s.metrics.reg.Handler())
 		mux.Handle("/metrics", s.metrics.reg.Handler())
 	}
 	return mux
 }
 
-func (s *Service) handleProve(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
+// readBody reads at most 64 KiB of request body — more than any valid
+// request; the cap keeps a hostile client from ballooning the server.
+func readBody(r *http.Request) []byte {
 	body := make([]byte, 0, 256)
 	buf := make([]byte, 256)
 	for len(body) < 1<<16 {
@@ -96,26 +161,77 @@ func (s *Service) handleProve(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 	}
-	req, err := ParseJobRequest(body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	job, err := s.Submit(req)
+	return body
+}
+
+// writeSubmitError maps a Submit/SubmitBatch error onto the wire.
+func writeSubmitError(w http.ResponseWriter, err error) {
 	var full *QueueFullError
 	switch {
 	case errors.As(err, &full):
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(full.RetryAfter.Seconds())+1))
 		http.Error(w, full.Error(), http.StatusTooManyRequests)
-		return
 	case errors.Is(err, ErrUnknownCircuit):
 		http.Error(w, err.Error(), http.StatusNotFound)
-		return
 	case errors.Is(err, ErrShuttingDown):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		return
-	case err != nil:
+	default:
 		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	reqs, err := ParseBatchRequest(readBody(r))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	jobs, err := s.SubmitBatch(reqs)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	out := make([]map[string]any, len(jobs))
+	for i, job := range jobs {
+		proof, err := job.Wait(r.Context())
+		if err != nil {
+			// The client vanished: stop every job of the batch, not just
+			// this one — nobody is waiting for the rest either.
+			if r.Context().Err() != nil {
+				for _, j := range jobs {
+					j.Cancel()
+				}
+				http.Error(w, err.Error(), 499)
+				return
+			}
+			out[i] = map[string]any{"job_id": job.ID, "error": err.Error()}
+			continue
+		}
+		out[i] = map[string]any{
+			"job_id": job.ID,
+			"proof":  hex.EncodeToString(s.eng.MarshalProof(proof)),
+		}
+	}
+	writeJSON(w, map[string]any{"jobs": out})
+}
+
+func (s *Service) handleProve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	req, err := ParseJobRequest(readBody(r))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	job, err := s.Submit(req)
+	if err != nil {
+		writeSubmitError(w, err)
 		return
 	}
 	proof, err := job.Wait(r.Context())

@@ -27,6 +27,11 @@ type serviceMetrics struct {
 	memoryBytes      *telemetry.Gauge
 	jobSeconds       *telemetry.Histogram
 
+	baseCacheHits      *telemetry.Counter
+	baseCacheMisses    *telemetry.Counter
+	baseCacheEvictions *telemetry.Counter
+	baseCacheBytes     *telemetry.Gauge
+
 	msmRuns        *telemetry.Counter
 	faultTransient *telemetry.Counter
 	faultStraggler *telemetry.Counter
@@ -72,6 +77,15 @@ func newServiceMetrics(reg *telemetry.Registry, health *gpusim.HealthRegistry, g
 		"Summed memory estimate of queued and in-flight jobs.", "")
 	m.jobSeconds = reg.Histogram("distmsm_job_seconds",
 		"End-to-end job latency (dequeue to terminal state).", "", nil)
+
+	m.baseCacheHits = reg.Counter("distmsm_base_cache_hits_total",
+		"Jobs proved from a circuit's cached fixed-base tables.", "")
+	m.baseCacheMisses = reg.Counter("distmsm_base_cache_misses_total",
+		"Jobs that recomputed from raw proving-key columns (no cache).", "")
+	m.baseCacheEvictions = reg.Counter("distmsm_base_cache_evictions_total",
+		"Circuit base caches dropped under memory pressure.", "")
+	m.baseCacheBytes = reg.Gauge("distmsm_base_cache_bytes",
+		"Bytes currently held by cached fixed-base tables.", "")
 
 	m.msmRuns = reg.Counter("distmsm_msm_runs_total",
 		"MSM executions completed by the multi-GPU scheduler.", "")
@@ -146,6 +160,30 @@ func (m *serviceMetrics) observeJob(outcome jobOutcome, seconds float64) {
 		m.jobsFailed.Inc()
 	}
 	m.jobSeconds.Observe(seconds)
+}
+
+// observeBaseLookup records one job's base-cache lookup outcome.
+func (m *serviceMetrics) observeBaseLookup(hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.baseCacheHits.Inc()
+	} else {
+		m.baseCacheMisses.Inc()
+	}
+}
+
+// observeBaseSize mirrors the cached-table bytes gauge; evicted also
+// counts one cache eviction.
+func (m *serviceMetrics) observeBaseSize(bytes int64, evicted bool) {
+	if m == nil {
+		return
+	}
+	if evicted {
+		m.baseCacheEvictions.Inc()
+	}
+	m.baseCacheBytes.Set(float64(bytes))
 }
 
 // observeMSM folds one MSM execution's fault-tolerance counters into the

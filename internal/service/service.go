@@ -30,6 +30,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/big"
 	"math/rand"
 	"path/filepath"
 	"sync"
@@ -41,6 +42,7 @@ import (
 	"distmsm/internal/field"
 	"distmsm/internal/gpusim"
 	"distmsm/internal/groth16"
+	"distmsm/internal/pairing"
 	"distmsm/internal/r1cs"
 	"distmsm/internal/telemetry"
 )
@@ -119,6 +121,11 @@ type Config struct {
 	VerifySampling float64
 	// WindowSize pins the MSM window size; 0 lets the planner choose.
 	WindowSize int
+	// DisableBaseCache turns off the per-circuit fixed-base cache:
+	// RegisterCircuit then skips the proving-key table precomputation and
+	// every job recomputes from the raw key columns (the pre-cache
+	// behaviour; mostly useful for benchmarking the cache itself).
+	DisableBaseCache bool
 	// OnJobStart/OnJobDone, when set, are called on the worker goroutine
 	// immediately before and after each job's proving pipeline —
 	// observability hooks, also used by the tests to synchronise with the
@@ -161,7 +168,30 @@ type circuit struct {
 	pk      *groth16.ProvingKey
 	vk      *groth16.VerifyingKey
 	witness func(seed int64) ([]field.Element, error)
-	memEst  int64
+	// memEst is the *marginal* per-job footprint (witness, NTT vectors,
+	// quotient, scratch). The cached fixed-base tables are deliberately
+	// NOT part of it: they are shared by every job of the circuit and
+	// charged to the budget exactly once, at registration — charging them
+	// per job double-counted the same tables once per queued job and made
+	// the admission controller reject far below the real footprint.
+	memEst int64
+	// bases is the circuit's cached fixed-base precomputation; nil when
+	// the cache is disabled, the budget had no room, or it was evicted.
+	// Guarded by Service.mu; the pointed-to tables are immutable, so a
+	// job that grabbed the pointer survives a concurrent eviction.
+	bases *circuitBases
+}
+
+// circuitBases is one circuit's proving-key precomputation: §2.3.1
+// per-window tables (with the GLV split folded in — BN254 G1 has
+// cofactor 1, so every key column lives in the prime-order subgroup)
+// for the four G1 columns, and the Jacobian-reduce fixed-base tables
+// for the G2 column B2. Only witness-dependent work remains per job.
+type circuitBases struct {
+	g1      [4]*core.FixedBase // indexed by groth16.MSMPhase
+	b2      *pairing.G2Precomputed
+	mem     int64
+	lastUse time.Time // LRU clock for eviction, under Service.mu
 }
 
 // JobState is the lifecycle of one job.
@@ -246,8 +276,19 @@ type Stats struct {
 	Queued    int    // jobs waiting for a worker, right now
 	InFlight  int    // jobs on a worker, right now
 	// MemoryInUse is the summed memory estimate of queued + in-flight
-	// jobs, in bytes.
+	// jobs plus the cached fixed-base tables, in bytes.
 	MemoryInUse int64
+	// Base-cache counters: jobs served from a circuit's cached tables
+	// (hits), jobs that had to recompute from raw key columns (misses),
+	// caches dropped under memory pressure (evictions), and the bytes
+	// currently held by cached tables.
+	BaseCacheHits      uint64
+	BaseCacheMisses    uint64
+	BaseCacheEvictions uint64
+	BaseCacheBytes     int64
+	// BatchesCoalesced counts worker dequeues that stayed on the
+	// previous job's circuit (cache-affinity pops).
+	BatchesCoalesced uint64
 }
 
 // Service is the proving daemon. Build with New, stop with Shutdown.
@@ -265,8 +306,13 @@ type Service struct {
 	workersWG sync.WaitGroup
 
 	mu       sync.Mutex
+	cond     *sync.Cond // signals pending-queue arrivals and shutdown
 	circuits map[string]*circuit
-	queue    chan *Job
+	// pending is the waiting-job queue, FIFO except for circuit-affinity
+	// coalescing (see nextJob): a worker prefers the oldest job of the
+	// circuit it just proved, so same-circuit jobs run back to back on
+	// warm caches, bounded by coalesceBurst for fairness.
+	pending  []*Job
 	closed   bool
 	nextID   uint64
 	memInUse int64
@@ -276,6 +322,12 @@ type Service struct {
 	// ewmaJobSec is the completion-time EWMA feeding retry-after hints.
 	ewmaJobSec float64
 }
+
+// coalesceBurst bounds how many consecutive jobs a worker may pull by
+// circuit affinity before it must take the queue head: same-circuit
+// batches keep the base caches warm, the cap keeps other circuits from
+// starving behind a deep single-circuit backlog.
+const coalesceBurst = 16
 
 // New validates the configuration, builds the Groth16 engine and the
 // health registry, and starts the worker pool.
@@ -305,10 +357,8 @@ func New(cfg Config) (*Service, error) {
 		cluster:  cfg.Cluster.WithHealth(reg),
 		health:   reg,
 		circuits: map[string]*circuit{},
-		// The channel holds every outstanding job in the worst case (all
-		// accepted, none dequeued), so admitted sends can never block.
-		queue: make(chan *Job, cfg.QueueDepth+cfg.Workers),
 	}
+	s.cond = sync.NewCond(&s.mu)
 	s.metrics = newServiceMetrics(cfg.Metrics, reg, s.cluster.N)
 	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
 	for w := 0; w < cfg.Workers; w++ {
@@ -331,6 +381,15 @@ func (s *Service) Workers() int { return s.cfg.Workers }
 // name with a server-side witness generator (jobs reference circuits by
 // name and carry only a witness seed — proof requests stay small). The
 // context bounds the setup itself.
+//
+// Unless Config.DisableBaseCache is set, registration also precomputes
+// the circuit's fixed-base tables — the §2.3.1 per-window tables (with
+// the GLV split) for the G1 key columns A/B1/K/Z and the
+// Jacobian-reduce tables for the G2 column B2 — so every job against
+// the circuit runs only witness-dependent work. The tables are charged
+// to the memory budget once, here; when the budget has no room (after
+// evicting colder caches) the circuit registers uncached and jobs fall
+// back to the raw key columns.
 func (s *Service) RegisterCircuit(ctx context.Context, name string, cs *r1cs.System, witness func(seed int64) ([]field.Element, error)) error {
 	if name == "" {
 		return fmt.Errorf("%w: empty circuit name", ErrBadRequest)
@@ -340,6 +399,14 @@ func (s *Service) RegisterCircuit(ctx context.Context, name string, cs *r1cs.Sys
 		return err
 	}
 	c := &circuit{name: name, cs: cs, pk: pk, vk: vk, witness: witness, memEst: estimateJobBytes(cs)}
+	var bases *circuitBases
+	if !s.cfg.DisableBaseCache {
+		// Built outside s.mu — table construction is the expensive part of
+		// registration and must not block Submit/Stats.
+		if bases, err = s.buildBases(ctx, pk); err != nil {
+			return err
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -348,8 +415,79 @@ func (s *Service) RegisterCircuit(ctx context.Context, name string, cs *r1cs.Sys
 	if _, dup := s.circuits[name]; dup {
 		return fmt.Errorf("%w: circuit %q already registered", ErrBadRequest, name)
 	}
+	if bases != nil {
+		if s.cfg.MemoryBudget > 0 && s.memInUse+bases.mem > s.cfg.MemoryBudget {
+			s.evictBasesLocked(s.memInUse + bases.mem - s.cfg.MemoryBudget)
+		}
+		if s.cfg.MemoryBudget > 0 && s.memInUse+bases.mem > s.cfg.MemoryBudget {
+			bases = nil // no room even after eviction: register uncached
+		} else {
+			bases.lastUse = time.Now()
+			s.memInUse += bases.mem
+			s.stats.MemoryInUse = s.memInUse
+			s.stats.BaseCacheBytes += bases.mem
+			s.metrics.observeBaseSize(s.stats.BaseCacheBytes, false)
+		}
+	}
+	c.bases = bases
 	s.circuits[name] = c
 	return nil
+}
+
+// buildBases precomputes a proving key's fixed-base tables. The context
+// is checked between columns — table construction over a large key is
+// the dominant cost of registration.
+func (s *Service) buildBases(ctx context.Context, pk *groth16.ProvingKey) (*circuitBases, error) {
+	b := &circuitBases{}
+	opts := core.Options{WindowSize: s.cfg.WindowSize, GLV: true}
+	for phase, col := range map[groth16.MSMPhase][]curve.PointAffine{
+		groth16.PhaseA: pk.A, groth16.PhaseB1: pk.B1, groth16.PhaseK: pk.K, groth16.PhaseZ: pk.Z,
+	} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		fb, err := core.NewFixedBase(s.eng.P.Curve, col, opts)
+		if err != nil {
+			return nil, err
+		}
+		b.g1[phase] = fb
+		b.mem += fb.MemoryBytes()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	b.b2 = s.eng.P.G2.Precompute(pk.B2, s.cfg.WindowSize, s.eng.Fr.Modulus.BitLen())
+	b.mem += b.b2.MemoryBytes()
+	return b, nil
+}
+
+// evictBasesLocked drops cached tables, coldest first, until need bytes
+// are freed or no caches remain. Evicted circuits stay registered and
+// fall back to raw key columns; in-flight jobs keep the (immutable)
+// tables they already grabbed.
+func (s *Service) evictBasesLocked(need int64) {
+	for need > 0 {
+		var victim *circuit
+		for _, c := range s.circuits {
+			if c.bases == nil {
+				continue
+			}
+			if victim == nil || c.bases.lastUse.Before(victim.bases.lastUse) {
+				victim = c
+			}
+		}
+		if victim == nil {
+			return
+		}
+		freed := victim.bases.mem
+		victim.bases = nil
+		need -= freed
+		s.memInUse -= freed
+		s.stats.MemoryInUse = s.memInUse
+		s.stats.BaseCacheBytes -= freed
+		s.stats.BaseCacheEvictions++
+		s.metrics.observeBaseSize(s.stats.BaseCacheBytes, true)
+	}
 }
 
 // RegisterSynthetic registers the n-constraint synthetic workload
@@ -418,56 +556,89 @@ type Request struct {
 // a *QueueFullError (errors.Is ErrQueueFull) so clients can back off.
 // The returned Job is live — Wait on it or Cancel it.
 func (s *Service) Submit(req Request) (*Job, error) {
+	jobs, err := s.SubmitBatch([]Request{req})
+	if err != nil {
+		return nil, err
+	}
+	return jobs[0], nil
+}
+
+// SubmitBatch admits a group of proof requests atomically: either every
+// job is accepted and enqueued, or none is and the batch fails with one
+// error (admission is all-or-nothing so a client never has to unwind a
+// half-accepted batch). Enqueued together, same-circuit jobs coalesce
+// on the workers and amortise the circuit's cached fixed-base tables.
+func (s *Service) SubmitBatch(reqs []Request) ([]*Job, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrBadRequest)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.stats.Submitted++
+	s.stats.Submitted += uint64(len(reqs))
 	if s.closed {
 		return nil, ErrShuttingDown
 	}
-	c := s.circuits[req.Circuit]
-	if c == nil {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownCircuit, req.Circuit)
+	var batchMem int64
+	for _, req := range reqs {
+		c := s.circuits[req.Circuit]
+		if c == nil {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownCircuit, req.Circuit)
+		}
+		batchMem += c.memEst
 	}
 	// Admission bounds *outstanding* jobs: Workers in flight plus
 	// QueueDepth waiting. A freshly accepted job counts as queued until a
-	// worker dequeues it, so the two are bounded together.
+	// worker dequeues it, so the two are bounded together. Jobs carry
+	// only their marginal footprint — the circuit's cached tables were
+	// charged once at registration.
 	outstanding := s.queued + s.inFlight
 	capacity := s.cfg.QueueDepth + s.cfg.Workers
-	if outstanding >= capacity {
-		s.stats.Rejected++
+	if outstanding+len(reqs) > capacity {
+		s.stats.Rejected += uint64(len(reqs))
 		s.metrics.observeAdmission(true)
 		return nil, &QueueFullError{Queued: outstanding, Depth: capacity, RetryAfter: s.retryAfterLocked()}
 	}
-	if s.cfg.MemoryBudget > 0 && s.memInUse+c.memEst > s.cfg.MemoryBudget {
-		s.stats.Rejected++
+	if s.cfg.MemoryBudget > 0 && s.memInUse+batchMem > s.cfg.MemoryBudget {
+		// Cached tables are reclaimable: drop cold ones before rejecting.
+		s.evictBasesLocked(s.memInUse + batchMem - s.cfg.MemoryBudget)
+	}
+	if s.cfg.MemoryBudget > 0 && s.memInUse+batchMem > s.cfg.MemoryBudget {
+		s.stats.Rejected += uint64(len(reqs))
 		s.metrics.observeAdmission(true)
 		return nil, &QueueFullError{Queued: outstanding, Depth: capacity, Memory: true, RetryAfter: s.retryAfterLocked()}
 	}
 	s.metrics.observeAdmission(false)
-	timeout := req.Timeout
-	if timeout == 0 {
-		timeout = s.cfg.DefaultTimeout
+	jobs := make([]*Job, len(reqs))
+	now := time.Now()
+	for i, req := range reqs {
+		timeout := req.Timeout
+		if timeout == 0 {
+			timeout = s.cfg.DefaultTimeout
+		}
+		s.nextID++
+		job := &Job{
+			ID:       s.nextID,
+			Circuit:  req.Circuit,
+			Seed:     req.Seed,
+			Deadline: now.Add(timeout),
+			svc:      s,
+			done:     make(chan struct{}),
+		}
+		job.ctx, job.cancel = context.WithDeadline(s.baseCtx, job.Deadline)
+		s.pending = append(s.pending, job)
+		s.queued++
+		s.memInUse += s.circuits[req.Circuit].memEst
+		jobs[i] = job
 	}
-	s.nextID++
-	job := &Job{
-		ID:       s.nextID,
-		Circuit:  req.Circuit,
-		Seed:     req.Seed,
-		Deadline: time.Now().Add(timeout),
-		svc:      s,
-		done:     make(chan struct{}),
-	}
-	job.ctx, job.cancel = context.WithDeadline(s.baseCtx, job.Deadline)
-	// The depth check above guarantees capacity, and s.mu serialises this
-	// send against Shutdown's close(queue) — the send cannot block or
-	// race the close.
-	s.queue <- job
-	s.queued++
-	s.memInUse += c.memEst
 	s.stats.Queued = s.queued
 	s.stats.MemoryInUse = s.memInUse
 	s.metrics.observeOccupancy(s.queued, s.inFlight, s.memInUse)
-	return job, nil
+	if len(reqs) == 1 {
+		s.cond.Signal()
+	} else {
+		s.cond.Broadcast()
+	}
+	return jobs, nil
 }
 
 // retryAfterLocked estimates when a slot frees: the queue's expected
@@ -489,14 +660,64 @@ func (s *Service) retryAfterLocked() time.Duration {
 // closed and drained.
 func (s *Service) worker() {
 	defer s.workersWG.Done()
-	for job := range s.queue {
+	var lastCircuit string
+	burst := 0
+	for {
+		job := s.nextJob(&lastCircuit, &burst)
+		if job == nil {
+			return
+		}
 		s.runJob(job)
 	}
+}
+
+// nextJob blocks for the worker's next job. It prefers the oldest
+// pending job of the circuit the worker just proved — same-circuit runs
+// reuse the warm base cache back to back — but after coalesceBurst
+// consecutive affinity pops it must take the queue head, so other
+// circuits cannot starve. Returns nil when the service is closed and
+// the queue drained.
+func (s *Service) nextJob(lastCircuit *string, burst *int) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.pending) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.pending) == 0 {
+		return nil
+	}
+	idx := 0
+	if *lastCircuit != "" && *burst < coalesceBurst && s.pending[0].Circuit != *lastCircuit {
+		for i, j := range s.pending {
+			if j.Circuit == *lastCircuit {
+				idx = i
+				break
+			}
+		}
+	}
+	job := s.pending[idx]
+	s.pending = append(s.pending[:idx], s.pending[idx+1:]...)
+	if job.Circuit == *lastCircuit {
+		*burst++
+		s.stats.BatchesCoalesced++
+	} else {
+		*lastCircuit = job.Circuit
+		*burst = 1
+	}
+	return job
 }
 
 func (s *Service) runJob(job *Job) {
 	s.mu.Lock()
 	c := s.circuits[job.Circuit]
+	bases := c.bases
+	if bases != nil {
+		bases.lastUse = time.Now()
+		s.stats.BaseCacheHits++
+	} else {
+		s.stats.BaseCacheMisses++
+	}
+	s.metrics.observeBaseLookup(bases != nil)
 	s.queued--
 	s.inFlight++
 	s.stats.Queued = s.queued
@@ -518,7 +739,7 @@ func (s *Service) runJob(job *Job) {
 	if s.cfg.OnJobStart != nil {
 		s.cfg.OnJobStart(job)
 	}
-	proof, err := s.prove(ctx, c, job.Seed)
+	proof, err := s.prove(ctx, c, bases, job.Seed)
 	if s.cfg.OnJobDone != nil {
 		s.cfg.OnJobDone(job)
 	}
@@ -579,8 +800,11 @@ func (s *Service) runJob(job *Job) {
 // prove runs the full pipeline for one job: witness generation, Groth16
 // proving with the G1 MSMs on the health-gated multi-GPU cluster, and
 // the service's own verification of the result. ctx is honoured at
-// every phase boundary of every stage.
-func (s *Service) prove(ctx context.Context, c *circuit, seed int64) (*groth16.Proof, error) {
+// every phase boundary of every stage. bases, when non-nil, routes each
+// key-column MSM through the circuit's cached fixed-base tables (the
+// snapshot taken at dequeue — a concurrent eviction cannot pull the
+// immutable tables out from under the job).
+func (s *Service) prove(ctx context.Context, c *circuit, bases *circuitBases, seed int64) (*groth16.Proof, error) {
 	w, err := c.witness(seed)
 	if err != nil {
 		return nil, err
@@ -588,22 +812,33 @@ func (s *Service) prove(ctx context.Context, c *circuit, seed int64) (*groth16.P
 	// No pre-flight deadline check here: a job that is already past its
 	// deadline must fail from inside groth16.ProveContext (its entry
 	// cancellation point), proving the context reaches the pipeline.
-	msmFn := func(points []curve.PointAffine, scalars []bigint.Nat) (*curve.PointXYZZ, error) {
-		res, err := core.RunContext(ctx, s.eng.P.Curve, s.cluster, points, scalars, core.Options{
-			WindowSize:     s.cfg.WindowSize,
-			Engine:         core.EngineConcurrent,
-			Faults:         s.cfg.Faults,
-			Retry:          s.cfg.Retry,
-			VerifySampling: s.cfg.VerifySampling,
-			Tracer:         telemetry.FromContext(ctx),
-		})
-		if err != nil {
-			return nil, err
-		}
-		s.metrics.observeMSM(res.Stats.Faults)
-		return res.Point, nil
+	pr := groth16.Provers{
+		G1: func(phase groth16.MSMPhase, points []curve.PointAffine, scalars []bigint.Nat) (*curve.PointXYZZ, error) {
+			opts := core.Options{
+				WindowSize:     s.cfg.WindowSize,
+				Engine:         core.EngineConcurrent,
+				Faults:         s.cfg.Faults,
+				Retry:          s.cfg.Retry,
+				VerifySampling: s.cfg.VerifySampling,
+				Tracer:         telemetry.FromContext(ctx),
+			}
+			if bases != nil {
+				opts.FixedBase = bases.g1[phase]
+			}
+			res, err := core.RunContext(ctx, s.eng.P.Curve, s.cluster, points, scalars, opts)
+			if err != nil {
+				return nil, err
+			}
+			s.metrics.observeMSM(res.Stats.Faults)
+			return res.Point, nil
+		},
 	}
-	proof, err := s.eng.ProveContext(ctx, c.cs, c.pk, w, rand.New(rand.NewSource(seed)), msmFn)
+	if bases != nil && bases.b2 != nil {
+		pr.G2 = func(_ []pairing.G2Affine, scalars []*big.Int) pairing.G2Affine {
+			return bases.b2.MSM(scalars)
+		}
+	}
+	proof, err := s.eng.ProveContextWith(ctx, c.cs, c.pk, w, rand.New(rand.NewSource(seed)), pr)
 	if err != nil {
 		return nil, err
 	}
@@ -649,7 +884,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	s.closed = true
-	close(s.queue) // safe: sends are serialised under s.mu by Submit
+	s.cond.Broadcast() // wake idle workers so they observe the close
 	s.mu.Unlock()
 
 	drained := make(chan struct{})

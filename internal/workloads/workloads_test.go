@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -107,11 +108,11 @@ func TestSmallInstanceProvesForReal(t *testing.T) {
 	}
 	cs, w := r1cs.BuildSynthetic(e.Fr, 100, 4)
 	rnd := rand.New(rand.NewSource(8))
-	pk, vk, err := e.Setup(cs, rnd)
+	pk, vk, err := e.SetupContext(context.Background(), cs, rnd)
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := e.Prove(cs, pk, w, rnd, nil)
+	proof, err := e.ProveContext(context.Background(), cs, pk, w, rnd, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
