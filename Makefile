@@ -13,7 +13,7 @@ BENCH_BASELINE ?= bench/baseline_pr3.json
 BENCH_OUT      ?= BENCH_pr3.json
 BENCH_RAW      ?= bench_raw.txt
 
-.PHONY: all tier1 build vet test race lint bench bench-smoke batch-smoke fuzz-smoke service-smoke examples
+.PHONY: all tier1 build vet test race lint bench bench-smoke batch-smoke fuzz-smoke service-smoke cluster-smoke examples
 
 all: tier1
 
@@ -41,7 +41,7 @@ lint: vet
 	fi
 
 race:
-	$(GO) test -race ./internal/core ./internal/msm ./internal/bigint ./internal/field ./internal/curve ./internal/service
+	$(GO) test -race ./internal/core ./internal/msm ./internal/bigint ./internal/field ./internal/curve ./internal/service ./internal/cluster
 
 bench:
 	@rm -f $(BENCH_RAW)
@@ -73,12 +73,21 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzJobRequest -fuzztime=10s ./internal/service
 	$(GO) test -run=^$$ -fuzz=FuzzBatchRequest -fuzztime=10s ./internal/service
 	$(GO) test -run=^$$ -fuzz=FuzzProofRoundTrip -fuzztime=10s ./internal/groth16
+	$(GO) test -run=^$$ -fuzz=FuzzClusterWire -fuzztime=10s ./internal/cluster
 
 # End-to-end smoke of the proving service: submit jobs through the full
 # lifecycle (admission, proving on the simulated GPUs, verification,
 # drain) and exit non-zero on any failure.
 service-smoke:
 	$(GO) run ./cmd/provd -gpus 4 -constraints 128 -smoke 6
+
+# Cluster failover smoke: a coordinator with two in-process worker
+# nodes over real loopback HTTP, one worker killed mid-batch (no
+# deregister — its lease must expire). Exits non-zero unless every job
+# completes with a verified proof AND the lost-node/redispatch path
+# actually ran.
+cluster-smoke:
+	$(GO) run ./cmd/coordinator -smoke 8
 
 examples:
 	$(GO) run ./examples/quickstart

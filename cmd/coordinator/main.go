@@ -1,0 +1,315 @@
+// Command coordinator fronts a fleet of provd worker nodes: workers
+// join with -join, keep heartbeat leases alive, and the coordinator
+// routes /v1/prove jobs to them with circuit affinity, per-node circuit
+// breakers, hedged dispatch and lost-lease re-dispatch (see
+// internal/cluster).
+//
+// Serve mode (default):
+//
+//	coordinator -listen :9090 -gpus 4
+//	provd -listen :8081 -join http://localhost:9090 -advertise http://localhost:8081
+//	curl -s -X POST localhost:9090/v1/prove -d '{"circuit":"synthetic","seed":7}'
+//	curl -s localhost:9090/v1/healthz
+//
+// -gpus sizes the coordinator's own degrade-to-local proving service,
+// which also verifies every remote proof (the corrupted-response
+// catch); -gpus 0 disables it, leaving the cluster remote-only.
+//
+// Smoke mode brings up a coordinator and two in-process worker nodes on
+// loopback listeners, runs N jobs through the cluster, kills one worker
+// abruptly mid-run (no deregister — heartbeats just stop, like a
+// crashed process) and requires every job to complete via failover. It
+// exits non-zero on any failure — the CI entry point:
+//
+//	coordinator -smoke 8
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"distmsm/internal/cluster"
+	"distmsm/internal/gpusim"
+	"distmsm/internal/service"
+	"distmsm/internal/telemetry"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":9090", "HTTP listen address (serve mode)")
+		gpus        = flag.Int("gpus", 4, "simulated GPUs for the local fallback/verification service (0 disables local proving)")
+		constraints = flag.Int("constraints", 512, "registered synthetic circuit size")
+		lease       = flag.Duration("lease", 10*time.Second, "node heartbeat lease; a node that misses it is lost and its jobs re-dispatched")
+		hedgeMult   = flag.Float64("hedge-multiple", 4, "hedge a dispatch once it is this multiple of the EWMA latency")
+		maxAttempts = flag.Int("max-attempts", 4, "max nodes one job is dispatched to before giving up on remotes")
+		timeout     = flag.Duration("timeout", time.Minute, "default per-job deadline")
+		dispatchTO  = flag.Duration("dispatch-timeout", 15*time.Second, "cap on one dispatch attempt to one node (0 = bounded only by the job deadline)")
+		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+		smoke       = flag.Int("smoke", 0, "run an N-job two-worker failover smoke and exit instead of serving")
+	)
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	o := options{
+		listen: *listen, gpus: *gpus, constraints: *constraints,
+		lease: *lease, hedgeMult: *hedgeMult, maxAttempts: *maxAttempts,
+		timeout: *timeout, dispatchTO: *dispatchTO, drain: *drain, smoke: *smoke,
+	}
+	var err error
+	if o.smoke > 0 {
+		err = runSmoke(ctx, o)
+	} else {
+		err = run(ctx, o)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coordinator:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	listen            string
+	gpus, constraints int
+	lease             time.Duration
+	hedgeMult         float64
+	maxAttempts       int
+	timeout           time.Duration
+	dispatchTO        time.Duration
+	drain             time.Duration
+	smoke             int
+}
+
+// newLocalService builds the coordinator's in-process proving service:
+// the degrade-to-local backend and the remote-proof verifier.
+func newLocalService(ctx context.Context, gpus, constraints int, metrics *telemetry.Registry) (*service.Service, error) {
+	cl, err := gpusim.NewCluster(gpusim.A100(), gpus)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := service.New(service.Config{Cluster: cl, Metrics: metrics})
+	if err != nil {
+		return nil, err
+	}
+	if err := svc.RegisterSynthetic(ctx, "synthetic", constraints); err != nil {
+		return nil, err
+	}
+	return svc, nil
+}
+
+func run(ctx context.Context, o options) error {
+	metrics := telemetry.NewRegistry()
+	var local *service.Service
+	cfg := cluster.Config{
+		Lease:           o.lease,
+		HedgeMultiple:   o.hedgeMult,
+		MaxAttempts:     o.maxAttempts,
+		DefaultTimeout:  o.timeout,
+		DispatchTimeout: o.dispatchTO,
+		Metrics:         metrics,
+	}
+	if o.gpus > 0 {
+		svc, err := newLocalService(ctx, o.gpus, o.constraints, nil)
+		if err != nil {
+			return err
+		}
+		local = svc
+		cfg.Local = local
+		fmt.Printf("coordinator: local fallback service up (%d GPUs, circuit %q)\n", o.gpus, "synthetic")
+	} else {
+		fmt.Println("coordinator: remote-only (no local fallback, remote proofs unverified)")
+	}
+	coord := cluster.NewCoordinator(cfg)
+	srv := &http.Server{Addr: o.listen, Handler: coord.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("coordinator: listening on %s (lease %v)\n", o.listen, o.lease)
+
+	select {
+	case err := <-errCh:
+		coord.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Printf("coordinator: shutting down (drain budget %v)\n", o.drain)
+	shCtx, cancel := context.WithTimeout(context.Background(), o.drain)
+	defer cancel()
+	_ = srv.Shutdown(shCtx)
+	coord.Close()
+	if local != nil {
+		if err := local.Shutdown(shCtx); err != nil {
+			fmt.Printf("coordinator: drain budget exhausted, cancelled remaining local jobs: %v\n", err)
+		}
+	}
+	fmt.Println("coordinator: drained")
+	return nil
+}
+
+// smokeWorker is one in-process worker node: a proving service on a
+// loopback listener plus the cluster agent that keeps it registered.
+type smokeWorker struct {
+	svc   *service.Service
+	srv   *http.Server
+	ln    net.Listener
+	agent *cluster.Agent
+}
+
+func startSmokeWorker(ctx context.Context, id, coordURL string, constraints int, interval time.Duration) (*smokeWorker, error) {
+	svc, err := newLocalService(ctx, 2, constraints, nil)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	agent, err := cluster.StartAgent(cluster.AgentConfig{
+		Coordinator: coordURL,
+		NodeID:      id,
+		Addr:        "http://" + ln.Addr().String(),
+		Circuits:    []string{"synthetic"},
+		Workers:     svc.Workers(),
+		Interval:    interval,
+		Load: func() (int, int) {
+			st := svc.Stats()
+			return st.Queued, st.InFlight
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Printf("coordinator: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &smokeWorker{svc: svc, srv: srv, ln: ln, agent: agent}, nil
+}
+
+// crash simulates the worker process dying: the agent stops without
+// deregistering and the listener closes mid-connection.
+func (w *smokeWorker) crash() {
+	w.agent.Kill()
+	_ = w.srv.Close()
+}
+
+func (w *smokeWorker) stop(ctx context.Context) {
+	w.agent.Stop()
+	_ = w.srv.Shutdown(ctx)
+	_ = w.svc.Shutdown(ctx)
+}
+
+// runSmoke is the cluster failover smoke: coordinator + two workers,
+// one crashed mid-run, every job must still complete — the survivors
+// and the lost-lease re-dispatch have to absorb the failure.
+func runSmoke(ctx context.Context, o options) error {
+	start := time.Now()
+	const constraints = 200
+	metrics := telemetry.NewRegistry()
+	local, err := newLocalService(ctx, 2, constraints, nil)
+	if err != nil {
+		return err
+	}
+	lease := 600 * time.Millisecond
+	coord := cluster.NewCoordinator(cluster.Config{
+		Local:           local,
+		Lease:           lease,
+		DefaultTimeout:  o.timeout,
+		DispatchTimeout: 10 * time.Second,
+		Metrics:         metrics,
+	})
+	defer coord.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	coordURL := "http://" + ln.Addr().String()
+	fmt.Printf("coordinator: smoke coordinator on %s (lease %v)\n", coordURL, lease)
+
+	workers := make([]*smokeWorker, 2)
+	for i := range workers {
+		w, err := startSmokeWorker(ctx, fmt.Sprintf("smoke-worker-%d", i), coordURL, constraints, lease/3)
+		if err != nil {
+			return err
+		}
+		workers[i] = w
+		fmt.Printf("coordinator: smoke worker %d on %s\n", i, w.ln.Addr())
+	}
+	// Wait until both workers hold leases before loading the cluster.
+	deadline := time.Now().Add(5 * time.Second)
+	for coord.AliveNodes() < len(workers) {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("smoke: only %d of %d workers registered", coord.AliveNodes(), len(workers))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	n := o.smoke
+	type result struct {
+		seed  int64
+		proof []byte
+		err   error
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			seed := int64(i + 1)
+			proof, err := coord.Prove(ctx, cluster.ProveRequest{Circuit: "synthetic", Seed: seed})
+			results[i] = result{seed: seed, proof: proof, err: err}
+		}(i)
+	}
+	// Kill worker 0 while the batch is in flight: its lease expires, its
+	// jobs re-dispatch to worker 1 (or degrade to local), and the batch
+	// must still complete.
+	time.Sleep(lease / 2)
+	fmt.Println("coordinator: crashing smoke worker 0 mid-batch")
+	workers[0].crash()
+	wg.Wait()
+
+	failed := 0
+	for _, r := range results {
+		if r.err != nil {
+			failed++
+			fmt.Printf("coordinator: smoke seed %d FAILED: %v\n", r.seed, r.err)
+			continue
+		}
+		ok, err := local.VerifyProof("synthetic", r.seed, r.proof)
+		if err != nil || !ok {
+			failed++
+			fmt.Printf("coordinator: smoke seed %d proof did not verify (ok=%v err=%v)\n", r.seed, ok, err)
+		}
+	}
+	st := coord.Stats()
+	fmt.Printf("coordinator: smoke stats: %d registrations, %d lost nodes, %d recovered jobs, %d redispatches, %d hedges (%d won), %d local fallbacks\n",
+		st.Registrations, st.LostNodes, st.LostJobsRecovered, st.Redispatches, st.Hedges, st.HedgeWins, st.LocalFallbacks)
+
+	shCtx, cancel := context.WithTimeout(context.Background(), o.drain)
+	defer cancel()
+	workers[1].stop(shCtx)
+	_ = srv.Shutdown(shCtx)
+	coord.Close()
+	if err := local.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("smoke: local drain: %w", err)
+	}
+	if failed > 0 {
+		return fmt.Errorf("smoke: %d of %d jobs failed after a worker crash", failed, n)
+	}
+	if st.LostNodes == 0 {
+		return errors.New("smoke: the crashed worker was never marked lost — the failover path did not run")
+	}
+	fmt.Printf("coordinator: smoke ok — %d jobs survived a worker crash in %v\n", n, time.Since(start).Round(time.Millisecond))
+	return nil
+}

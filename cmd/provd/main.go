@@ -9,6 +9,18 @@
 //	curl -s -X POST localhost:8080/prove -d '{"circuit":"synthetic","seed":7}'
 //	curl -s localhost:8080/healthz
 //
+// Cluster mode: -join makes this provd a worker node of a coordinator
+// (see internal/cluster and cmd/coordinator) — it registers, heartbeats
+// its lease, and serves coordinator dispatches on /v1/cluster/dispatch:
+//
+//	provd -gpus 8 -listen :8081 -join http://coord:9090 -advertise http://10.0.0.7:8081
+//
+// Shutdown is a bounded graceful drain: on SIGTERM/SIGINT the node
+// deregisters from its coordinator (new dispatches stop, in-flight jobs
+// finish), stops admission, and drains queued and in-flight jobs for at
+// most -drain-timeout before cancelling the stragglers — a node restart
+// never dies mid-proof unless the drain budget runs out.
+//
 // Smoke mode runs N jobs through the full service lifecycle (submit,
 // prove, verify, drain) without a listener and exits non-zero on any
 // failure — the CI entry point:
@@ -34,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"distmsm/internal/cluster"
 	"distmsm/internal/gpusim"
 	"distmsm/internal/service"
 	"distmsm/internal/telemetry"
@@ -47,6 +60,10 @@ func main() {
 		constraints = flag.Int("constraints", 512, "registered synthetic circuit size")
 		listen      = flag.String("listen", ":8080", "HTTP listen address (serve mode)")
 		timeout     = flag.Duration("timeout", time.Minute, "default per-job deadline")
+		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget: queued and in-flight jobs get this long to finish before being cancelled")
+		join        = flag.String("join", "", "coordinator base URL to join as a cluster worker node (e.g. http://coord:9090)")
+		advertise   = flag.String("advertise", "", "dispatch address advertised to the coordinator (default http://<listen>)")
+		nodeID      = flag.String("node-id", "", "stable cluster node identifier (default the hostname)")
 		smoke       = flag.Int("smoke", 0, "run N smoke jobs and exit instead of serving")
 		traceDir    = flag.String("trace-dir", "", "write a Chrome trace JSON per job into this directory")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -54,50 +71,66 @@ func main() {
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *gpus, *workers, *queue, *constraints, *listen, *timeout, *smoke, *traceDir, *pprofOn); err != nil {
+	opts := options{
+		gpus: *gpus, workers: *workers, queue: *queue, constraints: *constraints,
+		listen: *listen, timeout: *timeout, drain: *drain,
+		join: *join, advertise: *advertise, nodeID: *nodeID,
+		smoke: *smoke, traceDir: *traceDir, pprofOn: *pprofOn,
+	}
+	if err := run(ctx, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "provd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, gpus, workers, queue, constraints int, listen string, timeout time.Duration, smoke int, traceDir string, pprofOn bool) error {
-	cl, err := gpusim.NewCluster(gpusim.A100(), gpus)
+type options struct {
+	gpus, workers, queue, constraints int
+	listen                            string
+	timeout, drain                    time.Duration
+	join, advertise, nodeID           string
+	smoke                             int
+	traceDir                          string
+	pprofOn                           bool
+}
+
+func run(ctx context.Context, o options) error {
+	cl, err := gpusim.NewCluster(gpusim.A100(), o.gpus)
 	if err != nil {
 		return err
 	}
-	if traceDir != "" {
-		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+	if o.traceDir != "" {
+		if err := os.MkdirAll(o.traceDir, 0o755); err != nil {
 			return err
 		}
 	}
 	metrics := telemetry.NewRegistry()
 	svc, err := service.New(service.Config{
 		Cluster:        cl,
-		Workers:        workers,
-		QueueDepth:     queue,
-		DefaultTimeout: timeout,
+		Workers:        o.workers,
+		QueueDepth:     o.queue,
+		DefaultTimeout: o.timeout,
 		Metrics:        metrics,
-		TraceDir:       traceDir,
+		TraceDir:       o.traceDir,
 	})
 	if err != nil {
 		return err
 	}
-	if err := svc.RegisterSynthetic(ctx, "synthetic", constraints); err != nil {
+	if err := svc.RegisterSynthetic(ctx, "synthetic", o.constraints); err != nil {
 		return err
 	}
 	fmt.Printf("provd: %d simulated %s GPUs, %d workers, circuit %q (%d constraints)\n",
-		gpus, cl.Dev.Name, svc.Workers(), "synthetic", constraints)
-	if traceDir != "" {
-		fmt.Printf("provd: writing per-job Chrome traces to %s\n", traceDir)
+		o.gpus, cl.Dev.Name, svc.Workers(), "synthetic", o.constraints)
+	if o.traceDir != "" {
+		fmt.Printf("provd: writing per-job Chrome traces to %s\n", o.traceDir)
 	}
 
-	if smoke > 0 {
-		return runSmoke(ctx, svc, smoke)
+	if o.smoke > 0 {
+		return runSmoke(ctx, svc, o.smoke, o.drain)
 	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", svc.Handler())
-	if pprofOn {
+	if o.pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -105,25 +138,74 @@ func run(ctx context.Context, gpus, workers, queue, constraints int, listen stri
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		fmt.Println("provd: pprof enabled at /debug/pprof/")
 	}
-	srv := &http.Server{Addr: listen, Handler: mux}
+	srv := &http.Server{Addr: o.listen, Handler: mux}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("provd: listening on %s\n", listen)
+	fmt.Printf("provd: listening on %s\n", o.listen)
+
+	// Cluster mode: join the coordinator's fleet and keep the heartbeat
+	// lease alive; dispatches arrive on /v1/cluster/dispatch like any
+	// other request.
+	var agent *cluster.Agent
+	if o.join != "" {
+		id := o.nodeID
+		if id == "" {
+			if id, err = os.Hostname(); err != nil || id == "" {
+				id = fmt.Sprintf("provd-%d", os.Getpid())
+			}
+		}
+		addr := o.advertise
+		if addr == "" {
+			addr = "http://" + o.listen
+		}
+		agent, err = cluster.StartAgent(cluster.AgentConfig{
+			Coordinator: o.join,
+			NodeID:      id,
+			Addr:        addr,
+			Circuits:    []string{"synthetic"},
+			Workers:     svc.Workers(),
+			Load: func() (int, int) {
+				st := svc.Stats()
+				return st.Queued, st.InFlight
+			},
+			Logf: func(format string, args ...any) {
+				fmt.Printf("provd: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	select {
 	case err := <-errCh:
+		if agent != nil {
+			agent.Stop()
+		}
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Println("provd: shutting down")
-	shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	// Bounded graceful drain: deregister first (the coordinator stops
+	// routing here but our in-flight jobs finish), then drain the queue
+	// and the pool under the -drain-timeout budget.
+	fmt.Printf("provd: shutting down (drain budget %v)\n", o.drain)
+	if agent != nil {
+		agent.Stop()
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), o.drain)
 	defer cancel()
 	_ = srv.Shutdown(shCtx)
-	return svc.Shutdown(shCtx)
+	if err := svc.Shutdown(shCtx); err != nil {
+		fmt.Printf("provd: drain budget exhausted, cancelled remaining jobs: %v\n", err)
+		return nil
+	}
+	fmt.Println("provd: drained cleanly")
+	return nil
 }
 
 // runSmoke pushes n jobs through the service and verifies every proof
 // arrived (the service verifies each proof itself before returning it).
-func runSmoke(ctx context.Context, svc *service.Service, n int) error {
+func runSmoke(ctx context.Context, svc *service.Service, n int, drain time.Duration) error {
 	start := time.Now()
 	jobs := make([]*service.Job, 0, n)
 	for i := 0; i < n; i++ {
@@ -147,7 +229,7 @@ func runSmoke(ctx context.Context, svc *service.Service, n int) error {
 		}
 		fmt.Printf("provd: job %d (seed %d) proved and verified\n", job.ID, job.Seed)
 	}
-	shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	shCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := svc.Shutdown(shCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)

@@ -1,0 +1,154 @@
+package cluster
+
+import "time"
+
+// This file is the node-level circuit breaker, the whole-node analogue
+// of the per-GPU breaker in internal/gpusim/health.go. The state
+// machine is the same —
+//
+//	Closed ──K consecutive failures──▶ Open ──Cooldown elapses──▶ HalfOpen
+//	  ▲                                  ▲                           │
+//	  │                                  └────────probe fails────────┤
+//	  └────────────────────────probe succeeds────────────────────────┘
+//
+// — but the clock is wall time, not plan count: a node sits out
+// Cooldown of real time (there is no shared "plan" epoch across an
+// asynchronous job stream), and a half-open node admits exactly one
+// probe dispatch at a time. Breaker-relevant failures are dispatch
+// errors, dispatch timeouts and corrupted responses; an admission
+// rejection from a busy-but-healthy worker also counts, because from
+// the router's seat a node that cannot take work should stop being
+// offered it for a while.
+
+// BreakerState is the circuit-breaker state of one node.
+type BreakerState int
+
+const (
+	// NodeClosed: the node is healthy and receives its full share.
+	NodeClosed BreakerState = iota
+	// NodeOpen: the node is quarantined and excluded from routing.
+	NodeOpen
+	// NodeHalfOpen: the node is offered one probe dispatch at a time; a
+	// success closes the breaker, a failure re-opens it.
+	NodeHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case NodeClosed:
+		return "closed"
+	case NodeOpen:
+		return "open"
+	case NodeHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes the node breaker. The zero value selects the
+// documented defaults.
+type BreakerConfig struct {
+	// FailThreshold is how many consecutive dispatch failures a closed
+	// node accrues before it is quarantined (default 3).
+	FailThreshold int
+	// Cooldown is how long a quarantined node sits out before it is
+	// offered a half-open probe dispatch (default 5s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	return c
+}
+
+// nodeBreaker is one node's breaker state. It is not self-locking: the
+// coordinator mutates it under its own mutex.
+type nodeBreaker struct {
+	state       BreakerState
+	consecutive int
+	openedAt    time.Time
+	// probing marks an in-flight half-open probe; a half-open node
+	// admits one probe at a time.
+	probing bool
+	trips   int
+}
+
+// canAdmit reports, without side effects, whether a dispatch to this
+// node would be admitted at time now. Used to scan candidates without
+// consuming probe slots.
+func (b *nodeBreaker) canAdmit(now time.Time, cfg BreakerConfig) bool {
+	switch b.state {
+	case NodeClosed:
+		return true
+	case NodeOpen:
+		return now.Sub(b.openedAt) >= cfg.Cooldown
+	case NodeHalfOpen:
+		return !b.probing
+	}
+	return false
+}
+
+// admit commits the admission canAdmit promised: an open node past its
+// cooldown transitions to half-open, and a half-open node consumes its
+// probe slot. Returns false if the admission raced away.
+func (b *nodeBreaker) admit(now time.Time, cfg BreakerConfig) bool {
+	switch b.state {
+	case NodeClosed:
+		return true
+	case NodeOpen:
+		if now.Sub(b.openedAt) < cfg.Cooldown {
+			return false
+		}
+		b.state = NodeHalfOpen
+		b.probing = true
+		return true
+	case NodeHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// record folds one dispatch outcome into the breaker. Returns true when
+// the outcome tripped the breaker open (for metrics).
+func (b *nodeBreaker) record(ok bool, now time.Time, cfg BreakerConfig) (tripped bool) {
+	if ok {
+		b.state = NodeClosed
+		b.consecutive = 0
+		b.probing = false
+		return false
+	}
+	switch b.state {
+	case NodeClosed:
+		b.consecutive++
+		if b.consecutive >= cfg.FailThreshold {
+			b.open(now)
+			return true
+		}
+	case NodeHalfOpen:
+		// The probe failed: straight back to quarantine.
+		b.open(now)
+		return true
+	case NodeOpen:
+		// A failure landing while open (a dispatch launched before the
+		// trip) restarts the cooldown clock.
+		b.openedAt = now
+	}
+	return false
+}
+
+func (b *nodeBreaker) open(now time.Time) {
+	b.state = NodeOpen
+	b.consecutive = 0
+	b.openedAt = now
+	b.probing = false
+	b.trips++
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNodeBreakerLifecycle walks the full state machine: Closed under
+// the threshold, tripped Open at it, quarantined through the cooldown,
+// a single half-open probe slot, a failed probe straight back to Open,
+// and a successful probe re-closing.
+func TestNodeBreakerLifecycle(t *testing.T) {
+	cfg := BreakerConfig{FailThreshold: 3, Cooldown: time.Second}
+	var b nodeBreaker
+	now := time.Unix(1000, 0)
+
+	if !b.canAdmit(now, cfg) || !b.admit(now, cfg) {
+		t.Fatal("a fresh closed breaker must admit")
+	}
+	// Failures below the threshold keep it closed.
+	for i := 0; i < cfg.FailThreshold-1; i++ {
+		if tripped := b.record(false, now, cfg); tripped {
+			t.Fatalf("tripped after %d of %d failures", i+1, cfg.FailThreshold)
+		}
+	}
+	if b.state != NodeClosed {
+		t.Fatalf("state %v after sub-threshold failures, want closed", b.state)
+	}
+	// The threshold-th failure trips it open.
+	if tripped := b.record(false, now, cfg); !tripped {
+		t.Fatal("threshold failure did not trip the breaker")
+	}
+	if b.state != NodeOpen || b.trips != 1 {
+		t.Fatalf("state %v trips %d, want open/1", b.state, b.trips)
+	}
+	// Quarantined until the cooldown elapses.
+	if b.canAdmit(now.Add(cfg.Cooldown/2), cfg) {
+		t.Fatal("open breaker admitted before its cooldown elapsed")
+	}
+	probeAt := now.Add(cfg.Cooldown)
+	if !b.canAdmit(probeAt, cfg) {
+		t.Fatal("open breaker refused admission after its cooldown")
+	}
+	if !b.admit(probeAt, cfg) {
+		t.Fatal("admit after cooldown failed")
+	}
+	if b.state != NodeHalfOpen || !b.probing {
+		t.Fatalf("state %v probing %v after cooldown admission, want half-open probe", b.state, b.probing)
+	}
+	// One probe at a time.
+	if b.canAdmit(probeAt, cfg) || b.admit(probeAt, cfg) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	// A failed probe goes straight back to quarantine.
+	if tripped := b.record(false, probeAt, cfg); !tripped {
+		t.Fatal("failed probe did not re-trip the breaker")
+	}
+	if b.state != NodeOpen || b.trips != 2 {
+		t.Fatalf("state %v trips %d after failed probe, want open/2", b.state, b.trips)
+	}
+	// A failure landing while open restarts the cooldown clock.
+	late := probeAt.Add(cfg.Cooldown / 2)
+	b.record(false, late, cfg)
+	if b.canAdmit(probeAt.Add(cfg.Cooldown), cfg) {
+		t.Fatal("cooldown clock was not restarted by a failure landing while open")
+	}
+	// A successful probe closes the breaker and clears the streak.
+	reprobe := late.Add(cfg.Cooldown)
+	if !b.admit(reprobe, cfg) {
+		t.Fatal("re-probe admission failed")
+	}
+	if tripped := b.record(true, reprobe, cfg); tripped {
+		t.Fatal("successful probe reported a trip")
+	}
+	if b.state != NodeClosed || b.consecutive != 0 || b.probing {
+		t.Fatalf("breaker not cleanly closed after successful probe: %+v", b)
+	}
+}
+
+// TestBreakerConfigDefaults: the zero config selects the documented
+// defaults.
+func TestBreakerConfigDefaults(t *testing.T) {
+	cfg := BreakerConfig{}.withDefaults()
+	if cfg.FailThreshold != 3 || cfg.Cooldown != 5*time.Second {
+		t.Fatalf("defaults = %+v, want threshold 3 cooldown 5s", cfg)
+	}
+}

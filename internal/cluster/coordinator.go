@@ -1,0 +1,779 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distmsm/internal/telemetry"
+)
+
+// WorkerClient is the coordinator's transport to one worker node. The
+// production implementation speaks HTTP to the node's
+// /v1/cluster/dispatch endpoint (see client.go); tests substitute
+// in-process clients, optionally wrapped by the node fault injector.
+type WorkerClient interface {
+	// Dispatch runs one proof job on the node and returns the marshalled
+	// proof. It must honour ctx — a cancelled dispatch must abandon the
+	// job on the worker (the HTTP client does this for free: the worker
+	// cancels the job when the request context dies).
+	Dispatch(ctx context.Context, req DispatchRequest) ([]byte, error)
+}
+
+// LocalBackend is the coordinator's in-process fallback and proof
+// checker. *service.Service satisfies it; the indirection keeps this
+// package free of a dependency on internal/service (which imports this
+// package for the worker-side wire handling).
+type LocalBackend interface {
+	// ProveLocal proves (circuit, seed) in-process and returns the
+	// marshalled proof.
+	ProveLocal(ctx context.Context, circuit string, seed int64) ([]byte, error)
+	// VerifyProof checks a marshalled proof of (circuit, seed). A
+	// decode failure or a failed pairing check both report false.
+	VerifyProof(circuit string, seed int64, proof []byte) (bool, error)
+}
+
+// Config configures a Coordinator. Everything has a documented default;
+// a Coordinator without a Local backend cannot verify remote proofs or
+// degrade to local proving, and says so in its docs rather than its
+// constructor.
+type Config struct {
+	// Local is the in-process backend: the degrade-to-local prover when
+	// every remote node is down, and the verifier of every remote proof
+	// (the corrupted-response catch). Optional; without it remote proofs
+	// are accepted unverified and an all-nodes-down cluster fails jobs
+	// with ErrNoNodes.
+	Local LocalBackend
+	// Lease is how long a node stays live after its last accepted
+	// heartbeat; a node that misses it is marked lost and its in-flight
+	// jobs are re-dispatched (default 10s).
+	Lease time.Duration
+	// SweepInterval is the lease-expiry check cadence (default Lease/4).
+	SweepInterval time.Duration
+	// Breaker tunes the per-node circuit breakers.
+	Breaker BreakerConfig
+	// HedgeMultiple launches a speculative duplicate dispatch once the
+	// primary has been out HedgeMultiple × the EWMA dispatch latency
+	// (default 4; first result wins, the loser is cancelled).
+	HedgeMultiple float64
+	// HedgeMin floors the hedge delay so cold EWMAs do not hedge every
+	// job (default 250ms).
+	HedgeMin time.Duration
+	// MaxAttempts bounds how many nodes one job may be dispatched to
+	// before the coordinator gives up on remotes (default 4). The local
+	// fallback is tried regardless when no node admits.
+	MaxAttempts int
+	// MaxNodes bounds the node table (default 64).
+	MaxNodes int
+	// DefaultTimeout is the per-job deadline when the request does not
+	// set one (default 1 minute).
+	DefaultTimeout time.Duration
+	// DispatchTimeout caps one dispatch attempt to one node. A
+	// partitioned or hung node fails its attempt after this long — a
+	// breaker-relevant timeout — and the job re-routes, instead of
+	// riding the whole job deadline on a node that will never answer.
+	// 0 bounds attempts only by the job deadline (the default).
+	DispatchTimeout time.Duration
+	// DialWorker builds the transport to a registering node's advertised
+	// address (default: the HTTP client of client.go). Tests substitute
+	// in-process clients here.
+	DialWorker func(addr string) WorkerClient
+	// Faults optionally injects deterministic node-level faults into
+	// every dispatch (chaos testing); nil injects nothing. The injector
+	// wraps whatever DialWorker returns, keyed by registration order.
+	Faults *NodeInjector
+	// Metrics, when set, receives the coordinator's operational metrics
+	// (node states, heartbeat ages, redispatches, hedges, lost-node
+	// recoveries). The coordinator's Handler mounts it at /metrics.
+	Metrics *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Lease <= 0 {
+		c.Lease = 10 * time.Second
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = c.Lease / 4
+	}
+	c.Breaker = c.Breaker.withDefaults()
+	if c.HedgeMultiple <= 0 {
+		c.HedgeMultiple = 4
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = 250 * time.Millisecond
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = time.Minute
+	}
+	if c.DialWorker == nil {
+		c.DialWorker = func(addr string) WorkerClient { return NewHTTPWorkerClient(addr) }
+	}
+	return c
+}
+
+// node is one registered worker's coordinator-side state.
+type node struct {
+	id     string
+	addr   string
+	index  int // registration order; keys the fault injector
+	client WorkerClient
+
+	lost     bool // lease expired; revived by heartbeat or re-register
+	draining bool // deregistered gracefully; in-flight left to finish
+	lastHB   time.Time
+	seq      uint64
+	queued   int // worker-reported, informational
+	remote   int // worker-reported in-flight, informational
+
+	// inflight tracks the coordinator-side dispatches outstanding on
+	// this node: attempt ID → cancel. A lost lease cancels them all,
+	// which unwinds the waiting Prove calls into redispatch.
+	inflight map[uint64]context.CancelFunc
+
+	br      nodeBreaker
+	ewmaSec float64
+
+	dispatches uint64 // lifetime, successful + failed
+	failures   uint64 // lifetime failed dispatches
+}
+
+// NodeSnapshot is one node's externally visible state, the payload of
+// the coordinator's health endpoint.
+type NodeSnapshot struct {
+	ID       string       `json:"id"`
+	Addr     string       `json:"addr"`
+	State    string       `json:"state"` // alive | lost | draining
+	Breaker  BreakerState `json:"-"`
+	BreakerS string       `json:"breaker"`
+	// HeartbeatAge is the time since the last accepted heartbeat; the
+	// wire carries it as whole milliseconds.
+	HeartbeatAge   time.Duration `json:"-"`
+	HeartbeatAgeMS int64         `json:"heartbeat_age_ms"`
+	InFlight       int           `json:"in_flight"`
+	Dispatches     uint64        `json:"dispatches"`
+	Failures       uint64        `json:"failures"`
+	Trips          int           `json:"breaker_trips"`
+}
+
+// Stats is a counters snapshot of the coordinator.
+type Stats struct {
+	Registrations     uint64
+	Heartbeats        uint64
+	StaleHeartbeats   uint64
+	LostNodes         uint64 // lease expiries
+	LostJobsRecovered uint64 // in-flight dispatches cancelled by a lost lease
+	Redispatches      uint64 // job attempts re-routed after a failure
+	Hedges            uint64 // speculative duplicate dispatches launched
+	HedgeWins         uint64 // speculative dispatches that finished first
+	LocalFallbacks    uint64 // jobs degraded to the local backend
+	CorruptProofs     uint64 // remote proofs rejected by verification
+	DispatchOK        uint64
+	DispatchErrors    uint64
+	BreakerTrips      uint64
+	JobsCompleted     uint64
+	JobsFailed        uint64
+}
+
+// Coordinator fronts a fleet of provd worker nodes: it owns the node
+// table with its heartbeat leases and per-node breakers, routes jobs
+// with circuit affinity plus least-loaded fallback, hedges stragglers,
+// re-dispatches the jobs of lost nodes, and degrades to local proving
+// when no remote is available. Build with NewCoordinator, stop with
+// Close.
+type Coordinator struct {
+	cfg     Config
+	metrics *coordMetrics
+
+	sweepStop context.CancelFunc
+	sweepDone chan struct{}
+
+	lastJob   atomic.Uint64
+	attemptID atomic.Uint64
+
+	mu       sync.Mutex
+	closed   bool
+	nodes    map[string]*node
+	order    []string          // registration order: deterministic iteration
+	affinity map[string]string // circuit → node that last proved it
+	ewmaSec  float64           // global dispatch-latency EWMA (hedge clock)
+	stats    Stats
+}
+
+// NewCoordinator validates the configuration and starts the lease
+// sweeper.
+func NewCoordinator(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:      cfg,
+		nodes:    map[string]*node{},
+		affinity: map[string]string{},
+	}
+	c.metrics = newCoordMetrics(cfg, c)
+	sctx, stop := context.WithCancel(context.Background())
+	c.sweepStop = stop
+	c.sweepDone = make(chan struct{})
+	go c.sweep(sctx)
+	return c
+}
+
+// Close stops the sweeper. In-flight Prove calls keep their already-
+// launched dispatches; new Prove/Register calls fail with
+// ErrShuttingDown.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.sweepDone
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.sweepStop()
+	<-c.sweepDone
+}
+
+// Lease returns the effective heartbeat lease.
+func (c *Coordinator) Lease() time.Duration { return c.cfg.Lease }
+
+// Register admits a worker node (or refreshes a known one — a node that
+// restarted re-registers under its ID and simply resumes). The response
+// carries the lease the node must keep renewing.
+func (c *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
+	if err := validateNodeID(req.NodeID); err != nil {
+		return RegisterResponse{}, err
+	}
+	if req.Addr == "" || len(req.Addr) > maxNodeAddr {
+		return RegisterResponse{}, fmt.Errorf("%w: bad addr", ErrBadMessage)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return RegisterResponse{}, ErrShuttingDown
+	}
+	n := c.nodes[req.NodeID]
+	if n == nil {
+		if len(c.nodes) >= c.cfg.MaxNodes {
+			c.mu.Unlock()
+			return RegisterResponse{}, fmt.Errorf("%w (%d registered)", ErrTooManyNodes, c.cfg.MaxNodes)
+		}
+		n = &node{id: req.NodeID, index: len(c.order), inflight: map[uint64]context.CancelFunc{}}
+		c.nodes[req.NodeID] = n
+		c.order = append(c.order, req.NodeID)
+	}
+	if n.client == nil || n.addr != req.Addr {
+		wc := c.cfg.DialWorker(req.Addr)
+		n.client = c.cfg.Faults.WrapClient(n.index, wc)
+	}
+	n.addr = req.Addr
+	n.lost = false
+	n.draining = false
+	n.lastHB = time.Now()
+	n.seq = 0
+	c.stats.Registrations++
+	c.mu.Unlock()
+	c.metrics.observeRegistration()
+	return RegisterResponse{
+		LeaseMS:     c.cfg.Lease.Milliseconds(),
+		HeartbeatMS: (c.cfg.Lease / 3).Milliseconds(),
+	}, nil
+}
+
+// Heartbeat renews a node's lease. A heartbeat from an unknown node
+// asks it to re-register (and deliberately does NOT create a node-table
+// entry: unauthenticated heartbeats must not grow coordinator state).
+// A stale sequence number is a delayed duplicate and never renews.
+func (c *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
+	if err := validateNodeID(req.NodeID); err != nil {
+		return HeartbeatResponse{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.nodes[req.NodeID]
+	if n == nil {
+		return HeartbeatResponse{OK: false, Reregister: true}, nil
+	}
+	if req.Seq <= n.seq && req.Seq != 0 {
+		c.stats.StaleHeartbeats++
+		return HeartbeatResponse{OK: false}, fmt.Errorf("%w: seq %d ≤ %d", ErrStaleLease, req.Seq, n.seq)
+	}
+	n.seq = req.Seq
+	n.lastHB = time.Now()
+	n.lost = false
+	n.queued = req.Queued
+	n.remote = req.InFlight
+	c.stats.Heartbeats++
+	c.metrics.observeHeartbeat()
+	return HeartbeatResponse{OK: true}, nil
+}
+
+// Deregister starts a graceful drain of the node: it stops receiving
+// new dispatches, but — unlike a lease expiry — its in-flight jobs are
+// left to finish. The entry stays in the table (bounded by MaxNodes) so
+// a restart under the same ID re-registers cleanly.
+func (c *Coordinator) Deregister(req DeregisterRequest) error {
+	if err := validateNodeID(req.NodeID); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.nodes[req.NodeID]
+	if n == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, req.NodeID)
+	}
+	n.draining = true
+	return nil
+}
+
+// sweep is the lease-expiry loop: a node whose heartbeat is older than
+// the lease is marked lost and every dispatch outstanding on it is
+// cancelled, which unwinds the waiting Prove calls into redispatch —
+// the node-level analogue of shard reassignment after device loss.
+func (c *Coordinator) sweep(ctx context.Context) {
+	defer close(c.sweepDone)
+	t := time.NewTicker(c.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.expireLeases(time.Now())
+		}
+	}
+}
+
+// expireLeases marks overdue nodes lost and cancels their in-flight
+// dispatches. Exported to the tests via the package-internal clock
+// argument so lease expiry is drivable without real waiting.
+func (c *Coordinator) expireLeases(now time.Time) {
+	var cancels []context.CancelFunc
+	c.mu.Lock()
+	for _, id := range c.order {
+		n := c.nodes[id]
+		if n.lost || now.Sub(n.lastHB) <= c.cfg.Lease {
+			continue
+		}
+		n.lost = true
+		c.stats.LostNodes++
+		c.stats.LostJobsRecovered += uint64(len(n.inflight))
+		recovered := len(n.inflight)
+		for _, cancel := range n.inflight {
+			cancels = append(cancels, cancel)
+		}
+		c.metrics.observeLostNode(recovered)
+	}
+	c.mu.Unlock()
+	// Cancel outside the mutex: each cancel unwinds a Prove attempt that
+	// will immediately call back into pickNode.
+	for _, cancel := range cancels {
+		cancel()
+	}
+}
+
+// dispatchable reports whether the node can take a new job now
+// (read-only; the breaker admission is committed separately).
+func (n *node) dispatchable(now time.Time, cfg BreakerConfig) bool {
+	return !n.lost && !n.draining && n.br.canAdmit(now, cfg)
+}
+
+// pickNode chooses the next node for a job: the node that last proved
+// this circuit if it can take work (its per-circuit base caches are
+// warm — same reason the single-node queue coalesces by circuit),
+// otherwise the least-loaded dispatchable node, ties broken by
+// registration order for determinism. Returns nil when no node admits.
+func (c *Coordinator) pickNode(circuit string, exclude map[string]bool) *node {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id := c.affinity[circuit]; id != "" && !exclude[id] {
+		if n := c.nodes[id]; n != nil && n.dispatchable(now, c.cfg.Breaker) && n.br.admit(now, c.cfg.Breaker) {
+			return n
+		}
+	}
+	var best *node
+	for _, id := range c.order {
+		n := c.nodes[id]
+		if exclude[id] || !n.dispatchable(now, c.cfg.Breaker) {
+			continue
+		}
+		if best == nil || len(n.inflight) < len(best.inflight) {
+			best = n
+		}
+	}
+	if best != nil && !best.br.admit(now, c.cfg.Breaker) {
+		best = nil
+	}
+	return best
+}
+
+// recordDispatch folds one dispatch outcome into the node's breaker,
+// EWMAs and counters.
+func (c *Coordinator) recordDispatch(n *node, ok bool, sec float64, circuit string) {
+	now := time.Now()
+	c.mu.Lock()
+	n.dispatches++
+	if ok {
+		c.stats.DispatchOK++
+		c.affinity[circuit] = n.id
+		if n.ewmaSec == 0 {
+			n.ewmaSec = sec
+		} else {
+			n.ewmaSec += 0.25 * (sec - n.ewmaSec)
+		}
+		if c.ewmaSec == 0 {
+			c.ewmaSec = sec
+		} else {
+			c.ewmaSec += 0.25 * (sec - c.ewmaSec)
+		}
+	} else {
+		n.failures++
+		c.stats.DispatchErrors++
+	}
+	tripped := n.br.record(ok, now, c.cfg.Breaker)
+	if tripped {
+		c.stats.BreakerTrips++
+	}
+	c.mu.Unlock()
+	c.metrics.observeDispatch(ok, sec, tripped)
+}
+
+// hedgeDelay is how long a dispatch may be outstanding before a
+// speculative duplicate is launched: HedgeMultiple × the EWMA dispatch
+// latency, floored at HedgeMin (a cold EWMA must not hedge everything).
+func (c *Coordinator) hedgeDelay() time.Duration {
+	c.mu.Lock()
+	ewma := c.ewmaSec
+	c.mu.Unlock()
+	d := time.Duration(c.cfg.HedgeMultiple * ewma * float64(time.Second))
+	if d < c.cfg.HedgeMin {
+		d = c.cfg.HedgeMin
+	}
+	return d
+}
+
+// trackInflight registers a dispatch attempt on the node so a lost
+// lease can cancel it; the returned release must run when the attempt
+// finishes.
+func (c *Coordinator) trackInflight(n *node, cancel context.CancelFunc) (id uint64, release func()) {
+	id = c.attemptID.Add(1)
+	c.mu.Lock()
+	n.inflight[id] = cancel
+	c.mu.Unlock()
+	return id, func() {
+		c.mu.Lock()
+		delete(n.inflight, id)
+		c.mu.Unlock()
+	}
+}
+
+// Prove runs one job through the cluster: route, dispatch (hedged),
+// verify, and — when routing finds nobody — degrade to the local
+// backend. The error of the last failed attempt is preserved in the
+// terminal error.
+func (c *Coordinator) Prove(ctx context.Context, req ProveRequest) ([]byte, error) {
+	if err := validateCircuitName(req.Circuit); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, ErrShuttingDown
+	}
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = c.cfg.DefaultTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	jobID := c.lastJob.Add(1)
+
+	exclude := map[string]bool{}
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		n := c.pickNode(req.Circuit, exclude)
+		if n == nil {
+			// Every node is lost, quarantined, draining or already tried:
+			// degrade to local in-process proving.
+			return c.proveLocal(ctx, jobID, req, lastErr)
+		}
+		if attempt > 0 {
+			c.mu.Lock()
+			c.stats.Redispatches++
+			c.mu.Unlock()
+			c.metrics.observeRedispatch()
+		}
+		proof, winner, err := c.dispatchHedged(ctx, n, jobID, req, exclude)
+		if err == nil {
+			if ok := c.verifyRemote(req, proof); !ok {
+				// Corrupted response: the winner produced garbage. Charge its
+				// breaker and re-dispatch elsewhere.
+				c.recordDispatch(winner, false, 0, req.Circuit)
+				c.mu.Lock()
+				c.stats.CorruptProofs++
+				c.mu.Unlock()
+				c.metrics.observeCorrupt()
+				lastErr = fmt.Errorf("%w (node %s)", ErrCorruptProof, winner.id)
+				continue
+			}
+			c.mu.Lock()
+			c.stats.JobsCompleted++
+			c.mu.Unlock()
+			return proof, nil
+		}
+		if ctx.Err() != nil {
+			// The job's own deadline or the client's cancellation — not the
+			// nodes' fault; stop re-dispatching.
+			c.noteFailed()
+			return nil, ctx.Err()
+		}
+		lastErr = err
+	}
+	c.noteFailed()
+	return nil, fmt.Errorf("cluster: job %d failed after %d dispatch attempts: %w", jobID, c.cfg.MaxAttempts, lastErr)
+}
+
+func (c *Coordinator) noteFailed() {
+	c.mu.Lock()
+	c.stats.JobsFailed++
+	c.mu.Unlock()
+}
+
+// verifyRemote checks a remote proof against the local backend; without
+// one, remote proofs are accepted as-is (documented on Config.Local).
+func (c *Coordinator) verifyRemote(req ProveRequest, proof []byte) bool {
+	if c.cfg.Local == nil {
+		return true
+	}
+	ok, err := c.cfg.Local.VerifyProof(req.Circuit, req.Seed, proof)
+	return err == nil && ok
+}
+
+// proveLocal is the degrade-to-local path: every remote is down, so the
+// coordinator proves in-process, exactly like the engine's serial
+// fallback when every GPU dies.
+func (c *Coordinator) proveLocal(ctx context.Context, jobID uint64, req ProveRequest, lastErr error) ([]byte, error) {
+	if c.cfg.Local == nil {
+		c.noteFailed()
+		if lastErr != nil {
+			return nil, fmt.Errorf("%w; last dispatch error: %v", ErrNoNodes, lastErr)
+		}
+		return nil, ErrNoNodes
+	}
+	c.mu.Lock()
+	c.stats.LocalFallbacks++
+	c.mu.Unlock()
+	c.metrics.observeLocalFallback()
+	proof, err := c.cfg.Local.ProveLocal(ctx, req.Circuit, req.Seed)
+	if err != nil {
+		c.noteFailed()
+		return nil, fmt.Errorf("cluster: job %d degraded to local and failed: %w", jobID, err)
+	}
+	c.mu.Lock()
+	c.stats.JobsCompleted++
+	c.mu.Unlock()
+	return proof, nil
+}
+
+// dispatchOutcome is one attempt's result inside dispatchHedged.
+type dispatchOutcome struct {
+	n      *node
+	proof  []byte
+	err    error
+	sec    float64
+	hedged bool
+}
+
+// dispatchHedged runs one routing attempt: dispatch to primary and, if
+// the primary is still out past the hedge delay, launch one speculative
+// duplicate on a different node. First success wins and the loser is
+// cancelled; both failing fails the attempt. Every node tried is added
+// to exclude so the outer loop never revisits it for this job.
+func (c *Coordinator) dispatchHedged(ctx context.Context, primary *node, jobID uint64, req ProveRequest, exclude map[string]bool) ([]byte, *node, error) {
+	ch := make(chan dispatchOutcome, 2) // buffered: late losers never block
+	cancels := map[string]context.CancelFunc{}
+	launch := func(n *node, hedged bool) {
+		actx, acancel := context.WithCancel(ctx)
+		if c.cfg.DispatchTimeout > 0 {
+			actx, acancel = context.WithTimeout(ctx, c.cfg.DispatchTimeout)
+		}
+		_, release := c.trackInflight(n, acancel)
+		cancels[n.id] = acancel
+		dreq := DispatchRequest{
+			JobID:   jobID,
+			Circuit: req.Circuit,
+			Seed:    req.Seed,
+		}
+		if deadline, ok := actx.Deadline(); ok {
+			if d := time.Until(deadline); d > 0 {
+				dreq.TimeoutMS = d.Milliseconds()
+			}
+		}
+		go func() {
+			start := time.Now()
+			proof, err := n.client.Dispatch(actx, dreq)
+			release()
+			acancel()
+			ch <- dispatchOutcome{n: n, proof: proof, err: err, sec: time.Since(start).Seconds(), hedged: hedged}
+		}()
+	}
+	exclude[primary.id] = true
+	launch(primary, false)
+
+	hedge := time.NewTimer(c.hedgeDelay())
+	defer hedge.Stop()
+	outstanding := 1
+	hedgedYet := false
+	var lastErr error
+	for outstanding > 0 {
+		select {
+		case out := <-ch:
+			outstanding--
+			if out.err == nil {
+				c.recordDispatch(out.n, true, out.sec, req.Circuit)
+				if out.hedged {
+					c.metrics.observeHedgeWin()
+					c.mu.Lock()
+					c.stats.HedgeWins++
+					c.mu.Unlock()
+				}
+				for id, cancel := range cancels {
+					if id != out.n.id {
+						cancel() // the loser's worker-side job is cancelled too
+					}
+				}
+				return out.proof, out.n, nil
+			}
+			if ctx.Err() == nil {
+				// A real node failure, not our own deadline propagating.
+				c.recordDispatch(out.n, false, out.sec, req.Circuit)
+			}
+			lastErr = out.err
+		case <-hedge.C:
+			if hedgedYet {
+				continue
+			}
+			hedgedYet = true
+			h := c.pickNode(req.Circuit, exclude)
+			if h == nil {
+				continue // nobody to hedge on; keep waiting for the primary
+			}
+			exclude[h.id] = true
+			launch(h, true)
+			outstanding++
+			c.mu.Lock()
+			c.stats.Hedges++
+			c.mu.Unlock()
+			c.metrics.observeHedge()
+		case <-ctx.Done():
+			for _, cancel := range cancels {
+				cancel()
+			}
+			// The launched goroutines unblock into the buffered channel and
+			// exit on their own; nothing leaks.
+			return nil, nil, ctx.Err()
+		}
+	}
+	return nil, nil, lastErr
+}
+
+// Snapshot returns the node table's externally visible state, sorted by
+// registration order.
+func (c *Coordinator) Snapshot() []NodeSnapshot {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]NodeSnapshot, 0, len(c.order))
+	for _, id := range c.order {
+		n := c.nodes[id]
+		state := "alive"
+		switch {
+		case n.draining:
+			state = "draining"
+		case n.lost:
+			state = "lost"
+		}
+		out = append(out, NodeSnapshot{
+			ID:             n.id,
+			Addr:           n.addr,
+			State:          state,
+			Breaker:        n.br.state,
+			BreakerS:       n.br.state.String(),
+			HeartbeatAge:   now.Sub(n.lastHB),
+			HeartbeatAgeMS: now.Sub(n.lastHB).Milliseconds(),
+			InFlight:       len(n.inflight),
+			Dispatches:     n.dispatches,
+			Failures:       n.failures,
+			Trips:          n.br.trips,
+		})
+	}
+	return out
+}
+
+// Stats returns a counters snapshot.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// AliveNodes returns how many nodes currently hold a live lease and are
+// not draining.
+func (c *Coordinator) AliveNodes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	alive := 0
+	for _, n := range c.nodes {
+		if !n.lost && !n.draining {
+			alive++
+		}
+	}
+	return alive
+}
+
+// nodeStates counts nodes by (table state, breaker state) for the
+// metrics gauges; called at scrape time.
+func (c *Coordinator) nodeStates() (alive, lost, draining, open int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range c.nodes {
+		switch {
+		case n.draining:
+			draining++
+		case n.lost:
+			lost++
+		default:
+			alive++
+		}
+		if n.br.state == NodeOpen {
+			open++
+		}
+	}
+	return
+}
+
+// oldestHeartbeatAge returns the age of the stalest live lease, the
+// early-warning gauge for the next lease expiry; 0 with no live nodes.
+func (c *Coordinator) oldestHeartbeatAge() float64 {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var oldest float64
+	for _, n := range c.nodes {
+		if n.lost || n.draining {
+			continue
+		}
+		if age := now.Sub(n.lastHB).Seconds(); age > oldest {
+			oldest = age
+		}
+	}
+	return oldest
+}

@@ -1,0 +1,384 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// funcClient adapts a function to WorkerClient for unit tests.
+type funcClient func(ctx context.Context, req DispatchRequest) ([]byte, error)
+
+func (f funcClient) Dispatch(ctx context.Context, req DispatchRequest) ([]byte, error) {
+	return f(ctx, req)
+}
+
+// blockingClient blocks every dispatch until its context is cancelled —
+// a partitioned node.
+func blockingClient() funcClient {
+	return func(ctx context.Context, req DispatchRequest) ([]byte, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+}
+
+// proofClient answers every dispatch with a fixed proof.
+func proofClient(proof []byte) funcClient {
+	return func(ctx context.Context, req DispatchRequest) ([]byte, error) {
+		return append([]byte(nil), proof...), nil
+	}
+}
+
+// newTestCoordinator builds a coordinator whose DialWorker resolves node
+// addresses through the given client table, and closes it with the test.
+func newTestCoordinator(t *testing.T, cfg Config, clients map[string]WorkerClient) *Coordinator {
+	t.Helper()
+	cfg.DialWorker = func(addr string) WorkerClient { return clients[addr] }
+	c := NewCoordinator(cfg)
+	t.Cleanup(c.Close)
+	return c
+}
+
+func mustRegister(t *testing.T, c *Coordinator, id string) {
+	t.Helper()
+	if _, err := c.Register(RegisterRequest{NodeID: id, Addr: id}); err != nil {
+		t.Fatalf("register %s: %v", id, err)
+	}
+}
+
+// fakeLocal is a LocalBackend for unit tests: it proves a fixed byte
+// string and accepts exactly that byte string.
+type fakeLocal struct {
+	proof  []byte
+	proves atomic.Int64
+}
+
+func (f *fakeLocal) ProveLocal(ctx context.Context, circuit string, seed int64) ([]byte, error) {
+	f.proves.Add(1)
+	return append([]byte(nil), f.proof...), nil
+}
+
+func (f *fakeLocal) VerifyProof(circuit string, seed int64, proof []byte) (bool, error) {
+	return bytes.Equal(proof, f.proof), nil
+}
+
+// TestRegisterHeartbeatDeregister covers the node-table lifecycle:
+// registration, monotone heartbeat sequence numbers, the
+// unknown-heartbeat Reregister answer (which must NOT grow the table),
+// graceful deregistration and the MaxNodes bound.
+func TestRegisterHeartbeatDeregister(t *testing.T) {
+	c := newTestCoordinator(t, Config{MaxNodes: 2}, map[string]WorkerClient{
+		"n1": proofClient([]byte("p1")),
+		"n2": proofClient([]byte("p2")),
+	})
+	mustRegister(t, c, "n1")
+
+	if resp, err := c.Heartbeat(HeartbeatRequest{NodeID: "n1", Seq: 1}); err != nil || !resp.OK {
+		t.Fatalf("heartbeat 1: resp %+v err %v", resp, err)
+	}
+	// The same sequence number again is a delayed duplicate.
+	if _, err := c.Heartbeat(HeartbeatRequest{NodeID: "n1", Seq: 1}); !errors.Is(err, ErrStaleLease) {
+		t.Fatalf("stale heartbeat error = %v, want ErrStaleLease", err)
+	}
+	// A heartbeat from a node the coordinator has never seen asks it to
+	// re-register and must not create a table entry.
+	resp, err := c.Heartbeat(HeartbeatRequest{NodeID: "ghost", Seq: 1})
+	if err != nil || resp.OK || !resp.Reregister {
+		t.Fatalf("unknown heartbeat: resp %+v err %v, want Reregister", resp, err)
+	}
+	if n := len(c.Snapshot()); n != 1 {
+		t.Fatalf("unknown heartbeat grew the node table to %d entries", n)
+	}
+
+	if err := c.Deregister(DeregisterRequest{NodeID: "ghost"}); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("deregister unknown = %v, want ErrUnknownNode", err)
+	}
+	if err := c.Deregister(DeregisterRequest{NodeID: "n1"}); err != nil {
+		t.Fatalf("deregister n1: %v", err)
+	}
+	if snap := c.Snapshot(); snap[0].State != "draining" {
+		t.Fatalf("n1 state %q after deregister, want draining", snap[0].State)
+	}
+
+	// The table is bounded: with MaxNodes 2 a third distinct node is
+	// refused, but a known node may always re-register (and revives from
+	// draining).
+	mustRegister(t, c, "n2")
+	if _, err := c.Register(RegisterRequest{NodeID: "n3", Addr: "n3"}); !errors.Is(err, ErrTooManyNodes) {
+		t.Fatalf("register beyond MaxNodes = %v, want ErrTooManyNodes", err)
+	}
+	mustRegister(t, c, "n1")
+	if snap := c.Snapshot(); snap[0].State != "alive" {
+		t.Fatalf("n1 state %q after re-register, want alive", snap[0].State)
+	}
+
+	st := c.Stats()
+	if st.Registrations != 3 || st.Heartbeats != 1 || st.StaleHeartbeats != 1 {
+		t.Fatalf("stats %+v, want 3 registrations, 1 heartbeat, 1 stale", st)
+	}
+}
+
+// TestLeaseExpiryRedispatch is the failover core: a job dispatched to a
+// node whose lease then expires must be cancelled and re-dispatched to
+// a survivor, and the lost node's bookkeeping must say so.
+func TestLeaseExpiryRedispatch(t *testing.T) {
+	lease := time.Hour // expiry driven manually; the sweeper never fires
+	c := newTestCoordinator(t, Config{
+		Lease:    lease,
+		HedgeMin: time.Hour, // hedging disabled: this test wants the redispatch path
+	}, map[string]WorkerClient{
+		"a": blockingClient(),
+		"b": proofClient([]byte("proof-b")),
+	})
+	mustRegister(t, c, "a")
+	mustRegister(t, c, "b")
+
+	type res struct {
+		proof []byte
+		err   error
+	}
+	done := make(chan res, 1)
+	go func() {
+		proof, err := c.Prove(context.Background(), ProveRequest{Circuit: "synthetic", Seed: 7, Timeout: 30 * time.Second})
+		done <- res{proof, err}
+	}()
+
+	// Wait until the job is in flight on node a (registration order makes
+	// a the first pick), then expire a's lease.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if snap := c.Snapshot(); snap[0].InFlight == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never became in-flight on node a")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	c.mu.Lock()
+	c.nodes["a"].lastHB = time.Now().Add(-2 * lease)
+	c.mu.Unlock()
+	c.expireLeases(time.Now())
+
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("prove after lease expiry: %v", r.err)
+	}
+	if !bytes.Equal(r.proof, []byte("proof-b")) {
+		t.Fatalf("proof %q, want survivor b's", r.proof)
+	}
+	st := c.Stats()
+	if st.LostNodes != 1 || st.LostJobsRecovered != 1 || st.Redispatches != 1 {
+		t.Fatalf("stats %+v, want 1 lost node, 1 recovered job, 1 redispatch", st)
+	}
+	if snap := c.Snapshot(); snap[0].State != "lost" {
+		t.Fatalf("node a state %q, want lost", snap[0].State)
+	}
+	// A heartbeat revives a lost node.
+	if resp, err := c.Heartbeat(HeartbeatRequest{NodeID: "a", Seq: 1}); err != nil || !resp.OK {
+		t.Fatalf("reviving heartbeat: resp %+v err %v", resp, err)
+	}
+	if snap := c.Snapshot(); snap[0].State != "alive" {
+		t.Fatalf("node a state %q after reviving heartbeat, want alive", snap[0].State)
+	}
+}
+
+// TestHedgedDispatch: a straggling primary gets a speculative duplicate
+// after the hedge delay, the fast hedge wins, and the straggler's
+// dispatch context is cancelled.
+func TestHedgedDispatch(t *testing.T) {
+	primaryCancelled := make(chan struct{})
+	clients := map[string]WorkerClient{
+		"slow": funcClient(func(ctx context.Context, req DispatchRequest) ([]byte, error) {
+			<-ctx.Done()
+			close(primaryCancelled)
+			return nil, ctx.Err()
+		}),
+		"fast": proofClient([]byte("proof-fast")),
+	}
+	c := newTestCoordinator(t, Config{HedgeMin: 20 * time.Millisecond}, clients)
+	mustRegister(t, c, "slow")
+	mustRegister(t, c, "fast")
+
+	proof, err := c.Prove(context.Background(), ProveRequest{Circuit: "synthetic", Seed: 1, Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("hedged prove: %v", err)
+	}
+	if !bytes.Equal(proof, []byte("proof-fast")) {
+		t.Fatalf("proof %q, want the hedge's", proof)
+	}
+	select {
+	case <-primaryCancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("the losing primary dispatch was never cancelled")
+	}
+	st := c.Stats()
+	if st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Fatalf("stats %+v, want 1 hedge, 1 hedge win", st)
+	}
+}
+
+// TestNodeBreakerQuarantine drives a node's breaker through the
+// coordinator: repeated dispatch failures quarantine it, routing skips
+// it while open, and a successful half-open probe re-closes it.
+func TestNodeBreakerQuarantine(t *testing.T) {
+	var healthy atomic.Bool
+	var aDispatches atomic.Int64
+	clients := map[string]WorkerClient{
+		"a": funcClient(func(ctx context.Context, req DispatchRequest) ([]byte, error) {
+			aDispatches.Add(1)
+			if healthy.Load() {
+				return []byte("proof-a"), nil
+			}
+			return nil, errors.New("injected dispatch failure")
+		}),
+		"b": proofClient([]byte("proof-b")),
+	}
+	cooldown := 300 * time.Millisecond
+	c := newTestCoordinator(t, Config{
+		Breaker:  BreakerConfig{FailThreshold: 2, Cooldown: cooldown},
+		HedgeMin: time.Hour,
+	}, clients)
+	mustRegister(t, c, "a")
+	mustRegister(t, c, "b")
+
+	// Distinct circuit names per job dodge the circuit-affinity fast path
+	// so the least-loaded scan (registration order: a first) is exercised
+	// every time.
+	prove := func(i int) ([]byte, error) {
+		return c.Prove(context.Background(), ProveRequest{Circuit: fmt.Sprintf("c%d", i), Seed: int64(i), Timeout: 10 * time.Second})
+	}
+	for i := 1; i <= 2; i++ { // two failures on a → quarantined; b absorbs both jobs
+		proof, err := prove(i)
+		if err != nil || !bytes.Equal(proof, []byte("proof-b")) {
+			t.Fatalf("job %d: proof %q err %v, want failover to b", i, proof, err)
+		}
+	}
+	if snap := c.Snapshot(); snap[0].BreakerS != "open" {
+		t.Fatalf("node a breaker %q after %d failures, want open", snap[0].BreakerS, 2)
+	}
+	if st := c.Stats(); st.BreakerTrips != 1 {
+		t.Fatalf("breaker trips %d, want 1", st.BreakerTrips)
+	}
+	// While quarantined, routing never offers a the job.
+	before := aDispatches.Load()
+	if proof, err := prove(3); err != nil || !bytes.Equal(proof, []byte("proof-b")) {
+		t.Fatalf("job during quarantine: proof %q err %v", proof, err)
+	}
+	if got := aDispatches.Load(); got != before {
+		t.Fatalf("quarantined node a was dispatched to (%d → %d)", before, got)
+	}
+	// After the cooldown a healthy probe re-closes the breaker.
+	time.Sleep(cooldown + 20*time.Millisecond)
+	healthy.Store(true)
+	if proof, err := prove(4); err != nil || !bytes.Equal(proof, []byte("proof-a")) {
+		t.Fatalf("probe job: proof %q err %v, want node a's", proof, err)
+	}
+	if snap := c.Snapshot(); snap[0].BreakerS != "closed" {
+		t.Fatalf("node a breaker %q after successful probe, want closed", snap[0].BreakerS)
+	}
+}
+
+// TestDegradeToLocal: with every node gone the coordinator proves
+// locally; without a local backend it reports ErrNoNodes.
+func TestDegradeToLocal(t *testing.T) {
+	local := &fakeLocal{proof: []byte("proof-local")}
+	c := newTestCoordinator(t, Config{Local: local}, nil)
+	proof, err := c.Prove(context.Background(), ProveRequest{Circuit: "synthetic", Seed: 9, Timeout: 10 * time.Second})
+	if err != nil || !bytes.Equal(proof, []byte("proof-local")) {
+		t.Fatalf("degraded prove: proof %q err %v", proof, err)
+	}
+	if st := c.Stats(); st.LocalFallbacks != 1 {
+		t.Fatalf("local fallbacks %d, want 1", st.LocalFallbacks)
+	}
+
+	bare := newTestCoordinator(t, Config{}, nil)
+	if _, err := bare.Prove(context.Background(), ProveRequest{Circuit: "synthetic", Seed: 9, Timeout: time.Second}); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("remote-only empty cluster = %v, want ErrNoNodes", err)
+	}
+}
+
+// TestCorruptResponseRedispatch: a node returning garbage is caught by
+// proof verification, charged a breaker failure, and the job
+// re-dispatches to an honest node.
+func TestCorruptResponseRedispatch(t *testing.T) {
+	good := []byte("proof-good")
+	local := &fakeLocal{proof: good}
+	clients := map[string]WorkerClient{
+		"liar":   proofClient([]byte("proof-garbage")),
+		"honest": proofClient(good),
+	}
+	c := newTestCoordinator(t, Config{Local: local, HedgeMin: time.Hour}, clients)
+	mustRegister(t, c, "liar")
+	mustRegister(t, c, "honest")
+
+	proof, err := c.Prove(context.Background(), ProveRequest{Circuit: "synthetic", Seed: 3, Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("prove: %v", err)
+	}
+	if !bytes.Equal(proof, good) {
+		t.Fatalf("proof %q, want the honest node's", proof)
+	}
+	st := c.Stats()
+	if st.CorruptProofs != 1 {
+		t.Fatalf("corrupt proofs %d, want 1", st.CorruptProofs)
+	}
+	if local.proves.Load() != 0 {
+		t.Fatal("the job degraded to local instead of re-dispatching to the honest node")
+	}
+	if snap := c.Snapshot(); snap[0].Failures != 1 {
+		t.Fatalf("liar failures %d, want the corrupt response charged", snap[0].Failures)
+	}
+}
+
+// TestCoordinatorClose: a closed coordinator refuses new work and new
+// registrations, and Close is idempotent.
+func TestCoordinatorClose(t *testing.T) {
+	c := NewCoordinator(Config{})
+	c.Close()
+	c.Close()
+	if _, err := c.Prove(context.Background(), ProveRequest{Circuit: "x", Seed: 1}); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("prove after close = %v, want ErrShuttingDown", err)
+	}
+	if _, err := c.Register(RegisterRequest{NodeID: "n", Addr: "n"}); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("register after close = %v, want ErrShuttingDown", err)
+	}
+}
+
+// TestNodeFaultInjectorDeterminism: decisions are pure in (seed, node,
+// seq) — same inputs, same fault pattern, independent of call order.
+func TestNodeFaultInjectorDeterminism(t *testing.T) {
+	cfg := NodeFaultConfig{Seed: 42, Crash: 0.05, Partition: 0.1, Slow: 0.1, Corrupt: 0.1}
+	a, err := NewNodeInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNodeInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := map[NodeFaultClass]int{}
+	for node := 0; node < 3; node++ {
+		for seq := uint64(0); seq < 200; seq++ {
+			da, db := a.Decide(node, seq), b.Decide(node, seq)
+			if da != db {
+				t.Fatalf("node %d seq %d: %v vs %v", node, seq, da, db)
+			}
+			classes[da]++
+		}
+	}
+	// With 600 draws and ~35% total fault probability, every class should
+	// have fired at least once — the chaos test is actually injecting.
+	for _, cl := range []NodeFaultClass{NodeFaultCrash, NodeFaultPartition, NodeFaultSlow, NodeFaultCorrupt} {
+		if classes[cl] == 0 {
+			t.Fatalf("fault class %v never drawn in 600 decisions", cl)
+		}
+	}
+	if _, err := NewNodeInjector(NodeFaultConfig{Crash: 0.9, Partition: 0.9}); !errors.Is(err, ErrBadNodeFaultConfig) {
+		t.Fatalf("over-unity probabilities = %v, want ErrBadNodeFaultConfig", err)
+	}
+}

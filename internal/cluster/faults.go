@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"distmsm/internal/gpusim"
+)
+
+// This file extends the seedable fault-injection philosophy of
+// internal/gpusim/faults.go from GPU shards to whole nodes. Every
+// injection decision is a pure hash of (seed, node, dispatch-sequence),
+// so a given seed reproduces the same fault pattern regardless of
+// goroutine scheduling — which is what lets the chaos tests assert hard
+// invariants ("every job completes, proofs byte-identical") across
+// seeds instead of eyeballing flaky runs.
+//
+// The four node-level fault classes, and who catches each:
+//
+//	crash      the node dies and stays dead: every later dispatch fails
+//	           fast and its heartbeats stop (the test harness consults
+//	           Crashed) — caught by the heartbeat lease, absorbed by
+//	           re-dispatch to survivors.
+//	partition  the dispatch hangs until its context is cancelled —
+//	           caught by hedged dispatch (a second node finishes first)
+//	           or by the lease expiry cancelling the attempt.
+//	slow-node  the dispatch completes after an injected delay — caught
+//	           by hedging; throughput degrades, correctness never.
+//	corrupt    the dispatch returns a perturbed proof — caught by the
+//	           coordinator's proof verification, costs one redispatch.
+
+// NodeFaultClass enumerates the injectable node-level fault classes.
+type NodeFaultClass int
+
+const (
+	// NodeFaultNone: the dispatch proceeds normally.
+	NodeFaultNone NodeFaultClass = iota
+	// NodeFaultCrash permanently kills the node: this and every later
+	// dispatch to it fail fast, and Crashed reports true so harnesses
+	// stop its heartbeats too.
+	NodeFaultCrash
+	// NodeFaultPartition hangs this dispatch until its context is
+	// cancelled — the network ate the request.
+	NodeFaultPartition
+	// NodeFaultSlow delays this dispatch by the configured SlowDelay
+	// before letting it proceed.
+	NodeFaultSlow
+	// NodeFaultCorrupt flips a byte in the returned proof.
+	NodeFaultCorrupt
+)
+
+func (c NodeFaultClass) String() string {
+	switch c {
+	case NodeFaultNone:
+		return "none"
+	case NodeFaultCrash:
+		return "crash"
+	case NodeFaultPartition:
+		return "partition"
+	case NodeFaultSlow:
+		return "slow-node"
+	case NodeFaultCorrupt:
+		return "corrupted-response"
+	}
+	return "unknown"
+}
+
+// ErrNodeCrashed is the dispatch error of a crashed node — the
+// node-level stand-in for "connection refused".
+var ErrNodeCrashed = errors.New("cluster: node crashed (injected)")
+
+// ErrBadNodeFaultConfig reports an invalid NodeFaultConfig.
+var ErrBadNodeFaultConfig = errors.New("cluster: invalid node-fault configuration")
+
+// NodeFaultConfig describes per-dispatch fault probabilities. All
+// probabilities are in [0, 1] and their sum must not exceed 1 (at most
+// one fault fires per dispatch). The zero value injects nothing.
+type NodeFaultConfig struct {
+	// Seed makes every decision a pure function of
+	// (Seed, node, dispatch-sequence).
+	Seed int64
+	// Crash is the probability a dispatch permanently kills its node.
+	Crash float64
+	// Partition is the probability a dispatch hangs until cancelled.
+	Partition float64
+	// Slow is the probability a dispatch is delayed by SlowDelay.
+	Slow float64
+	// Corrupt is the probability a dispatch returns a perturbed proof.
+	Corrupt float64
+	// SlowDelay is the injected delay of a slow dispatch (default 200ms).
+	SlowDelay time.Duration
+}
+
+// DefaultSlowDelay is the slow-node delay when NodeFaultConfig.SlowDelay
+// is unset.
+const DefaultSlowDelay = 200 * time.Millisecond
+
+// hash-domain tag keeping node-level decisions independent of the GPU
+// injector's streams even under the same seed.
+const tagNodeDecide uint64 = 0x4E0DE
+
+// NodeInjector makes deterministic node-fault decisions. Decisions are
+// pure in (seed, node, seq); the only mutable state is the sticky
+// crashed set and the per-node dispatch sequence counters.
+type NodeInjector struct {
+	cfg NodeFaultConfig
+	// cumulative thresholds over the unit interval, in class order
+	thCrash, thPartition, thSlow, thCorrupt float64
+
+	mu      sync.Mutex
+	seq     map[int]uint64
+	crashed map[int]bool
+}
+
+// NewNodeInjector validates cfg and returns an injector for it.
+func NewNodeInjector(cfg NodeFaultConfig) (*NodeInjector, error) {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"Crash", cfg.Crash},
+		{"Partition", cfg.Partition},
+		{"Slow", cfg.Slow},
+		{"Corrupt", cfg.Corrupt},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return nil, fmt.Errorf("%w: %s = %v outside [0, 1]", ErrBadNodeFaultConfig, p.name, p.v)
+		}
+	}
+	if sum := cfg.Crash + cfg.Partition + cfg.Slow + cfg.Corrupt; sum > 1 {
+		return nil, fmt.Errorf("%w: probabilities sum to %v > 1", ErrBadNodeFaultConfig, sum)
+	}
+	if cfg.SlowDelay < 0 {
+		return nil, fmt.Errorf("%w: SlowDelay = %v < 0", ErrBadNodeFaultConfig, cfg.SlowDelay)
+	}
+	if cfg.SlowDelay == 0 {
+		cfg.SlowDelay = DefaultSlowDelay
+	}
+	i := &NodeInjector{cfg: cfg, seq: map[int]uint64{}, crashed: map[int]bool{}}
+	i.thCrash = cfg.Crash
+	i.thPartition = i.thCrash + cfg.Partition
+	i.thSlow = i.thPartition + cfg.Slow
+	i.thCorrupt = i.thSlow + cfg.Corrupt
+	return i, nil
+}
+
+// Config returns the (default-filled) configuration.
+func (i *NodeInjector) Config() NodeFaultConfig { return i.cfg }
+
+// Decide returns the fault (if any) injected into the seq-th dispatch
+// to the given node. The decision is deterministic in (seed, node, seq).
+// A nil injector injects nothing.
+func (i *NodeInjector) Decide(node int, seq uint64) NodeFaultClass {
+	if i == nil {
+		return NodeFaultNone
+	}
+	u := gpusim.HashUnit(uint64(i.cfg.Seed), tagNodeDecide, uint64(node), seq)
+	switch {
+	case u < i.thCrash:
+		return NodeFaultCrash
+	case u < i.thPartition:
+		return NodeFaultPartition
+	case u < i.thSlow:
+		return NodeFaultSlow
+	case u < i.thCorrupt:
+		return NodeFaultCorrupt
+	}
+	return NodeFaultNone
+}
+
+// Crashed reports whether the node has been killed by an injected
+// crash. Harnesses consult it to stop the node's heartbeats — a crashed
+// process does not heartbeat.
+func (i *NodeInjector) Crashed(node int) bool {
+	if i == nil {
+		return false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.crashed[node]
+}
+
+// CrashedCount returns how many distinct nodes the injector has killed.
+func (i *NodeInjector) CrashedCount() int {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return len(i.crashed)
+}
+
+// next draws the node's next dispatch decision, applying the sticky
+// crash state.
+func (i *NodeInjector) next(node int) NodeFaultClass {
+	i.mu.Lock()
+	if i.crashed[node] {
+		i.mu.Unlock()
+		return NodeFaultCrash
+	}
+	s := i.seq[node]
+	i.seq[node] = s + 1
+	i.mu.Unlock()
+	f := i.Decide(node, s)
+	if f == NodeFaultCrash {
+		i.mu.Lock()
+		i.crashed[node] = true
+		i.mu.Unlock()
+	}
+	return f
+}
+
+// WrapClient returns wc with the injector's faults applied: crashes
+// fail fast (and stick), partitions hang until the context is
+// cancelled, slow nodes delay, and corruption flips a byte of the
+// returned proof. A nil injector returns wc unchanged.
+func (i *NodeInjector) WrapClient(node int, wc WorkerClient) WorkerClient {
+	if i == nil {
+		return wc
+	}
+	return &faultClient{inj: i, node: node, inner: wc}
+}
+
+// faultClient is a WorkerClient with injected node faults.
+type faultClient struct {
+	inj   *NodeInjector
+	node  int
+	inner WorkerClient
+}
+
+func (f *faultClient) Dispatch(ctx context.Context, req DispatchRequest) ([]byte, error) {
+	switch f.inj.next(f.node) {
+	case NodeFaultCrash:
+		return nil, fmt.Errorf("%w: node %d", ErrNodeCrashed, f.node)
+	case NodeFaultPartition:
+		<-ctx.Done()
+		return nil, fmt.Errorf("cluster: node %d partitioned (injected): %w", f.node, ctx.Err())
+	case NodeFaultSlow:
+		select {
+		case <-time.After(f.inj.cfg.SlowDelay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	case NodeFaultCorrupt:
+		proof, err := f.inner.Dispatch(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		perturbed := append([]byte(nil), proof...)
+		if len(perturbed) > 0 {
+			// Flip a low bit of a coordinate byte (index 1: index 0 is the
+			// point-encoding tag, whose corruption would fail unmarshalling
+			// rather than verification — both paths are worth exercising,
+			// and the tag byte is covered by FuzzClusterWire).
+			perturbed[len(perturbed)/2] ^= 0x01
+		}
+		return perturbed, nil
+	}
+	return f.inner.Dispatch(ctx, req)
+}

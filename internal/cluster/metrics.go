@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"distmsm/internal/telemetry"
+)
+
+// coordMetrics holds the coordinator's pre-registered metric handles,
+// following the nil-safe pattern of internal/service: a Config without
+// a Metrics registry costs one nil check per event. The node-state and
+// heartbeat-age gauges are GaugeFuncs reading the coordinator under its
+// own mutex at scrape time; the coordinator never calls into the
+// registry while holding that mutex, so the lock order is one-way.
+type coordMetrics struct {
+	reg *telemetry.Registry
+
+	registrations  *telemetry.Counter
+	heartbeats     *telemetry.Counter
+	lostNodes      *telemetry.Counter
+	lostRecovered  *telemetry.Counter
+	redispatches   *telemetry.Counter
+	hedges         *telemetry.Counter
+	hedgeWins      *telemetry.Counter
+	localFallbacks *telemetry.Counter
+	corruptProofs  *telemetry.Counter
+	breakerTrips   *telemetry.Counter
+	dispatchOK     *telemetry.Counter
+	dispatchErr    *telemetry.Counter
+	dispatchSec    *telemetry.Histogram
+}
+
+// newCoordMetrics registers the coordinator's metric families on
+// cfg.Metrics (nil disables metrics).
+func newCoordMetrics(cfg Config, c *Coordinator) *coordMetrics {
+	reg := cfg.Metrics
+	if reg == nil {
+		return nil
+	}
+	m := &coordMetrics{reg: reg}
+
+	m.registrations = reg.Counter("distmsm_cluster_registrations_total",
+		"Worker-node registrations accepted (including re-registrations).", "")
+	m.heartbeats = reg.Counter("distmsm_cluster_heartbeats_total",
+		"Heartbeats accepted (lease renewals).", "")
+	m.lostNodes = reg.Counter("distmsm_cluster_lost_nodes_total",
+		"Nodes marked lost after a missed heartbeat lease.", "")
+	m.lostRecovered = reg.Counter("distmsm_cluster_lost_job_recoveries_total",
+		"In-flight dispatches cancelled by a lost lease and re-dispatched to survivors.", "")
+	m.redispatches = reg.Counter("distmsm_cluster_redispatches_total",
+		"Job attempts re-routed to another node after a dispatch failure.", "")
+	m.hedges = reg.Counter("distmsm_cluster_hedges_total",
+		"Speculative duplicate dispatches launched for straggling jobs.", "")
+	m.hedgeWins = reg.Counter("distmsm_cluster_hedge_wins_total",
+		"Speculative dispatches that finished before the primary.", "")
+	m.localFallbacks = reg.Counter("distmsm_cluster_local_fallbacks_total",
+		"Jobs degraded to local in-process proving (no dispatchable node).", "")
+	m.corruptProofs = reg.Counter("distmsm_cluster_corrupt_responses_total",
+		"Remote proofs rejected by the coordinator's verification.", "")
+	m.breakerTrips = reg.Counter("distmsm_cluster_breaker_trips_total",
+		"Node circuit breakers tripped open.", "")
+	dispatch := func(outcome string) *telemetry.Counter {
+		return reg.Counter("distmsm_cluster_dispatches_total",
+			"Dispatch outcomes by result.", `outcome="`+outcome+`"`)
+	}
+	m.dispatchOK = dispatch("ok")
+	m.dispatchErr = dispatch("error")
+	m.dispatchSec = reg.Histogram("distmsm_cluster_dispatch_seconds",
+		"Remote dispatch latency (launch to result).", "", nil)
+
+	state := func(s string, fn func() float64) {
+		reg.GaugeFunc("distmsm_cluster_nodes",
+			"Registered nodes by table state.", `state="`+s+`"`, fn)
+	}
+	state("alive", func() float64 { a, _, _, _ := c.nodeStates(); return float64(a) })
+	state("lost", func() float64 { _, l, _, _ := c.nodeStates(); return float64(l) })
+	state("draining", func() float64 { _, _, d, _ := c.nodeStates(); return float64(d) })
+	reg.GaugeFunc("distmsm_cluster_nodes_quarantined",
+		"Nodes whose circuit breaker is currently open.", "",
+		func() float64 { _, _, _, o := c.nodeStates(); return float64(o) })
+	reg.GaugeFunc("distmsm_cluster_heartbeat_age_seconds",
+		"Age of the stalest live lease — the early warning for the next lease expiry.", "",
+		c.oldestHeartbeatAge)
+	return m
+}
+
+func (m *coordMetrics) observeRegistration() {
+	if m != nil {
+		m.registrations.Inc()
+	}
+}
+
+func (m *coordMetrics) observeHeartbeat() {
+	if m != nil {
+		m.heartbeats.Inc()
+	}
+}
+
+func (m *coordMetrics) observeLostNode(recovered int) {
+	if m != nil {
+		m.lostNodes.Inc()
+		m.lostRecovered.Add(uint64(recovered))
+	}
+}
+
+func (m *coordMetrics) observeRedispatch() {
+	if m != nil {
+		m.redispatches.Inc()
+	}
+}
+
+func (m *coordMetrics) observeHedge() {
+	if m != nil {
+		m.hedges.Inc()
+	}
+}
+
+func (m *coordMetrics) observeHedgeWin() {
+	if m != nil {
+		m.hedgeWins.Inc()
+	}
+}
+
+func (m *coordMetrics) observeLocalFallback() {
+	if m != nil {
+		m.localFallbacks.Inc()
+	}
+}
+
+func (m *coordMetrics) observeCorrupt() {
+	if m != nil {
+		m.corruptProofs.Inc()
+	}
+}
+
+func (m *coordMetrics) observeDispatch(ok bool, sec float64, tripped bool) {
+	if m == nil {
+		return
+	}
+	if ok {
+		m.dispatchOK.Inc()
+		m.dispatchSec.Observe(sec)
+	} else {
+		m.dispatchErr.Inc()
+	}
+	if tripped {
+		m.breakerTrips.Inc()
+	}
+}

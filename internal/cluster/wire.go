@@ -1,0 +1,336 @@
+// Package cluster is the multi-node tier of the proving system: a
+// coordinator that fronts several provd worker nodes and lifts the
+// per-GPU scheduler's retry/steal/breaker machinery up one level, to
+// whole nodes.
+//
+// The per-GPU layer (internal/core + internal/gpusim) already absorbs
+// device loss, transient kernel failures, stragglers and corrupted
+// partial sums *inside* one process. This package absorbs the failure
+// modes a single process cannot: the whole node crashing, the network
+// partitioning it away, the node silently slowing down, or the node
+// returning a corrupted proof. The machinery mirrors the GPU layer
+// deliberately —
+//
+//   - heartbeat leases stand in for the scheduler's liveness knowledge
+//     of its worker goroutines: a node that misses its lease is marked
+//     lost and its in-flight jobs are re-dispatched to survivors, the
+//     node-level analogue of shard reassignment after device loss;
+//   - a per-node circuit breaker (Closed → Open → HalfOpen probe,
+//     mirroring internal/gpusim/health.go) fed by dispatch failures and
+//     timeouts quarantines a sick node instead of rediscovering it on
+//     every job;
+//   - hedged dispatch re-issues a job to a second node once the first
+//     has been out past an EWMA latency multiple — the node-level
+//     analogue of the scheduler's straggler speculation, first result
+//     wins, loser cancelled;
+//   - every remote proof is verified before it is accepted, so a
+//     corrupted response costs one redispatch, never correctness;
+//   - when every remote node is lost or quarantined the coordinator
+//     degrades to local in-process proving, the analogue of the
+//     engine's serial fallback when every GPU dies.
+//
+// Node faults are injectable and deterministic (see faults.go), so the
+// failover paths are tested exactly the way the shard paths are.
+package cluster
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Typed sentinels of the cluster API; all match with errors.Is.
+var (
+	// ErrBadMessage rejects a malformed or out-of-bounds wire message.
+	ErrBadMessage = errors.New("cluster: bad message")
+	// ErrUnknownNode reports an operation against a node ID the
+	// coordinator has never seen (or has already forgotten).
+	ErrUnknownNode = errors.New("cluster: unknown node")
+	// ErrTooManyNodes rejects a registration beyond Config.MaxNodes —
+	// the node table is bounded so hostile or buggy registrants cannot
+	// grow coordinator state without limit.
+	ErrTooManyNodes = errors.New("cluster: node table full")
+	// ErrNoNodes reports that no worker node was available to dispatch
+	// to and no local fallback was configured.
+	ErrNoNodes = errors.New("cluster: no dispatchable nodes")
+	// ErrCorruptProof reports a remote proof that failed the
+	// coordinator's verification — the corrupted-response fault class.
+	ErrCorruptProof = errors.New("cluster: remote proof failed verification")
+	// ErrShuttingDown rejects operations after Close began.
+	ErrShuttingDown = errors.New("cluster: coordinator shutting down")
+	// ErrStaleLease reports a heartbeat whose sequence number ran
+	// backwards — a delayed duplicate, never a lease renewal.
+	ErrStaleLease = errors.New("cluster: stale heartbeat")
+)
+
+// Wire-format bounds. Every inbound message is held to these before it
+// touches coordinator state; FuzzClusterWire holds the parsers to
+// rejecting anything beyond them without panicking.
+const (
+	// maxWireBody caps any single wire message body.
+	maxWireBody = 1 << 16
+	// maxNodeID bounds the node-identifier length.
+	maxNodeID = 64
+	// maxNodeAddr bounds the advertised dispatch address length.
+	maxNodeAddr = 256
+	// maxNodeCircuits bounds the circuit list a node may advertise.
+	maxNodeCircuits = 64
+	// maxCircuitName mirrors the service's wire bound on circuit names.
+	maxCircuitName = 64
+	// maxNodeWorkers bounds the advertised worker-pool size.
+	maxNodeWorkers = 1 << 12
+	// maxProofHex bounds the proof field of a dispatch response (hex
+	// characters); far above any real proof, far below a memory bomb.
+	maxProofHex = 1 << 20
+	// MaxDispatchTimeout caps the per-job deadline accepted on the wire,
+	// mirroring the service's cap.
+	MaxDispatchTimeout = 10 * time.Minute
+)
+
+// RegisterRequest announces a worker node to the coordinator: its
+// identity, the address the coordinator dispatches to, the circuits it
+// can prove and its worker-pool size.
+type RegisterRequest struct {
+	NodeID   string   `json:"node_id"`
+	Addr     string   `json:"addr"`
+	Circuits []string `json:"circuits,omitempty"`
+	Workers  int      `json:"workers,omitempty"`
+}
+
+// RegisterResponse grants the node its heartbeat lease: the node is
+// considered live for LeaseMS after every accepted heartbeat and should
+// heartbeat every HeartbeatMS.
+type RegisterResponse struct {
+	LeaseMS     int64 `json:"lease_ms"`
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+}
+
+// HeartbeatRequest renews a node's lease and reports its load. Seq must
+// be monotone per node; a heartbeat whose Seq runs backwards is a
+// delayed duplicate and never renews the lease.
+type HeartbeatRequest struct {
+	NodeID   string `json:"node_id"`
+	Seq      uint64 `json:"seq"`
+	Queued   int    `json:"queued"`
+	InFlight int    `json:"in_flight"`
+}
+
+// HeartbeatResponse acknowledges a heartbeat. Reregister tells the node
+// the coordinator does not know it (it restarted, or the node's lease
+// expired long enough ago to be forgotten) and it must register again.
+type HeartbeatResponse struct {
+	OK         bool `json:"ok"`
+	Reregister bool `json:"reregister,omitempty"`
+}
+
+// DeregisterRequest announces a graceful drain: the node stops
+// receiving new dispatches but its in-flight jobs are left to finish
+// (unlike a lease expiry, which cancels and re-dispatches them).
+type DeregisterRequest struct {
+	NodeID string `json:"node_id"`
+}
+
+// DispatchRequest is one proof job sent coordinator → worker.
+type DispatchRequest struct {
+	JobID     uint64 `json:"job_id"`
+	Circuit   string `json:"circuit"`
+	Seed      int64  `json:"seed"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// Timeout converts the wire deadline.
+func (r DispatchRequest) Timeout() time.Duration {
+	return time.Duration(r.TimeoutMS) * time.Millisecond
+}
+
+// DispatchResponse is the worker's answer: the marshalled proof in hex,
+// or a terminal error string.
+type DispatchResponse struct {
+	JobID uint64 `json:"job_id"`
+	Proof string `json:"proof,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// ProveRequest is the coordinator's client-facing job request — the
+// same shape the single-node service accepts, so clients are oblivious
+// to whether they talk to one provd or a cluster.
+type ProveRequest struct {
+	Circuit string
+	Seed    int64
+	// Timeout is the end-to-end deadline measured from submission; 0
+	// uses the coordinator default.
+	Timeout time.Duration
+}
+
+// proveRequestWire is the POST /v1/prove body.
+type proveRequestWire struct {
+	Circuit   string `json:"circuit"`
+	Seed      int64  `json:"seed"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+func validateCircuitName(name string) error {
+	if name == "" {
+		return fmt.Errorf("%w: missing circuit name", ErrBadMessage)
+	}
+	if len(name) > maxCircuitName {
+		return fmt.Errorf("%w: circuit name longer than %d bytes", ErrBadMessage, maxCircuitName)
+	}
+	for _, r := range name {
+		if r < 0x21 || r > 0x7E {
+			return fmt.Errorf("%w: circuit name contains non-printable or space character %q", ErrBadMessage, r)
+		}
+	}
+	return nil
+}
+
+func validateNodeID(id string) error {
+	if id == "" {
+		return fmt.Errorf("%w: missing node_id", ErrBadMessage)
+	}
+	if len(id) > maxNodeID {
+		return fmt.Errorf("%w: node_id longer than %d bytes", ErrBadMessage, maxNodeID)
+	}
+	for _, r := range id {
+		if r < 0x21 || r > 0x7E {
+			return fmt.Errorf("%w: node_id contains non-printable or space character %q", ErrBadMessage, r)
+		}
+	}
+	return nil
+}
+
+func unmarshalWire(body []byte, v any) error {
+	if len(body) > maxWireBody {
+		return fmt.Errorf("%w: body of %d bytes above the %d cap", ErrBadMessage, len(body), maxWireBody)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	return nil
+}
+
+// ParseRegisterRequest decodes and validates a registration message. It
+// is strict — oversized or non-printable identifiers, absurd worker
+// counts and oversized circuit lists are all rejected with errors
+// wrapping ErrBadMessage — and never panics on any input.
+func ParseRegisterRequest(body []byte) (RegisterRequest, error) {
+	var w RegisterRequest
+	if err := unmarshalWire(body, &w); err != nil {
+		return RegisterRequest{}, err
+	}
+	if err := validateNodeID(w.NodeID); err != nil {
+		return RegisterRequest{}, err
+	}
+	if w.Addr == "" {
+		return RegisterRequest{}, fmt.Errorf("%w: missing addr", ErrBadMessage)
+	}
+	if len(w.Addr) > maxNodeAddr {
+		return RegisterRequest{}, fmt.Errorf("%w: addr longer than %d bytes", ErrBadMessage, maxNodeAddr)
+	}
+	if len(w.Circuits) > maxNodeCircuits {
+		return RegisterRequest{}, fmt.Errorf("%w: %d circuits above the %d cap", ErrBadMessage, len(w.Circuits), maxNodeCircuits)
+	}
+	for _, c := range w.Circuits {
+		if err := validateCircuitName(c); err != nil {
+			return RegisterRequest{}, err
+		}
+	}
+	if w.Workers < 0 || w.Workers > maxNodeWorkers {
+		return RegisterRequest{}, fmt.Errorf("%w: workers %d outside [0, %d]", ErrBadMessage, w.Workers, maxNodeWorkers)
+	}
+	return w, nil
+}
+
+// ParseHeartbeatRequest decodes and validates a heartbeat message.
+func ParseHeartbeatRequest(body []byte) (HeartbeatRequest, error) {
+	var w HeartbeatRequest
+	if err := unmarshalWire(body, &w); err != nil {
+		return HeartbeatRequest{}, err
+	}
+	if err := validateNodeID(w.NodeID); err != nil {
+		return HeartbeatRequest{}, err
+	}
+	if w.Queued < 0 || w.InFlight < 0 {
+		return HeartbeatRequest{}, fmt.Errorf("%w: negative load figures", ErrBadMessage)
+	}
+	return w, nil
+}
+
+// ParseDeregisterRequest decodes and validates a drain announcement.
+func ParseDeregisterRequest(body []byte) (DeregisterRequest, error) {
+	var w DeregisterRequest
+	if err := unmarshalWire(body, &w); err != nil {
+		return DeregisterRequest{}, err
+	}
+	if err := validateNodeID(w.NodeID); err != nil {
+		return DeregisterRequest{}, err
+	}
+	return w, nil
+}
+
+// ParseDispatchRequest decodes and validates a coordinator → worker job.
+func ParseDispatchRequest(body []byte) (DispatchRequest, error) {
+	var w DispatchRequest
+	if err := unmarshalWire(body, &w); err != nil {
+		return DispatchRequest{}, err
+	}
+	if err := validateCircuitName(w.Circuit); err != nil {
+		return DispatchRequest{}, err
+	}
+	if w.TimeoutMS < 0 {
+		return DispatchRequest{}, fmt.Errorf("%w: negative timeout_ms", ErrBadMessage)
+	}
+	if w.Timeout() > MaxDispatchTimeout {
+		return DispatchRequest{}, fmt.Errorf("%w: timeout_ms above the %v cap", ErrBadMessage, MaxDispatchTimeout)
+	}
+	return w, nil
+}
+
+// ParseDispatchResponse decodes and validates a worker's answer,
+// returning the decoded proof bytes on success. A response that carries
+// both a proof and an error, or neither, is malformed.
+func ParseDispatchResponse(body []byte) (DispatchResponse, []byte, error) {
+	var w DispatchResponse
+	if err := unmarshalWire(body, &w); err != nil {
+		return DispatchResponse{}, nil, err
+	}
+	if w.Error != "" {
+		if w.Proof != "" {
+			return DispatchResponse{}, nil, fmt.Errorf("%w: response carries both proof and error", ErrBadMessage)
+		}
+		return w, nil, nil
+	}
+	if w.Proof == "" {
+		return DispatchResponse{}, nil, fmt.Errorf("%w: response carries neither proof nor error", ErrBadMessage)
+	}
+	if len(w.Proof) > maxProofHex {
+		return DispatchResponse{}, nil, fmt.Errorf("%w: proof of %d hex chars above the %d cap", ErrBadMessage, len(w.Proof), maxProofHex)
+	}
+	proof, err := hex.DecodeString(w.Proof)
+	if err != nil {
+		return DispatchResponse{}, nil, fmt.Errorf("%w: proof is not hex: %v", ErrBadMessage, err)
+	}
+	return w, proof, nil
+}
+
+// ParseProveRequest decodes and validates a client job request against
+// the coordinator (same shape as the single-node service's /v1/prove).
+func ParseProveRequest(body []byte) (ProveRequest, error) {
+	var w proveRequestWire
+	if err := unmarshalWire(body, &w); err != nil {
+		return ProveRequest{}, err
+	}
+	if err := validateCircuitName(w.Circuit); err != nil {
+		return ProveRequest{}, err
+	}
+	if w.TimeoutMS < 0 {
+		return ProveRequest{}, fmt.Errorf("%w: negative timeout_ms", ErrBadMessage)
+	}
+	timeout := time.Duration(w.TimeoutMS) * time.Millisecond
+	if timeout > MaxDispatchTimeout {
+		return ProveRequest{}, fmt.Errorf("%w: timeout_ms above the %v cap", ErrBadMessage, MaxDispatchTimeout)
+	}
+	return ProveRequest{Circuit: w.Circuit, Seed: w.Seed, Timeout: timeout}, nil
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzClusterWire throws arbitrary bytes at every wire parser and at
+// the coordinator's registration/heartbeat/deregistration surface. The
+// invariants: no parser panics, parse-rejected input never reaches
+// coordinator state, and — the leak that matters — junk can never grow
+// the node table past MaxNodes, and an unknown-node heartbeat never
+// creates a table entry at all.
+func FuzzClusterWire(f *testing.F) {
+	// One coordinator shared across iterations: state accumulated from
+	// accepted messages makes later iterations probe a populated table.
+	c := NewCoordinator(Config{
+		MaxNodes:   8,
+		Lease:      time.Hour, // the sweeper must not race the fuzzer's table checks
+		DialWorker: func(addr string) WorkerClient { return proofClient([]byte("p")) },
+	})
+	f.Cleanup(c.Close)
+
+	f.Add([]byte(`{"node_id":"n1","addr":"http://10.0.0.7:8080","circuits":["synthetic"],"workers":8}`))
+	f.Add([]byte(`{"node_id":"n1","seq":1,"queued":2,"in_flight":1}`))
+	f.Add([]byte(`{"node_id":"n1"}`))
+	f.Add([]byte(`{"job_id":7,"circuit":"synthetic","seed":42,"timeout_ms":1000}`))
+	f.Add([]byte(`{"job_id":7,"proof":"deadbeef"}`))
+	f.Add([]byte(`{"job_id":7,"error":"boom"}`))
+	f.Add([]byte(`{"circuit":"synthetic","seed":-9223372036854775808}`))
+	f.Add([]byte(`{"node_id":"` + string(make([]byte, 65)) + `"}`))
+	f.Add([]byte(`{"node_id":"n1","seq":18446744073709551615}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[[[[[[`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Every parser must reject or accept without panicking.
+		regReq, regErr := ParseRegisterRequest(data)
+		hbReq, hbErr := ParseHeartbeatRequest(data)
+		deregReq, deregErr := ParseDeregisterRequest(data)
+		if _, err := ParseDispatchRequest(data); err == nil {
+			// accepted dispatch requests carry validated names and bounds
+		}
+		if w, proof, err := ParseDispatchResponse(data); err == nil {
+			if w.Error == "" && len(proof) == 0 {
+				t.Fatal("dispatch response accepted with neither proof bytes nor error")
+			}
+		}
+		if _, err := ParseProveRequest(data); err == nil {
+			// accepted prove requests carry validated names and bounds
+		}
+
+		// Accepted messages drive the coordinator; rejected ones must not.
+		before := len(c.Snapshot())
+		if regErr == nil {
+			_, _ = c.Register(regReq)
+		}
+		if hbErr == nil {
+			resp, err := c.Heartbeat(hbReq)
+			if err == nil && !resp.OK && resp.Reregister {
+				// Unknown node: the answer must not have created an entry.
+				if got := len(c.Snapshot()); got != before && regErr != nil {
+					t.Fatalf("unknown-node heartbeat grew the table: %d → %d", before, got)
+				}
+			}
+		}
+		if deregErr == nil {
+			_ = c.Deregister(deregReq)
+		}
+		if got := len(c.Snapshot()); got > 8 {
+			t.Fatalf("node table grew past MaxNodes: %d entries", got)
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"net/http"
+	"time"
+
+	"distmsm/internal/cluster"
+)
+
+// This file is the service's worker-node face: the endpoints and
+// methods that let a provd instance serve as one node of a
+// cluster.Coordinator's fleet, and the in-process backend the
+// coordinator degrades to when every remote node is down.
+//
+//	POST /v1/cluster/dispatch   coordinator → worker: one proof job
+//	  request   cluster.DispatchRequest
+//	  response  200 {"job_id", "proof"} on success
+//	            200 {"job_id", "error"} on a terminal job error
+//	            429 admission rejected (Retry-After, seconds)
+//	            404 unknown circuit    503 shutting down
+//	            400 malformed          499 coordinator abandoned the job
+//
+// Cancelling the dispatch request cancels the job: when the coordinator
+// hedges a straggling job and another node wins, or a lost lease
+// re-dispatches this node's jobs, the abandoned HTTP request's context
+// dies and the worker stops burning GPUs on a result nobody wants.
+//
+// ProveLocal and VerifyProof structurally satisfy cluster.LocalBackend,
+// so a *Service plugs into cluster.Config.Local without this package
+// and internal/cluster importing each other cyclically (cluster stays
+// free of a service dependency; service imports cluster only for the
+// wire types).
+
+// ProveLocal proves (circuit, seed) through the service's own queue and
+// returns the marshalled proof. The job deadline is ctx's deadline when
+// it has one (the coordinator's end-to-end job deadline), the service
+// default otherwise. It is the coordinator's degrade-to-local backend
+// and the in-process flavour of the dispatch endpoint below.
+func (s *Service) ProveLocal(ctx context.Context, circuitName string, seed int64) ([]byte, error) {
+	req := Request{Circuit: circuitName, Seed: seed}
+	if dl, ok := ctx.Deadline(); ok {
+		req.Timeout = time.Until(dl)
+	}
+	job, err := s.Submit(req)
+	if err != nil {
+		return nil, err
+	}
+	proof, err := job.Wait(ctx)
+	if err != nil {
+		job.Cancel() // caller gave up or the job failed: either way, stop it
+		return nil, err
+	}
+	return s.eng.MarshalProof(proof), nil
+}
+
+// VerifyProof checks a marshalled proof of (circuit, seed) against the
+// circuit's verifying key, regenerating the witness's public inputs
+// from the seed server-side exactly like proving does. A proof that
+// fails to decode reports (false, nil) rather than an error: from the
+// caller's seat — the coordinator deciding whether a remote node
+// returned garbage — an undecodable proof and a failed pairing check
+// are the same verdict.
+func (s *Service) VerifyProof(circuitName string, seed int64, proofBytes []byte) (bool, error) {
+	s.mu.Lock()
+	c := s.circuits[circuitName]
+	s.mu.Unlock()
+	if c == nil {
+		return false, errors.New("service: unknown circuit: " + circuitName)
+	}
+	proof, err := s.eng.UnmarshalProof(proofBytes)
+	if err != nil {
+		return false, nil
+	}
+	w, err := c.witness(seed)
+	if err != nil {
+		return false, err
+	}
+	return s.eng.Verify(c.vk, proof, w[1:1+c.cs.NPublic])
+}
+
+// handleClusterDispatch serves one coordinator-dispatched job.
+func (s *Service) handleClusterDispatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	req, err := cluster.ParseDispatchRequest(readBody(r))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	job, err := s.Submit(Request{Circuit: req.Circuit, Seed: req.Seed, Timeout: req.Timeout()})
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	proof, err := job.Wait(r.Context())
+	if err != nil {
+		job.Cancel()
+		if r.Context().Err() != nil {
+			// The coordinator abandoned the dispatch (hedge lost, lease
+			// re-dispatch, client gone): the job is cancelled above and the
+			// status code is for the access log only.
+			http.Error(w, err.Error(), 499)
+			return
+		}
+		// A terminal job error travels as a dispatch-response error so the
+		// coordinator can tell "this node failed the job" from "this node
+		// is unreachable".
+		writeJSON(w, cluster.DispatchResponse{JobID: req.JobID, Error: err.Error()})
+		return
+	}
+	writeJSON(w, cluster.DispatchResponse{
+		JobID: req.JobID,
+		Proof: hex.EncodeToString(s.eng.MarshalProof(proof)),
+	})
+}

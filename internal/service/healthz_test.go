@@ -1,0 +1,130 @@
+package service
+
+// Tests of the service's cluster-facing surface: the honest-degradation
+// healthz contract and the coordinator dispatch endpoint.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"distmsm/internal/cluster"
+)
+
+func getHealthz(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := map[string]any{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestHealthzHonestDegrade: a node with SOME GPUs quarantined still
+// proves, so healthz must stay 200 with "degraded": true; only a node
+// with EVERY GPU quarantined answers 503. One sick device must not make
+// the whole node read as dead to load balancers and coordinators.
+func TestHealthzHonestDegrade(t *testing.T) {
+	check := leakCheck(t)
+	svc := newTestService(t, 2, 64, nil)
+	srv := httptest.NewServer(svc.Handler())
+
+	code, body := getHealthz(t, srv.URL)
+	if code != http.StatusOK || body["status"] != "ok" || body["degraded"] != false {
+		t.Fatalf("healthy node: code %d body %v", code, body)
+	}
+
+	// Trip GPU 0's breaker (threshold faults in one run): degraded, not
+	// down.
+	threshold := svc.health.Config().FaultThreshold
+	svc.health.RecordRun(0, 1, threshold)
+	code, body = getHealthz(t, srv.URL)
+	if code != http.StatusOK {
+		t.Fatalf("half-quarantined node answered %d — one sick GPU must not 503 the node", code)
+	}
+	if body["status"] != "degraded" || body["degraded"] != true || body["quarantined"] != float64(1) {
+		t.Fatalf("half-quarantined body %v, want status=degraded quarantined=1", body)
+	}
+
+	// Trip the last GPU too: now the node is honestly down.
+	svc.health.RecordRun(1, 1, threshold)
+	code, body = getHealthz(t, srv.URL)
+	if code != http.StatusServiceUnavailable || body["status"] != "down" {
+		t.Fatalf("fully-quarantined node: code %d body %v, want 503/down", code, body)
+	}
+
+	srv.Close()
+	shutdownClean(t, svc)
+	check()
+}
+
+// TestClusterDispatchEndpoint: the worker-node face of the cluster —
+// a coordinator dispatch proves and returns hex, bad messages bounce
+// with 400/404, and the proof round-trips through VerifyProof.
+func TestClusterDispatchEndpoint(t *testing.T) {
+	check := leakCheck(t)
+	svc := newTestService(t, 2, 64, nil)
+	srv := httptest.NewServer(svc.Handler())
+
+	post := func(body string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/cluster/dispatch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, raw
+	}
+
+	code, raw := post(`{"job_id":7,"circuit":"synthetic","seed":42}`)
+	if code != http.StatusOK {
+		t.Fatalf("dispatch: HTTP %d: %s", code, raw)
+	}
+	w, proof, err := cluster.ParseDispatchResponse(raw)
+	if err != nil || w.JobID != 7 {
+		t.Fatalf("dispatch response %s: parsed %+v err %v", raw, w, err)
+	}
+	ok, err := svc.VerifyProof("synthetic", 42, proof)
+	if err != nil || !ok {
+		t.Fatalf("dispatched proof failed verification: ok=%v err=%v", ok, err)
+	}
+	// The dispatch path and the local path prove identical bytes — what
+	// the coordinator's byte-identity guarantee stands on.
+	local, err := svc.ProveLocal(context.Background(), "synthetic", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(proof, local) {
+		t.Fatal("dispatched proof differs from ProveLocal's bytes")
+	}
+	// A corrupted proof must verify false, not error.
+	bad := append([]byte(nil), proof...)
+	bad[len(bad)/2] ^= 0x01
+	if ok, err := svc.VerifyProof("synthetic", 42, bad); err != nil || ok {
+		t.Fatalf("corrupted proof: ok=%v err=%v, want false/nil", ok, err)
+	}
+	if ok, err := svc.VerifyProof("synthetic", 42, []byte("garbage")); err != nil || ok {
+		t.Fatalf("undecodable proof: ok=%v err=%v, want false/nil", ok, err)
+	}
+	if code, _ := post(`{"job_id":1,"circuit":"","seed":1}`); code != http.StatusBadRequest {
+		t.Fatalf("empty circuit: HTTP %d, want 400", code)
+	}
+	if code, _ := post(`{"job_id":1,"circuit":"nope","seed":1}`); code != http.StatusNotFound {
+		t.Fatalf("unknown circuit: HTTP %d, want 404", code)
+	}
+
+	srv.Close()
+	shutdownClean(t, svc)
+	check()
+}

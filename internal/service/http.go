@@ -36,9 +36,17 @@ import (
 //	            client never unwinds a half-accepted batch; per-job
 //	            failures after admission surface as "error" entries.
 //
-//	GET /v1/healthz   per-GPU breaker states (503 if any GPU quarantined)
+//	GET /v1/healthz   per-GPU breaker states. Degrades honestly: 503 only
+//	                  when EVERY GPU is quarantined (the node cannot
+//	                  prove); some-but-not-all quarantined stays 200 with
+//	                  "degraded": true — capacity is reduced, not gone.
+//	                  A cluster coordinator's node breaker keys off the
+//	                  503, an autoscaler can key off "degraded".
 //	GET /v1/stats     counters snapshot (includes base-cache hit/miss/eviction)
 //	GET /v1/metrics   Prometheus text exposition (when Config.Metrics set)
+//
+//	POST /v1/cluster/dispatch   coordinator-dispatched proof job (see
+//	                            cluster.go for the worker-node surface)
 //
 // The unversioned paths (/prove, /healthz, /stats, /metrics) are legacy
 // aliases of the v1 handlers, kept for existing clients; new clients
@@ -138,6 +146,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/cluster/dispatch", s.handleClusterDispatch)
 	// Legacy aliases, same handlers.
 	mux.HandleFunc("/prove", s.handleProve)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -254,6 +263,13 @@ func (s *Service) handleProve(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealthz degrades honestly: a node with SOME quarantined GPUs
+// still proves (the planner routes around them), so it answers 200 with
+// "degraded": true; only a node where EVERY GPU is open — nothing left
+// to plan onto without the emergency re-admission — answers 503, with
+// the per-GPU breaker detail either way. Returning 503 on any single
+// quarantined GPU (the old behaviour) made one sick device read as a
+// dead node to load balancers and to the cluster coordinator.
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.Health()
 	quarantined := 0
@@ -271,10 +287,21 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"faults": h.Faults,
 		}
 	}
-	if quarantined > 0 {
+	down := len(snap) > 0 && quarantined == len(snap)
+	status := "ok"
+	switch {
+	case down:
+		status = "down"
 		w.WriteHeader(http.StatusServiceUnavailable)
+	case quarantined > 0:
+		status = "degraded"
 	}
-	writeJSON(w, map[string]any{"quarantined": quarantined, "gpus": gpus})
+	writeJSON(w, map[string]any{
+		"status":      status,
+		"degraded":    quarantined > 0,
+		"quarantined": quarantined,
+		"gpus":        gpus,
+	})
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
