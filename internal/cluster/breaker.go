@@ -95,26 +95,44 @@ func (b *nodeBreaker) canAdmit(now time.Time, cfg BreakerConfig) bool {
 
 // admit commits the admission canAdmit promised: an open node past its
 // cooldown transitions to half-open, and a half-open node consumes its
-// probe slot. Returns false if the admission raced away.
-func (b *nodeBreaker) admit(now time.Time, cfg BreakerConfig) bool {
+// probe slot. admitted is false if the admission raced away; probe
+// reports that this admission consumed the half-open probe slot — the
+// caller then owns that slot and must return it, either by recording
+// the dispatch outcome or via releaseProbe when the attempt is
+// abandoned without one.
+func (b *nodeBreaker) admit(now time.Time, cfg BreakerConfig) (admitted, probe bool) {
 	switch b.state {
 	case NodeClosed:
-		return true
+		return true, false
 	case NodeOpen:
 		if now.Sub(b.openedAt) < cfg.Cooldown {
-			return false
+			return false, false
 		}
 		b.state = NodeHalfOpen
 		b.probing = true
-		return true
+		return true, true
 	case NodeHalfOpen:
 		if b.probing {
-			return false
+			return false, false
 		}
 		b.probing = true
-		return true
+		return true, true
 	}
-	return false
+	return false, false
+}
+
+// releaseProbe returns a half-open probe slot without recording an
+// outcome. A probe dispatch that is abandoned before it completes — a
+// hedge loser, or a job cancelled mid-flight — proves nothing about the
+// node's health, but its slot must come back: otherwise the breaker
+// would sit HalfOpen with its single slot consumed forever and the node
+// would be silently excluded from routing for good. The state guard
+// makes a late release a no-op when the breaker has since re-opened or
+// closed (record already reset probing on those transitions).
+func (b *nodeBreaker) releaseProbe() {
+	if b.state == NodeHalfOpen {
+		b.probing = false
+	}
 }
 
 // record folds one dispatch outcome into the breaker. Returns true when

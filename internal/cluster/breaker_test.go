@@ -14,8 +14,11 @@ func TestNodeBreakerLifecycle(t *testing.T) {
 	var b nodeBreaker
 	now := time.Unix(1000, 0)
 
-	if !b.canAdmit(now, cfg) || !b.admit(now, cfg) {
+	if !b.canAdmit(now, cfg) {
 		t.Fatal("a fresh closed breaker must admit")
+	}
+	if admitted, probe := b.admit(now, cfg); !admitted || probe {
+		t.Fatalf("closed admission = (%v, probe %v), want admitted without a probe slot", admitted, probe)
 	}
 	// Failures below the threshold keep it closed.
 	for i := 0; i < cfg.FailThreshold-1; i++ {
@@ -41,14 +44,17 @@ func TestNodeBreakerLifecycle(t *testing.T) {
 	if !b.canAdmit(probeAt, cfg) {
 		t.Fatal("open breaker refused admission after its cooldown")
 	}
-	if !b.admit(probeAt, cfg) {
-		t.Fatal("admit after cooldown failed")
+	if admitted, probe := b.admit(probeAt, cfg); !admitted || !probe {
+		t.Fatalf("post-cooldown admission = (%v, probe %v), want a consumed probe slot", admitted, probe)
 	}
 	if b.state != NodeHalfOpen || !b.probing {
 		t.Fatalf("state %v probing %v after cooldown admission, want half-open probe", b.state, b.probing)
 	}
 	// One probe at a time.
-	if b.canAdmit(probeAt, cfg) || b.admit(probeAt, cfg) {
+	if b.canAdmit(probeAt, cfg) {
+		t.Fatal("half-open breaker offered a second concurrent probe")
+	}
+	if admitted, _ := b.admit(probeAt, cfg); admitted {
 		t.Fatal("half-open breaker admitted a second concurrent probe")
 	}
 	// A failed probe goes straight back to quarantine.
@@ -66,7 +72,7 @@ func TestNodeBreakerLifecycle(t *testing.T) {
 	}
 	// A successful probe closes the breaker and clears the streak.
 	reprobe := late.Add(cfg.Cooldown)
-	if !b.admit(reprobe, cfg) {
+	if admitted, _ := b.admit(reprobe, cfg); !admitted {
 		t.Fatal("re-probe admission failed")
 	}
 	if tripped := b.record(true, reprobe, cfg); tripped {
@@ -74,6 +80,40 @@ func TestNodeBreakerLifecycle(t *testing.T) {
 	}
 	if b.state != NodeClosed || b.consecutive != 0 || b.probing {
 		t.Fatalf("breaker not cleanly closed after successful probe: %+v", b)
+	}
+}
+
+// TestNodeBreakerReleaseProbe: an abandoned probe (hedge loser, job
+// cancelled mid-flight) must give its slot back without recording an
+// outcome, or the breaker would stay half-open and unroutable forever;
+// and a release arriving after the breaker has already moved on must be
+// a no-op.
+func TestNodeBreakerReleaseProbe(t *testing.T) {
+	cfg := BreakerConfig{FailThreshold: 1, Cooldown: time.Second}
+	var b nodeBreaker
+	now := time.Unix(2000, 0)
+
+	b.record(false, now, cfg) // trip open
+	probeAt := now.Add(cfg.Cooldown)
+	if admitted, probe := b.admit(probeAt, cfg); !admitted || !probe {
+		t.Fatalf("admission = (%v, probe %v), want a probe", admitted, probe)
+	}
+	// The probe is abandoned (cancelled), not recorded: the slot comes
+	// back and the next admission gets a fresh probe.
+	b.releaseProbe()
+	if b.state != NodeHalfOpen || b.probing {
+		t.Fatalf("state %v probing %v after release, want half-open with a free slot", b.state, b.probing)
+	}
+	if admitted, probe := b.admit(probeAt, cfg); !admitted || !probe {
+		t.Fatalf("re-admission after release = (%v, probe %v), want a probe", admitted, probe)
+	}
+
+	// A failure recorded by a concurrent dispatch re-opens the breaker;
+	// a late release from the abandoned probe must not disturb it.
+	b.record(false, probeAt, cfg)
+	b.releaseProbe()
+	if b.state != NodeOpen || b.probing {
+		t.Fatalf("state %v probing %v, want a late release to leave the open breaker alone", b.state, b.probing)
 	}
 }
 

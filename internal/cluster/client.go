@@ -17,11 +17,11 @@ import (
 // Agent that registers with a coordinator and keeps its heartbeat lease
 // alive. Both speak the wire types of wire.go and nothing else.
 
-// readCapped reads at most maxWireBody+1 bytes of a response body; the
-// +1 lets the parser reject an oversized body instead of silently
+// readCapped reads at most limit+1 bytes of a response body; the +1
+// lets the parser reject an oversized body instead of silently
 // truncating it into a different (possibly valid) message.
-func readCapped(r io.Reader) []byte {
-	b, _ := io.ReadAll(io.LimitReader(r, maxWireBody+1))
+func readCapped(r io.Reader, limit int64) []byte {
+	b, _ := io.ReadAll(io.LimitReader(r, limit+1))
 	return b
 }
 
@@ -56,7 +56,9 @@ func (c *HTTPWorkerClient) Dispatch(ctx context.Context, req DispatchRequest) ([
 		return nil, err
 	}
 	defer resp.Body.Close()
-	rb := readCapped(resp.Body)
+	// Dispatch responses carry a proof, so they get the larger cap that
+	// makes maxProofHex reachable.
+	rb := readCapped(resp.Body, maxDispatchRespBody)
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("cluster: dispatch to %s: HTTP %d: %s", c.base, resp.StatusCode, strings.TrimSpace(string(rb)))
 	}
@@ -176,7 +178,7 @@ func (a *Agent) post(ctx context.Context, path string, req, into any) error {
 		return err
 	}
 	defer resp.Body.Close()
-	rb := readCapped(resp.Body)
+	rb := readCapped(resp.Body, maxWireBody)
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("cluster: %s: HTTP %d: %s", path, resp.StatusCode, strings.TrimSpace(string(rb)))
 	}

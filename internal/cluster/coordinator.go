@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -355,6 +356,7 @@ func (c *Coordinator) sweep(ctx context.Context) {
 // argument so lease expiry is drivable without real waiting.
 func (c *Coordinator) expireLeases(now time.Time) {
 	var cancels []context.CancelFunc
+	lost, recovered := 0, 0
 	c.mu.Lock()
 	for _, id := range c.order {
 		n := c.nodes[id]
@@ -364,15 +366,20 @@ func (c *Coordinator) expireLeases(now time.Time) {
 		n.lost = true
 		c.stats.LostNodes++
 		c.stats.LostJobsRecovered += uint64(len(n.inflight))
-		recovered := len(n.inflight)
+		lost++
+		recovered += len(n.inflight)
 		for _, cancel := range n.inflight {
 			cancels = append(cancels, cancel)
 		}
-		c.metrics.observeLostNode(recovered)
 	}
 	c.mu.Unlock()
-	// Cancel outside the mutex: each cancel unwinds a Prove attempt that
-	// will immediately call back into pickNode.
+	// Metric emission and cancellation happen outside the mutex: the
+	// registry's scrape path takes c.mu (the GaugeFuncs), and each cancel
+	// unwinds a Prove attempt that will immediately call back into
+	// pickNode.
+	if lost > 0 {
+		c.metrics.observeLostNodes(lost, recovered)
+	}
 	for _, cancel := range cancels {
 		cancel()
 	}
@@ -389,13 +396,18 @@ func (n *node) dispatchable(now time.Time, cfg BreakerConfig) bool {
 // warm — same reason the single-node queue coalesces by circuit),
 // otherwise the least-loaded dispatchable node, ties broken by
 // registration order for determinism. Returns nil when no node admits.
-func (c *Coordinator) pickNode(circuit string, exclude map[string]bool) *node {
+// probe reports that the admission consumed the node's half-open probe
+// slot; the caller owns the slot and must either record the dispatch
+// outcome or release it via releaseProbe.
+func (c *Coordinator) pickNode(circuit string, exclude map[string]bool) (n *node, probe bool) {
 	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if id := c.affinity[circuit]; id != "" && !exclude[id] {
-		if n := c.nodes[id]; n != nil && n.dispatchable(now, c.cfg.Breaker) && n.br.admit(now, c.cfg.Breaker) {
-			return n
+		if n := c.nodes[id]; n != nil && n.dispatchable(now, c.cfg.Breaker) {
+			if admitted, probe := n.br.admit(now, c.cfg.Breaker); admitted {
+				return n, probe
+			}
 		}
 	}
 	var best *node
@@ -408,10 +420,25 @@ func (c *Coordinator) pickNode(circuit string, exclude map[string]bool) *node {
 			best = n
 		}
 	}
-	if best != nil && !best.br.admit(now, c.cfg.Breaker) {
-		best = nil
+	if best == nil {
+		return nil, false
 	}
-	return best
+	admitted, probe := best.br.admit(now, c.cfg.Breaker)
+	if !admitted {
+		return nil, false
+	}
+	return best, probe
+}
+
+// releaseProbe frees the half-open probe slot a dispatch attempt was
+// holding when the attempt is abandoned without a recorded outcome
+// (hedge loser cancelled, or the job's own context dying mid-flight).
+// Without it the node's breaker would stay HalfOpen with its one probe
+// slot consumed forever — permanently unroutable.
+func (c *Coordinator) releaseProbe(n *node) {
+	c.mu.Lock()
+	n.br.releaseProbe()
+	c.mu.Unlock()
 }
 
 // recordDispatch folds one dispatch outcome into the node's breaker,
@@ -499,7 +526,7 @@ func (c *Coordinator) Prove(ctx context.Context, req ProveRequest) ([]byte, erro
 	exclude := map[string]bool{}
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
-		n := c.pickNode(req.Circuit, exclude)
+		n, probe := c.pickNode(req.Circuit, exclude)
 		if n == nil {
 			// Every node is lost, quarantined, draining or already tried:
 			// degrade to local in-process proving.
@@ -511,7 +538,7 @@ func (c *Coordinator) Prove(ctx context.Context, req ProveRequest) ([]byte, erro
 			c.mu.Unlock()
 			c.metrics.observeRedispatch()
 		}
-		proof, winner, err := c.dispatchHedged(ctx, n, jobID, req, exclude)
+		proof, winner, err := c.dispatchHedged(ctx, n, probe, jobID, req, exclude)
 		if err == nil {
 			if ok := c.verifyRemote(req, proof); !ok {
 				// Corrupted response: the winner produced garbage. Charge its
@@ -559,7 +586,12 @@ func (c *Coordinator) verifyRemote(req ProveRequest, proof []byte) bool {
 
 // proveLocal is the degrade-to-local path: every remote is down, so the
 // coordinator proves in-process, exactly like the engine's serial
-// fallback when every GPU dies.
+// fallback when every GPU dies. A local admission rejection that
+// carries a retry-after hint (the service's QueueFullError, detected
+// structurally — this package must not import internal/service) is
+// backpressure, not failure: a degraded cluster funnelling a burst into
+// the local queue waits its turn under the job deadline rather than
+// failing jobs it promised to absorb.
 func (c *Coordinator) proveLocal(ctx context.Context, jobID uint64, req ProveRequest, lastErr error) ([]byte, error) {
 	if c.cfg.Local == nil {
 		c.noteFailed()
@@ -572,15 +604,33 @@ func (c *Coordinator) proveLocal(ctx context.Context, jobID uint64, req ProveReq
 	c.stats.LocalFallbacks++
 	c.mu.Unlock()
 	c.metrics.observeLocalFallback()
-	proof, err := c.cfg.Local.ProveLocal(ctx, req.Circuit, req.Seed)
-	if err != nil {
-		c.noteFailed()
-		return nil, fmt.Errorf("cluster: job %d degraded to local and failed: %w", jobID, err)
+	for {
+		proof, err := c.cfg.Local.ProveLocal(ctx, req.Circuit, req.Seed)
+		if err == nil {
+			c.mu.Lock()
+			c.stats.JobsCompleted++
+			c.mu.Unlock()
+			return proof, nil
+		}
+		var busy interface{ RetryAfterHint() time.Duration }
+		if !errors.As(err, &busy) {
+			c.noteFailed()
+			return nil, fmt.Errorf("cluster: job %d degraded to local and failed: %w", jobID, err)
+		}
+		wait := busy.RetryAfterHint()
+		if wait < 25*time.Millisecond {
+			wait = 25 * time.Millisecond
+		}
+		if wait > 2*time.Second {
+			wait = 2 * time.Second
+		}
+		select {
+		case <-ctx.Done():
+			c.noteFailed()
+			return nil, fmt.Errorf("cluster: job %d degraded to local, queue never admitted it: %w", jobID, ctx.Err())
+		case <-time.After(wait):
+		}
 	}
-	c.mu.Lock()
-	c.stats.JobsCompleted++
-	c.mu.Unlock()
-	return proof, nil
 }
 
 // dispatchOutcome is one attempt's result inside dispatchHedged.
@@ -592,21 +642,52 @@ type dispatchOutcome struct {
 	hedged bool
 }
 
+// hedgeAttempt is one launched dispatch inside dispatchHedged: its
+// target, its cancel, whether its admission consumed the node's
+// half-open probe slot, and whether its outcome was folded into the
+// breaker. Every launched attempt must end in exactly one of
+// recordDispatch or abandonment (which releases a held probe slot) —
+// an abandoned probe that kept its slot would leave the breaker
+// HalfOpen and the node unroutable forever.
+type hedgeAttempt struct {
+	n       *node
+	cancel  context.CancelFunc
+	probe   bool
+	settled bool
+}
+
 // dispatchHedged runs one routing attempt: dispatch to primary and, if
 // the primary is still out past the hedge delay, launch one speculative
 // duplicate on a different node. First success wins and the loser is
 // cancelled; both failing fails the attempt. Every node tried is added
 // to exclude so the outer loop never revisits it for this job.
-func (c *Coordinator) dispatchHedged(ctx context.Context, primary *node, jobID uint64, req ProveRequest, exclude map[string]bool) ([]byte, *node, error) {
+// primaryProbe says the primary's admission consumed its half-open
+// probe slot (see pickNode).
+func (c *Coordinator) dispatchHedged(ctx context.Context, primary *node, primaryProbe bool, jobID uint64, req ProveRequest, exclude map[string]bool) ([]byte, *node, error) {
 	ch := make(chan dispatchOutcome, 2) // buffered: late losers never block
-	cancels := map[string]context.CancelFunc{}
-	launch := func(n *node, hedged bool) {
-		actx, acancel := context.WithCancel(ctx)
+	attempts := map[string]*hedgeAttempt{}
+	// abandon ends an attempt without a breaker outcome: cancel the
+	// worker-side job and give back the probe slot the admission took.
+	abandon := func(a *hedgeAttempt) {
+		if a.settled {
+			return
+		}
+		a.settled = true
+		a.cancel()
+		if a.probe {
+			c.releaseProbe(a.n)
+		}
+	}
+	launch := func(n *node, probe, hedged bool) {
+		var actx context.Context
+		var acancel context.CancelFunc
 		if c.cfg.DispatchTimeout > 0 {
 			actx, acancel = context.WithTimeout(ctx, c.cfg.DispatchTimeout)
+		} else {
+			actx, acancel = context.WithCancel(ctx)
 		}
 		_, release := c.trackInflight(n, acancel)
-		cancels[n.id] = acancel
+		attempts[n.id] = &hedgeAttempt{n: n, cancel: acancel, probe: probe}
 		dreq := DispatchRequest{
 			JobID:   jobID,
 			Circuit: req.Circuit,
@@ -626,7 +707,7 @@ func (c *Coordinator) dispatchHedged(ctx context.Context, primary *node, jobID u
 		}()
 	}
 	exclude[primary.id] = true
-	launch(primary, false)
+	launch(primary, primaryProbe, false)
 
 	hedge := time.NewTimer(c.hedgeDelay())
 	defer hedge.Stop()
@@ -637,7 +718,9 @@ func (c *Coordinator) dispatchHedged(ctx context.Context, primary *node, jobID u
 		select {
 		case out := <-ch:
 			outstanding--
+			a := attempts[out.n.id]
 			if out.err == nil {
+				a.settled = true
 				c.recordDispatch(out.n, true, out.sec, req.Circuit)
 				if out.hedged {
 					c.metrics.observeHedgeWin()
@@ -645,16 +728,21 @@ func (c *Coordinator) dispatchHedged(ctx context.Context, primary *node, jobID u
 					c.stats.HedgeWins++
 					c.mu.Unlock()
 				}
-				for id, cancel := range cancels {
-					if id != out.n.id {
-						cancel() // the loser's worker-side job is cancelled too
+				for _, other := range attempts {
+					if other.n != out.n {
+						abandon(other) // the loser's worker-side job is cancelled too
 					}
 				}
 				return out.proof, out.n, nil
 			}
 			if ctx.Err() == nil {
 				// A real node failure, not our own deadline propagating.
+				a.settled = true
 				c.recordDispatch(out.n, false, out.sec, req.Circuit)
+			} else {
+				// Our own deadline or cancellation — not the node's fault, so
+				// no breaker outcome; but a held probe slot must come back.
+				abandon(a)
 			}
 			lastErr = out.err
 		case <-hedge.C:
@@ -662,20 +750,20 @@ func (c *Coordinator) dispatchHedged(ctx context.Context, primary *node, jobID u
 				continue
 			}
 			hedgedYet = true
-			h := c.pickNode(req.Circuit, exclude)
+			h, hProbe := c.pickNode(req.Circuit, exclude)
 			if h == nil {
 				continue // nobody to hedge on; keep waiting for the primary
 			}
 			exclude[h.id] = true
-			launch(h, true)
+			launch(h, hProbe, true)
 			outstanding++
 			c.mu.Lock()
 			c.stats.Hedges++
 			c.mu.Unlock()
 			c.metrics.observeHedge()
 		case <-ctx.Done():
-			for _, cancel := range cancels {
-				cancel()
+			for _, a := range attempts {
+				abandon(a)
 			}
 			// The launched goroutines unblock into the buffered channel and
 			// exit on their own; nothing leaks.

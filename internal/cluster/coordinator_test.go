@@ -283,6 +283,92 @@ func TestNodeBreakerQuarantine(t *testing.T) {
 	}
 }
 
+// TestHedgeLoserReleasesProbeSlot is the regression test for a breaker
+// wedge: a half-open probe dispatch that loses the hedge race is
+// cancelled before any outcome is recorded, which used to leave the
+// breaker HalfOpen with its single probe slot consumed forever — the
+// slow-but-recovering node was silently excluded from routing for good.
+// The abandoned probe must release its slot so a later job can probe
+// the node and re-close its breaker.
+func TestHedgeLoserReleasesProbeSlot(t *testing.T) {
+	const (
+		aFail = iota // answer immediately with an error
+		aHang        // block until the dispatch context dies
+		aOK          // answer with a proof
+	)
+	var mode atomic.Int32
+	clients := map[string]WorkerClient{
+		"a": funcClient(func(ctx context.Context, req DispatchRequest) ([]byte, error) {
+			switch mode.Load() {
+			case aFail:
+				return nil, errors.New("injected dispatch failure")
+			case aHang:
+				<-ctx.Done()
+				return nil, ctx.Err()
+			}
+			return []byte("proof-a"), nil
+		}),
+		"b": proofClient([]byte("proof-b")),
+	}
+	cooldown := 50 * time.Millisecond
+	c := newTestCoordinator(t, Config{
+		Breaker:  BreakerConfig{FailThreshold: 1, Cooldown: cooldown},
+		HedgeMin: 20 * time.Millisecond,
+	}, clients)
+	mustRegister(t, c, "a")
+	mustRegister(t, c, "b")
+
+	// Distinct circuit names dodge the circuit-affinity fast path so the
+	// least-loaded scan (registration order: a first) runs every time.
+	prove := func(i int) ([]byte, error) {
+		return c.Prove(context.Background(), ProveRequest{Circuit: fmt.Sprintf("c%d", i), Seed: int64(i), Timeout: 10 * time.Second})
+	}
+
+	// One failure trips a's breaker open; the job fails over to b.
+	if proof, err := prove(1); err != nil || !bytes.Equal(proof, []byte("proof-b")) {
+		t.Fatalf("trip job: proof %q err %v, want failover to b", proof, err)
+	}
+	if snap := c.Snapshot(); snap[0].BreakerS != "open" {
+		t.Fatalf("node a breaker %q, want open", snap[0].BreakerS)
+	}
+
+	// Past the cooldown, a is offered a half-open probe — which hangs, so
+	// the hedge fires, b wins, and the probe is cancelled as the loser.
+	time.Sleep(cooldown + 20*time.Millisecond)
+	mode.Store(aHang)
+	if proof, err := prove(2); err != nil || !bytes.Equal(proof, []byte("proof-b")) {
+		t.Fatalf("hedged probe job: proof %q err %v, want the hedge's", proof, err)
+	}
+	if st := c.Stats(); st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Fatalf("stats %+v, want 1 hedge, 1 hedge win", st)
+	}
+
+	// The cancelled probe goroutine drops its in-flight entry
+	// asynchronously; wait for it so the least-loaded scan sees a tie and
+	// picks a (registration order) rather than b.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if snap := c.Snapshot(); snap[0].InFlight == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("the losing probe dispatch never unwound")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The cancelled probe must have released its slot: the next job
+	// probes a again, and the now-healthy node re-closes its breaker.
+	mode.Store(aOK)
+	proof, err := prove(3)
+	if err != nil || !bytes.Equal(proof, []byte("proof-a")) {
+		t.Fatalf("re-probe job: proof %q err %v, want recovered node a's (probe slot leaked?)", proof, err)
+	}
+	if snap := c.Snapshot(); snap[0].BreakerS != "closed" {
+		t.Fatalf("node a breaker %q after successful re-probe, want closed", snap[0].BreakerS)
+	}
+}
+
 // TestDegradeToLocal: with every node gone the coordinator proves
 // locally; without a local backend it reports ErrNoNodes.
 func TestDegradeToLocal(t *testing.T) {
@@ -299,6 +385,56 @@ func TestDegradeToLocal(t *testing.T) {
 	bare := newTestCoordinator(t, Config{}, nil)
 	if _, err := bare.Prove(context.Background(), ProveRequest{Circuit: "synthetic", Seed: 9, Timeout: time.Second}); !errors.Is(err, ErrNoNodes) {
 		t.Fatalf("remote-only empty cluster = %v, want ErrNoNodes", err)
+	}
+}
+
+// queueFullErr mimics the service's admission rejection: an error with
+// a structural RetryAfterHint, as the coordinator detects it.
+type queueFullErr struct{ after time.Duration }
+
+func (e *queueFullErr) Error() string                 { return "test: queue full" }
+func (e *queueFullErr) RetryAfterHint() time.Duration { return e.after }
+
+// busyLocal rejects the first N proves with a retryable queue-full
+// error, then proves.
+type busyLocal struct {
+	fakeLocal
+	rejects atomic.Int64
+}
+
+func (b *busyLocal) ProveLocal(ctx context.Context, circuit string, seed int64) ([]byte, error) {
+	if b.rejects.Add(-1) >= 0 {
+		return nil, fmt.Errorf("submit: %w", &queueFullErr{after: time.Millisecond})
+	}
+	return b.fakeLocal.ProveLocal(ctx, circuit, seed)
+}
+
+// TestDegradeToLocalBackpressure: a local admission rejection carrying
+// a retry-after hint is backpressure, not failure — the degraded job
+// waits its turn and completes; only the job's own deadline ends the
+// wait.
+func TestDegradeToLocalBackpressure(t *testing.T) {
+	local := &busyLocal{fakeLocal: fakeLocal{proof: []byte("proof-local")}}
+	local.rejects.Store(2)
+	c := newTestCoordinator(t, Config{Local: local}, nil)
+	proof, err := c.Prove(context.Background(), ProveRequest{Circuit: "synthetic", Seed: 9, Timeout: 10 * time.Second})
+	if err != nil || !bytes.Equal(proof, []byte("proof-local")) {
+		t.Fatalf("backpressured degraded prove: proof %q err %v", proof, err)
+	}
+	if got := local.proves.Load(); got != 1 {
+		t.Fatalf("local proves %d, want 1 after two queue-full retries", got)
+	}
+	if st := c.Stats(); st.LocalFallbacks != 1 || st.JobsCompleted != 1 {
+		t.Fatalf("stats %+v, want one fallback counted once and one completion", st)
+	}
+
+	// A queue that never admits ends at the job deadline, not in a spin.
+	never := &busyLocal{fakeLocal: fakeLocal{proof: []byte("p")}}
+	never.rejects.Store(1 << 30)
+	c2 := newTestCoordinator(t, Config{Local: never}, nil)
+	_, err = c2.Prove(context.Background(), ProveRequest{Circuit: "synthetic", Seed: 9, Timeout: 80 * time.Millisecond})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("never-admitting local queue = %v, want DeadlineExceeded", err)
 	}
 }
 

@@ -37,7 +37,7 @@ import (
 // grow the node table on junk".
 
 func readWireBody(r *http.Request) []byte {
-	return readCapped(r.Body)
+	return readCapped(r.Body, maxWireBody)
 }
 
 // Handler returns the coordinator's HTTP API.

@@ -94,9 +94,9 @@ func (m *coordMetrics) observeHeartbeat() {
 	}
 }
 
-func (m *coordMetrics) observeLostNode(recovered int) {
+func (m *coordMetrics) observeLostNodes(nodes, recovered int) {
 	if m != nil {
-		m.lostNodes.Inc()
+		m.lostNodes.Add(uint64(nodes))
 		m.lostRecovered.Add(uint64(recovered))
 	}
 }

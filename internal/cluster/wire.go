@@ -69,7 +69,8 @@ var (
 // touches coordinator state; FuzzClusterWire holds the parsers to
 // rejecting anything beyond them without panicking.
 const (
-	// maxWireBody caps any single wire message body.
+	// maxWireBody caps any single wire message body, except dispatch
+	// responses (which carry a proof and get maxDispatchRespBody).
 	maxWireBody = 1 << 16
 	// maxNodeID bounds the node-identifier length.
 	maxNodeID = 64
@@ -84,6 +85,11 @@ const (
 	// maxProofHex bounds the proof field of a dispatch response (hex
 	// characters); far above any real proof, far below a memory bomb.
 	maxProofHex = 1 << 20
+	// maxDispatchRespBody caps a dispatch-response body: a maxProofHex
+	// proof plus room for the JSON framing. It must exceed maxProofHex
+	// or the body cap would make the proof bound unreachable and every
+	// proof above ~maxWireBody/2 would fail to transit.
+	maxDispatchRespBody = maxProofHex + 1<<10
 	// MaxDispatchTimeout caps the per-job deadline accepted on the wire,
 	// mirroring the service's cap.
 	MaxDispatchTimeout = 10 * time.Minute
@@ -201,14 +207,18 @@ func validateNodeID(id string) error {
 	return nil
 }
 
-func unmarshalWire(body []byte, v any) error {
-	if len(body) > maxWireBody {
-		return fmt.Errorf("%w: body of %d bytes above the %d cap", ErrBadMessage, len(body), maxWireBody)
+func unmarshalWireCapped(body []byte, limit int, v any) error {
+	if len(body) > limit {
+		return fmt.Errorf("%w: body of %d bytes above the %d cap", ErrBadMessage, len(body), limit)
 	}
 	if err := json.Unmarshal(body, v); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadMessage, err)
 	}
 	return nil
+}
+
+func unmarshalWire(body []byte, v any) error {
+	return unmarshalWireCapped(body, maxWireBody, v)
 }
 
 // ParseRegisterRequest decodes and validates a registration message. It
@@ -293,7 +303,7 @@ func ParseDispatchRequest(body []byte) (DispatchRequest, error) {
 // both a proof and an error, or neither, is malformed.
 func ParseDispatchResponse(body []byte) (DispatchResponse, []byte, error) {
 	var w DispatchResponse
-	if err := unmarshalWire(body, &w); err != nil {
+	if err := unmarshalWireCapped(body, maxDispatchRespBody, &w); err != nil {
 		return DispatchResponse{}, nil, err
 	}
 	if w.Error != "" {

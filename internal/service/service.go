@@ -80,6 +80,12 @@ type QueueFullError struct {
 	RetryAfter time.Duration
 }
 
+// RetryAfterHint returns the retry-after estimate. It exists so callers
+// that must not import this package (internal/cluster's coordinator,
+// whose dependency arrow points the other way) can detect retryable
+// admission rejections structurally via errors.As.
+func (e *QueueFullError) RetryAfterHint() time.Duration { return e.RetryAfter }
+
 func (e *QueueFullError) Error() string {
 	bound := fmt.Sprintf("%d/%d jobs queued", e.Queued, e.Depth)
 	if e.Memory {
