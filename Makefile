@@ -13,7 +13,7 @@ BENCH_BASELINE ?= bench/baseline_pr3.json
 BENCH_OUT      ?= BENCH_pr3.json
 BENCH_RAW      ?= bench_raw.txt
 
-.PHONY: all tier1 build vet test race lint bench bench-smoke batch-smoke fuzz-smoke service-smoke cluster-smoke examples
+.PHONY: all tier1 build vet test race lint bench bench-smoke batch-smoke pipeline-smoke fuzz-smoke service-smoke cluster-smoke examples
 
 all: tier1
 
@@ -41,7 +41,7 @@ lint: vet
 	fi
 
 race:
-	$(GO) test -race ./internal/core ./internal/msm ./internal/bigint ./internal/field ./internal/curve ./internal/service ./internal/cluster
+	$(GO) test -race ./internal/core ./internal/msm ./internal/bigint ./internal/field ./internal/curve ./internal/service ./internal/cluster ./internal/groth16 ./internal/ntt
 
 bench:
 	@rm -f $(BENCH_RAW)
@@ -64,6 +64,14 @@ bench-smoke:
 # (small smoke sizes are too noisy to gate on).
 batch-smoke:
 	$(GO) run ./cmd/batchbench -smoke
+
+# Pipeline-speedup smoke: one small phase-DAG prove vs the sequential
+# schedule on 8 simulated GPUs. Fails unless the proofs are
+# byte-identical, the quotient span overlaps a witness-MSM span, and the
+# pipelined modeled wall-clock beats sequential; the 25% reduction floor
+# at 2^14+ domains is enforced by the full `go run ./cmd/pipelinebench`.
+pipeline-smoke:
+	$(GO) run ./cmd/pipelinebench -smoke
 
 # Short differential-fuzz pass over the unrolled Montgomery kernels,
 # the service's wire-format parser and the proof/VK decoders.

@@ -48,10 +48,12 @@ var deprecated = map[string]string{
 	"distmsm/internal/groth16.Engine.Setup":    "SetupContext",
 	"distmsm/internal/groth16.Engine.Prove":    "ProveContext or ProveContextWith",
 	"distmsm/internal/core.Run":                "RunContext",
-	"distmsm/internal/ntt.Domain.Forward":      "ForwardContext",
-	"distmsm/internal/ntt.Domain.Inverse":      "InverseContext",
-	"distmsm/internal/ntt.Domain.CosetForward": "CosetForwardContext",
-	"distmsm/internal/ntt.Domain.CosetInverse": "CosetInverseContext",
+	"distmsm/internal/ntt.Domain.Forward":        "ForwardContext",
+	"distmsm/internal/ntt.Domain.Inverse":        "InverseContext",
+	"distmsm/internal/ntt.Domain.CosetForward":   "CosetForwardContext",
+	"distmsm/internal/ntt.Domain.CosetInverse":   "CosetInverseContext",
+	"distmsm/internal/pairing.G2.MSM":            "MSMContext",
+	"distmsm/internal/pairing.G2Precomputed.MSM": "MSMContext",
 }
 
 func main() {

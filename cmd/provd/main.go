@@ -64,6 +64,7 @@ func main() {
 		join        = flag.String("join", "", "coordinator base URL to join as a cluster worker node (e.g. http://coord:9090)")
 		advertise   = flag.String("advertise", "", "dispatch address advertised to the coordinator (default http://<listen>)")
 		nodeID      = flag.String("node-id", "", "stable cluster node identifier (default the hostname)")
+		pipelined   = flag.Bool("pipelined", false, "prove with the phase-DAG pipeline (quotient NTTs overlap witness MSMs on GPU sub-pools)")
 		smoke       = flag.Int("smoke", 0, "run N smoke jobs and exit instead of serving")
 		traceDir    = flag.String("trace-dir", "", "write a Chrome trace JSON per job into this directory")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -74,7 +75,7 @@ func main() {
 	opts := options{
 		gpus: *gpus, workers: *workers, queue: *queue, constraints: *constraints,
 		listen: *listen, timeout: *timeout, drain: *drain,
-		join: *join, advertise: *advertise, nodeID: *nodeID,
+		join: *join, advertise: *advertise, nodeID: *nodeID, pipelined: *pipelined,
 		smoke: *smoke, traceDir: *traceDir, pprofOn: *pprofOn,
 	}
 	if err := run(ctx, opts); err != nil {
@@ -88,6 +89,7 @@ type options struct {
 	listen                            string
 	timeout, drain                    time.Duration
 	join, advertise, nodeID           string
+	pipelined                         bool
 	smoke                             int
 	traceDir                          string
 	pprofOn                           bool
@@ -111,6 +113,7 @@ func run(ctx context.Context, o options) error {
 		DefaultTimeout: o.timeout,
 		Metrics:        metrics,
 		TraceDir:       o.traceDir,
+		ProvePipelined: o.pipelined,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"distmsm/internal/gpusim"
+)
+
+// TestDevicesValidation pins the error surface of Options.Devices: out
+// of range, duplicated, and combined with the full-cluster SplitNDim
+// ablation are all rejected with gpusim.ErrBadDevice.
+func TestDevicesValidation(t *testing.T) {
+	ctx := context.Background()
+	c := mustCurve(t, "BN254")
+	sys := cluster(t, 4)
+	points := c.SamplePoints(32, 1)
+	scalars := c.SampleScalars(32, 2)
+
+	for _, bad := range [][]int{{-1}, {4}, {0, 4}, {0, 0}, {1, 2, 1}} {
+		if _, err := RunContext(ctx, c, sys, points, scalars, Options{Devices: bad}); !errors.Is(err, gpusim.ErrBadDevice) {
+			t.Errorf("Devices=%v: want gpusim.ErrBadDevice, got %v", bad, err)
+		}
+	}
+	if _, err := RunContext(ctx, c, sys, points, scalars,
+		Options{Devices: []int{0, 1}, SplitNDim: true}); !errors.Is(err, gpusim.ErrBadDevice) {
+		t.Errorf("Devices+SplitNDim: want gpusim.ErrBadDevice, got %v", err)
+	}
+}
+
+// TestDevicesSubPoolParity is the arbitration check of the phase-DAG
+// prover: four RunContexts on disjoint GPU sub-pools of one shared
+// cluster, executing concurrently, each stay inside their pool and each
+// produce the bit-identical full-cluster result — on both curves.
+func TestDevicesSubPoolParity(t *testing.T) {
+	ctx := context.Background()
+	for _, curveName := range []string{"BN254", "BLS12-381"} {
+		c := mustCurve(t, curveName)
+		points := c.SamplePoints(96, 11)
+		scalars := c.SampleScalars(96, 12)
+		sys := cluster(t, 8)
+
+		ref, err := RunContext(ctx, c, sys, points, scalars, Options{Engine: EngineSerial})
+		if err != nil {
+			t.Fatalf("%s: serial reference: %v", curveName, err)
+		}
+		want := c.ToAffine(ref.Point).String()
+
+		pools := [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}}
+		results := make([]*Result, len(pools))
+		errs := make([]error, len(pools))
+		var wg sync.WaitGroup
+		for i, pool := range pools {
+			wg.Add(1)
+			go func(i int, pool []int) {
+				defer wg.Done()
+				results[i], errs[i] = RunContext(ctx, c, sys, points, scalars,
+					Options{Engine: EngineConcurrent, Devices: pool})
+			}(i, pool)
+		}
+		wg.Wait()
+
+		for i, pool := range pools {
+			if errs[i] != nil {
+				t.Fatalf("%s pool %v: %v", curveName, pool, errs[i])
+			}
+			if got := c.ToAffine(results[i].Point).String(); got != want {
+				t.Fatalf("%s pool %v: result differs from full-cluster serial reference", curveName, pool)
+			}
+			if !reflect.DeepEqual(results[i].Plan.Devices, pool) {
+				t.Fatalf("%s pool %v: plan recorded pool %v", curveName, pool, results[i].Plan.Devices)
+			}
+			in := map[int]bool{}
+			for _, g := range pool {
+				in[g] = true
+			}
+			for _, a := range results[i].Plan.Assignments {
+				if !in[a.GPU] {
+					t.Fatalf("%s pool %v: assignment escaped to GPU %d", curveName, pool, a.GPU)
+				}
+			}
+		}
+	}
+}
+
+// TestDevicesSubPoolCost: the modeled cost amortises over the sub-pool,
+// not the cluster — a 2-GPU sub-pool of an 8-GPU cluster must price like
+// 2 GPUs (strictly more GPU time than the full pool at the same plan).
+func TestDevicesSubPoolCost(t *testing.T) {
+	c := mustCurve(t, "BN254")
+	sys := cluster(t, 8)
+	// Pin the reduce on the GPUs: with the CPU reduce both totals are
+	// dominated by the same host-side term and the pools can't differ.
+	sub, err := BuildPlan(c, sys, 1<<16, Options{WindowSize: 12, ReduceOnGPU: true, Devices: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := BuildPlan(c, sys, 1<<16, Options{WindowSize: 12, ReduceOnGPU: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subCost, fullCost := sub.EstimateCost().Total(), full.EstimateCost().Total(); subCost <= fullCost {
+		t.Fatalf("2-GPU sub-pool modeled at %.4g s, full 8-GPU pool at %.4g s — sub-pool should cost more", subCost, fullCost)
+	}
+}

@@ -220,7 +220,12 @@ func buildFixedBasePlan(cl *gpusim.Cluster, fb *FixedBase, opts Options) (*Plan,
 	if p.Block.Threads == 0 {
 		p.Block = DefaultBlock()
 	}
-	p.Assignments = assignBucketsAdmitted(1, p.Buckets, cl.N, adm)
+	pool, err := devicePool(cl, opts)
+	if err != nil {
+		return nil, err
+	}
+	p.Devices = pool
+	p.Assignments = assignBucketsAdmitted(1, p.Buckets, pool, adm)
 	return p, nil
 }
 

@@ -70,6 +70,15 @@ type Options struct {
 	// JSON via telemetry.Tracer.WriteChromeTrace. Nil disables tracing
 	// at zero cost on the shard hot path.
 	Tracer *telemetry.Tracer
+	// Devices restricts the plan to a GPU sub-pool (device indices into
+	// [0, cluster.N)); empty selects every device. The phase-DAG
+	// pipelined prover hands concurrent per-phase MSMs disjoint
+	// sub-pools so their schedulers never contend for the same simulated
+	// GPU (work stealing and rebalancing stay within one plan's pool).
+	// Because shards always hold whole buckets, any sub-pool produces
+	// bit-identical results. Incompatible with SplitNDim (an ablation
+	// path that always spans the full cluster).
+	Devices []int
 }
 
 // DefaultVariant is the full DistMSM accumulation kernel.
@@ -122,6 +131,11 @@ type Plan struct {
 	// set, the engines consume Pre[j] instead of recoding and scattering
 	// window j from the scalars.
 	Pre []*ScatterResult
+
+	// Devices is the GPU sub-pool the plan was built over (every device
+	// of the cluster unless Options.Devices narrowed it). Cost
+	// amortisation across GPUs uses the pool size, not the cluster size.
+	Devices []int
 
 	Assignments []Assignment
 }
@@ -218,8 +232,61 @@ func buildPlanFixed(c *curve.Curve, cl *gpusim.Cluster, n int, opts Options, s i
 	p.ReduceOnGPU = gpuReduce
 	p.SplitNDim = opts.SplitNDim
 
-	p.Assignments = assignBucketsAdmitted(p.Windows, p.Buckets, cl.N, adm)
+	pool, err := devicePool(cl, opts)
+	if err != nil {
+		return nil, err
+	}
+	p.Devices = pool
+	p.Assignments = assignBucketsAdmitted(p.Windows, p.Buckets, pool, adm)
 	return p, nil
+}
+
+// devicePool validates opts.Devices against the cluster and returns the
+// plan's GPU sub-pool (the full device list when none is given).
+func devicePool(cl *gpusim.Cluster, opts Options) ([]int, error) {
+	if len(opts.Devices) == 0 {
+		return allDevices(cl.N), nil
+	}
+	if opts.SplitNDim {
+		return nil, fmt.Errorf("%w: device sub-pools require the default bucket split", gpusim.ErrBadDevice)
+	}
+	seen := make(map[int]bool, len(opts.Devices))
+	pool := make([]int, 0, len(opts.Devices))
+	for _, g := range opts.Devices {
+		if g < 0 || g >= cl.N {
+			return nil, fmt.Errorf("%w: device %d out of range [0,%d)", gpusim.ErrBadDevice, g, cl.N)
+		}
+		if seen[g] {
+			return nil, fmt.Errorf("%w: device %d listed twice", gpusim.ErrBadDevice, g)
+		}
+		seen[g] = true
+		pool = append(pool, g)
+	}
+	return pool, nil
+}
+
+func allDevices(n int) []int {
+	gpus := make([]int, n)
+	for g := range gpus {
+		gpus[g] = g
+	}
+	return gpus
+}
+
+// intersectPool filters the admission list to pool members, preserving
+// the admission order.
+func intersectPool(admitted, pool []int) []int {
+	in := make(map[int]bool, len(pool))
+	for _, g := range pool {
+		in[g] = true
+	}
+	var out []int
+	for _, g := range admitted {
+		if in[g] {
+			out = append(out, g)
+		}
+	}
+	return out
 }
 
 // unitRange emits the per-window assignments covering the linear unit
@@ -260,39 +327,43 @@ func splitUnits(out []Assignment, lo, hi, buckets int, gpus []int) []Assignment 
 // 2/3 of each window, the third manages the remaining 1/3 of both"),
 // realised by launching different thread-block counts per GPU.
 func assignBuckets(windows, buckets, nGPU int) []Assignment {
-	gpus := make([]int, nGPU)
-	for g := range gpus {
-		gpus[g] = g
-	}
-	return splitUnits(nil, 0, windows*buckets, buckets, gpus)
+	return splitUnits(nil, 0, windows*buckets, buckets, allDevices(nGPU))
 }
 
 // assignBucketsAdmitted applies a health-registry admission to the
-// partition: half-open GPUs get one probe shard of adm.ProbeBuckets
-// units each (clamped so probes never take more than half the work),
-// fully-admitted GPUs level the rest, and quarantined GPUs get nothing.
-// When every admitted device is a probe (the registry's all-open
-// emergency re-admission) the whole space is levelled across the probes.
-// A nil admission reproduces assignBuckets exactly.
-func assignBucketsAdmitted(windows, buckets, nGPU int, adm *gpusim.Admission) []Assignment {
-	if adm == nil {
-		return assignBuckets(windows, buckets, nGPU)
-	}
+// partition over the plan's GPU sub-pool: half-open GPUs get one probe
+// shard of adm.ProbeBuckets units each (clamped so probes never take
+// more than half the work), fully-admitted GPUs level the rest, and
+// quarantined GPUs get nothing. The admission lists are intersected
+// with the pool; when that quarantines the whole sub-pool the space is
+// levelled across the pool anyway (sub-pool-scope emergency
+// re-admission, mirroring the registry's all-open behaviour — the
+// scheduler still retries and rebalances shard by shard at runtime).
+// A nil admission levels across the pool.
+func assignBucketsAdmitted(windows, buckets int, pool []int, adm *gpusim.Admission) []Assignment {
 	total := windows * buckets
-	if len(adm.Full) == 0 {
-		return splitUnits(nil, 0, total, buckets, adm.Probes)
+	if adm == nil {
+		return splitUnits(nil, 0, total, buckets, pool)
+	}
+	full := intersectPool(adm.Full, pool)
+	probes := intersectPool(adm.Probes, pool)
+	if len(full) == 0 && len(probes) == 0 {
+		return splitUnits(nil, 0, total, buckets, pool)
+	}
+	if len(full) == 0 {
+		return splitUnits(nil, 0, total, buckets, probes)
 	}
 	var out []Assignment
 	off := 0
-	if len(adm.Probes) > 0 {
+	if len(probes) > 0 {
 		pb := adm.ProbeBuckets
-		if maxPB := total / (2 * len(adm.Probes)); pb > maxPB {
+		if maxPB := total / (2 * len(probes)); pb > maxPB {
 			pb = maxPB
 		}
 		if pb < 1 {
 			pb = 1
 		}
-		for _, g := range adm.Probes {
+		for _, g := range probes {
 			hi := off + pb
 			if hi > total {
 				hi = total
@@ -301,7 +372,7 @@ func assignBucketsAdmitted(windows, buckets, nGPU int, adm *gpusim.Admission) []
 			off = hi
 		}
 	}
-	return splitUnits(out, off, total, buckets, adm.Full)
+	return splitUnits(out, off, total, buckets, full)
 }
 
 // rebalanceTargets picks, for each of n orphaned shards of a lost GPU,
@@ -327,6 +398,16 @@ func rebalanceTargets(n int, load map[int]int, healthy []int) []int {
 		l[best]++
 	}
 	return out
+}
+
+// poolSize returns the number of GPUs the plan may schedule onto (the
+// sub-pool size when Options.Devices narrowed the plan, the cluster
+// size otherwise).
+func (p *Plan) poolSize() int {
+	if len(p.Devices) > 0 {
+		return len(p.Devices)
+	}
+	return p.Cluster.N
 }
 
 // GPUsOf returns how many distinct GPUs participate in the plan.

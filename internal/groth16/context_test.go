@@ -49,7 +49,7 @@ func TestProveContextCancelMidQuotient(t *testing.T) {
 	// layer (the quotient has no other early-outs).
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := e.quotient(ctx, cs, pk.Domain, w); !errors.Is(err, context.Canceled) {
+	if _, err := e.quotient(ctx, cs, pk.Domain, w, 1); !errors.Is(err, context.Canceled) {
 		t.Fatalf("quotient: want context.Canceled, got %v", err)
 	}
 	// And through the public entry point with a live-then-dead context:

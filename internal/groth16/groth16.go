@@ -90,15 +90,101 @@ func (p MSMPhase) String() string {
 // always exactly the registered key column for the phase.
 type PhasedMSMFunc func(phase MSMPhase, points []curve.PointAffine, scalars []bigint.Nat) (*curve.PointXYZZ, error)
 
+// PhasedMSMContextFunc is the ctx-aware form of PhasedMSMFunc. The
+// phase-DAG prover passes its per-proof group context, so the first
+// failing phase cancels the other phases' MSMs mid-flight instead of
+// merely before they start.
+type PhasedMSMContextFunc func(ctx context.Context, phase MSMPhase, points []curve.PointAffine, scalars []bigint.Nat) (*curve.PointXYZZ, error)
+
 // G2MSMFunc routes the prover's single G2 MSM (over pk.B2).
+//
+// Deprecated: implement G2MSMContextFunc instead — a G2MSMFunc cannot
+// observe cancellation, so a cancelled job runs the full pk.B2 MSM to
+// completion on the prover goroutine, and it has no way to report an
+// error.
 type G2MSMFunc func(points []pairing.G2Affine, scalars []*big.Int) pairing.G2Affine
 
-// Provers bundles the MSM backends of one proof. Either field may be
-// nil: G1 falls back to the CPU Pippenger, G2 to the built-in windowed
-// G2 MSM.
+// G2MSMContextFunc routes the prover's single G2 MSM (over pk.B2),
+// honouring ctx and returning errors instead of swallowing them.
+type G2MSMContextFunc func(ctx context.Context, points []pairing.G2Affine, scalars []*big.Int) (pairing.G2Affine, error)
+
+// WrapG2MSM adapts the old ctx-less G2MSMFunc signature to the ctx-aware
+// form (the wrapped func still cannot observe cancellation mid-MSM; the
+// context is only checked before it runs).
+func WrapG2MSM(fn G2MSMFunc) G2MSMContextFunc {
+	return func(ctx context.Context, points []pairing.G2Affine, scalars []*big.Int) (pairing.G2Affine, error) {
+		if err := ctx.Err(); err != nil {
+			return pairing.G2Affine{Inf: true}, err
+		}
+		return fn(points, scalars), nil
+	}
+}
+
+// Provers bundles the MSM backends of one proof. Any field may be nil:
+// G1 falls back to the CPU Pippenger, G2 to the built-in cancellable
+// windowed G2 MSM. The ctx-aware forms (G1Ctx, G2Ctx) win over the
+// ctx-less ones when both are set.
 type Provers struct {
-	G1 PhasedMSMFunc
-	G2 G2MSMFunc
+	G1    PhasedMSMFunc
+	G1Ctx PhasedMSMContextFunc
+	// G2 routes the prover's single G2 MSM.
+	//
+	// Deprecated: set G2Ctx so the MSM can be cancelled and can fail.
+	G2    G2MSMFunc
+	G2Ctx G2MSMContextFunc
+	// Pipeline, when non-nil, makes ProveContextWith execute the
+	// prover's phase DAG instead of its phase list: the quotient (on
+	// parallel coset NTTs) overlaps the four witness-only MSM phases,
+	// and msm-Z starts the moment h lands. Proofs are byte-identical to
+	// the sequential schedule.
+	Pipeline *PipelineOptions
+}
+
+// PipelineOptions configure the phase-DAG pipelined prover.
+type PipelineOptions struct {
+	// NTTWorkers bounds the quotient's parallel coset-NTT fan-out
+	// (0 selects GOMAXPROCS) — the host-parallel stand-in for the
+	// multi-GPU four-step NTT the paper names as the next target
+	// (§5.1.1, internal/ntt/fourstep.go).
+	NTTWorkers int
+	// OnPhase, when set, receives every completed phase's name and wall
+	// duration. Phases complete concurrently, so OnPhase must be safe
+	// for concurrent use.
+	OnPhase func(name string, d time.Duration)
+}
+
+// g1msm resolves the G1 backend in ctx-aware form.
+func (e *Engine) g1msm(pr Provers) PhasedMSMContextFunc {
+	switch {
+	case pr.G1Ctx != nil:
+		return pr.G1Ctx
+	case pr.G1 != nil:
+		return func(ctx context.Context, phase MSMPhase, points []curve.PointAffine, scalars []bigint.Nat) (*curve.PointXYZZ, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return pr.G1(phase, points, scalars)
+		}
+	}
+	return func(ctx context.Context, _ MSMPhase, points []curve.PointAffine, scalars []bigint.Nat) (*curve.PointXYZZ, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return msm.MSM(e.P.Curve, points, scalars, msm.Config{Signed: true})
+	}
+}
+
+// g2msm resolves the G2 backend in ctx-aware form.
+func (e *Engine) g2msm(pr Provers) G2MSMContextFunc {
+	switch {
+	case pr.G2Ctx != nil:
+		return pr.G2Ctx
+	case pr.G2 != nil:
+		return WrapG2MSM(pr.G2)
+	}
+	return func(ctx context.Context, points []pairing.G2Affine, scalars []*big.Int) (pairing.G2Affine, error) {
+		return e.P.G2.MSMContext(ctx, points, scalars)
+	}
 }
 
 // Engine bundles the pairing context used by setup/prove/verify.
@@ -322,8 +408,12 @@ func frNat(fr *field.Field, k field.Element) bigint.Nat {
 // phaseSpan records one prover phase into the run's tracer. Record is
 // nil-safe, so a context without a tracer costs two time reads and a
 // pointer check per phase — negligible against the ms-scale phases.
-func phaseSpan(tr *telemetry.Tracer, name string, start time.Time) {
-	tr.Record(telemetry.Span{Name: name, Cat: "groth16", Track: telemetry.TrackHost,
+// Every phase passes its own start time and lane: the sequential prover
+// draws all phases on TrackHost (they cannot overlap), the phase-DAG
+// prover gives each phase its own telemetry.TrackPhase lane so
+// concurrent phases never alias each other's start or duration.
+func phaseSpan(tr *telemetry.Tracer, name string, track telemetry.Track, start time.Time) {
+	tr.Record(telemetry.Span{Name: name, Cat: "groth16", Track: track,
 		Start: start, Dur: time.Since(start)})
 }
 
@@ -359,7 +449,12 @@ func (e *Engine) ProveContext(ctx context.Context, cs *r1cs.System, pk *ProvingK
 // backend learns which proving-key column each MSM is over (so cached
 // per-column fixed-base tables apply), and the G2 MSM over pk.B2 is
 // routable too. Zero-valued Provers fields select the CPU defaults.
+// With pr.Pipeline set the prover executes its phase DAG (see
+// ProvePipelinedContext) instead of the sequential phase list.
 func (e *Engine) ProveContextWith(ctx context.Context, cs *r1cs.System, pk *ProvingKey, witness []field.Element, rnd *rand.Rand, pr Provers) (*Proof, error) {
+	if pr.Pipeline != nil {
+		return e.ProvePipelinedContext(ctx, cs, pk, witness, rnd, pr, *pr.Pipeline)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -367,20 +462,16 @@ func (e *Engine) ProveContextWith(ctx context.Context, cs *r1cs.System, pk *Prov
 		return nil, err
 	}
 	fr := e.Fr
-	msmG1 := pr.G1
-	if msmG1 == nil {
-		msmG1 = func(_ MSMPhase, points []curve.PointAffine, scalars []bigint.Nat) (*curve.PointXYZZ, error) {
-			return msm.MSM(e.P.Curve, points, scalars, msm.Config{Signed: true})
-		}
-	}
+	msmG1 := e.g1msm(pr)
+	msmG2 := e.g2msm(pr)
 
 	tr := telemetry.FromContext(ctx)
 	t0 := time.Now()
-	h, err := e.quotient(ctx, cs, pk.Domain, witness)
+	h, err := e.quotient(ctx, cs, pk.Domain, witness, 1)
 	if err != nil {
 		return nil, err
 	}
-	phaseSpan(tr, "quotient", t0)
+	phaseSpan(tr, "quotient", telemetry.TrackHost, t0)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -396,11 +487,11 @@ func (e *Engine) ProveContextWith(ctx context.Context, cs *r1cs.System, pk *Prov
 
 	// A = α + Σ a_i·u_i(τ) + r·δ  (G1)
 	t0 = time.Now()
-	sumA, err := msmG1(PhaseA, pk.A, scalars)
+	sumA, err := msmG1(ctx, PhaseA, pk.A, scalars)
 	if err != nil {
 		return nil, err
 	}
-	phaseSpan(tr, "msm-A", t0)
+	phaseSpan(tr, "msm-A", telemetry.TrackHost, t0)
 	accA := e.P.Curve.NewXYZZ()
 	e.P.Curve.SetAffine(accA, &pk.Alpha)
 	adder.Add(accA, sumA)
@@ -417,23 +508,21 @@ func (e *Engine) ProveContextWith(ctx context.Context, cs *r1cs.System, pk *Prov
 		big2[i] = fr.ToBig(witness[i])
 	}
 	t0 = time.Now()
-	var sumB2 pairing.G2Affine
-	if pr.G2 != nil {
-		sumB2 = pr.G2(pk.B2, big2)
-	} else {
-		sumB2 = g2.MSM(pk.B2, big2)
+	sumB2, err := msmG2(ctx, pk.B2, big2)
+	if err != nil {
+		return nil, err
 	}
-	phaseSpan(tr, "msm-B2", t0)
+	phaseSpan(tr, "msm-B2", telemetry.TrackHost, t0)
 	withBeta := g2.Add(&sumB2, &pk.Beta2)
 	sDelta2 := g2.ScalarMulFr(&pk.Delta2, fr, s)
 	proofB := g2.Add(&withBeta, &sDelta2)
 
 	t0 = time.Now()
-	sumB1, err := msmG1(PhaseB1, pk.B1, scalars)
+	sumB1, err := msmG1(ctx, PhaseB1, pk.B1, scalars)
 	if err != nil {
 		return nil, err
 	}
-	phaseSpan(tr, "msm-B1", t0)
+	phaseSpan(tr, "msm-B1", telemetry.TrackHost, t0)
 	accB1 := e.P.Curve.NewXYZZ()
 	e.P.Curve.SetAffine(accB1, &pk.Beta)
 	adder.Add(accB1, sumB1)
@@ -444,34 +533,20 @@ func (e *Engine) ProveContextWith(ctx context.Context, cs *r1cs.System, pk *Prov
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	privScalars := make([]bigint.Nat, len(witness))
-	for i := range witness {
-		if i <= cs.NPublic {
-			privScalars[i] = bigint.New(fr.Width())
-		} else {
-			privScalars[i] = scalars[i]
-		}
-	}
+	privScalars := privateScalars(fr, cs, witness, scalars)
 	t0 = time.Now()
-	sumK, err := msmG1(PhaseK, pk.K, privScalars)
+	sumK, err := msmG1(ctx, PhaseK, pk.K, privScalars)
 	if err != nil {
 		return nil, err
 	}
-	phaseSpan(tr, "msm-K", t0)
-	hScalars := make([]bigint.Nat, len(pk.Z))
-	for j := range pk.Z {
-		if j < len(h) {
-			hScalars[j] = frNat(fr, h[j])
-		} else {
-			hScalars[j] = bigint.New(fr.Width())
-		}
-	}
+	phaseSpan(tr, "msm-K", telemetry.TrackHost, t0)
+	hScalars := quotientScalars(fr, pk, h)
 	t0 = time.Now()
-	sumH, err := msmG1(PhaseZ, pk.Z, hScalars)
+	sumH, err := msmG1(ctx, PhaseZ, pk.Z, hScalars)
 	if err != nil {
 		return nil, err
 	}
-	phaseSpan(tr, "msm-Z", t0)
+	phaseSpan(tr, "msm-Z", telemetry.TrackHost, t0)
 	accC := sumK
 	adder.Add(accC, sumH)
 	aAff := proofA
@@ -489,15 +564,61 @@ func (e *Engine) ProveContextWith(ctx context.Context, cs *r1cs.System, pk *Prov
 	return &Proof{A: proofA, B: proofB, C: e.P.Curve.ToAffine(accC)}, nil
 }
 
+// privateScalars masks the public-input prefix of the witness scalars
+// with zeros (the msm-K column covers private variables only).
+func privateScalars(fr *field.Field, cs *r1cs.System, witness []field.Element, scalars []bigint.Nat) []bigint.Nat {
+	out := make([]bigint.Nat, len(witness))
+	for i := range witness {
+		if i <= cs.NPublic {
+			out[i] = bigint.New(fr.Width())
+		} else {
+			out[i] = scalars[i]
+		}
+	}
+	return out
+}
+
+// quotientScalars lifts the quotient coefficients onto the msm-Z column,
+// zero-padding to len(pk.Z).
+func quotientScalars(fr *field.Field, pk *ProvingKey, h []field.Element) []bigint.Nat {
+	out := make([]bigint.Nat, len(pk.Z))
+	for j := range pk.Z {
+		if j < len(h) {
+			out[j] = frNat(fr, h[j])
+		} else {
+			out[j] = bigint.New(fr.Width())
+		}
+	}
+	return out
+}
+
 // quotient computes the coefficients of h(X) = (a(X)·b(X) − c(X))/t(X)
 // via coset NTTs (t is constant on the coset: g^d − 1). Each of the
 // seven transforms honours ctx between butterfly passes, so a cancel or
-// deadline lands mid-quotient instead of after it.
-func (e *Engine) quotient(ctx context.Context, cs *r1cs.System, d int, witness []field.Element) ([]field.Element, error) {
+// deadline lands mid-quotient instead of after it. nttWorkers selects
+// the transform implementation: 1 keeps the serial *Context forms (the
+// sequential prover's exact code path), anything else routes through
+// the parallel coset NTTs (0 = GOMAXPROCS), which are bit-identical to
+// the serial transforms.
+func (e *Engine) quotient(ctx context.Context, cs *r1cs.System, d int, witness []field.Element, nttWorkers int) ([]field.Element, error) {
 	fr := e.Fr
 	dom, err := ntt.NewDomain(fr, d)
 	if err != nil {
 		return nil, err
+	}
+	inverse := dom.InverseContext
+	cosetForward := dom.CosetForwardContext
+	cosetInverse := dom.CosetInverseContext
+	if nttWorkers != 1 {
+		inverse = func(ctx context.Context, a []field.Element) error {
+			return dom.ParallelInverseContext(ctx, a, nttWorkers)
+		}
+		cosetForward = func(ctx context.Context, a []field.Element) error {
+			return dom.ParallelCosetForwardContext(ctx, a, nttWorkers)
+		}
+		cosetInverse = func(ctx context.Context, a []field.Element) error {
+			return dom.ParallelCosetInverseContext(ctx, a, nttWorkers)
+		}
 	}
 	evalA := zeroVec(fr, d)
 	evalB := zeroVec(fr, d)
@@ -509,12 +630,12 @@ func (e *Engine) quotient(ctx context.Context, cs *r1cs.System, d int, witness [
 	}
 	// To coefficients, then onto the coset.
 	for _, v := range [][]field.Element{evalA, evalB, evalC} {
-		if err := dom.InverseContext(ctx, v); err != nil {
+		if err := inverse(ctx, v); err != nil {
 			return nil, err
 		}
 	}
 	for _, v := range [][]field.Element{evalA, evalB, evalC} {
-		if err := dom.CosetForwardContext(ctx, v); err != nil {
+		if err := cosetForward(ctx, v); err != nil {
 			return nil, err
 		}
 	}
@@ -529,7 +650,7 @@ func (e *Engine) quotient(ctx context.Context, cs *r1cs.System, d int, witness [
 		fr.Sub(tmp, tmp, evalC[j])
 		fr.Mul(evalA[j], tmp, zInv)
 	}
-	if err := dom.CosetInverseContext(ctx, evalA); err != nil {
+	if err := cosetInverse(ctx, evalA); err != nil {
 		return nil, err
 	}
 	// h has degree ≤ d−2: the top coefficient must vanish.

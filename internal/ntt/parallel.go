@@ -14,12 +14,29 @@ import (
 // stages). workers <= 0 selects GOMAXPROCS. Output is identical to
 // Forward.
 func (d *Domain) ParallelForward(a []field.Element, workers int) {
-	d.parallelTransform(a, d.root, workers)
+	_ = d.parallelTransform(context.Background(), a, d.root, workers)
 }
 
 // ParallelInverse computes the in-place inverse NTT with workers.
 func (d *Domain) ParallelInverse(a []field.Element, workers int) {
-	d.parallelTransform(a, d.rootInv, workers)
+	_ = d.ParallelInverseContext(context.Background(), a, workers)
+}
+
+// ParallelForwardContext computes the in-place NTT with worker
+// goroutines, honouring ctx between butterfly passes exactly like
+// ForwardContext (a cancellation lands within one O(N) pass). Output is
+// bit-identical to ForwardContext.
+func (d *Domain) ParallelForwardContext(ctx context.Context, a []field.Element, workers int) error {
+	return d.parallelTransform(ctx, a, d.root, workers)
+}
+
+// ParallelInverseContext computes the in-place inverse NTT with worker
+// goroutines, honouring ctx between butterfly passes. Output is
+// bit-identical to InverseContext.
+func (d *Domain) ParallelInverseContext(ctx context.Context, a []field.Element, workers int) error {
+	if err := d.parallelTransform(ctx, a, d.rootInv, workers); err != nil {
+		return err
+	}
 	f := d.F
 	parallelRange(len(a), workers, func(lo, hi int) {
 		tmp := f.NewElement()
@@ -28,9 +45,46 @@ func (d *Domain) ParallelInverse(a []field.Element, workers int) {
 			a[i].Set(tmp)
 		}
 	})
+	return nil
 }
 
-func (d *Domain) parallelTransform(a []field.Element, omega field.Element, workers int) {
+// ParallelCosetForwardContext evaluates the polynomial on the coset
+// g·⟨ω⟩ using worker goroutines, honouring ctx between butterfly
+// passes. Output is bit-identical to CosetForwardContext.
+func (d *Domain) ParallelCosetForwardContext(ctx context.Context, a []field.Element, workers int) error {
+	d.parallelShift(a, d.gen, workers)
+	return d.parallelTransform(ctx, a, d.root, workers)
+}
+
+// ParallelCosetInverseContext interpolates from the coset g·⟨ω⟩ back to
+// coefficients using worker goroutines, honouring ctx between butterfly
+// passes. Output is bit-identical to CosetInverseContext.
+func (d *Domain) ParallelCosetInverseContext(ctx context.Context, a []field.Element, workers int) error {
+	if err := d.ParallelInverseContext(ctx, a, workers); err != nil {
+		return err
+	}
+	d.parallelShift(a, d.genInv, workers)
+	return nil
+}
+
+// parallelShift multiplies a[i] by g^i, sharding the range across
+// workers (each shard seeds its own power g^lo, so the result is
+// bit-identical to the serial shift).
+func (d *Domain) parallelShift(a []field.Element, g field.Element, workers int) {
+	f := d.F
+	parallelRange(len(a), workers, func(lo, hi int) {
+		pw := powElement(f, g, lo)
+		tmp := f.NewElement()
+		for i := lo; i < hi; i++ {
+			f.Mul(tmp, a[i], pw)
+			a[i].Set(tmp)
+			f.Mul(tmp, pw, g)
+			pw.Set(tmp)
+		}
+	})
+}
+
+func (d *Domain) parallelTransform(ctx context.Context, a []field.Element, omega field.Element, workers int) error {
 	n := len(a)
 	if n != d.N {
 		panic("ntt: input length != domain size")
@@ -39,8 +93,10 @@ func (d *Domain) parallelTransform(a []field.Element, omega field.Element, worke
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if n < 1024 || workers == 1 {
-		_ = d.transform(context.Background(), a, omega)
-		return
+		return d.transform(ctx, a, omega)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	f := d.F
 	// Bit-reversal permutation (cheap, serial).
@@ -52,6 +108,9 @@ func (d *Domain) parallelTransform(a []field.Element, omega field.Element, worke
 		}
 	}
 	for size := 2; size <= n; size <<= 1 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		half := size >> 1
 		w := omega.Clone()
 		tmp := f.NewElement()
@@ -97,6 +156,7 @@ func (d *Domain) parallelTransform(a []field.Element, omega field.Element, worke
 			})
 		}
 	}
+	return nil
 }
 
 // powElement computes base^e for a small non-negative exponent.

@@ -1,0 +1,80 @@
+package ntt
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"distmsm/internal/field"
+)
+
+// TestParallelContextFormsMatchSerialAndCancel: the ctx-aware parallel
+// transforms (the quotient pipeline's NTT backend) are bit-identical to
+// the serial *Context forms at every worker count — including n=256,
+// which exercises the small-n serial fallback — and a dead context
+// surfaces from between the butterfly passes of every variant.
+func TestParallelContextFormsMatchSerialAndCancel(t *testing.T) {
+	f := frField(t)
+	rnd := rand.New(rand.NewSource(55))
+	for _, n := range []int{256, 2048} {
+		d, err := NewDomain(f, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := randVec(f, rnd, n)
+		variants := []struct {
+			name   string
+			serial func(ctx context.Context, a []field.Element) error
+			par    func(ctx context.Context, a []field.Element, workers int) error
+		}{
+			{"forward", d.ForwardContext, d.ParallelForwardContext},
+			{"inverse", d.InverseContext, d.ParallelInverseContext},
+			{"coset-forward", d.CosetForwardContext, d.ParallelCosetForwardContext},
+			{"coset-inverse", d.CosetInverseContext, d.ParallelCosetInverseContext},
+		}
+		for _, v := range variants {
+			want := cloneVec(orig)
+			if err := v.serial(context.Background(), want); err != nil {
+				t.Fatalf("n=%d %s: serial reference: %v", n, v.name, err)
+			}
+			for _, workers := range []int{0, 1, 3, 8} {
+				got := cloneVec(orig)
+				if err := v.par(context.Background(), got, workers); err != nil {
+					t.Fatalf("n=%d %s workers=%d: %v", n, v.name, workers, err)
+				}
+				for i := range want {
+					if !got[i].Equal(want[i]) {
+						t.Fatalf("n=%d %s workers=%d: diverged from serial at %d", n, v.name, workers, i)
+					}
+				}
+			}
+
+			cancelled, cancel := context.WithCancel(context.Background())
+			cancel()
+			if err := v.par(cancelled, cloneVec(orig), 4); !errors.Is(err, context.Canceled) {
+				t.Fatalf("n=%d %s: want context.Canceled, got %v", n, v.name, err)
+			}
+			expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+			defer cancel2()
+			if err := v.par(expired, cloneVec(orig), 4); !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("n=%d %s: want context.DeadlineExceeded, got %v", n, v.name, err)
+			}
+		}
+
+		// Coset round trip through the parallel forms recovers the input.
+		rt := cloneVec(orig)
+		if err := d.ParallelCosetForwardContext(context.Background(), rt, 4); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.ParallelCosetInverseContext(context.Background(), rt, 4); err != nil {
+			t.Fatal(err)
+		}
+		for i := range orig {
+			if !rt[i].Equal(orig[i]) {
+				t.Fatalf("n=%d: parallel coset round trip failed at %d", n, i)
+			}
+		}
+	}
+}

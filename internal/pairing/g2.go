@@ -1,6 +1,7 @@
 package pairing
 
 import (
+	"context"
 	"math/big"
 
 	"distmsm/internal/field"
@@ -237,8 +238,24 @@ func (g *G2) Equal(p, q *G2Affine) bool {
 
 // MSM computes Σ k_i·Q_i with a windowed Pippenger over G2 (the prover's
 // second MSM; window fixed at 8 bits, adequate for the functional sizes).
+//
+// Deprecated: long-running provers should use MSMContext so a cancelled
+// job does not run the full G2 MSM to completion on the caller
+// goroutine.
 func (g *G2) MSM(points []G2Affine, scalars []*big.Int) G2Affine {
+	res, _ := g.MSMContext(context.Background(), points, scalars)
+	return res
+}
+
+// MSMContext computes Σ k_i·Q_i with a windowed Pippenger over G2,
+// honouring ctx at every window boundary and every 64 scalars inside the
+// scatter loop, so a cancellation lands within O(64) bucket additions
+// instead of waiting out the whole MSM.
+func (g *G2) MSMContext(ctx context.Context, points []G2Affine, scalars []*big.Int) (G2Affine, error) {
 	const s = 8
+	if err := ctx.Err(); err != nil {
+		return G2Affine{Inf: true}, err
+	}
 	maxBits := 0
 	for _, k := range scalars {
 		if k.BitLen() > maxBits {
@@ -246,16 +263,24 @@ func (g *G2) MSM(points []G2Affine, scalars []*big.Int) G2Affine {
 		}
 	}
 	if maxBits == 0 {
-		return G2Affine{Inf: true}
+		return G2Affine{Inf: true}, nil
 	}
 	nWin := (maxBits + s - 1) / s
 	acc := g.FromAffine(&G2Affine{Inf: true})
 	for j := nWin - 1; j >= 0; j-- {
+		if err := ctx.Err(); err != nil {
+			return G2Affine{Inf: true}, err
+		}
 		for b := 0; b < s; b++ {
 			g.Double(&acc)
 		}
 		buckets := make([]*G2Jacobian, 1<<s)
 		for i, k := range scalars {
+			if i&63 == 0 {
+				if err := ctx.Err(); err != nil {
+					return G2Affine{Inf: true}, err
+				}
+			}
 			d := 0
 			for b := 0; b < s; b++ {
 				d |= int(k.Bit(j*s+b)) << b
@@ -282,5 +307,5 @@ func (g *G2) MSM(points []G2Affine, scalars []*big.Int) G2Affine {
 		taff := g.ToAffine(&total)
 		g.AddMixed(&acc, &taff)
 	}
-	return g.ToAffine(&acc)
+	return g.ToAffine(&acc), nil
 }

@@ -1,6 +1,9 @@
 package pairing
 
-import "math/big"
+import (
+	"context"
+	"math/big"
+)
 
 // This file is the G2 counterpart of the §2.3.1 fixed-base evaluation:
 // per-window tables 2^(j·s)·Q_i let every window's signed digits scatter
@@ -199,7 +202,19 @@ func signedDigitsBig(k *big.Int, bits, s int, out []int32) []int32 {
 // in Jacobian coordinates, so the whole MSM costs exactly one Fp2
 // inversion (the final normalisation). Scalars wider than the
 // precomputed width are truncated — callers pass reduced field scalars.
+//
+// Deprecated: long-running provers should use MSMContext so a cancelled
+// job does not run the full G2 MSM to completion on the caller
+// goroutine.
 func (p *G2Precomputed) MSM(scalars []*big.Int) G2Affine {
+	res, _ := p.MSMContext(context.Background(), scalars)
+	return res
+}
+
+// MSMContext computes Σ k_i·Q_i through the tables, honouring ctx every
+// 64 scalars inside the scatter loop (the bucket reduce after it is
+// O(2^(s-1)), too short to matter).
+func (p *G2Precomputed) MSMContext(ctx context.Context, scalars []*big.Int) (G2Affine, error) {
 	g := p.g
 	t := g.T
 	half := 1 << (p.s - 1)
@@ -207,6 +222,11 @@ func (p *G2Precomputed) MSM(scalars []*big.Int) G2Affine {
 	negY := t.E2Zero()
 	var digits []int32
 	for i, k := range scalars {
+		if i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return G2Affine{Inf: true}, err
+			}
+		}
 		digits = signedDigitsBig(k, p.scalarBits, p.s, digits)
 		for j, d := range digits {
 			if d == 0 {
@@ -239,5 +259,5 @@ func (p *G2Precomputed) MSM(scalars []*big.Int) G2Affine {
 		}
 		g.AddJac(&total, &running)
 	}
-	return g.ToAffine(&total)
+	return g.ToAffine(&total), nil
 }

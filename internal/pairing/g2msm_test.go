@@ -1,6 +1,8 @@
 package pairing
 
 import (
+	"context"
+	"errors"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -67,16 +69,63 @@ func TestG2PrecomputedMSMMatchesWindowed(t *testing.T) {
 	if pre.N() != n || pre.MemoryBytes() <= 0 {
 		t.Fatalf("accessors: N=%d mem=%d", pre.N(), pre.MemoryBytes())
 	}
-	got := pre.MSM(scalars)
-	want := g2.MSM(points, scalars)
+	got, err := pre.MSMContext(context.Background(), scalars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := g2.MSMContext(context.Background(), points, scalars)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !g2.Equal(&got, &want) {
 		t.Fatal("precomputed G2 MSM disagrees with windowed MSM")
 	}
 
 	// Different window size, same answer.
 	pre6 := g2.Precompute(points, 6, e.Fr.Modulus.BitLen())
-	got6 := pre6.MSM(scalars)
+	got6, err := pre6.MSMContext(context.Background(), scalars)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !g2.Equal(&got6, &want) {
 		t.Fatal("s=6 precomputed G2 MSM disagrees")
+	}
+}
+
+// TestG2MSMContextCancel: both G2 MSM forms observe a dead context —
+// the windowed MSM between windows/scalars, the precomputed MSM inside
+// its scatter loop — and the deprecated ctx-less wrappers still return
+// the same points as the context forms on a live context.
+func TestG2MSMContextCancel(t *testing.T) {
+	e := engine(t)
+	g2 := e.G2
+	rnd := rand.New(rand.NewSource(23))
+	const n = 80
+	points := make([]G2Affine, n)
+	scalars := make([]*big.Int, n)
+	for i := range points {
+		points[i] = g2.ScalarMul(&g2.Gen, big.NewInt(int64(2*i+1)))
+		scalars[i] = new(big.Int).Rand(rnd, e.Fr.Modulus)
+	}
+	pre := g2.Precompute(points, 0, e.Fr.Modulus.BitLen())
+
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g2.MSMContext(dead, points, scalars); !errors.Is(err, context.Canceled) {
+		t.Fatalf("windowed MSM: want context.Canceled, got %v", err)
+	}
+	if _, err := pre.MSMContext(dead, scalars); !errors.Is(err, context.Canceled) {
+		t.Fatalf("precomputed MSM: want context.Canceled, got %v", err)
+	}
+
+	want, err := g2.MSMContext(context.Background(), points, scalars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g2.MSM(points, scalars); !g2.Equal(&got, &want) { //ctxlint:allow — deprecated wrapper parity
+		t.Fatal("deprecated G2.MSM wrapper disagrees with MSMContext")
+	}
+	if got := pre.MSM(scalars); !g2.Equal(&got, &want) { //ctxlint:allow — deprecated wrapper parity
+		t.Fatal("deprecated G2Precomputed.MSM wrapper disagrees with MSMContext")
 	}
 }

@@ -1,6 +1,7 @@
 package pairing
 
 import (
+	"context"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -207,7 +208,10 @@ func TestG2MSMMatchesNaive(t *testing.T) {
 		points[i] = g2.ScalarMul(&g2.Gen, big.NewInt(int64(i+2)))
 		scalars[i] = k
 	}
-	got := g2.MSM(points, scalars)
+	got, err := g2.MSMContext(context.Background(), points, scalars)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := G2Affine{Inf: true}
 	for i := range points {
 		term := g2.ScalarMul(&points[i], scalars[i])
@@ -217,7 +221,7 @@ func TestG2MSMMatchesNaive(t *testing.T) {
 		t.Fatal("G2 MSM mismatch")
 	}
 	// empty MSM
-	if out := g2.MSM(nil, nil); !out.Inf {
+	if out, err := g2.MSMContext(context.Background(), nil, nil); err != nil || !out.Inf {
 		t.Fatal("empty G2 MSM should be O")
 	}
 }

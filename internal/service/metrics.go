@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"time"
 
 	"distmsm/internal/core"
 	"distmsm/internal/gpusim"
@@ -31,6 +32,8 @@ type serviceMetrics struct {
 	baseCacheMisses    *telemetry.Counter
 	baseCacheEvictions *telemetry.Counter
 	baseCacheBytes     *telemetry.Gauge
+
+	phaseSeconds map[string]*telemetry.Histogram
 
 	msmRuns        *telemetry.Counter
 	faultTransient *telemetry.Counter
@@ -86,6 +89,15 @@ func newServiceMetrics(reg *telemetry.Registry, health *gpusim.HealthRegistry, g
 		"Circuit base caches dropped under memory pressure.", "")
 	m.baseCacheBytes = reg.Gauge("distmsm_base_cache_bytes",
 		"Bytes currently held by cached fixed-base tables.", "")
+
+	// One histogram per prover phase, pre-registered so the pipelined
+	// prover's concurrent OnPhase callbacks only touch atomics.
+	m.phaseSeconds = make(map[string]*telemetry.Histogram, len(provePhases))
+	for _, phase := range provePhases {
+		m.phaseSeconds[phase] = reg.Histogram("distmsm_prove_phase_seconds",
+			"Wall time of one Groth16 prover phase (pipelined prover).",
+			`phase="`+phase+`"`, nil)
+	}
 
 	m.msmRuns = reg.Counter("distmsm_msm_runs_total",
 		"MSM executions completed by the multi-GPU scheduler.", "")
@@ -184,6 +196,21 @@ func (m *serviceMetrics) observeBaseSize(bytes int64, evicted bool) {
 		m.baseCacheEvictions.Inc()
 	}
 	m.baseCacheBytes.Set(float64(bytes))
+}
+
+// provePhases are the pipelined prover's phase names, in DAG order.
+var provePhases = []string{"quotient", "msm-A", "msm-B2", "msm-B1", "msm-K", "msm-Z"}
+
+// observePhase records one completed prover phase's wall time. Called
+// concurrently from the pipelined prover's phase goroutines — the
+// histogram handle only touches atomics.
+func (m *serviceMetrics) observePhase(name string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	if h := m.phaseSeconds[name]; h != nil {
+		h.Observe(d.Seconds())
+	}
 }
 
 // observeMSM folds one MSM execution's fault-tolerance counters into the

@@ -217,3 +217,45 @@ func TestContextPlumbing(t *testing.T) {
 		t.Fatal("tracer lost in context round-trip")
 	}
 }
+
+// TestPhaseLanes pins the lane algebra of the pipelined prover: phase
+// lanes are negative tids that never collide with the host lane or any
+// GPU lane, and TrackName renders all three families.
+func TestPhaseLanes(t *testing.T) {
+	seen := map[Track]bool{TrackHost: true}
+	for g := 0; g < 64; g++ {
+		seen[TrackGPU(g)] = true
+	}
+	for i := 0; i < 16; i++ {
+		lane := TrackPhase(i)
+		if seen[lane] {
+			t.Fatalf("TrackPhase(%d) = %d collides with an existing lane", i, lane)
+		}
+		seen[lane] = true
+	}
+	for _, tc := range []struct {
+		track Track
+		want  string
+	}{
+		{TrackHost, "host"},
+		{TrackGPU(0), "gpu0"},
+		{TrackGPU(7), "gpu7"},
+		{TrackPhase(0), "phase0"},
+		{TrackPhase(5), "phase5"},
+	} {
+		if got := TrackName(tc.track); got != tc.want {
+			t.Errorf("TrackName(%d) = %q, want %q", tc.track, got, tc.want)
+		}
+	}
+
+	// The Chrome export names phase lanes like the others.
+	tr := NewTracer(4)
+	tr.Record(Span{Name: "quotient", Cat: "groth16", Track: TrackPhase(0), Start: time.Now(), Dur: time.Millisecond})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"phase0"`) {
+		t.Fatalf("Chrome trace missing phase lane name: %s", buf.String())
+	}
+}

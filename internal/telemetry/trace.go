@@ -40,6 +40,26 @@ const TrackHost Track = 0
 // TrackGPU returns the lane of simulated GPU g.
 func TrackGPU(g int) Track { return Track(1 + g) }
 
+// TrackPhase returns the lane of pipelined Groth16 prover phase i
+// (negative tids, so they never collide with host/GPU lanes). The
+// phase-DAG executor draws each concurrent phase on its own lane —
+// quotient overlapping a witness MSM shows up as parallel bars instead
+// of aliasing on TrackHost.
+func TrackPhase(i int) Track { return Track(-1 - i) }
+
+// TrackName returns the viewer lane name for a track ("host", "gpuN",
+// "phaseN").
+func TrackName(tr Track) string {
+	switch {
+	case tr == TrackHost:
+		return "host"
+	case tr > TrackHost:
+		return fmt.Sprintf("gpu%d", int(tr)-1)
+	default:
+		return fmt.Sprintf("phase%d", -int(tr)-1)
+	}
+}
+
 // Span is one completed trace interval. The zero value of the label
 // fields means "absent": Window and Attempt are only exported when
 // Labeled is set (a window-0, attempt-0 shard is distinguishable from
@@ -185,13 +205,9 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	}
 	events := make([]traceEvent, 0, len(spans)+len(tracks))
 	for tr := range tracks {
-		name := "host"
-		if tr > TrackHost {
-			name = fmt.Sprintf("gpu%d", int(tr)-1)
-		}
 		events = append(events, traceEvent{
 			Name: "thread_name", Ph: "M", PID: 1, TID: int32(tr),
-			Args: map[string]any{"name": name},
+			Args: map[string]any{"name": TrackName(tr)},
 		})
 	}
 	for _, s := range spans {
