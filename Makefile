@@ -13,7 +13,7 @@ BENCH_BASELINE ?= bench/baseline_pr3.json
 BENCH_OUT      ?= BENCH_pr3.json
 BENCH_RAW      ?= bench_raw.txt
 
-.PHONY: all tier1 build vet test race lint bench bench-smoke batch-smoke pipeline-smoke fuzz-smoke service-smoke cluster-smoke examples
+.PHONY: all tier1 build vet test race lint bench bench-smoke batch-smoke pipeline-smoke fuzz-smoke service-smoke cluster-smoke loadgen-smoke loadgen-bench examples
 
 all: tier1
 
@@ -41,7 +41,7 @@ lint: vet
 	fi
 
 race:
-	$(GO) test -race ./internal/core ./internal/msm ./internal/bigint ./internal/field ./internal/curve ./internal/service ./internal/cluster ./internal/groth16 ./internal/ntt
+	$(GO) test -race ./internal/core ./internal/msm ./internal/bigint ./internal/field ./internal/curve ./internal/service ./internal/cluster ./internal/groth16 ./internal/ntt ./internal/telemetry
 
 bench:
 	@rm -f $(BENCH_RAW)
@@ -88,6 +88,22 @@ fuzz-smoke:
 # drain) and exit non-zero on any failure.
 service-smoke:
 	$(GO) run ./cmd/provd -gpus 4 -constraints 128 -smoke 6
+
+# Tail-latency smoke: a miniature open-loop adversarial run (heavy
+# flood + tight-deadline trickle + a deliberately doomed circuit)
+# against an in-process service under EDF + quotas + shedding. Fails
+# unless p999 was recorded, nothing failed unexpectedly, and the EDF
+# reorder and shed paths actually fired — a refactor that silently
+# disables either is a hard failure, not a quietly worse tail.
+loadgen-smoke:
+	$(GO) run ./cmd/loadgen -smoke
+
+# Full tail-latency benchmark matrix: steady load at two rates (with
+# and without injected GPU faults) plus the adversarial mix under FIFO
+# and under EDF+quota+shed. Writes BENCH_pr9.json and fails unless the
+# hardened policy cuts the trickle circuit's p999 by >= 2x vs FIFO.
+loadgen-bench:
+	$(GO) run ./cmd/loadgen -bench -out BENCH_pr9.json
 
 # Cluster failover smoke: a coordinator with two in-process worker
 # nodes over real loopback HTTP, one worker killed mid-batch (no

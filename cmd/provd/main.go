@@ -21,6 +21,13 @@
 // most -drain-timeout before cancelling the stragglers — a node restart
 // never dies mid-proof unless the drain budget runs out.
 //
+// Tail-latency knobs: -queue-policy picks EDF (default) or FIFO
+// dequeue order, -circuit-quota bounds any one circuit's share of queue
+// slots and workers, -shed drops jobs that cannot meet their deadline
+// anyway, and -coalesce-slack arbitrates between deadline order and
+// circuit-affinity coalescing (see cmd/loadgen for measuring the
+// effect of each).
+//
 // Smoke mode runs N jobs through the full service lifecycle (submit,
 // prove, verify, drain) without a listener and exits non-zero on any
 // failure — the CI entry point:
@@ -65,6 +72,10 @@ func main() {
 		advertise   = flag.String("advertise", "", "dispatch address advertised to the coordinator (default http://<listen>)")
 		nodeID      = flag.String("node-id", "", "stable cluster node identifier (default the hostname)")
 		pipelined   = flag.Bool("pipelined", false, "prove with the phase-DAG pipeline (quotient NTTs overlap witness MSMs on GPU sub-pools)")
+		queuePolicy = flag.String("queue-policy", "edf", "pending-queue order: edf (earliest deadline first) or fifo (arrival order)")
+		quota       = flag.Float64("circuit-quota", 0, "per-circuit admission quota as a fraction of capacity in (0,1]; 0 disables")
+		shed        = flag.Bool("shed", false, "shed doomed jobs (expired or EWMA-predicted deadline miss) at dequeue and at prover phase boundaries")
+		slack       = flag.Duration("coalesce-slack", 0, "minimum slack on the EDF head before circuit-affinity coalescing may jump the queue (0 = 1s default, negative = always coalesce)")
 		smoke       = flag.Int("smoke", 0, "run N smoke jobs and exit instead of serving")
 		traceDir    = flag.String("trace-dir", "", "write a Chrome trace JSON per job into this directory")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -77,6 +88,7 @@ func main() {
 		listen: *listen, timeout: *timeout, drain: *drain,
 		join: *join, advertise: *advertise, nodeID: *nodeID, pipelined: *pipelined,
 		smoke: *smoke, traceDir: *traceDir, pprofOn: *pprofOn,
+		queuePolicy: *queuePolicy, quota: *quota, shed: *shed, slack: *slack,
 	}
 	if err := run(ctx, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "provd:", err)
@@ -93,6 +105,21 @@ type options struct {
 	smoke                             int
 	traceDir                          string
 	pprofOn                           bool
+	queuePolicy                       string
+	quota                             float64
+	shed                              bool
+	slack                             time.Duration
+}
+
+// parseQueuePolicy maps the -queue-policy flag onto the service enum.
+func parseQueuePolicy(s string) (service.QueuePolicy, error) {
+	switch s {
+	case "edf", "":
+		return service.QueueEDF, nil
+	case "fifo":
+		return service.QueueFIFO, nil
+	}
+	return 0, fmt.Errorf("unknown -queue-policy %q (want edf or fifo)", s)
 }
 
 func run(ctx context.Context, o options) error {
@@ -105,6 +132,10 @@ func run(ctx context.Context, o options) error {
 			return err
 		}
 	}
+	policy, err := parseQueuePolicy(o.queuePolicy)
+	if err != nil {
+		return err
+	}
 	metrics := telemetry.NewRegistry()
 	svc, err := service.New(service.Config{
 		Cluster:        cl,
@@ -114,6 +145,10 @@ func run(ctx context.Context, o options) error {
 		Metrics:        metrics,
 		TraceDir:       o.traceDir,
 		ProvePipelined: o.pipelined,
+		QueuePolicy:    policy,
+		CircuitQuota:   o.quota,
+		ShedDoomed:     o.shed,
+		CoalesceSlack:  o.slack,
 	})
 	if err != nil {
 		return err

@@ -42,7 +42,9 @@ import (
 //	                  "degraded": true — capacity is reduced, not gone.
 //	                  A cluster coordinator's node breaker keys off the
 //	                  503, an autoscaler can key off "degraded".
-//	GET /v1/stats     counters snapshot (includes base-cache hit/miss/eviction)
+//	GET /v1/stats     counters snapshot (base-cache hit/miss/eviction,
+//	                  quota rejects, shed counts) plus "job_seconds"
+//	                  p50/p99/p999 when a metrics registry is configured
 //	GET /v1/metrics   Prometheus text exposition (when Config.Metrics set)
 //
 //	POST /v1/cluster/dispatch   coordinator-dispatched proof job (see
@@ -304,8 +306,34 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// statsWire is the GET /v1/stats body: the counters snapshot plus
+// latency quantiles interpolated from the distmsm_job_seconds histogram
+// (present only when a metrics registry is configured and at least one
+// job has finished — NaN has no JSON encoding).
+type statsWire struct {
+	Stats
+	JobSeconds *quantilesWire `json:"job_seconds,omitempty"`
+}
+
+type quantilesWire struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.Stats())
+	out := statsWire{Stats: s.Stats()}
+	if s.metrics != nil && s.metrics.jobSeconds.Count() > 0 {
+		h := s.metrics.jobSeconds
+		out.JobSeconds = &quantilesWire{
+			Count: h.Count(),
+			P50:   h.Quantile(0.50),
+			P99:   h.Quantile(0.99),
+			P999:  h.Quantile(0.999),
+		}
+	}
+	writeJSON(w, out)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -33,6 +33,9 @@ type serviceMetrics struct {
 	baseCacheEvictions *telemetry.Counter
 	baseCacheBytes     *telemetry.Gauge
 
+	jobsShed      map[string]*telemetry.Counter // by shed reason
+	queueReorders *telemetry.Counter
+
 	phaseSeconds map[string]*telemetry.Histogram
 
 	msmRuns        *telemetry.Counter
@@ -89,6 +92,17 @@ func newServiceMetrics(reg *telemetry.Registry, health *gpusim.HealthRegistry, g
 		"Circuit base caches dropped under memory pressure.", "")
 	m.baseCacheBytes = reg.Gauge("distmsm_base_cache_bytes",
 		"Bytes currently held by cached fixed-base tables.", "")
+
+	// Shed and reorder counters are pre-registered per reason so the
+	// dequeue path never takes the registry lock.
+	m.jobsShed = make(map[string]*telemetry.Counter, len(shedReasons))
+	for _, reason := range shedReasons {
+		m.jobsShed[reason] = reg.Counter("distmsm_jobs_shed_total",
+			"Jobs shed as doomed before or during proving, by reason.",
+			`reason="`+reason+`"`)
+	}
+	m.queueReorders = reg.Counter("distmsm_queue_reorders_total",
+		"Dequeues where EDF picked a job ahead of the strict-FIFO head.", "")
 
 	// One histogram per prover phase, pre-registered so the pipelined
 	// prover's concurrent OnPhase callbacks only touch atomics.
@@ -196,6 +210,27 @@ func (m *serviceMetrics) observeBaseSize(bytes int64, evicted bool) {
 		m.baseCacheEvictions.Inc()
 	}
 	m.baseCacheBytes.Set(float64(bytes))
+}
+
+// shedReasons are the label values of distmsm_jobs_shed_total.
+var shedReasons = []string{ShedExpired, ShedDoomed, ShedPhase}
+
+// observeShed records one shed job by reason.
+func (m *serviceMetrics) observeShed(reason string) {
+	if m == nil {
+		return
+	}
+	if c := m.jobsShed[reason]; c != nil {
+		c.Inc()
+	}
+}
+
+// observeReorder records one deadline-driven dequeue reorder.
+func (m *serviceMetrics) observeReorder() {
+	if m == nil {
+		return
+	}
+	m.queueReorders.Inc()
 }
 
 // provePhases are the pipelined prover's phase names, in DAG order.

@@ -1,0 +1,110 @@
+package service
+
+import "container/heap"
+
+// This file is the pending-job priority queue behind the worker pool.
+// The queue replaced PR 4's FIFO slice for tail latency: under a mixed
+// workload a strict-FIFO queue lets sixteen 60-second batch jobs pin a
+// 200ms-deadline job to a guaranteed miss, so the default order is now
+// earliest-deadline-first (EDF) — the schedule that minimises maximum
+// lateness on a single resource (Jackson's rule). Arrival order (job ID)
+// breaks deadline ties, which makes EDF degrade to exact FIFO for
+// uniform-timeout workloads; QueueFIFO keeps the legacy order outright
+// for A/B comparison (cmd/loadgen measures both).
+
+// QueuePolicy selects how the pending queue orders jobs.
+type QueuePolicy int
+
+const (
+	// QueueEDF pops the job with the earliest end-to-end deadline first,
+	// breaking ties by arrival order. The default.
+	QueueEDF QueuePolicy = iota
+	// QueueFIFO pops jobs in strict arrival order — the pre-hardening
+	// behaviour, kept selectable so the tail cost of FIFO stays
+	// measurable (see cmd/loadgen's adversarial scenarios).
+	QueueFIFO
+)
+
+// jobQueue is a policy-ordered min-heap of pending jobs. It is not
+// self-locking: every method must be called with Service.mu held.
+type jobQueue struct {
+	policy QueuePolicy
+	items  []*Job
+}
+
+func (q *jobQueue) Len() int { return len(q.items) }
+
+func (q *jobQueue) Less(i, j int) bool { return q.before(q.items[i], q.items[j]) }
+
+// before is the queue's strict ordering: deadline-then-ID under EDF,
+// ID only under FIFO. IDs are unique, so the order is total.
+func (q *jobQueue) before(a, b *Job) bool {
+	if q.policy == QueueEDF && !a.Deadline.Equal(b.Deadline) {
+		return a.Deadline.Before(b.Deadline)
+	}
+	return a.ID < b.ID
+}
+
+func (q *jobQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *jobQueue) Push(x any) { q.items = append(q.items, x.(*Job)) }
+
+func (q *jobQueue) Pop() any {
+	last := len(q.items) - 1
+	j := q.items[last]
+	q.items[last] = nil
+	q.items = q.items[:last]
+	return j
+}
+
+// add enqueues a job.
+func (q *jobQueue) add(j *Job) { heap.Push(q, j) }
+
+// removeAt pops the job at heap index i (0 is the policy head).
+func (q *jobQueue) removeAt(i int) *Job { return heap.Remove(q, i).(*Job) }
+
+// bestEligible returns the heap index of the first job in policy order
+// for which eligible returns true, or -1 when none qualifies. The heap
+// head is the policy minimum, but the minimum of an arbitrary eligible
+// subset needs a scan; queues are bounded by Workers+QueueDepth, so the
+// scan is short.
+func (q *jobQueue) bestEligible(eligible func(*Job) bool) int {
+	best := -1
+	for i, j := range q.items {
+		if !eligible(j) {
+			continue
+		}
+		if best < 0 || q.before(j, q.items[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// bestFor returns the heap index of the first eligible job of the given
+// circuit in policy order, or -1 — the circuit-affinity candidate.
+func (q *jobQueue) bestFor(circuit string, eligible func(*Job) bool) int {
+	best := -1
+	for i, j := range q.items {
+		if j.Circuit != circuit || !eligible(j) {
+			continue
+		}
+		if best < 0 || q.before(j, q.items[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// oldestID returns the smallest job ID in the queue (the strict-FIFO
+// head), or 0 on an empty queue — the reference point for counting
+// deadline-driven reorders.
+func (q *jobQueue) oldestID() uint64 {
+	var min uint64
+	for _, j := range q.items {
+		if min == 0 || j.ID < min {
+			min = j.ID
+		}
+	}
+	return min
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package service
+
+// timingScale stretches the deadlines of timing-sensitive tests; 1 on
+// normal builds, larger under the race detector (see race_on_test.go),
+// whose instrumentation slows the CPU-bound prover several-fold on a
+// small host.
+const timingScale = 1

@@ -1,0 +1,10 @@
+//go:build race
+
+package service
+
+// timingScale under the race detector: instrumentation slows the
+// CPU-bound prover ~6x on a single-core host, so timing-sensitive
+// deadlines stretch by the same factor — the FIFO-side margins scale
+// with the prover, keeping both halves of the starvation test
+// deterministic.
+const timingScale = 6

@@ -21,6 +21,16 @@
 //     quarantined by its circuit breaker and re-admitted through probe
 //     shards; a sick GPU costs the cluster its own share, not a
 //     rediscovery per request.
+//   - Tail-latency hardening: the pending queue is earliest-deadline-
+//     first (EDF) instead of FIFO, so a tight-deadline job is never
+//     pinned behind a wall of long-deadline batch work; per-circuit
+//     admission quotas (Config.CircuitQuota) bound one hot circuit's
+//     share of queue slots and workers; and doomed-job shedding
+//     (Config.ShedDoomed) turns jobs that can no longer meet their
+//     deadline into fast misses at dequeue and at prover phase
+//     boundaries instead of burning a worker on a result nobody can
+//     use. cmd/loadgen measures the p50/p99/p999 effect under open-loop
+//     Poisson load.
 //   - Graceful shutdown: Shutdown stops admission, drains queued and
 //     in-flight jobs under a deadline, then cancels the rest. No
 //     goroutine outlives it.
@@ -30,6 +40,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/big"
 	"math/rand"
 	"path/filepath"
@@ -70,13 +81,26 @@ var (
 // ErrQueueFull.
 type QueueFullError struct {
 	// Queued is the outstanding job count (waiting + in flight) at
-	// rejection time; Depth is the admission capacity it hit.
+	// rejection time; Depth is the admission capacity it hit. For a
+	// quota rejection both are scoped to the submitting circuit.
 	Queued, Depth int
 	// Memory reports whether the memory budget (not the depth) was the
 	// binding constraint.
 	Memory bool
-	// RetryAfter estimates how long until capacity frees up, from the
-	// service's completion-time EWMA.
+	// Quota reports that the submitting circuit's per-circuit admission
+	// quota (Config.CircuitQuota) was the binding constraint — the
+	// service as a whole still has room, this circuit does not. Circuit
+	// names it.
+	Quota   bool
+	Circuit string
+	// RetryAfter estimates how long until a retry of this submission is
+	// likely to be admitted. For a capacity rejection that is the first
+	// completion among the in-flight jobs (one completion frees one
+	// outstanding slot); for a quota rejection it is the time for the
+	// submitting circuit to drain its own backlog through its own
+	// in-flight lanes — computed from the circuit's completion-time
+	// EWMA, so a hot over-quota circuit gets an honestly larger hint
+	// than one rejected by global capacity.
 	RetryAfter time.Duration
 }
 
@@ -88,13 +112,55 @@ func (e *QueueFullError) RetryAfterHint() time.Duration { return e.RetryAfter }
 
 func (e *QueueFullError) Error() string {
 	bound := fmt.Sprintf("%d/%d jobs queued", e.Queued, e.Depth)
-	if e.Memory {
+	switch {
+	case e.Memory:
 		bound = "memory budget exceeded"
+	case e.Quota:
+		bound = fmt.Sprintf("circuit %q over quota (%d/%d slots)", e.Circuit, e.Queued, e.Depth)
 	}
 	return fmt.Sprintf("service: queue full (%s), retry after %v", bound, e.RetryAfter)
 }
 
 func (e *QueueFullError) Unwrap() error { return ErrQueueFull }
+
+// Shed reasons — the label values of distmsm_jobs_shed_total and the
+// Reason field of ShedError.
+const (
+	// ShedExpired: the deadline had already passed when a worker reached
+	// the job (it missed in the queue).
+	ShedExpired = "expired"
+	// ShedDoomed: the deadline had not passed at dequeue, but the
+	// remaining budget was below the circuit's EWMA prove time — the job
+	// would almost surely have burned a worker only to miss anyway.
+	ShedDoomed = "doomed"
+	// ShedPhase: mid-prove, the remaining budget dropped below the EWMA
+	// cost of the next MSM phase; the job is dropped at the phase
+	// boundary instead of launching work it cannot finish.
+	ShedPhase = "phase"
+)
+
+// ShedError reports a job dropped by doomed-job shedding
+// (Config.ShedDoomed): the service concluded the job could no longer
+// meet its deadline and failed it fast instead of burning a worker. It
+// unwraps to context.DeadlineExceeded — from the client's seat a shed
+// job is a deadline miss, just a cheap one.
+type ShedError struct {
+	// Reason is one of ShedExpired, ShedDoomed, ShedPhase.
+	Reason string
+	// Remaining is the budget left on the deadline at the shed decision
+	// (negative when already expired); Estimate is the EWMA cost the
+	// budget was compared against (zero for ShedExpired).
+	Remaining, Estimate time.Duration
+}
+
+func (e *ShedError) Error() string {
+	if e.Reason == ShedExpired {
+		return fmt.Sprintf("service: job shed (%s): deadline passed %v ago", e.Reason, -e.Remaining)
+	}
+	return fmt.Sprintf("service: job shed (%s): %v remaining < %v estimated", e.Reason, e.Remaining, e.Estimate)
+}
+
+func (e *ShedError) Unwrap() error { return context.DeadlineExceeded }
 
 // Config configures a Service. Cluster is required; everything else has
 // a documented default.
@@ -109,6 +175,39 @@ type Config struct {
 	// QueueDepth bounds the jobs waiting for a worker: admission accepts
 	// at most Workers+QueueDepth outstanding jobs. Default 2×Workers.
 	QueueDepth int
+	// QueuePolicy orders the pending queue: QueueEDF (the default) pops
+	// the earliest-deadline job first so tight-deadline work is never
+	// stuck behind long-deadline batch jobs; QueueFIFO keeps strict
+	// arrival order. Deadline ties break by arrival order either way,
+	// so EDF is exactly FIFO for uniform-timeout workloads.
+	QueuePolicy QueuePolicy
+	// CoalesceSlack gates circuit-affinity coalescing under EDF: a
+	// worker may prefer a same-circuit job over the earliest-deadline
+	// job only while that earliest deadline still has at least this
+	// much slack — cache affinity is a throughput optimisation and must
+	// never cause a miss the EDF order would have avoided. 0 uses the
+	// 1s default; negative disables the gate (affinity always wins, the
+	// legacy behaviour). Ignored under QueueFIFO.
+	CoalesceSlack time.Duration
+	// CircuitQuota bounds each circuit's share of the service, as a
+	// fraction in (0, 1]: a circuit may hold at most
+	// ceil(CircuitQuota·(Workers+QueueDepth)) outstanding jobs (submits
+	// beyond that are rejected with a Quota-flagged QueueFullError) and
+	// at most ceil(CircuitQuota·Workers) jobs on workers at once (the
+	// scheduler passes over its jobs while it is at the limit). One hot
+	// circuit can then never starve the rest of the mix. 0 (the
+	// default) disables quotas.
+	CircuitQuota float64
+	// ShedDoomed enables doomed-job shedding: at dequeue, jobs whose
+	// deadline already passed — or whose remaining budget is below the
+	// circuit's EWMA prove time — are failed immediately as deadline
+	// misses (*ShedError, unwrapping context.DeadlineExceeded) without
+	// burning a worker on a prove; mid-prove, the same check runs
+	// against each MSM phase's EWMA cost at the phase boundary. Off by
+	// default: shedding pre-empts the documented guarantee that an
+	// expired job's DeadlineExceeded surfaces from inside
+	// groth16.ProveContext, so it is an explicit opt-in.
+	ShedDoomed bool
 	// MemoryBudget bounds the summed memory estimates of queued and
 	// in-flight jobs, in bytes; 0 means unbounded.
 	MemoryBudget int64
@@ -170,6 +269,9 @@ func (c Config) withDefaults() Config {
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = time.Minute
 	}
+	if c.CoalesceSlack == 0 {
+		c.CoalesceSlack = time.Second
+	}
 	return c
 }
 
@@ -194,6 +296,16 @@ type circuit struct {
 	// Guarded by Service.mu; the pointed-to tables are immutable, so a
 	// job that grabbed the pointer survives a concurrent eviction.
 	bases *circuitBases
+	// ewmaSec is the circuit's own completion-time EWMA, fed by the same
+	// outcomes as the service-wide one. It prices this circuit's
+	// retry-after hints and the doomed-job shed decision (a job whose
+	// remaining budget is below it is a near-certain miss). Guarded by
+	// Service.mu.
+	ewmaSec float64
+	// phaseEwma tracks the EWMA wall cost of each G1 MSM phase for this
+	// circuit (indexed by groth16.MSMPhase), feeding the phase-boundary
+	// shed check. Guarded by Service.mu.
+	phaseEwma [4]float64
 }
 
 // circuitBases is one circuit's proving-key precomputation: §2.3.1
@@ -303,6 +415,22 @@ type Stats struct {
 	// BatchesCoalesced counts worker dequeues that stayed on the
 	// previous job's circuit (cache-affinity pops).
 	BatchesCoalesced uint64
+	// QueueReorders counts dequeues where the deadline order overtook
+	// arrival order — the popped job was not the oldest pending one.
+	// Zero under QueueFIFO (and under EDF with uniform timeouts); a
+	// live EDF path under a mixed-deadline load must move it.
+	QueueReorders uint64
+	// QuotaRejected counts submissions rejected by the per-circuit
+	// admission quota (a subset of Rejected).
+	QuotaRejected uint64
+	// Shed counters, by reason: jobs dropped by doomed-job shedding as
+	// fast deadline misses (also counted in Cancelled). ShedExpired
+	// jobs were already past deadline at dequeue, ShedDoomed had less
+	// budget left than the circuit's EWMA prove time, ShedPhase ran out
+	// of budget at a prover phase boundary mid-job.
+	ShedExpired uint64
+	ShedDoomed  uint64
+	ShedPhase   uint64
 }
 
 // Service is the proving daemon. Build with New, stop with Shutdown.
@@ -324,19 +452,27 @@ type Service struct {
 	workersWG sync.WaitGroup
 
 	mu       sync.Mutex
-	cond     *sync.Cond // signals pending-queue arrivals and shutdown
+	cond     *sync.Cond // signals queue arrivals, quota releases and shutdown
 	circuits map[string]*circuit
-	// pending is the waiting-job queue, FIFO except for circuit-affinity
-	// coalescing (see nextJob): a worker prefers the oldest job of the
-	// circuit it just proved, so same-circuit jobs run back to back on
-	// warm caches, bounded by coalesceBurst for fairness.
-	pending  []*Job
-	closed   bool
-	nextID   uint64
-	memInUse int64
-	queued   int
-	inFlight int
-	stats    Stats
+	// queue is the waiting-job priority queue: EDF by default, strict
+	// FIFO under Config.QueuePolicy == QueueFIFO, with circuit-affinity
+	// coalescing layered on top (see nextJob): a worker prefers a job
+	// of the circuit it just proved, so same-circuit jobs run back to
+	// back on warm caches — bounded by coalesceBurst for fairness and,
+	// under EDF, by Config.CoalesceSlack so affinity never endangers
+	// the earliest deadline.
+	queue jobQueue
+	// inFlightBy / outstandingBy track each circuit's jobs on workers
+	// and queued+on-workers — the occupancy the per-circuit quota
+	// bounds and retry-after hints are computed from.
+	inFlightBy    map[string]int
+	outstandingBy map[string]int
+	closed        bool
+	nextID        uint64
+	memInUse      int64
+	queued        int
+	inFlight      int
+	stats         Stats
 	// ewmaJobSec is the completion-time EWMA feeding retry-after hints.
 	ewmaJobSec float64
 }
@@ -363,6 +499,12 @@ func New(cfg Config) (*Service, error) {
 			return nil, err
 		}
 	}
+	if cfg.CircuitQuota < 0 || cfg.CircuitQuota > 1 {
+		return nil, fmt.Errorf("%w: CircuitQuota = %v outside [0, 1]", ErrBadRequest, cfg.CircuitQuota)
+	}
+	if cfg.QueuePolicy != QueueEDF && cfg.QueuePolicy != QueueFIFO {
+		return nil, fmt.Errorf("%w: unknown QueuePolicy %d", ErrBadRequest, cfg.QueuePolicy)
+	}
 	cfg = cfg.withDefaults()
 	eng, err := groth16.NewEngine()
 	if err != nil {
@@ -370,11 +512,14 @@ func New(cfg Config) (*Service, error) {
 	}
 	reg := gpusim.NewHealthRegistry(cfg.Health)
 	s := &Service{
-		cfg:      cfg,
-		eng:      eng,
-		cluster:  cfg.Cluster.WithHealth(reg),
-		health:   reg,
-		circuits: map[string]*circuit{},
+		cfg:           cfg,
+		eng:           eng,
+		cluster:       cfg.Cluster.WithHealth(reg),
+		health:        reg,
+		circuits:      map[string]*circuit{},
+		queue:         jobQueue{policy: cfg.QueuePolicy},
+		inFlightBy:    map[string]int{},
+		outstandingBy: map[string]int{},
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.metrics = newServiceMetrics(cfg.Metrics, reg, s.cluster.N)
@@ -639,7 +784,31 @@ func (s *Service) SubmitBatch(reqs []Request) ([]*Job, error) {
 	if outstanding+len(reqs) > capacity {
 		s.stats.Rejected += uint64(len(reqs))
 		s.metrics.observeAdmission(true)
-		return nil, &QueueFullError{Queued: outstanding, Depth: capacity, RetryAfter: s.retryAfterLocked()}
+		return nil, &QueueFullError{Queued: outstanding, Depth: capacity, RetryAfter: s.retryAfterLocked(reqs[0].Circuit)}
+	}
+	// Per-circuit quota: no circuit may hold more than its share of the
+	// admission capacity, so one hot circuit cannot occupy every queue
+	// slot and starve the rest of the mix. All-or-nothing like the
+	// bounds above — the whole batch is rejected if any member circuit
+	// would go over.
+	if s.cfg.CircuitQuota > 0 {
+		slots := s.quotaSlotsLocked()
+		byCircuit := map[string]int{}
+		for _, req := range reqs {
+			byCircuit[req.Circuit]++
+		}
+		for name, n := range byCircuit {
+			if s.outstandingBy[name]+n > slots {
+				s.stats.Rejected += uint64(len(reqs))
+				s.stats.QuotaRejected += uint64(len(reqs))
+				s.metrics.observeAdmission(true)
+				return nil, &QueueFullError{
+					Queued: s.outstandingBy[name], Depth: slots,
+					Quota: true, Circuit: name,
+					RetryAfter: s.quotaRetryAfterLocked(name),
+				}
+			}
+		}
 	}
 	if s.cfg.MemoryBudget > 0 && s.memInUse+batchMem > s.cfg.MemoryBudget {
 		// Cached tables are reclaimable: drop cold ones before rejecting.
@@ -648,7 +817,7 @@ func (s *Service) SubmitBatch(reqs []Request) ([]*Job, error) {
 	if s.cfg.MemoryBudget > 0 && s.memInUse+batchMem > s.cfg.MemoryBudget {
 		s.stats.Rejected += uint64(len(reqs))
 		s.metrics.observeAdmission(true)
-		return nil, &QueueFullError{Queued: outstanding, Depth: capacity, Memory: true, RetryAfter: s.retryAfterLocked()}
+		return nil, &QueueFullError{Queued: outstanding, Depth: capacity, Memory: true, RetryAfter: s.retryAfterLocked(reqs[0].Circuit)}
 	}
 	s.metrics.observeAdmission(false)
 	jobs := make([]*Job, len(reqs))
@@ -668,8 +837,9 @@ func (s *Service) SubmitBatch(reqs []Request) ([]*Job, error) {
 			done:     make(chan struct{}),
 		}
 		job.ctx, job.cancel = context.WithDeadline(s.baseCtx, job.Deadline)
-		s.pending = append(s.pending, job)
+		s.queue.add(job)
 		s.queued++
+		s.outstandingBy[req.Circuit]++
 		s.memInUse += s.circuits[req.Circuit].memEst
 		jobs[i] = job
 	}
@@ -684,23 +854,89 @@ func (s *Service) SubmitBatch(reqs []Request) ([]*Job, error) {
 	return jobs, nil
 }
 
-// retryAfterLocked estimates when a slot frees: the queue's expected
-// drain time per worker, floored at 100ms so clients never hot-loop.
-func (s *Service) retryAfterLocked() time.Duration {
-	per := s.ewmaJobSec
-	if per <= 0 {
-		per = 1
+// quotaSlotsLocked is the outstanding-job bound per circuit under
+// Config.CircuitQuota: the circuit's share of the admission capacity,
+// rounded up, never below one slot.
+func (s *Service) quotaSlotsLocked() int {
+	slots := int(math.Ceil(s.cfg.CircuitQuota * float64(s.cfg.Workers+s.cfg.QueueDepth)))
+	if slots < 1 {
+		slots = 1
 	}
-	d := time.Duration(per * float64(s.queued+s.inFlight) / float64(s.cfg.Workers) * float64(time.Second))
-	if d < 100*time.Millisecond {
-		d = 100 * time.Millisecond
+	return slots
+}
+
+// quotaLanesLocked is the in-flight bound per circuit under
+// Config.CircuitQuota: the circuit's share of the worker pool, rounded
+// up, never below one lane.
+func (s *Service) quotaLanesLocked() int {
+	lanes := int(math.Ceil(s.cfg.CircuitQuota * float64(s.cfg.Workers)))
+	if lanes < 1 {
+		lanes = 1
+	}
+	if lanes > s.cfg.Workers {
+		lanes = s.cfg.Workers
+	}
+	return lanes
+}
+
+// circuitEwmaLocked is the best completion-time estimate for pricing a
+// circuit's retry hints: the circuit's own EWMA when calibrated, the
+// service-wide one otherwise, 1s before anything has completed.
+func (s *Service) circuitEwmaLocked(circuit string) float64 {
+	if c := s.circuits[circuit]; c != nil && c.ewmaSec > 0 {
+		return c.ewmaSec
+	}
+	if s.ewmaJobSec > 0 {
+		return s.ewmaJobSec
+	}
+	return 1
+}
+
+// retryAfterFloor keeps hints from telling clients to hot-loop.
+const retryAfterFloor = 100 * time.Millisecond
+
+// retryAfterLocked prices a capacity (or memory) rejection: admission
+// needs exactly one outstanding slot, and one frees at the first
+// terminal completion among the in-flight jobs — expected at about one
+// job time divided by the number of jobs racing to finish. The old hint
+// assumed the whole queue had to drain FIFO ahead of the newcomer,
+// which is not how a bounded-outstanding admission check works (and
+// under EDF the newcomer may well run before the backlog).
+func (s *Service) retryAfterLocked(circuit string) time.Duration {
+	racing := s.inFlight
+	if racing < 1 {
+		racing = 1
+	}
+	d := time.Duration(s.circuitEwmaLocked(circuit) / float64(racing) * float64(time.Second))
+	if d < retryAfterFloor {
+		d = retryAfterFloor
 	}
 	return d
 }
 
-// worker is one proving-pool goroutine: pull a job, run the pipeline
-// under the job's deadline, publish the result. Exits when the queue is
-// closed and drained.
+// quotaRetryAfterLocked prices a per-circuit quota rejection: the
+// circuit must drain its own backlog through its own in-flight lanes
+// before a quota slot reliably frees, so the hint scales with the
+// circuit's occupancy over its lane count at its own EWMA job time — an
+// over-quota circuit is told to wait longer than one bouncing off
+// global capacity, honestly reflecting that its slots are the scarce
+// resource.
+func (s *Service) quotaRetryAfterLocked(circuit string) time.Duration {
+	occupancy := s.outstandingBy[circuit]
+	if occupancy < 1 {
+		occupancy = 1
+	}
+	d := time.Duration(s.circuitEwmaLocked(circuit) * float64(occupancy) / float64(s.quotaLanesLocked()) * float64(time.Second))
+	if d < retryAfterFloor {
+		d = retryAfterFloor
+	}
+	return d
+}
+
+// worker is one proving-pool goroutine: pull a job, shed it if it can
+// no longer meet its deadline, otherwise run the pipeline under the
+// job's deadline and publish the result. Exits when the queue is closed
+// and drained.
 func (s *Service) worker() {
 	defer s.workersWG.Done()
 	var lastCircuit string
@@ -710,44 +946,160 @@ func (s *Service) worker() {
 		if job == nil {
 			return
 		}
+		if shed := s.shedVerdict(job); shed != nil {
+			s.shedJob(job, shed)
+			continue
+		}
 		s.runJob(job)
 	}
 }
 
-// nextJob blocks for the worker's next job. It prefers the oldest
-// pending job of the circuit the worker just proved — same-circuit runs
-// reuse the warm base cache back to back — but after coalesceBurst
-// consecutive affinity pops it must take the queue head, so other
-// circuits cannot starve. Returns nil when the service is closed and
-// the queue drained.
+// nextJob blocks for the worker's next job, which is chosen in three
+// layers:
+//
+//  1. Policy order: the earliest-deadline pending job (EDF, the
+//     default) or the oldest (FIFO), skipping circuits at their
+//     in-flight quota.
+//  2. Circuit affinity: the worker prefers a job of the circuit it just
+//     proved — same-circuit runs reuse the warm base cache back to back
+//     — but after coalesceBurst consecutive affinity pops it must take
+//     the policy head, so other circuits cannot starve, and under EDF
+//     affinity is only allowed while the policy head's deadline has at
+//     least Config.CoalesceSlack of slack left: cache warmth must never
+//     cost a miss the deadline order would have avoided.
+//  3. Quota gating: when every pending job's circuit is at its
+//     in-flight quota the worker waits for a completion to free a lane
+//     rather than oversubscribe a hot circuit.
+//
+// Returns nil when the service is closed and the queue drained; during
+// shutdown the quota gate is dropped so draining cannot deadlock.
 func (s *Service) nextJob(lastCircuit *string, burst *int) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for len(s.pending) == 0 && !s.closed {
-		s.cond.Wait()
-	}
-	if len(s.pending) == 0 {
-		return nil
-	}
-	idx := 0
-	if *lastCircuit != "" && *burst < coalesceBurst && s.pending[0].Circuit != *lastCircuit {
-		for i, j := range s.pending {
-			if j.Circuit == *lastCircuit {
-				idx = i
-				break
+	for {
+		if s.queue.Len() == 0 {
+			if s.closed {
+				return nil
 			}
+			s.cond.Wait()
+			continue
+		}
+		idx, reordered := s.selectLocked(*lastCircuit, *burst)
+		if idx < 0 {
+			// Everything pending is quota-blocked: a lane frees when an
+			// in-flight job (there is at least one — every blocked circuit
+			// holds at least a full lane) reaches a terminal state.
+			s.cond.Wait()
+			continue
+		}
+		job := s.queue.removeAt(idx)
+		if reordered {
+			s.stats.QueueReorders++
+			s.metrics.observeReorder()
+		}
+		if job.Circuit == *lastCircuit {
+			*burst++
+			s.stats.BatchesCoalesced++
+		} else {
+			*lastCircuit = job.Circuit
+			*burst = 1
+		}
+		return job
+	}
+}
+
+// selectLocked picks the next job's heap index (see nextJob for the
+// policy), or -1 when every pending job is quota-blocked. reordered
+// reports a deadline-driven pop that overtook an older job — the
+// QueueReorders signal.
+func (s *Service) selectLocked(lastCircuit string, burst int) (idx int, reordered bool) {
+	eligible := func(j *Job) bool { return s.laneFreeLocked(j.Circuit) }
+	if s.closed {
+		// Drain mode: quota gating is about fairness under load, and a
+		// closing service must not strand queued jobs behind it.
+		eligible = func(*Job) bool { return true }
+	}
+	head := s.queue.bestEligible(eligible)
+	if head < 0 {
+		return -1, false
+	}
+	pick := head
+	if lastCircuit != "" && burst < coalesceBurst && s.queue.items[head].Circuit != lastCircuit &&
+		s.affinityAllowedLocked(s.queue.items[head]) {
+		if ai := s.queue.bestFor(lastCircuit, eligible); ai >= 0 {
+			pick = ai
 		}
 	}
-	job := s.pending[idx]
-	s.pending = append(s.pending[:idx], s.pending[idx+1:]...)
-	if job.Circuit == *lastCircuit {
-		*burst++
-		s.stats.BatchesCoalesced++
-	} else {
-		*lastCircuit = job.Circuit
-		*burst = 1
+	reordered = s.cfg.QueuePolicy == QueueEDF && pick == head &&
+		s.queue.items[pick].ID != s.queue.oldestID()
+	return pick, reordered
+}
+
+// affinityAllowedLocked gates circuit-affinity coalescing: under EDF a
+// worker may bypass the earliest-deadline job for cache warmth only
+// while that deadline still has Config.CoalesceSlack of headroom.
+// Negative slack disables the gate; FIFO never had one.
+func (s *Service) affinityAllowedLocked(head *Job) bool {
+	if s.cfg.QueuePolicy == QueueFIFO || s.cfg.CoalesceSlack < 0 {
+		return true
 	}
-	return job
+	return time.Until(head.Deadline) >= s.cfg.CoalesceSlack
+}
+
+// laneFreeLocked reports whether the circuit is below its in-flight
+// quota (always true with quotas off).
+func (s *Service) laneFreeLocked(circuit string) bool {
+	if s.cfg.CircuitQuota <= 0 {
+		return true
+	}
+	return s.inFlightBy[circuit] < s.quotaLanesLocked()
+}
+
+// shedVerdict decides whether a just-dequeued job should be shed
+// instead of proved: with Config.ShedDoomed on, a job past its deadline
+// — or with less budget left than the circuit's EWMA prove time — is a
+// near-certain miss and burning a worker on it only lengthens everyone
+// else's tail. Returns nil to run the job.
+func (s *Service) shedVerdict(job *Job) *ShedError {
+	if !s.cfg.ShedDoomed {
+		return nil
+	}
+	remaining := time.Until(job.Deadline)
+	if remaining <= 0 {
+		return &ShedError{Reason: ShedExpired, Remaining: remaining}
+	}
+	s.mu.Lock()
+	ewma := s.circuits[job.Circuit].ewmaSec
+	s.mu.Unlock()
+	if est := time.Duration(ewma * float64(time.Second)); est > 0 && remaining < est {
+		return &ShedError{Reason: ShedDoomed, Remaining: remaining, Estimate: est}
+	}
+	return nil
+}
+
+// shedJob fails a dequeued job without running it: accounting mirrors a
+// deadline miss, minus the worker time. Shed jobs never feed the EWMAs
+// — their near-zero wall time measures the shed decision, not job cost.
+func (s *Service) shedJob(job *Job, shed *ShedError) {
+	s.mu.Lock()
+	c := s.circuits[job.Circuit]
+	s.queued--
+	s.outstandingBy[job.Circuit]--
+	s.memInUse -= c.memEst
+	s.stats.Queued = s.queued
+	s.stats.MemoryInUse = s.memInUse
+	s.stats.Cancelled++
+	switch shed.Reason {
+	case ShedExpired:
+		s.stats.ShedExpired++
+	default:
+		s.stats.ShedDoomed++
+	}
+	s.metrics.observeOccupancy(s.queued, s.inFlight, s.memInUse)
+	s.mu.Unlock()
+	s.metrics.observeShed(shed.Reason)
+	s.metrics.observeJob(outcomeDeadline, 0) // a shed consumes no worker time
+	job.finish(nil, shed)
 }
 
 func (s *Service) runJob(job *Job) {
@@ -763,6 +1115,7 @@ func (s *Service) runJob(job *Job) {
 	s.metrics.observeBaseLookup(bases != nil)
 	s.queued--
 	s.inFlight++
+	s.inFlightBy[job.Circuit]++
 	s.stats.Queued = s.queued
 	s.stats.InFlight = s.inFlight
 	s.metrics.observeOccupancy(s.queued, s.inFlight, s.memInUse)
@@ -789,8 +1142,13 @@ func (s *Service) runJob(job *Job) {
 	sec := time.Since(start).Seconds()
 
 	outcome := outcomeCompleted
+	var shed *ShedError
 	switch {
 	case err == nil:
+	case errors.As(err, &shed):
+		// A phase-boundary shed (the dequeue sheds never reach runJob):
+		// a deadline miss on the wire, a distinct reason in the metrics.
+		outcome = outcomeDeadline
 	case errors.Is(err, context.DeadlineExceeded):
 		outcome = outcomeDeadline
 	case errors.Is(err, context.Canceled):
@@ -801,6 +1159,8 @@ func (s *Service) runJob(job *Job) {
 
 	s.mu.Lock()
 	s.inFlight--
+	s.inFlightBy[job.Circuit]--
+	s.outstandingBy[job.Circuit]--
 	s.memInUse -= c.memEst
 	s.stats.InFlight = s.inFlight
 	s.stats.MemoryInUse = s.memInUse
@@ -813,21 +1173,39 @@ func (s *Service) runJob(job *Job) {
 	default:
 		s.stats.Failed++
 	}
+	if shed != nil {
+		s.stats.ShedPhase++
+	}
 	// Every terminal outcome that consumed a worker feeds the
-	// completion-time EWMA — successes, deadline misses and failures
-	// alike. Updating it only on success left a deadline-heavy (or
-	// fault-heavy) workload with a stale or zero EWMA, so Retry-After
-	// hints never converged to the observed job time. Pure client
-	// cancellations are the one exclusion: their wall time measures the
-	// client's patience, not job cost.
-	if outcome != outcomeCancelled {
+	// completion-time EWMAs (the service-wide one and the circuit's own)
+	// — successes, deadline misses and failures alike. Updating it only
+	// on success left a deadline-heavy (or fault-heavy) workload with a
+	// stale or zero EWMA, so Retry-After hints never converged to the
+	// observed job time. Two exclusions: pure client cancellations,
+	// whose wall time measures the client's patience, not job cost; and
+	// shed jobs, whose truncated wall time would talk the EWMA down and
+	// make the shed threshold eat ever-healthier jobs.
+	if outcome != outcomeCancelled && shed == nil {
 		if s.ewmaJobSec == 0 {
 			s.ewmaJobSec = sec
 		} else {
 			s.ewmaJobSec += 0.25 * (sec - s.ewmaJobSec)
 		}
+		if c.ewmaSec == 0 {
+			c.ewmaSec = sec
+		} else {
+			c.ewmaSec += 0.25 * (sec - c.ewmaSec)
+		}
+	}
+	// A finished job frees its circuit's in-flight lane: wake workers
+	// parked on the quota gate.
+	if s.cfg.CircuitQuota > 0 {
+		s.cond.Broadcast()
 	}
 	s.mu.Unlock()
+	if shed != nil {
+		s.metrics.observeShed(ShedPhase)
+	}
 	s.metrics.observeJob(outcome, sec)
 
 	if tr != nil {
@@ -860,6 +1238,23 @@ func (s *Service) prove(ctx context.Context, c *circuit, bases *circuitBases, se
 		// group context, so the first failing phase cancels the other
 		// phases' MSMs at their next shard boundary.
 		G1Ctx: func(msmCtx context.Context, phase groth16.MSMPhase, points []curve.PointAffine, scalars []bigint.Nat) (*curve.PointXYZZ, error) {
+			// Phase-boundary shedding: before launching the phase's MSM,
+			// compare the remaining deadline budget against the circuit's
+			// EWMA cost of this phase. A job that cannot afford the phase
+			// is dropped here — between phases, never inside the MSM
+			// scheduler, so the shards, plans and proofs of every job that
+			// is NOT shed stay bit-identical to an unshedded run.
+			if s.cfg.ShedDoomed {
+				if dl, ok := msmCtx.Deadline(); ok {
+					s.mu.Lock()
+					est := time.Duration(c.phaseEwma[phase] * float64(time.Second))
+					s.mu.Unlock()
+					if remaining := time.Until(dl); est > 0 && remaining < est {
+						return nil, &ShedError{Reason: ShedPhase, Remaining: remaining, Estimate: est}
+					}
+				}
+			}
+			phaseStart := time.Now()
 			opts := core.Options{
 				WindowSize:     s.cfg.WindowSize,
 				Engine:         core.EngineConcurrent,
@@ -880,6 +1275,17 @@ func (s *Service) prove(ctx context.Context, c *circuit, bases *circuitBases, se
 			if err != nil {
 				return nil, err
 			}
+			// Calibrate the circuit's per-phase cost model for the shed
+			// check above (completed phases only — a cancelled phase's
+			// wall time measures the deadline, not the phase).
+			sec := time.Since(phaseStart).Seconds()
+			s.mu.Lock()
+			if c.phaseEwma[phase] == 0 {
+				c.phaseEwma[phase] = sec
+			} else {
+				c.phaseEwma[phase] += 0.25 * (sec - c.phaseEwma[phase])
+			}
+			s.mu.Unlock()
 			s.metrics.observeMSM(res.Stats.Faults)
 			return res.Point, nil
 		},

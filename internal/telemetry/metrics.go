@@ -79,6 +79,41 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// Quantile estimates the q-quantile of the observed distribution by
+// monotone piecewise-linear interpolation over the cumulative bucket
+// counts: within the bucket where the cumulative count crosses q·Count,
+// the value is interpolated linearly between the bucket's bounds (the
+// first bucket interpolates up from zero). The estimate is exact when
+// samples are uniform within their bucket and always within one bucket
+// width otherwise; it is nondecreasing in q. Samples beyond the last
+// finite bound (the +Inf bucket) clamp to that bound — a fixed-bucket
+// histogram cannot see past it. Returns NaN when the histogram is empty
+// or q is NaN; q is clamped to [0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	lo := 0.0
+	for i, bound := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if c > 0 && cum+c >= rank {
+			return lo + (bound-lo)*(rank-cum)/c
+		}
+		cum += c
+		lo = bound
+	}
+	// The crossing lands in the +Inf bucket: clamp.
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() float64 { return h.sum.Value() }
 

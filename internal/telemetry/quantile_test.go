@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// histWith builds a registry-backed histogram with the given bounds and
+// feeds it samples.
+func histWith(bounds []float64, samples []float64) *Histogram {
+	h := NewRegistry().Histogram("q_test_seconds", "", "", bounds)
+	for _, v := range samples {
+		h.Observe(v)
+	}
+	return h
+}
+
+// TestQuantileSingleBucketUniform pins the interpolation against exact
+// values: 100 samples inside one [0, 10] bucket interpolate linearly, so
+// pN is exactly N/10.
+func TestQuantileSingleBucketUniform(t *testing.T) {
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = 5 // bucket position is irrelevant; only the count matters
+	}
+	h := histWith([]float64{10}, samples)
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 5.0}, {0.99, 9.9}, {0.999, 9.99}, {0, 0}, {1, 10},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileTwoBuckets pins the cross-bucket crossing: 90 samples in
+// (0,1], 10 in (1,10].
+//
+//	p50:  rank 50 inside the first bucket  → 1·(50/90)      = 0.5555…
+//	p99:  rank 99, 9 into the second bucket → 1 + 9·(9/10)  = 9.1
+//	p999: rank 99.9                         → 1 + 9·(9.9/10) = 9.91
+func TestQuantileTwoBuckets(t *testing.T) {
+	var samples []float64
+	for i := 0; i < 90; i++ {
+		samples = append(samples, 0.5)
+	}
+	for i := 0; i < 10; i++ {
+		samples = append(samples, 5)
+	}
+	h := histWith([]float64{1, 10}, samples)
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 50.0 / 90.0},
+		{0.99, 9.1},
+		{0.999, 9.91},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileSkipsEmptyBuckets: empty interior buckets are stepped
+// over, not interpolated into — the crossing bucket is the first one
+// with mass at or past the rank.
+func TestQuantileSkipsEmptyBuckets(t *testing.T) {
+	// 10 samples in (0,1], none in (1,2], 10 in (2,3].
+	var samples []float64
+	for i := 0; i < 10; i++ {
+		samples = append(samples, 0.5, 2.5)
+	}
+	h := histWith([]float64{1, 2, 3}, samples)
+	// p50 is exactly the full first bucket.
+	if got := h.Quantile(0.5); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("Quantile(0.5) = %v, want 1", got)
+	}
+	// p75: 5 of 10 into the (2,3] bucket → 2.5. The empty (1,2] bucket
+	// contributes no width.
+	if got := h.Quantile(0.75); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("Quantile(0.75) = %v, want 2.5", got)
+	}
+}
+
+// TestQuantileInfBucketClamps: samples beyond the last finite bound are
+// invisible to interpolation; high quantiles clamp to that bound instead
+// of inventing values.
+func TestQuantileInfBucketClamps(t *testing.T) {
+	h := histWith([]float64{1, 2}, []float64{0.5, 100, 200, 300})
+	if got := h.Quantile(0.999); got != 2 {
+		t.Errorf("Quantile(0.999) = %v, want clamp to last bound 2", got)
+	}
+	if got := h.Quantile(1); got != 2 {
+		t.Errorf("Quantile(1) = %v, want clamp to last bound 2", got)
+	}
+	// The low end still interpolates inside the finite buckets.
+	if got := h.Quantile(0.1); math.Abs(got-0.4) > 1e-12 {
+		// rank 0.4 of the 1 sample in (0,1] → 0.4
+		t.Errorf("Quantile(0.1) = %v, want 0.4", got)
+	}
+}
+
+// TestQuantileEdgeCases: empty histograms and NaN inputs answer NaN; out
+// of range q clamps.
+func TestQuantileEdgeCases(t *testing.T) {
+	h := histWith([]float64{1}, nil)
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram Quantile = %v, want NaN", got)
+	}
+	h.Observe(0.5)
+	if got := h.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Quantile(NaN) = %v, want NaN", got)
+	}
+	if got := h.Quantile(-3); got != 0 {
+		t.Errorf("Quantile(-3) = %v, want clamp to 0", got)
+	}
+	if got := h.Quantile(7); got != 1 {
+		t.Errorf("Quantile(7) = %v, want clamp to q=1 → 1.0", got)
+	}
+}
+
+// TestQuantileMonotone: on random fills over the default buckets the
+// estimate is nondecreasing in q — the "monotone interpolation" contract.
+func TestQuantileMonotone(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	h := histWith(DefSecondsBuckets, nil)
+	for i := 0; i < 1000; i++ {
+		h.Observe(math.Exp(rnd.NormFloat64() * 3)) // heavy-tailed
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.001 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%v) = %v < Quantile at previous q (%v)", q, got, prev)
+		}
+		prev = got
+	}
+}
