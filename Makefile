@@ -13,7 +13,7 @@ BENCH_BASELINE ?= bench/baseline_pr3.json
 BENCH_OUT      ?= BENCH_pr3.json
 BENCH_RAW      ?= bench_raw.txt
 
-.PHONY: all tier1 build vet test race lint bench bench-smoke batch-smoke pipeline-smoke fuzz-smoke service-smoke cluster-smoke loadgen-smoke loadgen-bench examples
+.PHONY: all tier1 build vet test race lint bench bench-smoke batch-smoke pipeline-smoke fuzz-smoke service-smoke cluster-smoke outsource-smoke outsource-bench loadgen-smoke loadgen-bench examples
 
 all: tier1
 
@@ -41,7 +41,7 @@ lint: vet
 	fi
 
 race:
-	$(GO) test -race ./internal/core ./internal/msm ./internal/bigint ./internal/field ./internal/curve ./internal/service ./internal/cluster ./internal/groth16 ./internal/ntt ./internal/telemetry
+	$(GO) test -race ./internal/core ./internal/msm ./internal/bigint ./internal/field ./internal/curve ./internal/service ./internal/cluster ./internal/groth16 ./internal/ntt ./internal/telemetry ./internal/outsource
 
 bench:
 	@rm -f $(BENCH_RAW)
@@ -82,6 +82,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzBatchRequest -fuzztime=10s ./internal/service
 	$(GO) test -run=^$$ -fuzz=FuzzProofRoundTrip -fuzztime=10s ./internal/groth16
 	$(GO) test -run=^$$ -fuzz=FuzzClusterWire -fuzztime=10s ./internal/cluster
+	$(GO) test -run=^$$ -fuzz=FuzzOutsourceWire -fuzztime=10s ./internal/cluster
 
 # End-to-end smoke of the proving service: submit jobs through the full
 # lifecycle (admission, proving on the simulated GPUs, verification,
@@ -112,6 +113,21 @@ loadgen-bench:
 # actually ran.
 cluster-smoke:
 	$(GO) run ./cmd/coordinator -smoke 8
+
+# Verifiable-outsourcing smoke: coordinator + two loopback workers over
+# real HTTP, one lying on every MSM shard (valid-but-wrong claims only
+# the constant-size check can catch). Exits non-zero unless every
+# result is byte-identical to the serial reference AND at least one
+# rejection actually fired.
+outsource-smoke:
+	$(GO) run ./cmd/coordinator -msm-smoke 4
+	$(GO) run ./cmd/outsourcebench -smoke
+
+# Full check-vs-recompute benchmark: constant-size acceptance at
+# 2^12..2^16 against full MSM recomputation. Writes BENCH_pr10.json and
+# fails unless the check is flat across sizes while recompute grows.
+outsource-bench:
+	$(GO) run ./cmd/outsourcebench -sizes 4096,16384,65536 -out BENCH_pr10.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -22,9 +22,19 @@
 // exits non-zero on any failure — the CI entry point:
 //
 //	coordinator -smoke 8
+//
+// MSM smoke mode (-msm-smoke N) brings up the same loopback topology
+// but drives N outsourced MSMs through /v1/msm, with one of the two
+// workers lying on every shard (its claims are valid curve points
+// shifted by the generator — only the constant-size check can tell).
+// Every result must come back byte-identical to the serial reference,
+// and the run fails unless at least one rejection actually fired:
+//
+//	coordinator -msm-smoke 4
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -38,7 +48,9 @@ import (
 	"time"
 
 	"distmsm/internal/cluster"
+	"distmsm/internal/curve"
 	"distmsm/internal/gpusim"
+	"distmsm/internal/serial"
 	"distmsm/internal/service"
 	"distmsm/internal/telemetry"
 )
@@ -55,6 +67,7 @@ func main() {
 		dispatchTO  = flag.Duration("dispatch-timeout", 15*time.Second, "cap on one dispatch attempt to one node (0 = bounded only by the job deadline)")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
 		smoke       = flag.Int("smoke", 0, "run an N-job two-worker failover smoke and exit instead of serving")
+		msmSmoke    = flag.Int("msm-smoke", 0, "run an N-job outsourced-MSM smoke with one lying worker and exit")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -63,11 +76,15 @@ func main() {
 		listen: *listen, gpus: *gpus, constraints: *constraints,
 		lease: *lease, hedgeMult: *hedgeMult, maxAttempts: *maxAttempts,
 		timeout: *timeout, dispatchTO: *dispatchTO, drain: *drain, smoke: *smoke,
+		msmSmoke: *msmSmoke,
 	}
 	var err error
-	if o.smoke > 0 {
+	switch {
+	case o.msmSmoke > 0:
+		err = runMSMSmoke(ctx, o)
+	case o.smoke > 0:
 		err = runSmoke(ctx, o)
-	} else {
+	default:
 		err = run(ctx, o)
 	}
 	if err != nil {
@@ -86,6 +103,7 @@ type options struct {
 	dispatchTO        time.Duration
 	drain             time.Duration
 	smoke             int
+	msmSmoke          int
 }
 
 // newLocalService builds the coordinator's in-process proving service:
@@ -311,5 +329,133 @@ func runSmoke(ctx context.Context, o options) error {
 		return errors.New("smoke: the crashed worker was never marked lost — the failover path did not run")
 	}
 	fmt.Printf("coordinator: smoke ok — %d jobs survived a worker crash in %v\n", n, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runMSMSmoke is the verifiable-outsourcing smoke: coordinator + two
+// loopback provd workers, one of them lying on every MSM shard (its
+// HTTP client is wrapped with a corrupt-certain node injector, so its
+// claims are valid curve points shifted by the generator). Every result
+// must be byte-identical to the serial reference, and the run fails
+// unless the constant-size check actually rejected something — a smoke
+// in which the liar was never caught is a broken smoke.
+func runMSMSmoke(ctx context.Context, o options) error {
+	start := time.Now()
+	const constraints = 200
+	lease := 600 * time.Millisecond
+
+	// Worker services and listeners come up first, agents later: the
+	// coordinator's DialWorker needs the liar's address before anyone
+	// registers.
+	type msmWorkerNode struct {
+		svc *service.Service
+		srv *http.Server
+		ln  net.Listener
+	}
+	nodes := make([]msmWorkerNode, 2)
+	for i := range nodes {
+		svc, err := newLocalService(ctx, 2, constraints, nil)
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: svc.Handler()}
+		go func() { _ = srv.Serve(ln) }()
+		nodes[i] = msmWorkerNode{svc: svc, srv: srv, ln: ln}
+	}
+	liarURL := "http://" + nodes[0].ln.Addr().String()
+	inj, err := cluster.NewNodeInjector(cluster.NodeFaultConfig{Seed: 1, Corrupt: 1})
+	if err != nil {
+		return err
+	}
+	coord := cluster.NewCoordinator(cluster.Config{
+		Lease:           lease,
+		DefaultTimeout:  o.timeout,
+		DispatchTimeout: 10 * time.Second,
+		DialWorker: func(addr string) cluster.WorkerClient {
+			wc := cluster.NewHTTPWorkerClient(addr)
+			if addr == liarURL {
+				return inj.WrapClient(0, wc)
+			}
+			return wc
+		},
+	})
+	defer coord.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	coordURL := "http://" + ln.Addr().String()
+	fmt.Printf("coordinator: msm-smoke coordinator on %s, lying worker on %s\n", coordURL, liarURL)
+
+	agents := make([]*cluster.Agent, len(nodes))
+	for i, w := range nodes {
+		agent, err := cluster.StartAgent(cluster.AgentConfig{
+			Coordinator: coordURL,
+			NodeID:      fmt.Sprintf("msm-worker-%d", i),
+			Addr:        "http://" + w.ln.Addr().String(),
+			Circuits:    []string{"synthetic"},
+			Workers:     w.svc.Workers(),
+			Interval:    lease / 3,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("coordinator: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		agents[i] = agent
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for coord.AliveNodes() < len(nodes) {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("msm-smoke: only %d of %d workers registered", coord.AliveNodes(), len(nodes))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	failed := 0
+	for i := 0; i < o.msmSmoke; i++ {
+		req := cluster.MSMRequest{Curve: "BN254", PointSeed: uint64(i + 1), ScalarSeed: int64(i + 101), N: 96 + 8*i}
+		got, err := coord.MSM(ctx, req)
+		if err != nil {
+			failed++
+			fmt.Printf("coordinator: msm-smoke job %d FAILED: %v\n", i, err)
+			continue
+		}
+		crv, _ := curve.ByName(req.Curve)
+		ref := crv.MSMReference(crv.SamplePoints(req.N, req.PointSeed), crv.SampleScalars(req.N, req.ScalarSeed))
+		aff := crv.ToAffine(ref)
+		if want := serial.MarshalPoint(crv, &aff, false); !bytes.Equal(got, want) {
+			failed++
+			fmt.Printf("coordinator: msm-smoke job %d diverges from the serial reference — a lie got through\n", i)
+		}
+	}
+	st := coord.Stats()
+	fmt.Printf("coordinator: msm-smoke stats: %d checks, %d rejects, %d corrupt claims, %d redispatches, %d local fallbacks\n",
+		st.MSMChecks, st.MSMRejects, st.CorruptProofs, st.Redispatches, st.LocalFallbacks)
+
+	shCtx, cancel := context.WithTimeout(context.Background(), o.drain)
+	defer cancel()
+	for i, w := range nodes {
+		agents[i].Stop()
+		_ = w.srv.Shutdown(shCtx)
+		_ = w.svc.Shutdown(shCtx)
+	}
+	_ = srv.Shutdown(shCtx)
+	coord.Close()
+	if failed > 0 {
+		return fmt.Errorf("msm-smoke: %d of %d jobs failed", failed, o.msmSmoke)
+	}
+	if st.MSMRejects == 0 {
+		return errors.New("msm-smoke: the lying worker was never rejected — the outsourced check did not run")
+	}
+	fmt.Printf("coordinator: msm-smoke ok — %d MSMs correct with a lying worker, %d lies caught, in %v\n",
+		o.msmSmoke, st.MSMRejects, time.Since(start).Round(time.Millisecond))
 	return nil
 }

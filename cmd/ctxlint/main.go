@@ -23,6 +23,7 @@ package main
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -179,6 +180,12 @@ func (l *loader) parseDir(dir string, includeTests bool) ([]*ast.File, error) {
 			continue
 		}
 		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// Honor build constraints under the default (tag-less) build, so
+		// mutually exclusive files like the race/!race timingScale pair
+		// don't type-check as a redeclaration.
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)

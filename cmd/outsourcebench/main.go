@@ -1,0 +1,222 @@
+// Command outsourcebench measures the point of the outsourced-MSM
+// protocol: accepting a worker's claim with the constant-size check of
+// internal/outsource versus re-running the MSM yourself.
+//
+// For each instance size it times three things:
+//
+//	derive     NewCheck — the client's one pass over the scalar vector
+//	           deriving the secret challenge instance (O(n) word-sized
+//	           big-int arithmetic, no group operations)
+//	check      Check.Verify — the accept decision given the two claimed
+//	           outputs: 1+s short scalar multiplications and s+1 point
+//	           additions, CONSTANT in n
+//	recompute  curve.MSMReference over the shard — what verification
+//	           costs without the protocol (the scheduler's old
+//	           verifyShard, and the coordinator's rejection-path
+//	           adjudicator)
+//
+// The headline: check time stays flat from 2^12 to 2^16 while recompute
+// grows linearly, so the crossover — the instance size past which the
+// check is cheaper than recomputing — sits at a few dozen points, and
+// at 2^16 the gap is four orders of magnitude. Every run also asserts
+// soundness on the measured instances: the honest claim is accepted and
+// a claim shifted by the generator is rejected.
+//
+//	outsourcebench -sizes 4096,16384,65536 -out BENCH_pr10.json
+//	outsourcebench -smoke   # CI variant: one small size, no file
+//
+// Exit is non-zero on any acceptance/rejection failure, a check that is
+// not flat (max/min check time above a generous ratio), or a recompute
+// that does not grow with n.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"distmsm/internal/curve"
+	"distmsm/internal/outsource"
+)
+
+type sizeResult struct {
+	N                int     `json:"n"`
+	DeriveSeconds    float64 `json:"derive_seconds"`
+	CheckSeconds     float64 `json:"check_seconds"`
+	RecomputeSeconds float64 `json:"recompute_seconds"`
+	// Speedup is recompute/check — how much cheaper accepting a claim
+	// is than re-earning it.
+	Speedup float64 `json:"speedup"`
+}
+
+type report struct {
+	Tool      string       `json:"tool"`
+	Go        string       `json:"go"`
+	Curve     string       `json:"curve"`
+	Lambda    int          `json:"lambda"`
+	MaskTerms int          `json:"mask_terms"`
+	Reps      int          `json:"reps"`
+	Sizes     []sizeResult `json:"sizes"`
+	// CheckFlatRatio is max/min check time across sizes — ~1 when the
+	// check is truly constant-size.
+	CheckFlatRatio float64 `json:"check_flat_ratio"`
+	// RecomputeGrowthRatio is recompute(max n)/recompute(min n).
+	RecomputeGrowthRatio float64 `json:"recompute_growth_ratio"`
+	// CrossoverPoints estimates the instance size past which the check
+	// is cheaper than recomputing: check_seconds / recompute-per-point.
+	CrossoverPoints int `json:"crossover_points"`
+}
+
+func main() {
+	var (
+		sizesFlag = flag.String("sizes", "4096,16384,65536", "comma-separated instance sizes")
+		curveName = flag.String("curve", "BN254", "curve name")
+		reps      = flag.Int("reps", 3, "timing repetitions (minimum taken)")
+		out       = flag.String("out", "", "write the JSON report to this file")
+		smoke     = flag.Bool("smoke", false, "CI smoke: one small size, no file, gate check < recompute")
+	)
+	flag.Parse()
+
+	if *smoke {
+		*sizesFlag = "1024"
+		*out = ""
+	}
+	var sizes []int
+	for _, s := range strings.Split(*sizesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 2 {
+			fatalf("bad size %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+	crv, err := curve.ByName(*curveName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	params := outsource.Params{}
+	rep := report{
+		Tool:      "outsourcebench",
+		Go:        runtime.Version(),
+		Curve:     *curveName,
+		Lambda:    outsource.DefaultLambda,
+		MaskTerms: outsource.DefaultMaskTerms,
+		Reps:      *reps,
+	}
+
+	for i, n := range sizes {
+		r := benchSize(crv, n, params, *reps, uint64(i+1))
+		rep.Sizes = append(rep.Sizes, r)
+		fmt.Printf("n=%-7d derive=%.6fs check=%.6fs recompute=%.4fs speedup=%.0fx\n",
+			r.N, r.DeriveSeconds, r.CheckSeconds, r.RecomputeSeconds, r.Speedup)
+	}
+
+	minChk, maxChk := rep.Sizes[0].CheckSeconds, rep.Sizes[0].CheckSeconds
+	for _, r := range rep.Sizes {
+		if r.CheckSeconds < minChk {
+			minChk = r.CheckSeconds
+		}
+		if r.CheckSeconds > maxChk {
+			maxChk = r.CheckSeconds
+		}
+	}
+	rep.CheckFlatRatio = maxChk / minChk
+	first, last := rep.Sizes[0], rep.Sizes[len(rep.Sizes)-1]
+	rep.RecomputeGrowthRatio = last.RecomputeSeconds / first.RecomputeSeconds
+	rep.CrossoverPoints = int(maxChk / (last.RecomputeSeconds / float64(last.N)))
+	fmt.Printf("check flat ratio %.2f, recompute growth %.1fx over %dx size, crossover ≈ %d points\n",
+		rep.CheckFlatRatio, rep.RecomputeGrowthRatio, last.N/first.N, rep.CrossoverPoints)
+
+	switch {
+	case *smoke:
+		if last.CheckSeconds >= last.RecomputeSeconds {
+			fatalf("smoke gate: check (%.6fs) not cheaper than recompute (%.6fs) at n=%d",
+				last.CheckSeconds, last.RecomputeSeconds, last.N)
+		}
+	case len(sizes) > 1:
+		// Flatness gate: the check's absolute cost is microseconds, so
+		// scheduling noise is relatively large — 5x headroom still cleanly
+		// separates "constant" from the 16x of a linear check.
+		if rep.CheckFlatRatio > 5 {
+			fatalf("check time is not flat across sizes: max/min = %.2f", rep.CheckFlatRatio)
+		}
+		sizeRatio := float64(last.N) / float64(first.N)
+		if rep.RecomputeGrowthRatio < sizeRatio/4 {
+			fatalf("recompute did not grow with n: %.1fx over a %.0fx size range",
+				rep.RecomputeGrowthRatio, sizeRatio)
+		}
+	}
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+// benchSize measures one instance size, asserting soundness on the way:
+// the honest claim pair must verify and a perturbed claim must not.
+func benchSize(crv *curve.Curve, n int, params outsource.Params, reps int, seed uint64) sizeResult {
+	points := crv.SamplePoints(n, seed)
+	scalars := crv.SampleScalars(n, int64(seed))
+	res := sizeResult{N: n}
+	for rep := 0; rep < reps; rep++ {
+		rnd := outsource.NewSeededReader(seed*1000 + uint64(rep))
+
+		t0 := time.Now()
+		ck, err := outsource.NewCheck(crv, points, scalars, params, rnd)
+		if err != nil {
+			fatalf("NewCheck(n=%d): %v", n, err)
+		}
+		derive := time.Since(t0).Seconds()
+
+		// The worker's side: the real and challenge evaluations. The real
+		// one doubles as the recompute timing — it is exactly the MSM a
+		// recomputing verifier would re-run.
+		t0 = time.Now()
+		claimR := crv.MSMReference(points, scalars)
+		recompute := time.Since(t0).Seconds()
+		claimT := crv.MSMReference(points, ck.Challenge())
+
+		t0 = time.Now()
+		ok := ck.Verify(claimR, claimT)
+		check := time.Since(t0).Seconds()
+		if !ok {
+			fatalf("honest claim rejected at n=%d rep=%d", n, rep)
+		}
+		affR := crv.ToAffine(claimR)
+		lie := crv.NewXYZZ()
+		crv.SetAffine(lie, &affR)
+		crv.NewAdder().Acc(lie, &crv.Gen)
+		if ck.Verify(lie, claimT) {
+			fatalf("perturbed claim accepted at n=%d rep=%d", n, rep)
+		}
+
+		if rep == 0 || derive < res.DeriveSeconds {
+			res.DeriveSeconds = derive
+		}
+		if rep == 0 || check < res.CheckSeconds {
+			res.CheckSeconds = check
+		}
+		if rep == 0 || recompute < res.RecomputeSeconds {
+			res.RecomputeSeconds = recompute
+		}
+	}
+	res.Speedup = res.RecomputeSeconds / res.CheckSeconds
+	return res
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "outsourcebench: "+format+"\n", args...)
+	os.Exit(1)
+}

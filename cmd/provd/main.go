@@ -11,7 +11,10 @@
 //
 // Cluster mode: -join makes this provd a worker node of a coordinator
 // (see internal/cluster and cmd/coordinator) — it registers, heartbeats
-// its lease, and serves coordinator dispatches on /v1/cluster/dispatch:
+// its lease, and serves coordinator dispatches on /v1/cluster/dispatch
+// plus outsourced MSM shards on /v1/msm (the worker cannot tell a real
+// shard from the coordinator's secret challenge instance, so it cannot
+// selectively cheat — see internal/outsource):
 //
 //	provd -gpus 8 -listen :8081 -join http://coord:9090 -advertise http://10.0.0.7:8081
 //

@@ -96,6 +96,9 @@ type (
 	// RetryPolicy tunes the fault-tolerant scheduler's retry backoff,
 	// per-owner attempt budget and straggler-speculation deadline.
 	RetryPolicy = core.RetryPolicy
+	// VerifyMode selects the shard-verification check (see
+	// WithVerifyMode).
+	VerifyMode = core.VerifyMode
 	// Tracer is a fixed-capacity span ring that records the phases of an
 	// MSM execution (see WithTracer); its contents export as Chrome
 	// trace_event JSON via WriteChromeTrace / WriteChromeTraceFile.
@@ -132,6 +135,18 @@ const (
 	// the host bucket-reduce with later windows' bucket-sum (§3.2.3).
 	// It produces bit-identical results to EngineSerial.
 	EngineConcurrent = core.EngineConcurrent
+)
+
+// Shard-verification modes (WithVerifyMode).
+const (
+	// VerifyOutsource is the default: the constant-size 2G2T-style
+	// outsourced check (internal/outsource) — one aggregation pass with
+	// a secret sparse mask, acceptance cost independent of shard size.
+	VerifyOutsource = core.VerifyOutsource
+	// VerifyRecompute re-executes the sampled shard and compares 64-bit
+	// random linear combinations of the bucket accumulators; kept as the
+	// differential reference for the outsourced check.
+	VerifyRecompute = core.VerifyRecompute
 )
 
 // Kernel optimisation levels, in the cumulative Figure 12 order.
@@ -247,13 +262,36 @@ func WithRetryPolicy(p RetryPolicy) Option {
 	return func(o *core.Options) { o.Retry = p }
 }
 
-// WithVerifySampling sets the per-shard probability of the randomized
-// result verification (recompute the shard and compare random linear
-// combinations of the bucket accumulators). p = 0 restores the default:
-// verify every shard when corrupted-result injection is configured,
-// none otherwise. A negative p disables verification; p > 1 clamps to 1.
+// WithVerifySampling sets the per-shard probability of result
+// verification. p = 0 restores the default: verify every shard when
+// corrupted-result injection is configured, none otherwise. A negative
+// p disables verification; p > 1 clamps to 1. The check that runs on a
+// sampled shard is selected by WithVerifyMode: by default the
+// constant-size outsourced check (aggregate the shard's references once
+// with a secret sparse mask mixed in and compare against the folded
+// claim — no per-bucket recompute), or the full recompute-and-RLC
+// reference when VerifyRecompute is selected.
 func WithVerifySampling(p float64) Option {
 	return func(o *core.Options) { o.VerifySampling = p }
+}
+
+// WithVerifyMode selects the check WithVerifySampling runs on a sampled
+// shard: VerifyOutsource (default) is the 2G2T-style constant-size
+// check from internal/outsource; VerifyRecompute re-executes the shard
+// and compares 64-bit random linear combinations of the bucket
+// accumulators — the differential oracle the outsourced check is
+// validated against.
+func WithVerifyMode(m VerifyMode) Option {
+	return func(o *core.Options) { o.VerifyMode = m }
+}
+
+// WithVerifyMaskTerms sets the sparse-mask size s of the outsourced
+// shard check (0 = the internal/outsource default). A worker — or a
+// simulated fault — that consistently drops a fraction f of a shard's
+// work escapes one check with probability ~(1-f)^s. Ignored under
+// VerifyRecompute.
+func WithVerifyMaskTerms(s int) Option {
+	return func(o *core.Options) { o.VerifyMaskTerms = s }
 }
 
 // WithTracer records a span for every phase of the execution into tr:

@@ -72,6 +72,37 @@ func (c *HTTPWorkerClient) Dispatch(ctx context.Context, req DispatchRequest) ([
 	return proof, nil
 }
 
+// DispatchMSM implements MSMWorkerClient against the worker's /v1/msm
+// endpoint, returning the decoded result-point bytes.
+func (c *HTTPWorkerClient) DispatchMSM(ctx context.Context, req MSMDispatchRequest) ([]byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/msm", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	rb := readCapped(resp.Body, maxWireBody)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: msm dispatch to %s: HTTP %d: %s", c.base, resp.StatusCode, strings.TrimSpace(string(rb)))
+	}
+	w, result, err := ParseMSMDispatchResponse(rb)
+	if err != nil {
+		return nil, err
+	}
+	if w.Error != "" {
+		return nil, fmt.Errorf("cluster: worker %s: %s", c.base, w.Error)
+	}
+	return result, nil
+}
+
 // AgentConfig configures a worker-side cluster Agent.
 type AgentConfig struct {
 	// Coordinator is the coordinator's base URL.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -89,6 +90,13 @@ type Config struct {
 	// (node states, heartbeat ages, redispatches, hedges, lost-node
 	// recoveries). The coordinator's Handler mounts it at /metrics.
 	Metrics *telemetry.Registry
+	// MSMRandom supplies the secret randomness of the outsourced-MSM
+	// checks (see msm.go); nil uses crypto/rand.Reader. It must be safe
+	// for concurrent readers — shards derive their checks in parallel.
+	// Tests substitute outsource.NewSeededReader for reproducible
+	// challenge derivation — the fault schedule stays deterministic
+	// either way, this only affects which secrets the checks draw.
+	MSMRandom io.Reader
 }
 
 func (c Config) withDefaults() Config {
@@ -175,7 +183,9 @@ type Stats struct {
 	Hedges            uint64 // speculative duplicate dispatches launched
 	HedgeWins         uint64 // speculative dispatches that finished first
 	LocalFallbacks    uint64 // jobs degraded to the local backend
-	CorruptProofs     uint64 // remote proofs rejected by verification
+	CorruptProofs     uint64 // remote proofs/claims rejected by verification
+	MSMChecks         uint64 // outsourced-MSM constant-size checks run
+	MSMRejects        uint64 // outsourced-MSM checks that rejected a claim
 	DispatchOK        uint64
 	DispatchErrors    uint64
 	BreakerTrips      uint64
@@ -694,9 +704,20 @@ func (c *Coordinator) dispatchHedged(ctx context.Context, primary *node, primary
 			Seed:    req.Seed,
 		}
 		if deadline, ok := actx.Deadline(); ok {
-			if d := time.Until(deadline); d > 0 {
-				dreq.TimeoutMS = d.Milliseconds()
+			d := time.Until(deadline)
+			if d <= 0 {
+				// The deadline already passed. Dispatching anyway would put
+				// TimeoutMS = 0 on the wire — "use the worker default" — and
+				// burn a worker-default timeout's worth of node capacity on a
+				// job the caller has given up on. Fail the attempt fast and
+				// locally; the receive loop treats it like any cancellation
+				// (no breaker outcome, probe slot returned).
+				release()
+				acancel()
+				ch <- dispatchOutcome{n: n, err: context.DeadlineExceeded, hedged: hedged}
+				return
 			}
+			dreq.TimeoutMS = d.Milliseconds()
 		}
 		go func() {
 			start := time.Now()

@@ -222,6 +222,48 @@ func TestHedgedDispatch(t *testing.T) {
 	}
 }
 
+// TestExpiredDeadlineFailsFast is the regression test for the
+// dispatch-deadline bug: when the job deadline has already passed at
+// launch time, dispatchHedged used to ship the request with
+// TimeoutMS = 0 — which the wire defines as "use the worker default" —
+// handing an abandoned job a fresh worker-default timeout on the node.
+// The attempt must instead fail locally without a single client
+// dispatch, and must not charge the node's breaker.
+func TestExpiredDeadlineFailsFast(t *testing.T) {
+	var dispatches atomic.Int64
+	var zeroTimeout atomic.Bool
+	clients := map[string]WorkerClient{
+		"n1": funcClient(func(ctx context.Context, req DispatchRequest) ([]byte, error) {
+			dispatches.Add(1)
+			if req.TimeoutMS == 0 {
+				zeroTimeout.Store(true)
+			}
+			return []byte("proof"), nil
+		}),
+	}
+	c := newTestCoordinator(t, Config{HedgeMin: time.Hour}, clients)
+	mustRegister(t, c, "n1")
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := c.Prove(ctx, ProveRequest{Circuit: "synthetic", Seed: 1, Timeout: 10 * time.Second})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired-deadline prove error = %v, want DeadlineExceeded", err)
+	}
+	if n := dispatches.Load(); n != 0 {
+		t.Fatalf("expired-deadline job reached the worker %d times, want 0", n)
+	}
+	if zeroTimeout.Load() {
+		t.Fatal("a dispatch went out with TimeoutMS = 0 (worker-default timeout)")
+	}
+	// The local fail-fast is not the node's fault: its breaker must stay
+	// closed and routable for the next (healthy) job.
+	proof, err := c.Prove(context.Background(), ProveRequest{Circuit: "synthetic", Seed: 2, Timeout: 10 * time.Second})
+	if err != nil || !bytes.Equal(proof, []byte("proof")) {
+		t.Fatalf("post-expiry prove: proof %q err %v", proof, err)
+	}
+}
+
 // TestNodeBreakerQuarantine drives a node's breaker through the
 // coordinator: repeated dispatch failures quarantine it, routing skips
 // it while open, and a successful half-open probe re-closes it.

@@ -7,7 +7,9 @@ import (
 	"sync"
 	"time"
 
+	"distmsm/internal/curve"
 	"distmsm/internal/gpusim"
+	"distmsm/internal/serial"
 )
 
 // This file extends the seedable fault-injection philosophy of
@@ -221,7 +223,14 @@ func (i *NodeInjector) WrapClient(node int, wc WorkerClient) WorkerClient {
 	if i == nil {
 		return wc
 	}
-	return &faultClient{inj: i, node: node, inner: wc}
+	fc := &faultClient{inj: i, node: node, inner: wc}
+	if _, ok := wc.(MSMWorkerClient); ok {
+		// Wrap the MSM surface only when the inner client serves it, so
+		// the coordinator's MSMWorkerClient type assertion keeps telling
+		// the truth about the node's capabilities.
+		return &msmFaultClient{faultClient: fc}
+	}
+	return fc
 }
 
 // faultClient is a WorkerClient with injected node faults.
@@ -260,4 +269,60 @@ func (f *faultClient) Dispatch(ctx context.Context, req DispatchRequest) ([]byte
 		return perturbed, nil
 	}
 	return f.inner.Dispatch(ctx, req)
+}
+
+// msmFaultClient extends faultClient over the MSM dispatch surface. It
+// exists as a separate type so WrapClient only advertises
+// MSMWorkerClient when the wrapped client really implements it.
+type msmFaultClient struct {
+	*faultClient
+}
+
+func (f *msmFaultClient) DispatchMSM(ctx context.Context, req MSMDispatchRequest) ([]byte, error) {
+	inner := f.inner.(MSMWorkerClient)
+	switch f.inj.next(f.node) {
+	case NodeFaultCrash:
+		return nil, fmt.Errorf("%w: node %d", ErrNodeCrashed, f.node)
+	case NodeFaultPartition:
+		<-ctx.Done()
+		return nil, fmt.Errorf("cluster: node %d partitioned (injected): %w", f.node, ctx.Err())
+	case NodeFaultSlow:
+		select {
+		case <-time.After(f.inj.cfg.SlowDelay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	case NodeFaultCorrupt:
+		result, err := inner.DispatchMSM(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		return corruptMSMResult(req.Curve, result), nil
+	}
+	return inner.DispatchMSM(ctx, req)
+}
+
+// corruptMSMResult models a LYING worker, not line noise: it replaces
+// the claimed shard sum with a different but perfectly valid curve
+// point (claim + generator), which sails through point decoding and
+// curve-membership checks — only the outsourced constant-size check can
+// catch it. When the claim does not decode on the declared curve the
+// corruption degrades to a byte flip (the junk-response path, caught at
+// decode time).
+func corruptMSMResult(curveName string, result []byte) []byte {
+	crv, err := curve.ByName(curveName)
+	if err == nil {
+		if aff, perr := serial.UnmarshalPoint(crv, result); perr == nil {
+			p := crv.NewXYZZ()
+			crv.SetAffine(p, &aff)
+			crv.NewAdder().Acc(p, &crv.Gen)
+			out := crv.ToAffine(p)
+			return serial.MarshalPoint(crv, &out, false)
+		}
+	}
+	perturbed := append([]byte(nil), result...)
+	if len(perturbed) > 0 {
+		perturbed[len(perturbed)/2] ^= 0x01
+	}
+	return perturbed
 }

@@ -47,6 +47,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/v1/cluster/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("/v1/cluster/deregister", c.handleDeregister)
 	mux.HandleFunc("/v1/prove", c.handleProve)
+	mux.HandleFunc("/v1/msm", c.handleMSM)
 	mux.HandleFunc("/v1/healthz", c.handleHealthz)
 	mux.HandleFunc("/v1/cluster/nodes", c.handleNodes)
 	mux.HandleFunc("/v1/stats", c.handleStats)
@@ -159,6 +160,44 @@ func (c *Coordinator) handleProve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeClusterJSON(w, map[string]any{"proof": hex.EncodeToString(proof)})
+}
+
+// handleMSM serves a client-facing outsourced MSM: the instance is
+// named by (curve, point_seed, scalar_seed, n), sharded across the
+// fleet, and every shard claim passes the constant-size check before it
+// is folded into the answer.
+//
+//	POST /v1/msm
+//	  request   {"curve", "point_seed", "scalar_seed", "n", "timeout_ms"?}
+//	  response  200 {"result": "<hex uncompressed point>"}
+//	            400 malformed   503 shutting down
+//	            504 job deadline blown   499 client closed request
+func (c *Coordinator) handleMSM(w http.ResponseWriter, r *http.Request) {
+	if !postOnly(w, r) {
+		return
+	}
+	req, err := ParseMSMRequest(readWireBody(r))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	result, err := c.MSM(r.Context(), req)
+	if err != nil {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrBadMessage):
+			code = http.StatusBadRequest
+		case errors.Is(err, ErrNoNodes), errors.Is(err, ErrShuttingDown):
+			code = http.StatusServiceUnavailable
+		case errors.Is(err, context.DeadlineExceeded):
+			code = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			code = 499
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	writeClusterJSON(w, map[string]any{"result": hex.EncodeToString(result)})
 }
 
 // handleHealthz reports the node table. Honest degradation, mirroring

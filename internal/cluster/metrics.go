@@ -26,6 +26,10 @@ type coordMetrics struct {
 	dispatchOK     *telemetry.Counter
 	dispatchErr    *telemetry.Counter
 	dispatchSec    *telemetry.Histogram
+
+	outsourceChecks   *telemetry.Counter
+	outsourceRejects  *telemetry.Counter
+	outsourceCheckSec *telemetry.Histogram
 }
 
 // newCoordMetrics registers the coordinator's metric families on
@@ -65,6 +69,12 @@ func newCoordMetrics(cfg Config, c *Coordinator) *coordMetrics {
 	m.dispatchErr = dispatch("error")
 	m.dispatchSec = reg.Histogram("distmsm_cluster_dispatch_seconds",
 		"Remote dispatch latency (launch to result).", "", nil)
+	m.outsourceChecks = reg.Counter("distmsm_outsource_checks_total",
+		"Constant-size outsourced-MSM verification checks run.", "")
+	m.outsourceRejects = reg.Counter("distmsm_outsource_rejects_total",
+		"Outsourced-MSM checks that rejected a worker claim.", "")
+	m.outsourceCheckSec = reg.Histogram("distmsm_outsource_check_seconds",
+		"Outsourced-MSM acceptance-check latency — constant in the shard size by construction.", "", nil)
 
 	state := func(s string, fn func() float64) {
 		reg.GaugeFunc("distmsm_cluster_nodes",
@@ -128,6 +138,17 @@ func (m *coordMetrics) observeLocalFallback() {
 func (m *coordMetrics) observeCorrupt() {
 	if m != nil {
 		m.corruptProofs.Inc()
+	}
+}
+
+func (m *coordMetrics) observeOutsourceCheck(ok bool, sec float64) {
+	if m == nil {
+		return
+	}
+	m.outsourceChecks.Inc()
+	m.outsourceCheckSec.Observe(sec)
+	if !ok {
+		m.outsourceRejects.Inc()
 	}
 }
 

@@ -1,0 +1,261 @@
+package cluster_test
+
+// The outsourced-MSM chaos suite: an in-process multi-node cluster
+// whose MSM dispatches are hit with the same seeded node faults as the
+// proving path (crash, partition, slow-node, corrupted — i.e. lying —
+// responses), holding the protocol's hard invariants across seeds:
+// every job completes, every result is byte-identical to the fault-free
+// serial reference, every corruption is detected by the constant-size
+// check, and a fault schedule that injects nothing fails the test
+// rather than silently asserting nothing.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"distmsm/internal/cluster"
+	"distmsm/internal/curve"
+	"distmsm/internal/outsource"
+	"distmsm/internal/serial"
+)
+
+// msmChaosWorker is an honest in-process MSM node: it evaluates shards
+// exactly like the service's /v1/msm handler. Faults are layered on top
+// by the coordinator's NodeInjector (cluster.Config.Faults), so a
+// "corrupt" dispatch returns a valid-but-wrong point — a lying worker,
+// not line noise.
+type msmChaosWorker struct{}
+
+func (msmChaosWorker) Dispatch(ctx context.Context, req cluster.DispatchRequest) ([]byte, error) {
+	return nil, errors.New("msm chaos worker does not prove")
+}
+
+func (msmChaosWorker) DispatchMSM(ctx context.Context, req cluster.MSMDispatchRequest) ([]byte, error) {
+	crv, err := curve.ByName(req.Curve)
+	if err != nil {
+		return nil, err
+	}
+	scalars, err := req.DecodeScalars()
+	if err != nil {
+		return nil, err
+	}
+	points := crv.SamplePoints(req.RangeHi, req.PointSeed)[req.RangeLo:req.RangeHi]
+	sum := crv.MSMReference(points, scalars)
+	aff := crv.ToAffine(sum)
+	return serial.MarshalPoint(crv, &aff, false), nil
+}
+
+// msmChaosReference marshals the fault-free serial evaluation of the
+// instance — the byte-identity oracle.
+func msmChaosReference(t *testing.T, req cluster.MSMRequest) []byte {
+	t.Helper()
+	crv, err := curve.ByName(req.Curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := crv.MSMReference(crv.SamplePoints(req.N, req.PointSeed), crv.SampleScalars(req.N, req.ScalarSeed))
+	aff := crv.ToAffine(sum)
+	return serial.MarshalPoint(crv, &aff, false)
+}
+
+// TestMSMChaos: for each fault seed, a batch of outsourced MSMs runs
+// against a three-node fleet under injected crashes, partitions, slow
+// nodes and lying responses. Every job must complete with bytes
+// identical to the serial reference, and the schedule must not be inert.
+func TestMSMChaos(t *testing.T) {
+	for _, faultSeed := range []int64{5, 17, 23} {
+		t.Run(fmt.Sprintf("seed=%d", faultSeed), func(t *testing.T) {
+			runMSMChaos(t, faultSeed)
+		})
+	}
+}
+
+func runMSMChaos(t *testing.T, faultSeed int64) {
+	check := clusterLeakCheck(t)
+	const (
+		nodes = 3
+		jobs  = 6
+	)
+	workers := map[string]cluster.WorkerClient{}
+	ids := make([]string, nodes)
+	for i := 0; i < nodes; i++ {
+		ids[i] = fmt.Sprintf("w%d", i)
+		workers[ids[i]] = msmChaosWorker{}
+	}
+	inj, err := cluster.NewNodeInjector(cluster.NodeFaultConfig{
+		Seed:      faultSeed,
+		Crash:     0.05,
+		Partition: 0.10,
+		Slow:      0.10,
+		Corrupt:   0.15,
+		SlowDelay: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease := time.Second
+	coord := cluster.NewCoordinator(cluster.Config{
+		Lease:         lease,
+		SweepInterval: 200 * time.Millisecond,
+		Breaker:       cluster.BreakerConfig{FailThreshold: 2, Cooldown: 150 * time.Millisecond},
+		MaxAttempts:   6,
+		// A partitioned MSM dispatch must fail its attempt, not ride the
+		// whole job deadline (same rule as the proving path).
+		DispatchTimeout: 3 * time.Second,
+		DefaultTimeout:  60 * time.Second,
+		DialWorker:      func(addr string) cluster.WorkerClient { return workers[addr] },
+		Faults:          inj,
+		MSMRandom:       outsource.NewSeededReader(uint64(faultSeed)),
+	})
+	for _, id := range ids {
+		if _, err := coord.Register(cluster.RegisterRequest{NodeID: id, Addr: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Heartbeat pump: a node the injector crashed stops heartbeating, so
+	// the lease sweeper marks it lost and shards re-route to survivors.
+	stopHB := make(chan struct{})
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		seqs := make([]uint64, nodes)
+		tick := time.NewTicker(lease / 5)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopHB:
+				return
+			case <-tick.C:
+				for i, id := range ids {
+					if inj.Crashed(i) {
+						continue
+					}
+					seqs[i]++
+					_, _ = coord.Heartbeat(cluster.HeartbeatRequest{NodeID: id, Seq: seqs[i]})
+				}
+			}
+		}
+	}()
+
+	reqs := make([]cluster.MSMRequest, jobs)
+	for i := range reqs {
+		reqs[i] = cluster.MSMRequest{Curve: "BN254", PointSeed: uint64(100 + i), ScalarSeed: int64(200 + i), N: 90 + 7*i}
+	}
+	results := make([][]byte, jobs)
+	errs := make([]error, jobs)
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = coord.MSM(context.Background(), reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	close(stopHB)
+	<-hbDone
+
+	for i := range reqs {
+		if errs[i] != nil {
+			t.Errorf("MSM job %d failed despite failover: %v", i, errs[i])
+			continue
+		}
+		if !bytes.Equal(results[i], msmChaosReference(t, reqs[i])) {
+			t.Errorf("MSM job %d diverges from the fault-free serial reference", i)
+		}
+	}
+	st := coord.Stats()
+	t.Logf("seed %d: crashed=%d checks=%d rejects=%d corrupt=%d redispatches=%d localFallbacks=%d trips=%d",
+		faultSeed, inj.CrashedCount(), st.MSMChecks, st.MSMRejects, st.CorruptProofs,
+		st.Redispatches, st.LocalFallbacks, st.BreakerTrips)
+	if st.MSMChecks == 0 && st.LocalFallbacks == 0 {
+		t.Error("no shard was ever checked or degraded — the MSM path never ran")
+	}
+	// The injector must actually have injected something at these seeds
+	// and rates — a chaos test that tests nothing must fail loudly.
+	if st.Redispatches == 0 && st.MSMRejects == 0 && st.CorruptProofs == 0 && inj.CrashedCount() == 0 {
+		t.Error("no fault was injected: the chaos configuration is inert")
+	}
+	coord.Close()
+	check()
+}
+
+// TestMSMChaosAlwaysLyingNode is the named acceptance criterion: one of
+// three nodes lies on every dispatch (corrupt-certain injector — its
+// claims are valid curve points shifted by the generator), and every
+// one of its claims must be caught by the constant-size check, its
+// breaker charged, with every final result byte-identical to the
+// reference.
+func TestMSMChaosAlwaysLyingNode(t *testing.T) {
+	check := clusterLeakCheck(t)
+	const (
+		nodes = 3
+		jobs  = 4
+	)
+	workers := map[string]cluster.WorkerClient{}
+	ids := make([]string, nodes)
+	for i := 0; i < nodes; i++ {
+		ids[i] = fmt.Sprintf("w%d", i)
+		workers[ids[i]] = msmChaosWorker{}
+	}
+	// Only node 0 is wrapped, with a corrupt-certain injector: every
+	// dispatch it serves comes back as a lie.
+	inj, err := cluster.NewNodeInjector(cluster.NodeFaultConfig{Seed: 1, Corrupt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers[ids[0]] = inj.WrapClient(0, workers[ids[0]])
+
+	coord := cluster.NewCoordinator(cluster.Config{
+		Lease:          time.Hour, // no crashes here: leases must not interfere
+		MaxAttempts:    6,
+		DefaultTimeout: 60 * time.Second,
+		DialWorker:     func(addr string) cluster.WorkerClient { return workers[addr] },
+		MSMRandom:      outsource.NewSeededReader(2),
+	})
+	for _, id := range ids {
+		if _, err := coord.Register(cluster.RegisterRequest{NodeID: id, Addr: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := 0; i < jobs; i++ {
+		req := cluster.MSMRequest{Curve: "BN254", PointSeed: uint64(i + 1), ScalarSeed: int64(i + 51), N: 80 + i}
+		got, err := coord.MSM(context.Background(), req)
+		if err != nil {
+			t.Fatalf("MSM job %d: %v", i, err)
+		}
+		if !bytes.Equal(got, msmChaosReference(t, req)) {
+			t.Fatalf("MSM job %d diverges from the serial reference — a lie got through", i)
+		}
+	}
+
+	st := coord.Stats()
+	var liarDispatches, liarFailures uint64
+	for _, n := range coord.Snapshot() {
+		if n.ID == ids[0] {
+			liarDispatches, liarFailures = n.Dispatches, n.Failures
+		}
+	}
+	if liarDispatches == 0 {
+		t.Fatal("the lying node was never dispatched to — the test asserted nothing")
+	}
+	// Every claim the liar produced is wrong, so every one of its settled
+	// dispatches must have been charged as a failure.
+	if liarFailures != liarDispatches {
+		t.Errorf("lying node: %d/%d dispatches charged — some lies went unpunished", liarFailures, liarDispatches)
+	}
+	if st.MSMRejects == 0 {
+		t.Error("no constant-size check ever rejected despite a lying node")
+	}
+	t.Logf("always-lying node: dispatches=%d failures=%d checks=%d rejects=%d corrupt=%d trips=%d",
+		liarDispatches, liarFailures, st.MSMChecks, st.MSMRejects, st.CorruptProofs, st.BreakerTrips)
+	coord.Close()
+	check()
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"testing"
+
+	"distmsm/internal/curve"
+)
+
+// FuzzOutsourceWire throws arbitrary bytes at the outsourced-MSM wire
+// parsers. The invariants: no parser panics, and junk never passes —
+// anything accepted satisfies every bound the validators promise
+// (known curve, sane range, exact blob size, capped timeout), and an
+// accepted scalar blob decodes to exactly the declared shard's worth of
+// width-bounded scalars.
+func FuzzOutsourceWire(f *testing.F) {
+	f.Add([]byte(`{"job_id":1,"curve":"BN254","point_seed":7,"range_lo":0,"range_hi":2,"scalar_bits":8,"scalars":"01ff"}`))
+	f.Add([]byte(`{"job_id":1,"curve":"BLS12-381","point_seed":7,"range_lo":4,"range_hi":5,"scalar_bits":16,"scalars":"beef","timeout_ms":1000}`))
+	f.Add([]byte(`{"job_id":1,"result":"deadbeef"}`))
+	f.Add([]byte(`{"job_id":1,"error":"boom"}`))
+	f.Add([]byte(`{"job_id":1,"result":"dead","error":"both"}`))
+	f.Add([]byte(`{"curve":"BN254","point_seed":3,"scalar_seed":-4,"n":64}`))
+	f.Add([]byte(`{"curve":"BN254","n":1048577}`))
+	f.Add([]byte(`{"curve":"bn254","n":4}`)) // curve names are case-sensitive
+	f.Add([]byte(`{"job_id":1,"curve":"BN254","range_lo":-1,"range_hi":0,"scalar_bits":8,"scalars":""}`))
+	f.Add([]byte(`{"job_id":1,"curve":"BN254","range_lo":0,"range_hi":1,"scalar_bits":8,"scalars":"zz"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if req, err := ParseMSMDispatchRequest(data); err == nil {
+			if _, cerr := curve.ByName(req.Curve); cerr != nil {
+				t.Fatalf("accepted dispatch with unknown curve %q", req.Curve)
+			}
+			n := req.RangeHi - req.RangeLo
+			if req.RangeLo < 0 || n < 1 || n > MaxMSMShard {
+				t.Fatalf("accepted dispatch with bad range [%d, %d)", req.RangeLo, req.RangeHi)
+			}
+			if req.ScalarBits < 1 || req.ScalarBits > MaxMSMScalarBits {
+				t.Fatalf("accepted dispatch with scalar_bits %d", req.ScalarBits)
+			}
+			if req.Timeout() > MaxDispatchTimeout || req.TimeoutMS < 0 {
+				t.Fatalf("accepted dispatch with timeout %v", req.Timeout())
+			}
+			// The blob's size was validated; decoding may still reject
+			// (non-hex, over-width scalars) but must never panic, and what
+			// it accepts must be exactly the declared shard.
+			if scalars, derr := req.DecodeScalars(); derr == nil {
+				if len(scalars) != n {
+					t.Fatalf("decoded %d scalars from a %d-point shard", len(scalars), n)
+				}
+				for i, k := range scalars {
+					if k.BitLen() > req.ScalarBits {
+						t.Fatalf("scalar %d decoded to %d bits, declared %d", i, k.BitLen(), req.ScalarBits)
+					}
+				}
+			}
+		}
+		if w, result, err := ParseMSMDispatchResponse(data); err == nil {
+			if (w.Error == "") == (len(result) == 0 && w.Result == "") {
+				t.Fatalf("accepted response with neither or both of result and error: %+v", w)
+			}
+		}
+		if req, err := ParseMSMRequest(data); err == nil {
+			if _, cerr := curve.ByName(req.Curve); cerr != nil {
+				t.Fatalf("accepted MSM job with unknown curve %q", req.Curve)
+			}
+			if req.N < 1 || req.N > MaxMSMPoints {
+				t.Fatalf("accepted MSM job with n = %d", req.N)
+			}
+			if req.Timeout < 0 || req.Timeout > MaxDispatchTimeout {
+				t.Fatalf("accepted MSM job with timeout %v", req.Timeout)
+			}
+		}
+	})
+}

@@ -48,8 +48,19 @@ type Options struct {
 	// VerifySampling is the per-shard probability of the randomized
 	// result-verification pass: 0 auto-enables full verification when
 	// corrupted-result injection is configured, a negative value
-	// disables verification entirely.
+	// disables verification entirely. VerifyMode selects the check that
+	// runs on a sampled shard.
 	VerifySampling float64
+	// VerifyMode selects the implementation behind VerifySampling: the
+	// default VerifyOutsource constant-size challenge check
+	// (internal/outsource) or the VerifyRecompute full-recompute
+	// differential reference.
+	VerifyMode VerifyMode
+	// VerifyMaskTerms is the sparse-mask size of the outsourced check —
+	// the count of secret signed point references mixed into the
+	// challenge aggregation (0 = outsource.DefaultMaskTerms). Ignored
+	// under VerifyRecompute.
+	VerifyMaskTerms int
 	// FixedBase routes the execution through per-window precomputed
 	// tables (§2.3.1): all windows scatter into one shared bucket array
 	// indexed by the flat table vector, eliminating the per-window
@@ -80,6 +91,28 @@ type Options struct {
 	// path that always spans the full cluster).
 	Devices []int
 }
+
+// VerifyMode selects the implementation behind Options.VerifySampling.
+type VerifyMode int
+
+const (
+	// VerifyOutsource is the default: the 2G2T-style constant-size
+	// check of internal/outsource. The sampled shard's references are
+	// re-aggregated into ONE challenge accumulator with a secret sparse
+	// mask shuffled into the stream, and the claim is accepted iff the
+	// challenge equals the claimed accumulators' fold plus the mask
+	// correction — a comparison whose group-operation count depends on
+	// the shard's bucket count and mask size, not on how many point
+	// references the shard aggregates.
+	VerifyOutsource VerifyMode = iota
+	// VerifyRecompute is the differential reference: re-execute the
+	// full shard and compare 64-bit random-coefficient linear
+	// combinations of the claimed and reference bucket accumulators.
+	// It costs a complete shard recompute per sampled shard and is kept
+	// selectable as the oracle the outsourced check is validated
+	// against.
+	VerifyRecompute
+)
 
 // DefaultVariant is the full DistMSM accumulation kernel.
 const DefaultVariant = kernel.VariantTCCompact

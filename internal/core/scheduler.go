@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"sync"
 	"time"
 
 	"distmsm/internal/bigint"
 	"distmsm/internal/curve"
 	"distmsm/internal/gpusim"
+	"distmsm/internal/outsource"
 	"distmsm/internal/telemetry"
 )
 
@@ -130,11 +132,13 @@ type scheduler struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	plan    *Plan
-	pol     RetryPolicy
-	inject  bool // fault injection configured: stealing/speculation enabled
-	verifyP float64
-	seed    uint64
+	plan       *Plan
+	pol        RetryPolicy
+	inject     bool // fault injection configured: stealing/speculation enabled
+	verifyP    float64
+	verifyMode VerifyMode
+	verifyMask int
+	seed       uint64
 
 	gpus     []int // worker GPUs, in plan order
 	queues   map[int][]*shardTask
@@ -192,6 +196,8 @@ func newScheduler(plan *Plan, opts Options) *scheduler {
 			s.verifyP = 1
 		}
 	}
+	s.verifyMode = opts.VerifyMode
+	s.verifyMask = opts.VerifyMaskTerms
 	for _, a := range plan.Assignments {
 		if !s.healthy[a.GPU] {
 			s.healthy[a.GPU] = true
@@ -697,7 +703,13 @@ func (e *concExec) execute(ctx context.Context, g int, t *shardTask, seq int, is
 		gpusim.HashUnit(e.sched.seed, gpusim.TagVerify,
 			uint64(t.a.Window), uint64(t.a.BucketLo), uint64(seq)) < e.sched.verifyP {
 		e.sched.countVerifyRun()
-		ok, verr := e.verifyShard(t, seq, priv, sc.Buckets, ws)
+		var ok bool
+		var verr error
+		if e.sched.verifyMode == VerifyRecompute {
+			ok, verr = e.verifyShard(t, seq, priv, sc.Buckets, ws)
+		} else {
+			ok, verr = e.verifyShardChallenge(t, seq, priv, sc.Buckets)
+		}
 		if verr != nil {
 			return verr
 		}
@@ -744,11 +756,18 @@ func traceShard(tr *telemetry.Tracer, g int, t *shardTask, seq int, spec bool, s
 	})
 }
 
-// verifyShard is the cheap randomized check of §(2G2T)-style outsourced
-// MSM verification: recompute the shard's reference bucket sums and
-// compare random-coefficient linear combinations of the claimed and
-// reference accumulators. A corrupted accumulator escapes only if the
-// 16-bit random coefficients align, probability ~2^-16 per check.
+// verifyShard is the recompute-based differential reference check
+// (Options.VerifyMode = VerifyRecompute). It is NOT cheap: it
+// re-executes the entire shard — every point addition the original
+// execution performed — to rebuild the reference bucket sums, then
+// compares 64-bit random-coefficient linear combinations of the claimed
+// and reference accumulators, so each sampled shard costs a full shard
+// recompute plus ~2·96 point operations per bucket for the RLC fold. A
+// corrupted accumulator escapes only if the coefficients align,
+// probability ~2^-64 per check. The default VerifyOutsource mode
+// (verifyShardChallenge) avoids the per-bucket recompute-and-RLC
+// entirely; this path is kept selectable as the oracle the outsourced
+// check is validated against.
 func (e *concExec) verifyShard(t *shardTask, seq int, claim []*curve.PointXYZZ, buckets [][]int32, ws *workerScratch) (bool, error) {
 	ref := make([]*curve.PointXYZZ, len(claim))
 	if _, err := sumBucketRange(e.c, e.points, buckets, t.a.BucketLo, t.a.BucketHi, ref, ws.sum); err != nil {
@@ -757,6 +776,85 @@ func (e *concExec) verifyShard(t *shardTask, seq int, claim []*curve.PointXYZZ, 
 	seed := gpusim.Hash64(e.sched.seed, gpusim.TagCoeff,
 		uint64(t.a.Window), uint64(t.a.BucketLo), uint64(seq))
 	return rlcEqual(e.c, claim, ref, t.a.BucketLo, t.a.BucketHi, seed), nil
+}
+
+// verifyShardChallenge is the default shard check, the engine tier of
+// the 2G2T-style protocol in internal/outsource (Options.VerifyMode =
+// VerifyOutsource). The shard's references are re-aggregated into ONE
+// challenge accumulator with a secret sparse mask — signed point
+// references drawn from a seed the executing device never observes —
+// shuffled into the stream, and the claim is accepted iff
+//
+//	challenge == Σ_b claim[b] + Σⱼ ±P_{mⱼ}
+//
+// The acceptance comparison costs the shard's bucket count plus the
+// mask size in point additions, independent of how many references the
+// shard aggregates; a corrupted accumulator vector escapes only if its
+// per-bucket perturbations cancel exactly in the aggregate, which a
+// mask-oblivious corruption cannot arrange. Unlike verifyShard there is
+// no per-bucket reference reconstruction and no RLC fold — the
+// challenge pass is a plain addition stream shaped exactly like the
+// bucket-sum kernel, i.e. work a device could execute, not host-side
+// recomputation of the claim.
+func (e *concExec) verifyShardChallenge(t *shardTask, seq int, claim []*curve.PointXYZZ, buckets [][]int32) (bool, error) {
+	rnd := outsource.NewSeededReader(gpusim.Hash64(e.sched.seed, gpusim.TagChallenge,
+		uint64(t.a.Window), uint64(t.a.BucketLo), uint64(seq)))
+	terms := e.sched.verifyMask
+	if terms == 0 {
+		terms = outsource.DefaultMaskTerms
+	}
+	mask, err := outsource.NewMask(len(e.points), terms, rnd)
+	if err != nil {
+		return false, err
+	}
+	a := e.c.NewAdder()
+	negY := e.c.Fp.NewElement()
+	acc := func(dst *curve.PointXYZZ, ref int32) error {
+		negated := ref < 0
+		if negated {
+			ref = -ref
+		}
+		if ref < 1 || int(ref) > len(e.points) {
+			return fmt.Errorf("core: challenge references point %d outside the %d-point input", ref, len(e.points))
+		}
+		pt := &e.points[int(ref)-1]
+		if pt.Inf {
+			return nil
+		}
+		if negated {
+			e.c.Fp.Neg(negY, pt.Y)
+			neg := curve.PointAffine{X: pt.X, Y: negY}
+			a.Acc(dst, &neg)
+			return nil
+		}
+		a.Acc(dst, pt)
+		return nil
+	}
+	// Challenge pass: the shard's reference stream plus the mask terms,
+	// aggregated into a single accumulator.
+	challenge := e.c.NewXYZZ()
+	for b := t.a.BucketLo; b < t.a.BucketHi; b++ {
+		for _, ref := range buckets[b] {
+			if err := acc(challenge, ref); err != nil {
+				return false, err
+			}
+		}
+	}
+	for _, ref := range mask.Refs {
+		if err := acc(challenge, ref); err != nil {
+			return false, err
+		}
+	}
+	// Claim side: fold the claimed accumulators and apply the secret
+	// mask correction — bucket count + mask size group operations.
+	fold := e.c.NewXYZZ()
+	for b := t.a.BucketLo; b < t.a.BucketHi; b++ {
+		if claim[b] != nil {
+			a.Add(fold, claim[b])
+		}
+	}
+	a.Add(fold, mask.Sum(e.c, e.points))
+	return e.c.EqualXYZZ(challenge, fold), nil
 }
 
 // corruptShard realizes a corrupted-result fault by doubling the first
@@ -774,14 +872,18 @@ func corruptShard(c *curve.Curve, acc []*curve.PointXYZZ, lo, hi int) bool {
 }
 
 // rlcEqual compares Σ r_b·claim[b] with Σ r_b·ref[b] over [lo, hi) for
-// deterministic pseudo-random 16-bit coefficients r_b derived from seed.
+// deterministic pseudo-random 64-bit coefficients r_b derived from
+// seed. A corrupted accumulator escapes only if the coefficients align,
+// probability ~2^-64 per check (the coefficients were 16-bit until
+// PR 10, which left a ~2^-16 per-check escape window on the reference
+// verification path).
 func rlcEqual(c *curve.Curve, claim, ref []*curve.PointXYZZ, lo, hi int, seed uint64) bool {
 	a := c.NewAdder()
 	sumClaim, sumRef := c.NewXYZZ(), c.NewXYZZ()
 	h := seed
 	for b := lo; b < hi; b++ {
 		h = gpusim.Mix64(h)
-		r := uint32(h>>32) & 0xFFFF
+		r := h
 		if r == 0 {
 			r = 1
 		}
@@ -795,10 +897,10 @@ func rlcEqual(c *curve.Curve, claim, ref []*curve.PointXYZZ, lo, hi int, seed ui
 	return c.EqualXYZZ(sumClaim, sumRef)
 }
 
-// mulSmall computes k·p for a 16-bit k by double-and-add.
-func mulSmall(c *curve.Curve, a *curve.Adder, p *curve.PointXYZZ, k uint32) *curve.PointXYZZ {
+// mulSmall computes k·p for a short (≤64-bit) k by double-and-add.
+func mulSmall(c *curve.Curve, a *curve.Adder, p *curve.PointXYZZ, k uint64) *curve.PointXYZZ {
 	out := c.NewXYZZ()
-	for i := 15; i >= 0; i-- {
+	for i := bits.Len64(k) - 1; i >= 0; i-- {
 		a.Double(out)
 		if k>>uint(i)&1 == 1 {
 			a.Add(out, p)

@@ -144,6 +144,9 @@ const (
 	TagVerify uint64 = 0x5EED
 	// TagCoeff is the domain of the verification RLC coefficients.
 	TagCoeff uint64 = 0xC0EF
+	// TagChallenge is the domain of the outsourced-verification
+	// challenge secrets (sparse-mask derivation, internal/outsource).
+	TagChallenge uint64 = 0xCA11
 )
 
 // Decide returns the fault (if any) injected into the attempt-th

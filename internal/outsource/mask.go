@@ -1,0 +1,81 @@
+package outsource
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"distmsm/internal/curve"
+)
+
+// Mask is the engine-tier variant of the sparse secret mask: s signed
+// point references the scheduler mixes into a shard's challenge
+// aggregation pass. The engine's per-shard claim is a vector of bucket
+// accumulators rather than a single MSM output, and the bucket-sum
+// kernel only adds, so the challenge instance there is additive: the
+// kernel re-aggregates the shard's references into ONE accumulator with
+// the mask references shuffled in, and the scheduler accepts iff
+//
+//	challenge == Σ_b claim[b] + Σⱼ ±P_{mⱼ}
+//
+// a comparison whose cost is the shard's bucket count plus s point
+// additions — independent of how many references (points) the shard
+// actually aggregates, which is what grows with the MSM size. Refs use
+// the engine's scatter convention: 1-indexed, negative for subtraction.
+type Mask struct {
+	Refs []int32
+}
+
+// NewMask draws a sparse mask of `terms` distinct signed references
+// into a table of n points.
+func NewMask(n, terms int, rnd io.Reader) (*Mask, error) {
+	if n <= 0 || terms < 1 {
+		return nil, fmt.Errorf("%w: mask over %d points with %d terms", ErrBadParams, n, terms)
+	}
+	if terms > n {
+		terms = n
+	}
+	idx, err := randIndices(rnd, n, terms)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mask{Refs: make([]int32, terms)}
+	two := big.NewInt(2)
+	for j, i := range idx {
+		ref := int32(i + 1)
+		bit, err := randBelow(rnd, two)
+		if err != nil {
+			return nil, err
+		}
+		if bit == 1 {
+			ref = -ref
+		}
+		m.Refs[j] = ref
+	}
+	return m, nil
+}
+
+// Sum computes the claim-side mask correction Σⱼ ±P_{mⱼ}.
+func (m *Mask) Sum(c *curve.Curve, points []curve.PointAffine) *curve.PointXYZZ {
+	a := c.NewAdder()
+	out := c.NewXYZZ()
+	for _, ref := range m.Refs {
+		if ref > 0 {
+			a.Acc(out, &points[ref-1])
+		} else {
+			p := clonePoint(points[-ref-1])
+			c.NegAffine(&p)
+			a.Acc(out, &p)
+		}
+	}
+	return out
+}
+
+// randBelow draws a uniform integer in [0, max).
+func randBelow(rnd io.Reader, max *big.Int) (int64, error) {
+	v, err := randInt(rnd, max)
+	if err != nil {
+		return 0, err
+	}
+	return v.Int64(), nil
+}

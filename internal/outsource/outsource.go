@@ -1,0 +1,312 @@
+// Package outsource implements a constant-size verifiable-outsourcing
+// check for multi-scalar multiplication in the style of 2G2T (PAPERS.md,
+// arXiv 2602.23464): a weak client dispatches an MSM instance to an
+// untrusted worker and accepts the claimed result after a number of
+// group operations that is independent of the instance size — no
+// recomputation.
+//
+// # Protocol
+//
+// The client wants Q = Σ xᵢ·Pᵢ over n points. Alongside the real
+// instance x it derives one secret challenge instance
+//
+//	yᵢ = α·xᵢ + ρᵢ
+//
+// where α is a fresh secret λ-bit scalar and ρ is a sparse secret mask:
+// s = MaskTerms uniformly random indices carrying fresh λ-bit values,
+// zero elsewhere. The arithmetic is over the integers, so the group
+// identity
+//
+//	MSM(P, y) = α·MSM(P, x) + Σⱼ ρ_{mⱼ}·P_{mⱼ}
+//
+// holds for any points — no prime-order-subgroup assumption, which
+// matters because sampled bases (curve.SamplePoints) are not cofactor
+// cleared. The worker returns claims R ≈ MSM(P, x) and T ≈ MSM(P, y);
+// the client accepts R iff
+//
+//	T == α·R + Σⱼ ρ_{mⱼ}·P_{mⱼ}
+//
+// which costs one λ-bit scalar multiplication, s λ-bit scalar
+// multiplications and s+1 additions — constant in n. Deriving y costs
+// n integer multiply-adds, but those are scalar-field operations, three
+// orders of magnitude cheaper than the ~n/log n group operations the
+// MSM itself (or a recompute-based check) needs.
+//
+// # Soundness and trust model
+//
+// An additive corruption (Δ_R, Δ_T) chosen without knowledge of the
+// client's secrets passes only if Δ_T = α·Δ_R, i.e. only by guessing
+// the λ-bit α: escape probability 2^-λ. A lazy worker that skips the
+// same subset S of indices in both instances satisfies Δ_T = α·Δ_R
+// automatically except for the mask terms it skipped, so it is caught
+// unless S misses all s mask indices — probability ~(1-|S|/n)^s, which
+// makes skipping any economically meaningful fraction of the work
+// detectable with overwhelming probability.
+//
+// Two caveats, stated here because they bound the model rather than the
+// implementation: (1) a single adaptive adversary holding BOTH
+// instances can recover α and the mask support by ratio analysis
+// (yᵢ/xᵢ is constant off-support), so the cluster coordinator dispatches
+// the real and challenge instances to distinct nodes whenever two are
+// alive — soundness against adaptive workers then rests on those nodes
+// not colluding, while oblivious faults (bit flips, truncation, crashed
+// kernels, stale buffers) are caught regardless of placement; (2)
+// integer blinding makes challenge scalars up to λ bits wider than real
+// ones, so the wire layer pads both instance kinds to the same width to
+// keep them indistinguishable at the framing level.
+package outsource
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+
+	"distmsm/internal/bigint"
+	"distmsm/internal/curve"
+)
+
+// DefaultLambda is the default soundness parameter: the bit width of
+// the secret scale α and of the mask values. Escape probability for an
+// oblivious corruption is 2^-λ.
+const DefaultLambda = 64
+
+// DefaultMaskTerms is the default sparse-mask size s. A worker that
+// consistently skips a fraction f of the indices escapes with
+// probability ~(1-f)^s.
+const DefaultMaskTerms = 16
+
+// ErrBadParams reports an invalid protocol configuration.
+var ErrBadParams = errors.New("outsource: invalid parameters")
+
+// Params configures the check.
+type Params struct {
+	// Lambda is the soundness parameter λ in bits: the width of the
+	// secret scale and the mask values. 0 means DefaultLambda; the valid
+	// range is [8, 256].
+	Lambda int
+	// MaskTerms is the sparse-mask size s. 0 means DefaultMaskTerms
+	// (clamped to the instance size).
+	MaskTerms int
+}
+
+// fill applies defaults and validates, clamping MaskTerms to n.
+func (p Params) fill(n int) (Params, error) {
+	if p.Lambda == 0 {
+		p.Lambda = DefaultLambda
+	}
+	if p.MaskTerms == 0 {
+		p.MaskTerms = DefaultMaskTerms
+	}
+	if p.Lambda < 8 || p.Lambda > 256 {
+		return p, fmt.Errorf("%w: Lambda %d outside [8, 256]", ErrBadParams, p.Lambda)
+	}
+	if p.MaskTerms < 1 {
+		return p, fmt.Errorf("%w: MaskTerms %d < 1", ErrBadParams, p.MaskTerms)
+	}
+	if p.MaskTerms > n {
+		p.MaskTerms = n
+	}
+	return p, nil
+}
+
+// Check is the client-side secret state for one outsourced MSM
+// instance: the scale α, the sparse mask, and the derived challenge
+// scalar vector. It retains copies of the s masked base points (not the
+// whole table), so a Check stays O(s + n scalars) regardless of how the
+// caller stores its bases.
+type Check struct {
+	c      *curve.Curve
+	params Params
+
+	alpha    *big.Int
+	maskIdx  []int
+	maskVal  []*big.Int
+	maskPts  []curve.PointAffine
+	chal     []bigint.Nat
+	chalBits int
+}
+
+// NewCheck derives the secret challenge instance for scalars over
+// points. rnd supplies the secret randomness: crypto/rand.Reader in
+// production, NewSeededReader in deterministic tests and simulations.
+// points and scalars must have equal nonzero length.
+func NewCheck(c *curve.Curve, points []curve.PointAffine, scalars []bigint.Nat, p Params, rnd io.Reader) (*Check, error) {
+	n := len(scalars)
+	if n == 0 || len(points) != n {
+		return nil, fmt.Errorf("%w: %d points, %d scalars", ErrBadParams, len(points), n)
+	}
+	p, err := p.fill(n)
+	if err != nil {
+		return nil, err
+	}
+	ck := &Check{c: c, params: p}
+	if ck.alpha, err = randScalar(rnd, p.Lambda); err != nil {
+		return nil, err
+	}
+	if ck.maskIdx, err = randIndices(rnd, n, p.MaskTerms); err != nil {
+		return nil, err
+	}
+	ck.maskVal = make([]*big.Int, p.MaskTerms)
+	ck.maskPts = make([]curve.PointAffine, p.MaskTerms)
+	for j, idx := range ck.maskIdx {
+		if ck.maskVal[j], err = randScalar(rnd, p.Lambda); err != nil {
+			return nil, err
+		}
+		ck.maskPts[j] = clonePoint(points[idx])
+	}
+
+	// Derive y = α·x + ρ over ℤ, padded to one uniform width.
+	maxBits := c.ScalarBits
+	for _, x := range scalars {
+		if b := x.BitLen(); b > maxBits {
+			maxBits = b
+		}
+	}
+	ck.chalBits = maxBits + p.Lambda + 1
+	width := (ck.chalBits + 63) / 64
+	ck.chal = make([]bigint.Nat, n)
+	rho := make(map[int]*big.Int, p.MaskTerms)
+	for j, idx := range ck.maskIdx {
+		rho[idx] = ck.maskVal[j]
+	}
+	v := new(big.Int)
+	for i, x := range scalars {
+		v.Mul(x.ToBig(), ck.alpha)
+		if r, ok := rho[i]; ok {
+			v.Add(v, r)
+		}
+		ck.chal[i] = bigint.FromBig(v, width)
+	}
+	return ck, nil
+}
+
+// Challenge returns the challenge scalar vector y to dispatch alongside
+// the real instance. All entries share one width of ChallengeBits bits.
+func (ck *Check) Challenge() []bigint.Nat { return ck.chal }
+
+// ChallengeBits is the uniform bit width of the challenge scalars —
+// also the width real-instance scalars should be padded to on the wire
+// so the two instance kinds frame identically.
+func (ck *Check) ChallengeBits() int { return ck.chalBits }
+
+// Params returns the (default-filled) parameters of the check.
+func (ck *Check) Params() Params { return ck.params }
+
+// Verify accepts or rejects the worker claims: claimed ≈ MSM(P, x) and
+// challenge ≈ MSM(P, y). It performs 1+s short scalar multiplications
+// and s+1 additions — independent of the instance size. nil claims are
+// rejected.
+func (ck *Check) Verify(claimed, challenge *curve.PointXYZZ) bool {
+	if claimed == nil || challenge == nil {
+		return false
+	}
+	a := ck.c.NewAdder()
+	want := xyzzScalarMul(ck.c, a, claimed, ck.alpha)
+	width := (ck.params.Lambda + 63) / 64
+	for j := range ck.maskPts {
+		a.Add(want, a.ScalarMul(&ck.maskPts[j], bigint.FromBig(ck.maskVal[j], width)))
+	}
+	return ck.c.EqualXYZZ(challenge, want)
+}
+
+// xyzzScalarMul is double-and-add of a projective point by a short
+// scalar (the Adder's ScalarMul takes affine inputs, but worker claims
+// arrive projective).
+func xyzzScalarMul(c *curve.Curve, a *curve.Adder, p *curve.PointXYZZ, k *big.Int) *curve.PointXYZZ {
+	out := c.NewXYZZ()
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		a.Double(out)
+		if k.Bit(i) == 1 {
+			a.Add(out, p)
+		}
+	}
+	return out
+}
+
+// clonePoint deep-copies an affine point (Elements are slices).
+func clonePoint(p curve.PointAffine) curve.PointAffine {
+	if p.Inf {
+		return curve.PointAffine{Inf: true}
+	}
+	return curve.PointAffine{X: p.X.Clone(), Y: p.Y.Clone()}
+}
+
+// randInt draws a uniform integer in [0, max).
+func randInt(rnd io.Reader, max *big.Int) (*big.Int, error) {
+	v, err := rand.Int(rnd, max)
+	if err != nil {
+		return nil, fmt.Errorf("outsource: drawing randomness: %w", err)
+	}
+	return v, nil
+}
+
+// randScalar draws a uniform nonzero integer of at most bits bits.
+func randScalar(rnd io.Reader, bits int) (*big.Int, error) {
+	max := new(big.Int).Lsh(big.NewInt(1), uint(bits))
+	for {
+		v, err := randInt(rnd, max)
+		if err != nil {
+			return nil, err
+		}
+		if v.Sign() != 0 {
+			return v, nil
+		}
+	}
+}
+
+// randIndices draws s distinct uniform indices in [0, n).
+func randIndices(rnd io.Reader, n, s int) ([]int, error) {
+	seen := make(map[int]bool, s)
+	out := make([]int, 0, s)
+	bigN := big.NewInt(int64(n))
+	for len(out) < s {
+		v, err := randInt(rnd, bigN)
+		if err != nil {
+			return nil, err
+		}
+		i := int(v.Int64())
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// NewSeededReader returns a deterministic randomness stream (a SHA-256
+// counter generator) for reproducible tests, chaos schedules and the
+// simulated engine — production callers pass crypto/rand.Reader. The
+// stream is safe for concurrent readers (like crypto/rand.Reader); the
+// byte sequence is deterministic in the seed, though its interleaving
+// across concurrent readers of course is not.
+func NewSeededReader(seed uint64) io.Reader {
+	return &seededReader{seed: seed}
+}
+
+type seededReader struct {
+	mu   sync.Mutex
+	seed uint64
+	ctr  uint64
+	buf  []byte
+}
+
+func (r *seededReader) Read(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.buf) < len(p) {
+		var block [16]byte
+		binary.LittleEndian.PutUint64(block[:8], r.seed)
+		binary.LittleEndian.PutUint64(block[8:], r.ctr)
+		r.ctr++
+		h := sha256.Sum256(block[:])
+		r.buf = append(r.buf, h[:]...)
+	}
+	n := copy(p, r.buf)
+	r.buf = r.buf[n:]
+	return n, nil
+}

@@ -4,11 +4,23 @@ import (
 	"context"
 	"encoding/hex"
 	"errors"
+	"io"
 	"net/http"
 	"time"
 
 	"distmsm/internal/cluster"
+	"distmsm/internal/curve"
+	"distmsm/internal/serial"
 )
+
+// readMSMBody reads an MSM dispatch body. MSM shards carry an explicit
+// scalar blob and legitimately exceed the 64 KiB cap of readBody, so
+// they get the cluster wire's own (larger, still bounded) cap; the
+// parser re-checks the exact size.
+func readMSMBody(r *http.Request) []byte {
+	b, _ := io.ReadAll(io.LimitReader(r.Body, cluster.MaxMSMBody+1))
+	return b
+}
 
 // This file is the service's worker-node face: the endpoints and
 // methods that let a provd instance serve as one node of a
@@ -79,6 +91,56 @@ func (s *Service) VerifyProof(circuitName string, seed int64, proofBytes []byte)
 		return false, err
 	}
 	return s.eng.Verify(c.vk, proof, w[1:1+c.cs.NPublic])
+}
+
+// handleMSM serves one coordinator-dispatched MSM shard: derive the
+// base range from (curve, point_seed), evaluate Σ k_i·P_i over the
+// explicit scalars, and return the sum as an uncompressed serial point.
+//
+//	POST /v1/msm
+//	  request   cluster.MSMDispatchRequest
+//	  response  200 {"job_id", "result"} on success
+//	            200 {"job_id", "error"}  on a terminal evaluation error
+//	            400 malformed
+//
+// The worker cannot tell a real instance from a challenge instance —
+// both frame identically (same curve, seed, range and scalar width) —
+// so it cannot selectively cheat only where it will not be graded.
+// Points are re-derived per request from the deterministic sample
+// chain; a production worker would hold its base table resident.
+func (s *Service) handleMSM(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	req, err := cluster.ParseMSMDispatchRequest(readMSMBody(r))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	scalars, err := req.DecodeScalars()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	crv, err := curve.ByName(req.Curve)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// The sample chain only walks forward, so the shard derives the
+	// prefix and slices its range.
+	points := crv.SamplePoints(req.RangeHi, req.PointSeed)[req.RangeLo:req.RangeHi]
+	if r.Context().Err() != nil {
+		http.Error(w, r.Context().Err().Error(), 499)
+		return
+	}
+	sum := crv.MSMReference(points, scalars)
+	aff := crv.ToAffine(sum)
+	writeJSON(w, cluster.MSMDispatchResponse{
+		JobID:  req.JobID,
+		Result: hex.EncodeToString(serial.MarshalPoint(crv, &aff, false)),
+	})
 }
 
 // handleClusterDispatch serves one coordinator-dispatched job.

@@ -49,6 +49,13 @@ import (
 //
 //	POST /v1/cluster/dispatch   coordinator-dispatched proof job (see
 //	                            cluster.go for the worker-node surface)
+//	POST /v1/msm                coordinator-dispatched MSM shard: derive
+//	                            the base range from (curve, point_seed),
+//	                            evaluate the explicit scalars, return the
+//	                            sum. The worker cannot tell a real
+//	                            instance from the coordinator's secret
+//	                            challenge instance (see cluster.go and
+//	                            internal/outsource).
 //
 // The unversioned paths (/prove, /healthz, /stats, /metrics) are legacy
 // aliases of the v1 handlers, kept for existing clients; new clients
@@ -149,6 +156,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/cluster/dispatch", s.handleClusterDispatch)
+	mux.HandleFunc("/v1/msm", s.handleMSM)
 	// Legacy aliases, same handlers.
 	mux.HandleFunc("/prove", s.handleProve)
 	mux.HandleFunc("/healthz", s.handleHealthz)

@@ -97,14 +97,19 @@ func (q *jobQueue) bestFor(circuit string, eligible func(*Job) bool) int {
 }
 
 // oldestID returns the smallest job ID in the queue (the strict-FIFO
-// head), or 0 on an empty queue — the reference point for counting
-// deadline-driven reorders.
-func (q *jobQueue) oldestID() uint64 {
+// head) — the reference point for counting deadline-driven reorders.
+// The boolean is false on an empty queue; an explicit sentinel rather
+// than an in-band zero so the contract survives even if job IDs ever
+// start at 0 (today Service allocates them from 1, pinned by
+// TestJobIDsStartAtOne).
+func (q *jobQueue) oldestID() (uint64, bool) {
 	var min uint64
+	found := false
 	for _, j := range q.items {
-		if min == 0 || j.ID < min {
+		if !found || j.ID < min {
 			min = j.ID
+			found = true
 		}
 	}
-	return min
+	return min, found
 }

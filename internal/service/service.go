@@ -1030,8 +1030,9 @@ func (s *Service) selectLocked(lastCircuit string, burst int) (idx int, reordere
 			pick = ai
 		}
 	}
+	oldest, haveOldest := s.queue.oldestID()
 	reordered = s.cfg.QueuePolicy == QueueEDF && pick == head &&
-		s.queue.items[pick].ID != s.queue.oldestID()
+		haveOldest && s.queue.items[pick].ID != oldest
 	return pick, reordered
 }
 

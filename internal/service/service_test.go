@@ -63,6 +63,35 @@ func shutdownClean(t *testing.T, svc *Service) {
 	}
 }
 
+// TestJobIDsStartAtOne pins the allocation contract oldestID's old
+// in-band zero sentinel silently depended on: the first Submit gets
+// ID 1, never 0 (0 now signals "empty queue" only through the explicit
+// boolean). Also exercises that sentinel directly on an empty and a
+// populated queue.
+func TestJobIDsStartAtOne(t *testing.T) {
+	svc := newTestService(t, 1, 32, nil)
+	job, err := svc.Submit(Request{Circuit: "synthetic", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID != 1 {
+		t.Fatalf("first job ID = %d, want 1", job.ID)
+	}
+	if _, err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	shutdownClean(t, svc)
+
+	var q jobQueue
+	if id, ok := q.oldestID(); ok || id != 0 {
+		t.Fatalf("empty queue oldestID = (%d, %v), want (0, false)", id, ok)
+	}
+	q.items = []*Job{{ID: 9}, {ID: 2}, {ID: 5}}
+	if id, ok := q.oldestID(); !ok || id != 2 {
+		t.Fatalf("oldestID = (%d, %v), want (2, true)", id, ok)
+	}
+}
+
 // TestServiceProveAndVerify: the happy path — jobs complete, the proofs
 // verify against the circuit's key, and distinct seeds prove distinct
 // statements.
